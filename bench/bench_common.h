@@ -1,0 +1,91 @@
+// Shared plumbing for the table/figure benchmark drivers.
+//
+// Every bench binary prints (a) the measured table in the paper's layout
+// and (b) the paper's own numbers for side-by-side shape comparison.
+// Absolute values differ by construction — the substrate is a simulator
+// and the problems are synthetic equivalents (see DESIGN.md) — what must
+// match is who wins and by roughly what factor.
+#pragma once
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "ordering/ordering.h"
+#include "solver/runner.h"
+#include "sparse/generators.h"
+
+namespace loadex::bench {
+
+struct BenchEnv {
+  double scale = 1.0;      ///< problem-size multiplier (--scale)
+  bool quick = false;      ///< --quick: halve the scale for smoke runs
+  std::uint64_t seed = 1;  ///< --seed
+
+  static BenchEnv parse(int argc, const char* const* argv) {
+    const CliFlags flags(argc, argv);
+    BenchEnv env;
+    env.scale = flags.getDouble("scale", 1.0);
+    env.quick = flags.getBool("quick", false);
+    env.seed = static_cast<std::uint64_t>(flags.getInt("seed", 1));
+    if (env.quick) env.scale *= 0.5;
+    return env;
+  }
+
+  double effectiveScale() const { return scale; }
+};
+
+/// Baseline solver configuration shared by the experiment drivers.
+inline solver::SolverConfig defaultConfig(int nprocs,
+                                          core::MechanismKind kind,
+                                          solver::Strategy strategy) {
+  solver::SolverConfig cfg;
+  cfg.nprocs = nprocs;
+  cfg.mechanism = kind;
+  cfg.strategy = strategy;
+  cfg.mapping.type2_min_front = 200;
+  cfg.mapping.type2_min_border = 16;
+  cfg.app.max_slaves = 32;
+  return cfg;
+}
+
+/// Analyze every problem of a suite once (nested dissection ordering).
+struct AnalyzedProblem {
+  sparse::Problem problem;
+  symbolic::Analysis analysis;
+};
+
+inline std::vector<AnalyzedProblem> analyzeSuite(
+    std::vector<sparse::Problem> suite) {
+  std::vector<AnalyzedProblem> out;
+  out.reserve(suite.size());
+  for (auto& p : suite) {
+    std::cerr << "  [analyze] " << p.name << " (n=" << p.pattern.n() << ")\n";
+    AnalyzedProblem ap{std::move(p), {}};
+    ap.analysis = solver::analyzeProblem(ap.problem);
+    out.push_back(std::move(ap));
+  }
+  return out;
+}
+
+/// Paper reference values, printed under each measured table.
+inline void printPaperReference(const std::string& title,
+                                const std::vector<std::string>& header,
+                                const std::vector<std::vector<std::string>>& rows) {
+  Table t("Paper reference — " + title);
+  t.setHeader(header);
+  for (const auto& r : rows) t.addRow(r);
+  t.setFootnote(
+      "(IBM SP at IDRIS, real MUMPS, original matrices; compare shapes, "
+      "not absolute values.)");
+  t.print(std::cout);
+}
+
+inline std::string mega(double entries) {
+  return Table::fmt(entries / 1e6, 2);
+}
+
+}  // namespace loadex::bench

@@ -1,0 +1,76 @@
+// Figure 2 — distribution of a multifrontal assembly tree over four
+// processes, with node types (subtrees, type 1, type 2, type 3 root).
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace loadex;
+
+int main(int argc, char** argv) {
+  const auto env = bench::BenchEnv::parse(argc, argv);
+  (void)env;
+
+  sparse::Problem p;
+  p.name = "grid3d_16x16x16_27pt";
+  p.symmetric = true;
+  p.pattern = sparse::grid3d(16, 16, 16, /*27pt=*/true);
+  const auto a = solver::analyzeProblem(p);
+
+  solver::MappingOptions mopts;
+  mopts.nprocs = 4;
+  mopts.type2_min_front = 150;
+  mopts.type2_min_border = 16;
+  const auto plan = solver::planTree(a.tree, p.symmetric, mopts);
+
+  std::cout << "Figure 2 — assembly tree of " << p.name << " (n="
+            << p.pattern.n() << ", " << a.tree.size()
+            << " fronts) over 4 processes\n\n";
+
+  // Render the top of the tree with type / master annotations.
+  struct Emit {
+    const symbolic::AssemblyTree& tree;
+    const solver::TreePlan& plan;
+    int budget = 40;
+    void operator()(int id, int depth) {
+      if (budget-- <= 0) return;
+      const auto& nd = tree.node(id);
+      const auto& np = plan.at(id);
+      for (int d = 0; d < depth; ++d) std::cout << "  ";
+      std::cout << "#" << id << " m=" << nd.front << " npiv=" << nd.npiv
+                << "  [" << solver::nodeTypeName(np.type) << ", P"
+                << np.master << "]";
+      if (np.type == solver::NodeType::kSubtree && depth > 0) {
+        std::cout << " (whole subtree on P" << np.master << ")";
+        std::cout << "\n";
+        return;  // don't expand mapped subtrees: matches the figure
+      }
+      std::cout << "\n";
+      auto kids = nd.children;
+      std::sort(kids.begin(), kids.end(), [&](int x, int y) {
+        return tree.node(x).front > tree.node(y).front;
+      });
+      for (const int c : kids) (*this)(c, depth + 1);
+    }
+  };
+  Emit emit{a.tree, plan};
+  for (const int r : a.tree.roots()) emit(r, 0);
+
+  Table t("\nNode-type census (4 processes)");
+  t.setHeader({"Type", "Count", "Flops share (%)"});
+  std::map<solver::NodeType, std::pair<int, double>> census;
+  for (int id = 0; id < a.tree.size(); ++id) {
+    auto& c = census[plan.at(id).type];
+    c.first += 1;
+    c.second += plan.at(id).costs.total_flops;
+  }
+  for (const auto& [type, c] : census)
+    t.addRow({solver::nodeTypeName(type), Table::fmtInt(c.first),
+              Table::fmt(100.0 * c.second / plan.total_flops, 1)});
+  t.setFootnote(
+      "Paper §4.1: leaf subtrees are mapped statically to one process "
+      "each; type-2 nodes pick their slaves dynamically; the type-3 root "
+      "is a static 2-D (ScaLAPACK-style) factorization. On large enough "
+      "machines ~80% of the flops are in slave (type-2) tasks.");
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Micro-benchmarks of the three mechanisms' message handling.
+#include <benchmark/benchmark.h>
+
+#include "core/binding.h"
+#include "core/increment.h"
+#include "core/naive.h"
+#include "core/snapshot.h"
+
+using namespace loadex;
+
+namespace {
+
+struct NullTransport final : core::Transport {
+  int n = 64;
+  std::int64_t sent = 0;
+  Rank self() const override { return 0; }
+  int nprocs() const override { return n; }
+  SimTime now() const override { return 0.0; }
+  void sendState(Rank, core::StateTag, Bytes,
+                 std::shared_ptr<const sim::Payload>) override {
+    ++sent;
+  }
+};
+
+void BM_IncrementLocalLoad(benchmark::State& state) {
+  NullTransport t;
+  core::MechanismConfig cfg;
+  cfg.threshold = {100.0, 100.0};
+  core::IncrementMechanism m(t, cfg);
+  double sign = 1.0;
+  for (auto _ : state) {
+    m.addLocalLoad({sign * 30.0, 0.0});
+    sign = -sign;
+  }
+  benchmark::DoNotOptimize(t.sent);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IncrementLocalLoad);
+
+void BM_NaiveUpdateHandling(benchmark::State& state) {
+  NullTransport t;
+  core::NaiveMechanism m(t, {});
+  sim::Message msg;
+  msg.src = 3;
+  msg.dst = 0;
+  msg.channel = sim::Channel::kState;
+  msg.tag = static_cast<int>(core::StateTag::kUpdateAbsolute);
+  auto payload = std::make_shared<core::UpdateAbsolutePayload>();
+  payload->load = {42.0, 7.0};
+  msg.payload = payload;
+  for (auto _ : state) m.onStateMessage(msg);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NaiveUpdateHandling);
+
+void BM_MasterToAllHandling(benchmark::State& state) {
+  NullTransport t;
+  core::IncrementMechanism m(t, {});
+  sim::Message msg;
+  msg.src = 3;
+  msg.dst = 0;
+  msg.channel = sim::Channel::kState;
+  msg.tag = static_cast<int>(core::StateTag::kMasterToAll);
+  auto payload = std::make_shared<core::MasterToAllPayload>();
+  for (Rank r = 1; r < 17; ++r)
+    payload->assignments.push_back({r, {100.0, 10.0}});
+  msg.payload = payload;
+  for (auto _ : state) m.onStateMessage(msg);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MasterToAllHandling);
+
+void BM_SnapshotRoundTrip(benchmark::State& state) {
+  // Full snapshot protocol round on a 64-process system, driven directly.
+  for (auto _ : state) {
+    NullTransport t;
+    core::SnapshotMechanism m(t, {});
+    bool fired = false;
+    m.requestView([&](const core::LoadView&) {
+      fired = true;
+      m.commitSelection({{1, {10.0, 1.0}}});
+    });
+    for (Rank r = 1; r < t.n; ++r) {
+      sim::Message msg;
+      msg.src = r;
+      msg.dst = 0;
+      msg.channel = sim::Channel::kState;
+      msg.tag = static_cast<int>(core::StateTag::kSnp);
+      auto payload = std::make_shared<core::SnpPayload>();
+      payload->request = m.myRequestId();
+      payload->state = {static_cast<double>(r), 0.0};
+      msg.payload = payload;
+      m.onStateMessage(msg);
+    }
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SnapshotRoundTrip);
+
+}  // namespace

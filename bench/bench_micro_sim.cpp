@@ -1,0 +1,76 @@
+// Micro-benchmarks of the discrete-event kernel and network model.
+#include <benchmark/benchmark.h>
+
+#include "sim/network.h"
+#include "sim/world.h"
+
+using namespace loadex;
+
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    long long sink = 0;
+    for (int i = 0; i < n; ++i)
+      q.scheduleAt(static_cast<SimTime>((i * 2654435761u) % 1000),
+                   [&sink] { ++sink; });
+    q.runUntil();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_EventQueueCancel(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::vector<sim::EventId> ids;
+    ids.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      ids.push_back(q.scheduleAt(static_cast<SimTime>(i), [] {}));
+    for (int i = 0; i < n; i += 2) q.cancel(ids[static_cast<std::size_t>(i)]);
+    q.runUntil();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueCancel)->Arg(10000);
+
+void BM_NetworkPointToPoint(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    sim::Network net(q, {}, 2);
+    long long delivered = 0;
+    net.setReceiver(0, [&](const sim::Message&) { ++delivered; });
+    net.setReceiver(1, [&](const sim::Message&) { ++delivered; });
+    for (int i = 0; i < n; ++i) {
+      sim::Message m;
+      m.src = i % 2;
+      m.dst = 1 - (i % 2);
+      m.size = 64;
+      net.send(std::move(m));
+    }
+    q.runUntil();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_NetworkPointToPoint)->Arg(10000);
+
+void BM_WorldIdleProcesses(benchmark::State& state) {
+  // Cost of standing up a world and running it to (trivial) quiescence.
+  const int nprocs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::WorldConfig cfg;
+    cfg.nprocs = nprocs;
+    sim::World world(cfg);
+    const auto r = world.run();
+    benchmark::DoNotOptimize(r.events);
+  }
+}
+BENCHMARK(BM_WorldIdleProcesses)->Arg(32)->Arg(128);
+
+}  // namespace

@@ -1,0 +1,64 @@
+// Micro-benchmarks of the symbolic pipeline (ordering, etree, counts,
+// amalgamation) on a 3-D grid problem.
+#include <benchmark/benchmark.h>
+
+#include "ordering/ordering.h"
+#include "sparse/generators.h"
+#include "symbolic/analysis.h"
+
+using namespace loadex;
+
+namespace {
+
+const sparse::Pattern& grid() {
+  static const sparse::Pattern g = sparse::grid3d(16, 16, 16);
+  return g;
+}
+
+void BM_NestedDissection(benchmark::State& state) {
+  for (auto _ : state) {
+    auto perm = ordering::nestedDissection(grid());
+    benchmark::DoNotOptimize(perm.data());
+  }
+}
+BENCHMARK(BM_NestedDissection);
+
+void BM_Rcm(benchmark::State& state) {
+  for (auto _ : state) {
+    auto perm = ordering::reverseCuthillMcKee(grid());
+    benchmark::DoNotOptimize(perm.data());
+  }
+}
+BENCHMARK(BM_Rcm);
+
+void BM_EliminationTree(benchmark::State& state) {
+  static const auto permuted = grid().permuted(ordering::nestedDissection(grid()));
+  for (auto _ : state) {
+    auto parent = symbolic::eliminationTree(permuted);
+    benchmark::DoNotOptimize(parent.data());
+  }
+}
+BENCHMARK(BM_EliminationTree);
+
+void BM_ColumnCounts(benchmark::State& state) {
+  static const auto permuted = grid().permuted(ordering::nestedDissection(grid()));
+  static const auto parent0 = symbolic::eliminationTree(permuted);
+  static const auto post = symbolic::postorder(parent0);
+  static const auto reordered = permuted.permuted(post);
+  static const auto parent = symbolic::eliminationTree(reordered);
+  for (auto _ : state) {
+    auto cc = symbolic::columnCounts(reordered, parent);
+    benchmark::DoNotOptimize(cc.data());
+  }
+}
+BENCHMARK(BM_ColumnCounts);
+
+void BM_FullAnalysis(benchmark::State& state) {
+  for (auto _ : state) {
+    auto a = symbolic::analyze(grid(), ordering::nestedDissection(grid()));
+    benchmark::DoNotOptimize(a.factor_nnz);
+  }
+}
+BENCHMARK(BM_FullAnalysis);
+
+}  // namespace

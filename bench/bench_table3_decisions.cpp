@@ -1,0 +1,58 @@
+// Table 3 — number of dynamic decisions for 32, 64 and 128 processes.
+//
+// A dynamic decision is a type-2 slave selection; the count is a static
+// property of the assembly tree + proportional mapping, so no simulation
+// is needed here.
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace loadex;
+
+int main(int argc, char** argv) {
+  const auto env = bench::BenchEnv::parse(argc, argv);
+
+  Table t("Table 3 — number of dynamic decisions (measured)");
+  t.setHeader({"Matrix", "32 procs", "64 procs", "128 procs"});
+
+  auto addSuite = [&](std::vector<sparse::Problem> suite,
+                      bool small_suite) {
+    for (auto& p : suite) {
+      std::cerr << "  [analyze] " << p.name << "\n";
+      const auto a = solver::analyzeProblem(p);
+      std::vector<std::string> row{p.name};
+      for (const int np : {32, 64, 128}) {
+        const bool in_paper = small_suite ? np != 128 : np != 32;
+        if (!in_paper) {
+          row.push_back("-");
+          continue;
+        }
+        auto cfg = bench::defaultConfig(np, core::MechanismKind::kIncrement,
+                                        solver::Strategy::kWorkload);
+        cfg.mapping.nprocs = np;
+        const auto plan = solver::planTree(a.tree, p.symmetric, cfg.mapping);
+        row.push_back(Table::fmtInt(plan.dynamic_decisions));
+      }
+      t.addRow(std::move(row));
+    }
+  };
+  addSuite(sparse::paperSuiteSmall(env.effectiveScale(), env.seed), true);
+  t.addSeparator();
+  addSuite(sparse::paperSuiteLarge(env.effectiveScale(), env.seed), false);
+  t.print(std::cout);
+
+  bench::printPaperReference(
+      "Table 3", {"Matrix", "32", "64", "128"},
+      {{"BMWCRA_1", "41", "96", "-"},
+       {"GUPTA3", "8", "8", "-"},
+       {"MSDOOR", "38", "81", "-"},
+       {"SHIP_003", "70", "152", "-"},
+       {"PRE2", "92", "125", "-"},
+       {"TWOTONE", "55", "57", "-"},
+       {"ULTRASOUND3", "49", "116", "-"},
+       {"XENON2", "50", "65", "-"},
+       {"AUDIKW_1", "-", "119", "199"},
+       {"CONV3D64", "-", "169", "274"},
+       {"ULTRASOUND80", "-", "122", "218"}});
+  return 0;
+}

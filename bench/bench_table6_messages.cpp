@@ -1,0 +1,60 @@
+// Table 6 — total number of state-information messages exchanged during
+// the factorization, increments vs snapshot, on 64 and 128 processes.
+//
+// Expected shape (paper): the snapshot mechanism exchanges 13-27x fewer
+// messages (but each snp answer is bigger: all metrics in one message).
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace loadex;
+
+int main(int argc, char** argv) {
+  const auto env = bench::BenchEnv::parse(argc, argv);
+  const auto problems =
+      bench::analyzeSuite(sparse::paperSuiteLarge(env.effectiveScale(),
+                                                  env.seed));
+
+  for (const int np : {64, 128}) {
+    Table t("Table 6(" + std::string(np == 64 ? "a" : "b") +
+            ") — state-information messages, " + std::to_string(np) +
+            " processes (measured)");
+    t.setHeader({"Matrix", "Increments based", "Snapshot based",
+                 "incr/snap", "incr bytes", "snap bytes"});
+    for (const auto& ap : problems) {
+      std::cerr << "  [run] " << ap.problem.name << " p" << np << "\n";
+      const auto incr = solver::runSolver(
+          ap.analysis, ap.problem.symmetric,
+          bench::defaultConfig(np, core::MechanismKind::kIncrement,
+                               solver::Strategy::kWorkload),
+          ap.problem.name);
+      const auto snap = solver::runSolver(
+          ap.analysis, ap.problem.symmetric,
+          bench::defaultConfig(np, core::MechanismKind::kSnapshot,
+                               solver::Strategy::kWorkload),
+          ap.problem.name);
+      const double ratio =
+          snap.state_messages > 0
+              ? static_cast<double>(incr.state_messages) /
+                    static_cast<double>(snap.state_messages)
+              : 0.0;
+      t.addRow({ap.problem.name, Table::fmtInt(incr.state_messages),
+                Table::fmtInt(snap.state_messages), Table::fmt(ratio, 1),
+                Table::fmtInt(incr.state_bytes),
+                Table::fmtInt(snap.state_bytes)});
+    }
+    t.print(std::cout);
+  }
+
+  bench::printPaperReference(
+      "Table 6(a), 64 procs", {"Matrix", "Incr", "Snap", "ratio"},
+      {{"AUDIKW_1", "302,715", "11,388", "26.6"},
+       {"CONV3D64", "386,196", "16,471", "23.4"},
+       {"ULTRASOUND80", "208,024", "12,400", "16.8"}});
+  bench::printPaperReference(
+      "Table 6(b), 128 procs", {"Matrix", "Incr", "Snap", "ratio"},
+      {{"AUDIKW_1", "1,386,165", "39,832", "34.8"},
+       {"CONV3D64", "1,401,373", "57,089", "24.5"},
+       {"ULTRASOUND80", "746,731", "50,324", "14.8"}});
+  return 0;
+}

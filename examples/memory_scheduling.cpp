@@ -1,0 +1,62 @@
+// Memory-based dynamic scheduling (§4.2.1): how much the peak of active
+// memory depends on the accuracy of the load view.
+//
+// Runs a memory-hungry problem under the memory-based strategy and shows
+// per-process memory peaks for each mechanism — the naive mechanism's
+// stale views concentrate memory on a few processes.
+//
+//   ./memory_scheduling [--problem ULTRASOUND3] [--procs 32] [--scale 0.5]
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "core/binding.h"
+#include "solver/factor_app.h"
+#include "solver/runner.h"
+#include "sparse/generators.h"
+
+using namespace loadex;
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  const std::string name = flags.getString("problem", "ULTRASOUND3");
+  const int procs = static_cast<int>(flags.getInt("procs", 32));
+  const double scale = flags.getDouble("scale", 0.5);
+
+  const auto problem = sparse::paperProblem(name, scale);
+  if (!problem) {
+    std::cerr << "unknown problem: " << name << "\n";
+    return 1;
+  }
+  std::cout << "problem " << problem->name << " (n=" << problem->pattern.n()
+            << "), " << procs << " processes, memory-based scheduling\n";
+  const auto analysis = solver::analyzeProblem(*problem);
+
+  Table t("Peak of active memory per mechanism");
+  t.setHeader({"Mechanism", "max peak (Me)", "mean peak (Me)",
+               "imbalance (max/mean)", "time (s)", "state msgs"});
+  for (const auto kind :
+       {core::MechanismKind::kNaive, core::MechanismKind::kIncrement,
+        core::MechanismKind::kSnapshot}) {
+    solver::SolverConfig cfg;
+    cfg.nprocs = procs;
+    cfg.mechanism = kind;
+    cfg.strategy = solver::Strategy::kMemory;
+    const auto res =
+        solver::runSolver(analysis, problem->symmetric, cfg, problem->name);
+    t.addRow({res.mechanism, Table::fmt(res.peak_active_mem / 1e6, 3),
+              Table::fmt(res.avg_peak_active_mem / 1e6, 3),
+              Table::fmt(res.peak_active_mem /
+                             std::max(1.0, res.avg_peak_active_mem),
+                         2),
+              Table::fmt(res.factor_time, 3),
+              Table::fmtInt(res.state_messages)});
+  }
+  t.setFootnote(
+      "Paper Table 4: the memory metric varies violently, so the schedulers "
+      "are very sensitive to view accuracy — the naive mechanism's memory "
+      "peak is generally the worst, the snapshot's usually the best, with "
+      "increments close behind at a fraction of the synchronisation cost.");
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Quickstart: factorize one sparse problem on a simulated 16-process
+// machine under each of the three load-exchange mechanisms and compare.
+//
+//   ./quickstart [--n 16] [--procs 16] [--strategy workload|memory]
+//
+// Walkthrough of the full public API: generate a pattern, order it,
+// run the symbolic analysis, and run the simulated parallel solver.
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "solver/runner.h"
+#include "sparse/generators.h"
+
+using namespace loadex;
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  const int n = static_cast<int>(flags.getInt("n", 16));
+  const int procs = static_cast<int>(flags.getInt("procs", 16));
+  const auto strategy =
+      solver::parseStrategy(flags.getString("strategy", "workload"));
+
+  // 1. A sparse problem: the structure of a 3-D finite-difference grid.
+  sparse::Problem problem;
+  problem.name = "grid3d_" + std::to_string(n);
+  problem.symmetric = true;
+  problem.pattern = sparse::grid3d(n, n, n);
+  std::cout << "problem: " << problem.name << "  (order "
+            << problem.pattern.n() << ", nnz " << problem.pattern.nnzFull()
+            << ")\n";
+
+  // 2. Symbolic analysis: nested-dissection ordering, elimination tree,
+  //    supernode amalgamation -> assembly tree.
+  const symbolic::Analysis analysis = solver::analyzeProblem(problem);
+  std::cout << "assembly tree: " << analysis.tree.size() << " fronts, max "
+            << analysis.tree.maxFront() << ", factor nnz "
+            << analysis.factor_nnz << "\n\n";
+
+  // 3. Simulated parallel factorization under each mechanism.
+  Table t("Mechanism comparison — " + std::to_string(procs) +
+          " processes, " + solver::strategyName(strategy) + " scheduling");
+  t.setHeader({"Mechanism", "time (s)", "peak mem (entries)", "state msgs",
+               "decisions", "snapshot stall (s)"});
+  for (const auto kind :
+       {core::MechanismKind::kNaive, core::MechanismKind::kIncrement,
+        core::MechanismKind::kSnapshot}) {
+    solver::SolverConfig cfg;
+    cfg.nprocs = procs;
+    cfg.mechanism = kind;
+    cfg.strategy = strategy;
+    cfg.mapping.type2_min_front = 150;
+    cfg.mapping.type2_min_border = 16;
+    const auto res =
+        solver::runSolver(analysis, problem.symmetric, cfg, problem.name);
+    t.addRow({res.mechanism, Table::fmt(res.factor_time, 4),
+              Table::fmtInt(static_cast<long long>(res.peak_active_mem)),
+              Table::fmtInt(res.state_messages),
+              Table::fmtInt(res.dynamic_decisions),
+              Table::fmt(res.snapshot_time, 4)});
+    if (!res.completed) std::cout << "WARNING: run did not complete!\n";
+  }
+  t.print(std::cout);
+  return 0;
+}

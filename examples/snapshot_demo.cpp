@@ -1,0 +1,87 @@
+// Snapshot protocol walkthrough (§3): three processes, two of which
+// initiate snapshots simultaneously. Prints the message flow so the
+// leader election, delayed answers, re-arm and sequentialisation are
+// visible.
+#include <iostream>
+
+#include "common/table.h"
+#include "core/binding.h"
+#include "core/snapshot.h"
+#include "sim/world.h"
+
+using namespace loadex;
+
+namespace {
+
+/// Transport decorator that logs every state message sent.
+class LoggingTransport final : public core::Transport {
+ public:
+  LoggingTransport(sim::Process& process) : inner_(process) {}
+  Rank self() const override { return inner_.self(); }
+  int nprocs() const override { return inner_.nprocs(); }
+  SimTime now() const override { return inner_.now(); }
+  void sendState(Rank dst, core::StateTag tag, Bytes size,
+                 std::shared_ptr<const sim::Payload> payload) override {
+    std::cout << "  t=" << Table::fmt(now() * 1e6, 1) << "us  P" << self()
+              << " -> P" << dst << "  " << core::stateTagName(tag) << "\n";
+    inner_.sendState(dst, tag, size, std::move(payload));
+  }
+
+ private:
+  core::SimTransport inner_;
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "Snapshot demo: P0 and P2 initiate snapshots at the same "
+               "instant on a 4-process system.\n"
+            << "Min-rank election: P0 leads; P2 is preempted, re-arms with "
+               "a fresh request id, and completes after P0's end_snp.\n\n";
+
+  sim::WorldConfig wcfg;
+  wcfg.nprocs = 4;
+  sim::World world(wcfg);
+
+  std::vector<std::unique_ptr<LoggingTransport>> transports;
+  std::vector<std::unique_ptr<core::SnapshotMechanism>> mechs;
+  for (Rank r = 0; r < 4; ++r) {
+    transports.push_back(std::make_unique<LoggingTransport>(world.process(r)));
+    mechs.push_back(std::make_unique<core::SnapshotMechanism>(
+        *transports.back(), core::MechanismConfig{}));
+    world.attach(r, nullptr, mechs.back().get());
+  }
+  for (Rank r = 0; r < 4; ++r)
+    mechs[static_cast<std::size_t>(r)]->addLocalLoad(
+        {100.0 * (r + 1), 10.0 * (r + 1)});
+
+  auto initiate = [&](Rank master, Rank slave, double share) {
+    auto& m = *mechs[static_cast<std::size_t>(master)];
+    m.requestView([&, master, slave, share](const core::LoadView& v) {
+      std::cout << "  t=" << Table::fmt(world.now() * 1e6, 1) << "us  P"
+                << master << " VIEW COMPLETE:";
+      for (Rank r = 0; r < 4; ++r)
+        std::cout << " P" << r << "=" << Table::fmt(v.load(r).workload, 0);
+      std::cout << " -> assigns " << Table::fmt(share, 0) << " to P" << slave
+                << "\n";
+      m.commitSelection({{slave, {share, 0.0}}});
+    });
+  };
+  world.queue().scheduleAt(0.001, [&] { initiate(0, 3, 500.0); });
+  world.queue().scheduleAt(0.001, [&] { initiate(2, 3, 300.0); });
+  world.run();
+
+  std::cout << "\nFinal local loads:";
+  for (Rank r = 0; r < 4; ++r)
+    std::cout << " P" << r << "="
+              << Table::fmt(mechs[static_cast<std::size_t>(r)]->localLoad()
+                                .workload,
+                            0);
+  std::cout << "\nP2's view of P3 at decision time included P0's 500-unit "
+               "reservation: the snapshots were sequentialized.\n";
+  std::cout << "Snapshots initiated: "
+            << (mechs[0]->stats().snapshots_initiated +
+                mechs[2]->stats().snapshots_initiated)
+            << ", re-arms: " << mechs[2]->stats().snapshot_rearms << "\n";
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Tiny command-line flag parser for benches and examples.
+// Supports --name=value, --name value, and boolean --name / --no-name.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace loadex {
+
+class CliFlags {
+ public:
+  /// Parse argv; unknown positional arguments are collected separately.
+  CliFlags(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string getString(const std::string& name,
+                        const std::string& fallback) const;
+  std::int64_t getInt(const std::string& name, std::int64_t fallback) const;
+  double getDouble(const std::string& name, double fallback) const;
+  bool getBool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& programName() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace loadex

@@ -1,0 +1,15 @@
+#include "common/expect.h"
+
+#include <sstream>
+
+namespace loadex::detail {
+
+void failExpect(const char* cond, const char* file, int line,
+                const std::string& msg) {
+  std::ostringstream os;
+  os << "contract violation: " << cond << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace loadex::detail

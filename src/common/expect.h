@@ -1,0 +1,33 @@
+// Checked assertions that throw instead of aborting, so unit tests can
+// assert on violations and applications get a diagnosable error.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace loadex {
+
+/// Thrown when a LOADEX_EXPECT / LOADEX_CHECK condition is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void failExpect(const char* cond, const char* file, int line,
+                             const std::string& msg);
+}  // namespace detail
+
+}  // namespace loadex
+
+/// Precondition / invariant check, always enabled (the code is not in a hot
+/// enough loop for this to matter; correctness of the protocols is the point).
+#define LOADEX_EXPECT(cond, msg)                                        \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::loadex::detail::failExpect(#cond, __FILE__, __LINE__, (msg));   \
+    }                                                                   \
+  } while (false)
+
+/// Shorthand without a custom message.
+#define LOADEX_CHECK(cond) LOADEX_EXPECT(cond, "")

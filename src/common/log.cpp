@@ -1,0 +1,49 @@
+#include "common/log.h"
+
+#include <algorithm>
+#include <cctype>
+#include <iostream>
+
+#include "common/expect.h"
+
+namespace loadex {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kOff: return "off";
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kTrace: return "trace";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel logLevel() { return g_level; }
+void setLogLevel(LogLevel level) { g_level = level; }
+
+LogLevel parseLogLevel(const std::string& name) {
+  std::string s = name;
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (s == "off") return LogLevel::kOff;
+  if (s == "error") return LogLevel::kError;
+  if (s == "warn") return LogLevel::kWarn;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "debug") return LogLevel::kDebug;
+  if (s == "trace") return LogLevel::kTrace;
+  LOADEX_EXPECT(false, "unknown log level: " + name);
+}
+
+namespace detail {
+void emitLog(LogLevel level, const std::string& message) {
+  std::cerr << "[" << levelName(level) << "] " << message << "\n";
+}
+}  // namespace detail
+
+}  // namespace loadex

@@ -1,0 +1,40 @@
+// Minimal leveled logger. Off by default; benches/examples raise the level.
+// Not thread-safe by design: the simulator is single-threaded.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace loadex {
+
+enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kDebug, kTrace };
+
+/// Global log level. Defaults to kWarn.
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+/// Parse "off|error|warn|info|debug|trace" (case-insensitive).
+LogLevel parseLogLevel(const std::string& name);
+
+namespace detail {
+void emitLog(LogLevel level, const std::string& message);
+}  // namespace detail
+
+}  // namespace loadex
+
+#define LOADEX_LOG(level, expr)                                \
+  do {                                                         \
+    if (static_cast<int>(::loadex::logLevel()) >=              \
+        static_cast<int>(::loadex::LogLevel::level)) {         \
+      std::ostringstream loadex_log_os;                        \
+      loadex_log_os << expr;                                   \
+      ::loadex::detail::emitLog(::loadex::LogLevel::level,     \
+                                loadex_log_os.str());          \
+    }                                                          \
+  } while (false)
+
+#define LOG_ERROR(expr) LOADEX_LOG(kError, expr)
+#define LOG_WARN(expr) LOADEX_LOG(kWarn, expr)
+#define LOG_INFO(expr) LOADEX_LOG(kInfo, expr)
+#define LOG_DEBUG(expr) LOADEX_LOG(kDebug, expr)
+#define LOG_TRACE(expr) LOADEX_LOG(kTrace, expr)

@@ -1,0 +1,111 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace loadex {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix64(std::uint64_t x) { return splitmix64(x); }
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : Rng(seed, /*stream=*/0) {}
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t sm = seed ^ mix64(stream + 0x5851f42d4c957f2dULL);
+  for (auto& s : s_) s = splitmix64(sm);
+  // xoshiro must not start from the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniformInt(std::uint64_t n) {
+  LOADEX_EXPECT(n > 0, "uniformInt needs n > 0");
+  // Lemire's multiply-shift with rejection for exact uniformity.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = -n % n;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniformRange(std::int64_t lo, std::int64_t hi) {
+  LOADEX_EXPECT(lo <= hi, "uniformRange needs lo <= hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniformInt(span));
+}
+
+double Rng::uniformReal() {
+  // 53 random bits -> double in [0,1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniformReal(double lo, double hi) {
+  return lo + (hi - lo) * uniformReal();
+}
+
+bool Rng::bernoulli(double p) { return uniformReal() < p; }
+
+double Rng::normal() {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u1 = uniformReal();
+  while (u1 <= 0.0) u1 = uniformReal();
+  const double u2 = uniformReal();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  spare_normal_ = r * std::sin(theta);
+  have_spare_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+double Rng::exponential(double lambda) {
+  LOADEX_EXPECT(lambda > 0.0, "exponential needs lambda > 0");
+  double u = uniformReal();
+  while (u <= 0.0) u = uniformReal();
+  return -std::log(u) / lambda;
+}
+
+Rng Rng::fork() {
+  const std::uint64_t a = (*this)();
+  const std::uint64_t b = (*this)();
+  return Rng(a, b);
+}
+
+}  // namespace loadex

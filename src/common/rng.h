@@ -1,0 +1,81 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in loadex flows through Rng so that every simulation and
+// every generated workload is exactly reproducible from a 64-bit seed.
+// The generator is xoshiro256++ (Blackman & Vigna), seeded via splitmix64.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+namespace loadex {
+
+/// splitmix64 step; used for seeding and as a cheap stateless hash.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Stateless mixing of a 64-bit value (one splitmix64 round).
+std::uint64_t mix64(std::uint64_t x);
+
+/// xoshiro256++ generator. Satisfies UniformRandomBitGenerator so it can be
+/// plugged into <random> distributions, though the member helpers below are
+/// preferred (they are reproducible across standard libraries).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x10adec5u);  // "loadexs"
+  Rng(std::uint64_t seed, std::uint64_t stream);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()();
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniformInt(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniformRange(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniformReal();
+
+  /// Uniform double in [lo, hi).
+  double uniformReal(double lo, double hi);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p);
+
+  /// Standard normal (Box–Muller, deterministic).
+  double normal();
+
+  /// Normal with given mean / standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Exponential with given rate lambda (> 0).
+  double exponential(double lambda);
+
+  /// Fisher–Yates shuffle of a random-access container.
+  template <typename Container>
+  void shuffle(Container& c) {
+    const auto n = static_cast<std::uint64_t>(c.size());
+    for (std::uint64_t i = n; i > 1; --i) {
+      const std::uint64_t j = uniformInt(i);
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+  /// Derive an independent child generator (for per-process streams).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace loadex

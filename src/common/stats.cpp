@@ -1,0 +1,110 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace loadex {
+
+void Accumulator::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(count_ + other.count_);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / n;
+  mean_ = (mean_ * static_cast<double>(count_) +
+           other.mean_ * static_cast<double>(other.count_)) / n;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+double Accumulator::mean() const {
+  LOADEX_EXPECT(count_ > 0, "mean of empty accumulator");
+  return mean_;
+}
+
+double Accumulator::variance() const {
+  LOADEX_EXPECT(count_ > 0, "variance of empty accumulator");
+  return m2_ / static_cast<double>(count_);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::min() const {
+  LOADEX_EXPECT(count_ > 0, "min of empty accumulator");
+  return min_;
+}
+
+double Accumulator::max() const {
+  LOADEX_EXPECT(count_ > 0, "max of empty accumulator");
+  return max_;
+}
+
+void PeakTracker::add(double delta) {
+  current_ += delta;
+  peak_ = std::max(peak_, current_);
+}
+
+void PeakTracker::set(double value) {
+  current_ = value;
+  peak_ = std::max(peak_, current_);
+}
+
+void PeakTracker::reset() {
+  current_ = 0.0;
+  peak_ = 0.0;
+}
+
+void CounterSet::bump(const std::string& name, std::int64_t amount) {
+  counters_[name] += amount;
+}
+
+std::int64_t CounterSet::get(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::int64_t CounterSet::total() const {
+  std::int64_t t = 0;
+  for (const auto& [_, v] : counters_) t += v;
+  return t;
+}
+
+void CounterSet::merge(const CounterSet& other) {
+  for (const auto& [k, v] : other.counters_) counters_[k] += v;
+}
+
+double percentile(std::vector<double> samples, double p) {
+  LOADEX_EXPECT(!samples.empty(), "percentile of empty sample");
+  LOADEX_EXPECT(p >= 0.0 && p <= 100.0, "percentile p out of range");
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples.front();
+  const double idx = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+}  // namespace loadex

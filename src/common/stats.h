@@ -1,0 +1,68 @@
+// Small statistics helpers: online mean/variance, min/max trackers,
+// named counters. Used for simulation metrics and benchmark reporting.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace loadex {
+
+/// Welford online accumulator for mean / variance / extrema.
+class Accumulator {
+ public:
+  void add(double x);
+  void merge(const Accumulator& other);
+
+  std::int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const;
+  double variance() const;  ///< population variance
+  double stddev() const;
+  double min() const;
+  double max() const;
+  bool empty() const { return count_ == 0; }
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A peak tracker for a quantity that goes up and down (e.g. active memory):
+/// maintains the current value and remembers the maximum ever reached.
+class PeakTracker {
+ public:
+  void add(double delta);
+  void set(double value);
+  double current() const { return current_; }
+  double peak() const { return peak_; }
+  void reset();
+
+ private:
+  double current_ = 0.0;
+  double peak_ = 0.0;
+};
+
+/// Named integer counters, e.g. message counts per type.
+class CounterSet {
+ public:
+  void bump(const std::string& name, std::int64_t amount = 1);
+  std::int64_t get(const std::string& name) const;
+  std::int64_t total() const;
+  const std::map<std::string, std::int64_t>& all() const { return counters_; }
+  void merge(const CounterSet& other);
+  void reset() { counters_.clear(); }
+
+ private:
+  std::map<std::string, std::int64_t> counters_;
+};
+
+/// Percentile from an unsorted sample (copies + sorts; fine for reporting).
+double percentile(std::vector<double> samples, double p);
+
+}  // namespace loadex

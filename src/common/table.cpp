@@ -1,0 +1,95 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/expect.h"
+
+namespace loadex {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::setHeader(std::vector<std::string> header) {
+  LOADEX_EXPECT(rows_.empty(), "setHeader must precede addRow");
+  header_ = std::move(header);
+}
+
+void Table::addRow(std::vector<std::string> row) {
+  LOADEX_EXPECT(header_.empty() || row.size() == header_.size(),
+                "row arity must match header");
+  rows_.push_back(Row{false, std::move(row)});
+}
+
+void Table::addSeparator() { rows_.push_back(Row{true, {}}); }
+
+void Table::setFootnote(std::string note) { footnote_ = std::move(note); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto grow = [&](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  grow(header_);
+  for (const auto& r : rows_)
+    if (!r.separator) grow(r.cells);
+
+  std::size_t total = 0;
+  for (const auto w : widths) total += w + 3;
+  if (total >= 3) total -= 3;
+
+  auto emitRule = [&] { os << std::string(total, '-') << "\n"; };
+  auto emitRow = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) os << " | ";
+      if (i == 0)
+        os << std::left << std::setw(static_cast<int>(widths[i])) << cells[i];
+      else
+        os << std::right << std::setw(static_cast<int>(widths[i])) << cells[i];
+    }
+    os << "\n";
+  };
+
+  if (!title_.empty()) {
+    os << title_ << "\n";
+    emitRule();
+  }
+  if (!header_.empty()) {
+    emitRow(header_);
+    emitRule();
+  }
+  for (const auto& r : rows_) {
+    if (r.separator)
+      emitRule();
+    else
+      emitRow(r.cells);
+  }
+  if (!footnote_.empty()) os << footnote_ << "\n";
+  os << "\n";
+}
+
+std::string Table::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::fmtInt(long long v) {
+  // Group thousands for readability, matching the paper's large counts.
+  std::string digits = std::to_string(v < 0 ? -v : v);
+  std::string out;
+  int c = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (c != 0 && c % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++c;
+  }
+  if (v < 0) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace loadex

@@ -1,0 +1,45 @@
+// Plain-text table printer used by the benchmark harness to render
+// paper-style tables (aligned columns, optional title and footnote).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace loadex {
+
+class Table {
+ public:
+  explicit Table(std::string title = "");
+
+  /// Set the header row. Must be called before adding rows.
+  void setHeader(std::vector<std::string> header);
+
+  /// Append a data row; must have the same arity as the header.
+  void addRow(std::vector<std::string> row);
+
+  /// Append a horizontal separator line.
+  void addSeparator();
+
+  /// Footnote printed under the table.
+  void setFootnote(std::string note);
+
+  /// Render with aligned columns ("left" column 0, right-aligned the rest).
+  void print(std::ostream& os) const;
+
+  /// Convenience: number formatting helpers for cells.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmtInt(long long v);
+
+ private:
+  std::string title_;
+  std::string footnote_;
+  std::vector<std::string> header_;
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<Row> rows_;
+};
+
+}  // namespace loadex

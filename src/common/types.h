@@ -1,0 +1,27 @@
+// Fundamental scalar types shared across the loadex libraries.
+#pragma once
+
+#include <cstdint>
+
+namespace loadex {
+
+/// Process rank inside the distributed system, 0-based (MPI-style).
+using Rank = int;
+
+/// Simulated wall-clock time in seconds.
+using SimTime = double;
+
+/// Floating-point work, in floating-point operations.
+using Flops = double;
+
+/// Memory, measured in matrix *entries* (the unit the paper reports:
+/// "millions of real entries"). Signed so that deltas can be negative.
+using Entries = std::int64_t;
+
+/// Message payload size in bytes (used for bandwidth costs and statistics).
+using Bytes = std::int64_t;
+
+/// Sentinel for "no rank".
+inline constexpr Rank kNoRank = -1;
+
+}  // namespace loadex

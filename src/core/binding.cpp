@@ -1,0 +1,52 @@
+#include "core/binding.h"
+
+#include "common/expect.h"
+#include "core/increment.h"
+#include "core/naive.h"
+#include "core/snapshot.h"
+
+namespace loadex::core {
+
+std::unique_ptr<Mechanism> makeMechanism(MechanismKind kind,
+                                         Transport& transport,
+                                         const MechanismConfig& config) {
+  switch (kind) {
+    case MechanismKind::kNaive:
+      return std::make_unique<NaiveMechanism>(transport, config);
+    case MechanismKind::kIncrement:
+      return std::make_unique<IncrementMechanism>(transport, config);
+    case MechanismKind::kSnapshot:
+      return std::make_unique<SnapshotMechanism>(transport, config);
+  }
+  LOADEX_EXPECT(false, "unknown mechanism kind");
+}
+
+MechanismSet::MechanismSet(sim::World& world, MechanismKind kind,
+                           const MechanismConfig& config)
+    : kind_(kind) {
+  const int n = world.nprocs();
+  transports_.reserve(static_cast<std::size_t>(n));
+  mechanisms_.reserve(static_cast<std::size_t>(n));
+  for (Rank r = 0; r < n; ++r) {
+    transports_.push_back(std::make_unique<SimTransport>(world.process(r)));
+    mechanisms_.push_back(makeMechanism(kind, *transports_.back(), config));
+  }
+}
+
+Mechanism& MechanismSet::at(Rank rank) {
+  LOADEX_EXPECT(rank >= 0 && rank < size(), "rank out of range");
+  return *mechanisms_[static_cast<std::size_t>(rank)];
+}
+
+const Mechanism& MechanismSet::at(Rank rank) const {
+  LOADEX_EXPECT(rank >= 0 && rank < size(), "rank out of range");
+  return *mechanisms_[static_cast<std::size_t>(rank)];
+}
+
+MechanismStats MechanismSet::aggregateStats() const {
+  MechanismStats total;
+  for (const auto& m : mechanisms_) m->stats().mergeInto(total);
+  return total;
+}
+
+}  // namespace loadex::core

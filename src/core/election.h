@@ -1,0 +1,56 @@
+// Distributed leader election policies for the snapshot mechanism (§3).
+//
+// The paper elects "based for example on process ranks" (smallest rank) and
+// lists the election criterion as a perspective worth studying — hence the
+// pluggable policy, exercised by bench_ablation_election.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/expect.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace loadex::core {
+
+enum class ElectionPolicy {
+  kMinRank,     ///< paper default: smallest rank wins
+  kMaxRank,     ///< largest rank wins
+  kHashedRank,  ///< stable pseudo-random total order over ranks
+};
+
+inline const char* electionPolicyName(ElectionPolicy p) {
+  switch (p) {
+    case ElectionPolicy::kMinRank: return "min_rank";
+    case ElectionPolicy::kMaxRank: return "max_rank";
+    case ElectionPolicy::kHashedRank: return "hashed_rank";
+  }
+  return "?";
+}
+
+/// Priority key of a rank under a policy; smaller key wins the election.
+/// All processes evaluate the same deterministic function, so they agree.
+inline std::uint64_t electionKey(ElectionPolicy policy, Rank r) {
+  switch (policy) {
+    case ElectionPolicy::kMinRank:
+      return static_cast<std::uint64_t>(r);
+    case ElectionPolicy::kMaxRank:
+      return ~static_cast<std::uint64_t>(r);
+    case ElectionPolicy::kHashedRank:
+      return mix64(static_cast<std::uint64_t>(r) + 0x9e37u);
+  }
+  return 0;
+}
+
+/// The paper's elect(Pi, leader): keep the stronger of the two candidates.
+/// `current` may be kNoRank (undefined leader).
+inline Rank elect(ElectionPolicy policy, Rank candidate, Rank current) {
+  LOADEX_EXPECT(candidate != kNoRank, "elect needs a concrete candidate");
+  if (current == kNoRank) return candidate;
+  return electionKey(policy, candidate) < electionKey(policy, current)
+             ? candidate
+             : current;
+}
+
+}  // namespace loadex::core

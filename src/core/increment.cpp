@@ -1,0 +1,106 @@
+#include "core/increment.h"
+
+#include "common/expect.h"
+
+namespace loadex::core {
+
+IncrementMechanism::IncrementMechanism(Transport& transport,
+                                       MechanismConfig config)
+    : Mechanism(transport, config) {}
+
+void IncrementMechanism::addLocalLoad(const LoadMetrics& delta,
+                                      bool is_slave_delegated) {
+  // Algorithm 3 line (1): a positive variation caused by a task for which
+  // this process is a slave is skipped entirely — the master's
+  // Master_To_All already carried that information (and updates my_load
+  // on reception, line 21).
+  if (is_slave_delegated && delta.allNonNegative()) return;
+
+  my_load_ += delta;
+  view_.set(self(), my_load_);
+  pending_delta_ += delta;
+  if (pending_delta_.exceeds(config_.threshold)) {
+    auto payload = std::make_shared<UpdateDeltaPayload>();
+    payload->delta = pending_delta_;
+    broadcastState(StateTag::kUpdateDelta, UpdateDeltaPayload::sizeBytes(),
+                   std::move(payload), /*respect_no_more_master=*/true);
+    pending_delta_ = LoadMetrics{};
+  }
+}
+
+void IncrementMechanism::requestView(ViewCallback cb) {
+  ++stats_.view_requests;
+  cb(view_);
+}
+
+void IncrementMechanism::commitSelection(const SlaveSelection& selection) {
+  ++stats_.selections;
+  if (selection.empty()) return;
+  auto payload = std::make_shared<MasterToAllPayload>();
+  payload->assignments = selection;
+  // Processes that announced No_more_master no longer need load
+  // information — unless they are among the selected slaves: a slave
+  // learns its own reservation from this very message (Alg. 3 line 21),
+  // and its self-accounting (hence the Updates everyone else relies on)
+  // would diverge without it.
+  const Bytes size = MasterToAllPayload::sizeBytes(selection.size());
+  for (Rank r = 0; r < nprocs(); ++r) {
+    if (r == self()) continue;
+    bool skip = config_.no_more_master &&
+                stop_sending_to_[static_cast<std::size_t>(r)];
+    if (skip) {
+      for (const auto& a : selection)
+        if (a.slave == r) {
+          skip = false;
+          break;
+        }
+    }
+    if (!skip) sendState(r, StateTag::kMasterToAll, size, payload);
+  }
+  // Apply the reservation locally too: this master will not receive its
+  // own broadcast, yet its next decision must see this one.
+  for (const auto& a : selection) {
+    LOADEX_EXPECT(a.slave >= 0 && a.slave < nprocs(),
+                  "selection names an unknown slave");
+    if (a.slave == self()) {
+      my_load_ += a.share;
+      view_.set(self(), my_load_);
+    } else {
+      view_.add(a.slave, a.share);
+    }
+  }
+}
+
+void IncrementMechanism::handleState(Rank src, StateTag tag,
+                                     const sim::Payload& p) {
+  switch (tag) {
+    case StateTag::kUpdateDelta: {
+      const auto& up = dynamic_cast<const UpdateDeltaPayload&>(p);
+      view_.add(src, up.delta);
+      return;
+    }
+    case StateTag::kMasterToAll: {
+      const auto& mta = dynamic_cast<const MasterToAllPayload&>(p);
+      for (const auto& a : mta.assignments) {
+        if (a.slave == self()) {
+          // Algorithm 3 line 21: the slave learns its reservation here.
+          my_load_ += a.share;
+          view_.set(self(), my_load_);
+        } else {
+          view_.add(a.slave, a.share);
+        }
+      }
+      // The sender's own share of the parallel task is accounted by the
+      // sender itself through addLocalLoad.
+      return;
+    }
+    case StateTag::kNoMoreMaster:
+      markNoMoreMaster(src);
+      return;
+    default:
+      LOADEX_EXPECT(false, std::string("increment mechanism received ") +
+                               stateTagName(tag));
+  }
+}
+
+}  // namespace loadex::core

@@ -1,0 +1,35 @@
+// Increment mechanism (§2.2, Algorithm 3) — MUMPS' default since 4.3.
+//
+// Load variations travel as *increments*, accumulated until a threshold.
+// At every slave selection the master broadcasts a Master_To_All
+// reservation carrying the load assigned to each chosen slave; every
+// process (including the slaves) applies it immediately, so the next
+// decision — wherever it is taken — already accounts for this one.
+#pragma once
+
+#include "core/mechanism.h"
+
+namespace loadex::core {
+
+class IncrementMechanism final : public Mechanism {
+ public:
+  IncrementMechanism(Transport& transport, MechanismConfig config);
+
+  MechanismKind kind() const override { return MechanismKind::kIncrement; }
+
+  void addLocalLoad(const LoadMetrics& delta,
+                    bool is_slave_delegated = false) override;
+  void requestView(ViewCallback cb) override;
+  void commitSelection(const SlaveSelection& selection) override;
+
+  /// Accumulated, not-yet-broadcast local variation (∆load in Alg. 3).
+  const LoadMetrics& pendingDelta() const { return pending_delta_; }
+
+ protected:
+  void handleState(Rank src, StateTag tag, const sim::Payload& p) override;
+
+ private:
+  LoadMetrics pending_delta_;  ///< ∆load accumulator
+};
+
+}  // namespace loadex::core

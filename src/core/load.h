@@ -1,0 +1,95 @@
+// Load quantities exchanged between processes.
+//
+// The paper tracks two metrics per process: remaining workload
+// (floating-point operations still to be done) and memory occupation
+// (entries). Both travel together in state messages.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "common/expect.h"
+#include "common/types.h"
+
+namespace loadex::core {
+
+struct LoadMetrics {
+  double workload = 0.0;  ///< flops still to be done
+  double memory = 0.0;    ///< active memory, in entries
+
+  LoadMetrics& operator+=(const LoadMetrics& o) {
+    workload += o.workload;
+    memory += o.memory;
+    return *this;
+  }
+  LoadMetrics& operator-=(const LoadMetrics& o) {
+    workload -= o.workload;
+    memory -= o.memory;
+    return *this;
+  }
+  friend LoadMetrics operator+(LoadMetrics a, const LoadMetrics& b) {
+    return a += b;
+  }
+  friend LoadMetrics operator-(LoadMetrics a, const LoadMetrics& b) {
+    return a -= b;
+  }
+  friend LoadMetrics operator*(double s, const LoadMetrics& m) {
+    return LoadMetrics{s * m.workload, s * m.memory};
+  }
+  friend bool operator==(const LoadMetrics&, const LoadMetrics&) = default;
+
+  bool isZero() const { return workload == 0.0 && memory == 0.0; }
+
+  /// True if all components are >= 0 (used by the Alg. 3 line-(1) guard:
+  /// a slave skips self-reporting *positive* delegated-load increments).
+  bool allNonNegative() const { return workload >= 0.0 && memory >= 0.0; }
+
+  /// Component-wise |this| exceeds the threshold on *any* metric
+  /// ("significant variation").
+  bool exceeds(const LoadMetrics& threshold) const {
+    return std::abs(workload) > threshold.workload ||
+           std::abs(memory) > threshold.memory;
+  }
+};
+
+/// A process's view of the load of every process in the system.
+class LoadView {
+ public:
+  LoadView() = default;
+  explicit LoadView(int nprocs)
+      : load_(static_cast<std::size_t>(nprocs)) {}
+
+  int nprocs() const { return static_cast<int>(load_.size()); }
+
+  const LoadMetrics& load(Rank r) const {
+    LOADEX_EXPECT(r >= 0 && r < nprocs(), "rank out of range in LoadView");
+    return load_[static_cast<std::size_t>(r)];
+  }
+  void set(Rank r, const LoadMetrics& m) {
+    LOADEX_EXPECT(r >= 0 && r < nprocs(), "rank out of range in LoadView");
+    load_[static_cast<std::size_t>(r)] = m;
+  }
+  void add(Rank r, const LoadMetrics& delta) {
+    LOADEX_EXPECT(r >= 0 && r < nprocs(), "rank out of range in LoadView");
+    load_[static_cast<std::size_t>(r)] += delta;
+  }
+
+  LoadMetrics total() const {
+    LoadMetrics t;
+    for (const auto& m : load_) t += m;
+    return t;
+  }
+
+ private:
+  std::vector<LoadMetrics> load_;
+};
+
+/// One slave chosen by a master, with the load (work + memory) assigned.
+struct SlaveAssignment {
+  Rank slave = kNoRank;
+  LoadMetrics share;
+};
+
+using SlaveSelection = std::vector<SlaveAssignment>;
+
+}  // namespace loadex::core

@@ -1,0 +1,87 @@
+#include "core/mechanism.h"
+
+#include "common/expect.h"
+
+namespace loadex::core {
+
+const char* mechanismKindName(MechanismKind kind) {
+  switch (kind) {
+    case MechanismKind::kNaive: return "naive";
+    case MechanismKind::kIncrement: return "increments";
+    case MechanismKind::kSnapshot: return "snapshot";
+  }
+  return "?";
+}
+
+MechanismKind parseMechanismKind(const std::string& name) {
+  if (name == "naive") return MechanismKind::kNaive;
+  if (name == "increments" || name == "increment")
+    return MechanismKind::kIncrement;
+  if (name == "snapshot") return MechanismKind::kSnapshot;
+  LOADEX_EXPECT(false, "unknown mechanism kind: " + name);
+}
+
+void MechanismStats::mergeInto(MechanismStats& out) const {
+  out.sent_by_tag.merge(sent_by_tag);
+  out.bytes_sent += bytes_sent;
+  out.view_requests += view_requests;
+  out.selections += selections;
+  out.snapshots_initiated += snapshots_initiated;
+  out.snapshot_rearms += snapshot_rearms;
+  out.time_blocked += time_blocked;
+  out.snapshot_duration.merge(snapshot_duration);
+}
+
+Mechanism::Mechanism(Transport& transport, MechanismConfig config)
+    : transport_(transport),
+      config_(config),
+      view_(transport.nprocs()),
+      stop_sending_to_(static_cast<std::size_t>(transport.nprocs()), false) {
+  LOADEX_EXPECT(transport.nprocs() >= 1, "mechanism needs >= 1 process");
+  LOADEX_EXPECT(config_.threshold.workload >= 0.0 &&
+                    config_.threshold.memory >= 0.0,
+                "thresholds must be non-negative");
+}
+
+void Mechanism::onStateMessage(const sim::Message& msg) {
+  LOADEX_EXPECT(msg.payload != nullptr, "state message without payload");
+  handleState(msg.src, static_cast<StateTag>(msg.tag), *msg.payload);
+}
+
+void Mechanism::sendState(Rank dst, StateTag tag, Bytes size,
+                          std::shared_ptr<const sim::Payload> payload) {
+  stats_.sent_by_tag.bump(stateTagName(tag));
+  stats_.bytes_sent += size;
+  transport_.sendState(dst, tag, size, std::move(payload));
+}
+
+void Mechanism::broadcastState(StateTag tag, Bytes size,
+                               std::shared_ptr<const sim::Payload> payload,
+                               bool respect_no_more_master) {
+  const Rank me = transport_.self();
+  for (Rank r = 0; r < transport_.nprocs(); ++r) {
+    if (r == me) continue;
+    if (respect_no_more_master && config_.no_more_master &&
+        stop_sending_to_[static_cast<std::size_t>(r)])
+      continue;
+    sendState(r, tag, size, payload);
+  }
+}
+
+void Mechanism::markNoMoreMaster(Rank src) {
+  LOADEX_EXPECT(src >= 0 && src < transport_.nprocs(),
+                "No_more_master from unknown rank");
+  stop_sending_to_[static_cast<std::size_t>(src)] = true;
+}
+
+void Mechanism::noMoreMaster() {
+  if (!config_.no_more_master || no_more_master_sent_) return;
+  no_more_master_sent_ = true;
+  // Sent to *all* other processes, "including to processes which are known
+  // not to be master in the future" (§2.3).
+  broadcastState(StateTag::kNoMoreMaster, NoMoreMasterPayload::sizeBytes(),
+                 std::make_shared<NoMoreMasterPayload>(),
+                 /*respect_no_more_master=*/false);
+}
+
+}  // namespace loadex::core

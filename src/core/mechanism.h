@@ -1,0 +1,150 @@
+// Abstract interface of a load information exchange mechanism.
+//
+// A mechanism gives every process (a) a way to account for its own load
+// changes, and (b) a way for a *master* to obtain a view of all loads right
+// before a dynamic scheduling decision (slave selection), plus a way to
+// publish the decision so subsequent decisions can take it into account.
+//
+// The three implementations are the paper's:
+//   NaiveMechanism      — §2.1, Algorithm 2 (absolute broadcasts)
+//   IncrementMechanism  — §2.2, Algorithm 3 (+ Master_To_All reservations)
+//   SnapshotMechanism   — §3 (demand-driven distributed snapshot)
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "core/election.h"
+#include "core/load.h"
+#include "core/payloads.h"
+#include "sim/application.h"
+
+namespace loadex::core {
+
+enum class MechanismKind { kNaive, kIncrement, kSnapshot };
+
+const char* mechanismKindName(MechanismKind kind);
+MechanismKind parseMechanismKind(const std::string& name);
+
+/// How a mechanism talks to the outside world. The production transport
+/// binds to a simulated process (binding.h); tests use a scripted one.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual Rank self() const = 0;
+  virtual int nprocs() const = 0;
+  virtual SimTime now() const = 0;
+  virtual void sendState(Rank dst, StateTag tag, Bytes size,
+                         std::shared_ptr<const sim::Payload> payload) = 0;
+};
+
+struct MechanismConfig {
+  /// "Significant variation" threshold (per metric) that triggers an
+  /// Update broadcast in the maintained-view mechanisms.
+  LoadMetrics threshold{1e6, 1e4};
+
+  /// Enable the §2.3 No_more_master optimisation.
+  bool no_more_master = true;
+
+  /// Snapshot: leader election criterion.
+  ElectionPolicy election = ElectionPolicy::kMinRank;
+
+  /// Snapshot hardening toggle. true (default): a pending initiator
+  /// re-arms (fresh request id + re-broadcast) whenever *any* other
+  /// snapshot completes, so its view postdates every earlier decision —
+  /// end-driven, hence free of re-arm broadcast cascades. false: the
+  /// paper's pseudocode rule (re-arm inside the start_snp handler, only
+  /// while nb_snp == 1), which leaves a stale-answer window with three or
+  /// more simultaneous snapshots. bench_ablation_election compares both.
+  bool rearm_on_every_preemption = true;
+};
+
+/// Message statistics, counted at the sender (Table 6 reports these).
+struct MechanismStats {
+  CounterSet sent_by_tag;   ///< point-to-point sends, keyed by tag name
+  Bytes bytes_sent = 0;
+  std::int64_t view_requests = 0;   ///< dynamic decisions served
+  std::int64_t selections = 0;      ///< commitSelection calls
+  // Snapshot-specific (zero for the other mechanisms):
+  std::int64_t snapshots_initiated = 0;
+  std::int64_t snapshot_rearms = 0;
+  double time_blocked = 0.0;        ///< time this process spent frozen
+  Accumulator snapshot_duration;    ///< requestView -> view delivery
+
+  std::int64_t messagesSent() const { return sent_by_tag.total(); }
+  void mergeInto(MechanismStats& out) const;
+};
+
+class Mechanism : public sim::StateHandler {
+ public:
+  using ViewCallback = std::function<void(const LoadView&)>;
+
+  Mechanism(Transport& transport, MechanismConfig config);
+  ~Mechanism() override = default;
+
+  virtual MechanismKind kind() const = 0;
+
+  // ---- application-side API -------------------------------------------
+
+  /// Account a change of this process's own load. `is_slave_delegated`
+  /// marks deltas caused by a task delegated by a master (Alg. 3 line (1):
+  /// positive such deltas must not be self-reported — the master's
+  /// reservation message already carried them).
+  virtual void addLocalLoad(const LoadMetrics& delta,
+                            bool is_slave_delegated = false) = 0;
+
+  /// Ask for a view of the system to take a dynamic decision. Maintained-
+  /// view mechanisms invoke `cb` synchronously; the snapshot mechanism
+  /// invokes it once the snapshot completes. Exactly one commitSelection()
+  /// must follow each requestView() before the next requestView().
+  virtual void requestView(ViewCallback cb) = 0;
+
+  /// Publish the decision taken from the last requested view.
+  virtual void commitSelection(const SlaveSelection& selection) = 0;
+
+  /// This process will never again be a master (§2.3).
+  virtual void noMoreMaster();
+
+  // ---- sim::StateHandler ----------------------------------------------
+  void onStateMessage(const sim::Message& msg) final;
+  bool blocksComputation() const override { return false; }
+
+  // ---- introspection ----------------------------------------------------
+  const LoadMetrics& localLoad() const { return my_load_; }
+  const LoadView& view() const { return view_; }
+  const MechanismStats& stats() const { return stats_; }
+  const MechanismConfig& config() const { return config_; }
+  Rank self() const { return transport_.self(); }
+  int nprocs() const { return transport_.nprocs(); }
+
+ protected:
+  /// Tag-dispatched handler implemented by each mechanism.
+  virtual void handleState(Rank src, StateTag tag, const sim::Payload& p) = 0;
+
+  void sendState(Rank dst, StateTag tag, Bytes size,
+                 std::shared_ptr<const sim::Payload> payload);
+
+  /// Send to every other process that still wants load information
+  /// (No_more_master senders are skipped for load-bearing tags).
+  void broadcastState(StateTag tag, Bytes size,
+                      std::shared_ptr<const sim::Payload> payload,
+                      bool respect_no_more_master);
+
+  /// Record a No_more_master received from `src`.
+  void markNoMoreMaster(Rank src);
+
+  Transport& transport_;
+  MechanismConfig config_;
+  LoadMetrics my_load_;
+  LoadView view_;
+  MechanismStats stats_;
+  /// stop_sending_to_[r]: r announced No_more_master.
+  std::vector<bool> stop_sending_to_;
+  bool no_more_master_sent_ = false;
+};
+
+}  // namespace loadex::core

@@ -1,0 +1,59 @@
+#include "core/naive.h"
+
+#include "common/expect.h"
+
+namespace loadex::core {
+
+NaiveMechanism::NaiveMechanism(Transport& transport, MechanismConfig config)
+    : Mechanism(transport, config) {}
+
+void NaiveMechanism::addLocalLoad(const LoadMetrics& delta,
+                                  bool /*is_slave_delegated*/) {
+  // Algorithm 2 has no slave special-case: every local variation counts.
+  my_load_ += delta;
+  view_.set(self(), my_load_);
+  maybeBroadcast();
+}
+
+void NaiveMechanism::maybeBroadcast() {
+  const LoadMetrics drift = my_load_ - last_sent_;
+  if (!drift.exceeds(config_.threshold)) return;
+  auto payload = std::make_shared<UpdateAbsolutePayload>();
+  payload->load = my_load_;
+  broadcastState(StateTag::kUpdateAbsolute, UpdateAbsolutePayload::sizeBytes(),
+                 std::move(payload), /*respect_no_more_master=*/true);
+  last_sent_ = my_load_;
+}
+
+void NaiveMechanism::requestView(ViewCallback cb) {
+  // The view is maintained: a decision can use it immediately.
+  ++stats_.view_requests;
+  cb(view_);
+}
+
+void NaiveMechanism::commitSelection(const SlaveSelection& /*selection*/) {
+  // Algorithm 2 publishes nothing at selection time — this is precisely
+  // the coherence hole the paper illustrates in Fig. 1. The chosen slaves
+  // will only advertise the extra load once the work physically reaches
+  // them (and their own threshold trips).
+  ++stats_.selections;
+}
+
+void NaiveMechanism::handleState(Rank src, StateTag tag,
+                                 const sim::Payload& p) {
+  switch (tag) {
+    case StateTag::kUpdateAbsolute: {
+      const auto& up = dynamic_cast<const UpdateAbsolutePayload&>(p);
+      view_.set(src, up.load);
+      return;
+    }
+    case StateTag::kNoMoreMaster:
+      markNoMoreMaster(src);
+      return;
+    default:
+      LOADEX_EXPECT(false, std::string("naive mechanism received ") +
+                               stateTagName(tag));
+  }
+}
+
+}  // namespace loadex::core

@@ -1,0 +1,33 @@
+// Naive mechanism (§2.1, Algorithm 2).
+//
+// Each process broadcasts its *absolute* load whenever it drifted more than
+// a threshold away from the last value broadcast. The view is maintained
+// passively; nothing propagates a master's decision, so consecutive slave
+// selections can double-book a busy process (Fig. 1).
+#pragma once
+
+#include "core/mechanism.h"
+
+namespace loadex::core {
+
+class NaiveMechanism final : public Mechanism {
+ public:
+  NaiveMechanism(Transport& transport, MechanismConfig config);
+
+  MechanismKind kind() const override { return MechanismKind::kNaive; }
+
+  void addLocalLoad(const LoadMetrics& delta,
+                    bool is_slave_delegated = false) override;
+  void requestView(ViewCallback cb) override;
+  void commitSelection(const SlaveSelection& selection) override;
+
+ protected:
+  void handleState(Rank src, StateTag tag, const sim::Payload& p) override;
+
+ private:
+  void maybeBroadcast();
+
+  LoadMetrics last_sent_;  ///< last absolute value broadcast
+};
+
+}  // namespace loadex::core

@@ -1,0 +1,94 @@
+// State-channel message payloads used by the three mechanisms.
+//
+// Tags and payloads follow the paper's nomenclature:
+//   Update (absolute)     — naive mechanism, Algorithm 2
+//   Update (increment)    — increment mechanism, Algorithm 3
+//   Master_To_All         — increment mechanism reservation broadcast
+//   No_more_master        — §2.3 message-count optimisation
+//   start_snp / snp / end_snp — §3 snapshot protocol
+//   master_to_slave       — §3 reservation sent to selected slaves
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "core/load.h"
+#include "sim/message.h"
+
+namespace loadex::core {
+
+enum class StateTag : int {
+  kUpdateAbsolute = 1,
+  kUpdateDelta = 2,
+  kMasterToAll = 3,
+  kNoMoreMaster = 4,
+  kStartSnp = 5,
+  kSnp = 6,
+  kEndSnp = 7,
+  kMasterToSlave = 8,
+};
+
+/// Request identifier for the snapshot protocol.
+using RequestId = std::uint64_t;
+
+struct UpdateAbsolutePayload final : sim::Payload {
+  LoadMetrics load;
+  static Bytes sizeBytes() { return 24; }
+};
+
+struct UpdateDeltaPayload final : sim::Payload {
+  LoadMetrics delta;
+  static Bytes sizeBytes() { return 24; }
+};
+
+struct MasterToAllPayload final : sim::Payload {
+  std::vector<SlaveAssignment> assignments;
+  static Bytes sizeBytes(std::size_t nslaves) {
+    return 16 + 24 * static_cast<Bytes>(nslaves);
+  }
+};
+
+struct NoMoreMasterPayload final : sim::Payload {
+  static Bytes sizeBytes() { return 8; }
+};
+
+struct StartSnpPayload final : sim::Payload {
+  RequestId request = 0;
+  static Bytes sizeBytes() { return 16; }
+};
+
+struct SnpPayload final : sim::Payload {
+  RequestId request = 0;
+  LoadMetrics state;
+  /// The paper notes snapshot answers are larger: all metrics travel in a
+  /// single message.
+  static Bytes sizeBytes() { return 48; }
+};
+
+struct EndSnpPayload final : sim::Payload {
+  static Bytes sizeBytes() { return 8; }
+};
+
+struct MasterToSlavePayload final : sim::Payload {
+  LoadMetrics share;
+  static Bytes sizeBytes() { return 24; }
+};
+
+inline const char* stateTagName(StateTag tag) {
+  switch (tag) {
+    case StateTag::kUpdateAbsolute: return "update_abs";
+    case StateTag::kUpdateDelta: return "update_delta";
+    case StateTag::kMasterToAll: return "master_to_all";
+    case StateTag::kNoMoreMaster: return "no_more_master";
+    case StateTag::kStartSnp: return "start_snp";
+    case StateTag::kSnp: return "snp";
+    case StateTag::kEndSnp: return "end_snp";
+    case StateTag::kMasterToSlave: return "master_to_slave";
+  }
+  return "?";
+}
+
+}  // namespace loadex::core

@@ -1,0 +1,265 @@
+#include "core/snapshot.h"
+
+#include "common/expect.h"
+#include "common/log.h"
+
+namespace loadex::core {
+
+SnapshotMechanism::SnapshotMechanism(Transport& transport,
+                                     MechanismConfig config)
+    : Mechanism(transport, config),
+      request_(static_cast<std::size_t>(transport.nprocs()), 0),
+      snp_(static_cast<std::size_t>(transport.nprocs()), false),
+      delayed_(static_cast<std::size_t>(transport.nprocs()), false),
+      answered_(static_cast<std::size_t>(transport.nprocs()), false),
+      gathered_(static_cast<std::size_t>(transport.nprocs())) {}
+
+void SnapshotMechanism::addLocalLoad(const LoadMetrics& delta,
+                                     bool is_slave_delegated) {
+  // Same guard as Algorithm 3 line (1): the reservation travelled in the
+  // master_to_slave message and was applied on reception.
+  if (is_slave_delegated && delta.allNonNegative()) return;
+  my_load_ += delta;
+  view_.set(self(), my_load_);
+}
+
+void SnapshotMechanism::requestView(ViewCallback cb) {
+  LOADEX_EXPECT(!during_snp_ && !view_cb_ && !selection_open_,
+                "requestView while a snapshot of mine is already in flight");
+  // A process frozen by someone else's snapshot cannot take a dynamic
+  // decision (Algorithm 1: it only treats state messages until every open
+  // snapshot ends). Initiating from that state would let a weaker
+  // initiator complete before a stronger one it already answered, leaking
+  // a pre-decision view past the sequentialisation.
+  LOADEX_EXPECT(!snapshot_,
+                "cannot initiate a snapshot while another one is live");
+  ++stats_.view_requests;
+  ++stats_.snapshots_initiated;
+  view_cb_ = std::move(cb);
+  initiated_at_ = transport_.now();
+
+  // "Initiate a snapshot": leader = myself; snp(myself) = true;
+  // during_snp = true; then arm the first request.
+  leader_ = self();
+  snp_[static_cast<std::size_t>(self())] = true;
+  during_snp_ = true;
+  arm();
+  updateBlockAccounting();
+  maybeComplete();  // nprocs == 1: the view is just my own load
+}
+
+void SnapshotMechanism::arm() {
+  ++my_request_;
+  request_[static_cast<std::size_t>(self())] = my_request_;
+  nb_msgs_ = 0;
+  std::fill(answered_.begin(), answered_.end(), false);
+  auto payload = std::make_shared<StartSnpPayload>();
+  payload->request = my_request_;
+  // The snapshot must hear from *everyone*; No_more_master does not apply.
+  broadcastState(StateTag::kStartSnp, StartSnpPayload::sizeBytes(),
+                 std::move(payload), /*respect_no_more_master=*/false);
+}
+
+void SnapshotMechanism::sendSnpAnswer(Rank dst) {
+  auto payload = std::make_shared<SnpPayload>();
+  payload->request = request_[static_cast<std::size_t>(dst)];
+  payload->state = my_load_;
+  sendState(dst, StateTag::kSnp, SnpPayload::sizeBytes(), std::move(payload));
+}
+
+void SnapshotMechanism::maybeComplete() {
+  if (!during_snp_ || !view_cb_) return;
+  if (nb_msgs_ != nprocs() - 1) return;
+
+  view_.set(self(), my_load_);
+  for (Rank r = 0; r < nprocs(); ++r)
+    if (r != self()) view_.set(r, gathered_[static_cast<std::size_t>(r)]);
+  stats_.snapshot_duration.add(transport_.now() - initiated_at_);
+
+  // Algorithm 4: decision happens now, synchronously; commitSelection()
+  // (called inside the callback) finalizes the snapshot.
+  selection_open_ = true;
+  ViewCallback cb = std::move(view_cb_);
+  view_cb_ = nullptr;
+  cb(view_);
+  LOADEX_EXPECT(!selection_open_,
+                "commitSelection must be called inside the view callback");
+}
+
+void SnapshotMechanism::commitSelection(const SlaveSelection& selection) {
+  LOADEX_EXPECT(selection_open_,
+                "commitSelection without a completed snapshot");
+  ++stats_.selections;
+  for (const auto& a : selection) {
+    LOADEX_EXPECT(a.slave >= 0 && a.slave < nprocs(),
+                  "selection names an unknown slave");
+    if (a.slave == self()) {
+      my_load_ += a.share;
+      view_.set(self(), my_load_);
+      continue;
+    }
+    auto payload = std::make_shared<MasterToSlavePayload>();
+    payload->share = a.share;
+    sendState(a.slave, StateTag::kMasterToSlave,
+              MasterToSlavePayload::sizeBytes(), std::move(payload));
+  }
+  selection_open_ = false;
+  finalize();
+}
+
+void SnapshotMechanism::finalize() {
+  // "Finalize the snapshot": broadcast end_snp, then — if other snapshots
+  // are open — answer the new leader if an answer was delayed, and stay in
+  // snapshot mode until every open snapshot completed.
+  broadcastState(StateTag::kEndSnp, EndSnpPayload::sizeBytes(),
+                 std::make_shared<EndSnpPayload>(),
+                 /*respect_no_more_master=*/false);
+  snp_[static_cast<std::size_t>(self())] = false;
+  during_snp_ = false;
+  leader_ = kNoRank;
+  if (nb_snp_ != 0) {
+    snapshot_ = true;
+    for (Rank r = 0; r < nprocs(); ++r)
+      if (snp_[static_cast<std::size_t>(r)]) leader_ = electOver(r, leader_);
+    if (leader_ != kNoRank && delayed_[static_cast<std::size_t>(leader_)]) {
+      sendSnpAnswer(leader_);
+      delayed_[static_cast<std::size_t>(leader_)] = false;
+    }
+  }
+  updateBlockAccounting();
+}
+
+void SnapshotMechanism::handleState(Rank src, StateTag tag,
+                                    const sim::Payload& p) {
+  switch (tag) {
+    case StateTag::kStartSnp:
+      onStartSnp(src, dynamic_cast<const StartSnpPayload&>(p));
+      return;
+    case StateTag::kSnp:
+      onSnp(src, dynamic_cast<const SnpPayload&>(p));
+      return;
+    case StateTag::kEndSnp:
+      onEndSnp(src);
+      return;
+    case StateTag::kMasterToSlave: {
+      const auto& mts = dynamic_cast<const MasterToSlavePayload&>(p);
+      my_load_ += mts.share;
+      view_.set(self(), my_load_);
+      return;
+    }
+    case StateTag::kNoMoreMaster:
+      markNoMoreMaster(src);  // tolerated; carries no load information
+      return;
+    default:
+      LOADEX_EXPECT(false, std::string("snapshot mechanism received ") +
+                               stateTagName(tag));
+  }
+}
+
+void SnapshotMechanism::onStartSnp(Rank src, const StartSnpPayload& p) {
+  leader_ = electOver(src, leader_);
+  request_[static_cast<std::size_t>(src)] = p.request;
+  if (!snp_[static_cast<std::size_t>(src)]) {
+    ++nb_snp_;
+    snp_[static_cast<std::size_t>(src)] = true;
+  }
+
+  if (leader_ == self()) {
+    // I lead the current set of snapshots: the sender waits for my end_snp
+    // before getting an answer.
+    delayed_[static_cast<std::size_t>(src)] = true;
+    updateBlockAccounting();
+    return;
+  }
+
+  if (!snapshot_) {
+    snapshot_ = true;
+    leader_ = src;
+    sendSnpAnswer(src);
+  } else if (leader_ != src || delayed_[static_cast<std::size_t>(src)]) {
+    // Either the sender is not the leader, or an answer to it was already
+    // delayed: delay (again) to keep the sequentialisation consistent.
+    delayed_[static_cast<std::size_t>(src)] = true;
+  } else {
+    // The sender won the election: answer immediately (paper line 20).
+    // Note: on networks that reorder messages *across* channel pairs this
+    // answer can predate another snapshot's decision whose end_snp has
+    // not reached us yet — a one-decision staleness window the paper's
+    // pseudocode shares; delaying here instead deadlocks three-way
+    // initiator races. FIFO transports (MPI, and this simulator with
+    // jitter_s == 0) do not exhibit the window.
+    sendSnpAnswer(src);
+  }
+
+  // Preempted initiator, paper variant: the initiate-loop breaks out
+  // (during_snp was reset, which only happens while nb_snp == 1) and
+  // re-arms with a fresh request id so that answers predating the
+  // preempting decision are ignored. The hardened variant re-arms in
+  // onEndSnp instead — at the moment the preempting *decision* actually
+  // lands — which both closes the pseudocode's stale-answer window with
+  // 3+ simultaneous snapshots and avoids re-arm broadcast cascades
+  // between pending initiators.
+  if (!config_.rearm_on_every_preemption && during_snp_ && view_cb_) {
+    const bool src_preempts_me = electOver(src, self()) == src;
+    if (src_preempts_me && nb_snp_ == 1) {
+      ++stats_.snapshot_rearms;
+      arm();
+    }
+  }
+  updateBlockAccounting();
+}
+
+void SnapshotMechanism::onSnp(Rank src, const SnpPayload& p) {
+  // Answers for a stale request id carry no validity guarantee: ignore.
+  if (!during_snp_ || !view_cb_ || p.request != my_request_) return;
+  if (answered_[static_cast<std::size_t>(src)]) return;
+  answered_[static_cast<std::size_t>(src)] = true;
+  gathered_[static_cast<std::size_t>(src)] = p.state;
+  ++nb_msgs_;
+  maybeComplete();
+}
+
+void SnapshotMechanism::onEndSnp(Rank src) {
+  leader_ = kNoRank;
+  if (snp_[static_cast<std::size_t>(src)]) {
+    --nb_snp_;
+    snp_[static_cast<std::size_t>(src)] = false;
+  }
+  // Hardened re-arm: another initiator's snapshot just completed, so its
+  // slave-selection may have changed loads that answers gathered for my
+  // current request reported. Discard them via a fresh request id. (This
+  // is end-driven, hence bounded by the number of decisions — no re-arm
+  // broadcast cascades.)
+  if (config_.rearm_on_every_preemption && during_snp_ && view_cb_) {
+    ++stats_.snapshot_rearms;
+    arm();
+  }
+  if (nb_snp_ == 0) {
+    snapshot_ = false;
+    // If my own (re-armed) snapshot is the only one left open, I lead it:
+    // later start_snp senders must be delayed, not answered, until my
+    // end_snp. (The paper's pseudocode leaves leader undefined here.)
+    if (snp_[static_cast<std::size_t>(self())]) leader_ = self();
+  } else {
+    for (Rank r = 0; r < nprocs(); ++r)
+      if (snp_[static_cast<std::size_t>(r)]) leader_ = electOver(r, leader_);
+    if (leader_ != self()) {
+      if (leader_ != kNoRank && delayed_[static_cast<std::size_t>(leader_)]) {
+        sendSnpAnswer(leader_);
+        delayed_[static_cast<std::size_t>(leader_)] = false;
+      }
+    }
+    // If I am the new leader, the others now answer me: keep waiting.
+  }
+  updateBlockAccounting();
+}
+
+void SnapshotMechanism::updateBlockAccounting() {
+  const bool now_blocked = blocksComputation();
+  if (now_blocked && !was_blocked_) blocked_since_ = transport_.now();
+  if (!now_blocked && was_blocked_)
+    stats_.time_blocked += transport_.now() - blocked_since_;
+  was_blocked_ = now_blocked;
+}
+
+}  // namespace loadex::core

@@ -1,0 +1,93 @@
+// Exact, demand-driven mechanism (§3): distributed snapshot in the style of
+// Chandy–Lamport, coupled with a distributed leader election.
+//
+// Protocol summary (paper's pseudocode, translated to event-driven form):
+//  * A master that needs a view broadcasts start_snp with a request id and
+//    waits for a snp answer from every other process. While any snapshot is
+//    live a process does not compute (blocksComputation() == true).
+//  * Concurrent snapshots are sequentialised: every process tracks the set
+//    of open snapshots (snp[]) and a leader (elect(): min rank by default).
+//    A process answers only the current leader; answers owed to non-leaders
+//    are delayed (delayed_message[]) and flushed when an end_snp makes the
+//    owner the new leader.
+//  * A preempted initiator re-arms: it bumps its request id and
+//    re-broadcasts start_snp, so answers gathered before the preempting
+//    decision are ignored (stale request id).
+//  * After its decision, the initiator informs the chosen slaves
+//    (master_to_slave, applied to their local load on reception) and
+//    broadcasts end_snp; it stays frozen until all other open snapshots
+//    complete.
+#pragma once
+
+#include "core/mechanism.h"
+
+namespace loadex::core {
+
+class SnapshotMechanism final : public Mechanism {
+ public:
+  SnapshotMechanism(Transport& transport, MechanismConfig config);
+
+  MechanismKind kind() const override { return MechanismKind::kSnapshot; }
+
+  void addLocalLoad(const LoadMetrics& delta,
+                    bool is_slave_delegated = false) override;
+
+  /// Initiates a snapshot. The callback fires once all answers arrived;
+  /// commitSelection() must be called synchronously inside the callback
+  /// (this mirrors Algorithm 4: snapshot → selection → finalize).
+  void requestView(ViewCallback cb) override;
+  void commitSelection(const SlaveSelection& selection) override;
+
+  /// The snapshot mechanism exchanges no periodic load traffic, so
+  /// No_more_master is pointless; this override makes it a no-op.
+  void noMoreMaster() override {}
+
+  /// Frozen while any snapshot (mine or another's) is live.
+  bool blocksComputation() const override { return snapshot_ || during_snp_; }
+
+  // ---- protocol introspection (tests) ---------------------------------
+  Rank currentLeader() const { return leader_; }
+  int concurrentSnapshots() const { return nb_snp_; }
+  bool snapshotPending() const { return during_snp_; }
+  RequestId myRequestId() const { return my_request_; }
+
+ protected:
+  void handleState(Rank src, StateTag tag, const sim::Payload& p) override;
+
+ private:
+  void arm();
+  void sendSnpAnswer(Rank dst);
+  void maybeComplete();
+  void finalize();
+  void onStartSnp(Rank src, const StartSnpPayload& p);
+  void onSnp(Rank src, const SnpPayload& p);
+  void onEndSnp(Rank src);
+  void updateBlockAccounting();
+  Rank electOver(Rank candidate, Rank current) const {
+    return elect(config_.election, candidate, current);
+  }
+
+  // ---- paper state (Initialization block of §3) ------------------------
+  Rank leader_ = kNoRank;            ///< current leader (undefined = kNoRank)
+  int nb_snp_ = 0;                   ///< concurrent snapshots except mine
+  bool during_snp_ = false;          ///< my own snapshot is in flight
+  bool snapshot_ = false;            ///< active snapshot I do not lead
+  std::vector<RequestId> request_;   ///< last request id seen per rank
+  std::vector<bool> snp_;            ///< per-rank "has an open snapshot"
+  std::vector<bool> delayed_;        ///< I owe this rank an answer
+
+  // ---- initiator bookkeeping -------------------------------------------
+  RequestId my_request_ = 0;
+  int nb_msgs_ = 0;
+  std::vector<bool> answered_;
+  std::vector<LoadMetrics> gathered_;
+  ViewCallback view_cb_;
+  bool selection_open_ = false;
+  SimTime initiated_at_ = 0.0;
+
+  // ---- blocked-time accounting ------------------------------------------
+  bool was_blocked_ = false;
+  SimTime blocked_since_ = 0.0;
+};
+
+}  // namespace loadex::core

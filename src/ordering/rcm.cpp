@@ -1,0 +1,85 @@
+#include <algorithm>
+
+#include "common/expect.h"
+#include "ordering/ordering.h"
+
+namespace loadex::ordering {
+
+namespace {
+
+struct BfsResult {
+  std::vector<int> order;    ///< visit order (component of the start vertex)
+  int levels = 0;            ///< eccentricity + 1
+  int last_level_start = 0;  ///< index into order of the last level
+};
+
+/// Degree-sorted BFS (Cuthill–McKee style) over unvisited vertices.
+BfsResult bfs(const sparse::Pattern& g, int start, std::vector<bool>& visited) {
+  BfsResult r;
+  r.order.push_back(start);
+  visited[static_cast<std::size_t>(start)] = true;
+  std::size_t head = 0;
+  while (head < r.order.size()) {
+    const std::size_t level_end = r.order.size();
+    r.last_level_start = static_cast<int>(head);
+    ++r.levels;
+    std::vector<int> level(
+        r.order.begin() + static_cast<std::ptrdiff_t>(head),
+        r.order.begin() + static_cast<std::ptrdiff_t>(level_end));
+    std::sort(level.begin(), level.end(),
+              [&](int a, int b) { return g.degree(a) < g.degree(b); });
+    for (const int v : level) {
+      std::vector<int> nbrs(g.row(v).begin(), g.row(v).end());
+      std::sort(nbrs.begin(), nbrs.end(),
+                [&](int a, int b) { return g.degree(a) < g.degree(b); });
+      for (const int w : nbrs) {
+        if (!visited[static_cast<std::size_t>(w)]) {
+          visited[static_cast<std::size_t>(w)] = true;
+          r.order.push_back(w);
+        }
+      }
+    }
+    head = level_end;
+  }
+  return r;
+}
+
+}  // namespace
+
+/// Find a pseudo-peripheral vertex of the component containing `start`
+/// (George–Liu iteration: hop to a low-degree vertex of the deepest level
+/// until the eccentricity stops improving).
+int pseudoPeripheral(const sparse::Pattern& g, int start) {
+  int v = start;
+  int best_levels = -1;
+  for (int iter = 0; iter < 8; ++iter) {
+    std::vector<bool> scratch(static_cast<std::size_t>(g.n()), false);
+    const BfsResult r = bfs(g, v, scratch);
+    if (r.levels <= best_levels) break;
+    best_levels = r.levels;
+    int cand = r.order.back();
+    for (std::size_t i = static_cast<std::size_t>(r.last_level_start);
+         i < r.order.size(); ++i)
+      if (g.degree(r.order[i]) < g.degree(cand)) cand = r.order[i];
+    v = cand;
+  }
+  return v;
+}
+
+std::vector<int> reverseCuthillMcKee(const sparse::Pattern& pattern) {
+  const int n = pattern.n();
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+  std::vector<int> perm;
+  perm.reserve(static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    if (visited[static_cast<std::size_t>(s)]) continue;
+    const int start = pseudoPeripheral(pattern, s);
+    const BfsResult r = bfs(pattern, start, visited);
+    perm.insert(perm.end(), r.order.begin(), r.order.end());
+  }
+  std::reverse(perm.begin(), perm.end());
+  LOADEX_EXPECT(sparse::isPermutation(perm), "RCM produced a non-permutation");
+  return perm;
+}
+
+}  // namespace loadex::ordering

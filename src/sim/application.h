@@ -1,0 +1,65 @@
+// Interfaces through which an application and a load-information mechanism
+// plug into a simulated process.
+//
+// The process main loop implements the paper's Algorithm 1:
+//   1. state-information messages are received in priority;
+//   2. then other (application) messages;
+//   3. then the next local ready task is processed — and a process cannot
+//      compute and treat messages at the same time.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "common/types.h"
+#include "sim/message.h"
+
+namespace loadex::sim {
+
+class Process;
+
+/// A unit of computation. Duration is work / flops_per_s of the process.
+struct ComputeTask {
+  Flops work = 0.0;
+  std::string label;
+  /// Fired when the task completes (sends results, updates loads, ...).
+  std::function<void(Process&)> on_complete;
+};
+
+/// Implemented by the distributed application (the solver).
+class Application {
+ public:
+  virtual ~Application() = default;
+
+  /// Called once at simulation start, before any event fires.
+  virtual void onStart(Process&) {}
+
+  /// An application-channel message arrived (task, data, ...).
+  virtual void onAppMessage(Process&, const Message&) = 0;
+
+  /// Return the next local ready task, or nullopt if nothing can start now.
+  /// The implementation may initiate a mechanism view request here and
+  /// return nullopt; progress must then resume via a later message or the
+  /// view callback (use Process::notifyReadyWork() from callbacks).
+  virtual std::optional<ComputeTask> nextTask(Process&) = 0;
+
+  /// True when this process has no outstanding local work (diagnostics).
+  virtual bool finished(const Process&) const { return true; }
+};
+
+/// Implemented by the load-information mechanism (loadex_core binds the
+/// paper's three mechanisms to this interface).
+class StateHandler {
+ public:
+  virtual ~StateHandler() = default;
+
+  /// A state-channel message arrived and is being treated.
+  virtual void onStateMessage(const Message&) = 0;
+
+  /// While true, the process must not start (or resume) compute tasks —
+  /// this is how a live snapshot freezes the computation (§3).
+  virtual bool blocksComputation() const { return false; }
+};
+
+}  // namespace loadex::sim

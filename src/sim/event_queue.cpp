@@ -1,0 +1,70 @@
+#include "sim/event_queue.h"
+
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace loadex::sim {
+
+EventId EventQueue::scheduleAt(SimTime t, std::function<void()> fn) {
+  LOADEX_EXPECT(t >= now_, "cannot schedule an event in the past");
+  LOADEX_EXPECT(!std::isnan(t), "event time must not be NaN");
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, next_seq_++, id});
+  handlers_.emplace(id, std::move(fn));
+  ++live_;
+  return id;
+}
+
+EventId EventQueue::scheduleAfter(SimTime delay, std::function<void()> fn) {
+  LOADEX_EXPECT(delay >= 0.0, "delay must be non-negative");
+  return scheduleAt(now_ + delay, std::move(fn));
+}
+
+bool EventQueue::cancel(EventId id) {
+  const auto it = handlers_.find(id);
+  if (it == handlers_.end()) return false;
+  handlers_.erase(it);
+  --live_;
+  // The heap entry stays; runNext() skips entries without handlers.
+  return true;
+}
+
+void EventQueue::popDead() const {
+  while (!heap_.empty() && handlers_.find(heap_.top().id) == handlers_.end())
+    heap_.pop();
+}
+
+bool EventQueue::runNext() {
+  popDead();
+  if (heap_.empty()) return false;
+  const Entry e = heap_.top();
+  heap_.pop();
+  auto it = handlers_.find(e.id);
+  LOADEX_CHECK(it != handlers_.end());
+  auto fn = std::move(it->second);
+  handlers_.erase(it);
+  --live_;
+  now_ = e.time;
+  ++fired_;
+  fn();
+  return true;
+}
+
+std::uint64_t EventQueue::runUntil(SimTime until) {
+  std::uint64_t n = 0;
+  while (true) {
+    popDead();
+    if (heap_.empty() || heap_.top().time > until) break;
+    runNext();
+    ++n;
+  }
+  return n;
+}
+
+SimTime EventQueue::nextEventTime() const {
+  popDead();
+  return heap_.empty() ? kInfiniteTime : heap_.top().time;
+}
+
+}  // namespace loadex::sim

@@ -1,0 +1,75 @@
+// Deterministic discrete-event kernel.
+//
+// Events are ordered by (time, insertion sequence), so simultaneous events
+// fire in the order they were scheduled — this makes every simulation run
+// bit-for-bit reproducible. Events can be cancelled (needed to pause a
+// running compute task in the "threaded" process mode).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace loadex::sim {
+
+/// Time value meaning "run forever".
+inline constexpr SimTime kInfiniteTime = std::numeric_limits<SimTime>::infinity();
+
+using EventId = std::uint64_t;
+inline constexpr EventId kNoEvent = 0;
+
+class EventQueue {
+ public:
+  /// Schedule `fn` to fire at absolute time `t` (must be >= now()).
+  EventId scheduleAt(SimTime t, std::function<void()> fn);
+
+  /// Schedule `fn` to fire `delay` seconds from now (delay >= 0).
+  EventId scheduleAfter(SimTime delay, std::function<void()> fn);
+
+  /// Cancel a pending event. Cancelling an already-fired or unknown id is a
+  /// no-op (returns false).
+  bool cancel(EventId id);
+
+  /// Fire the next pending event. Returns false if the queue is empty.
+  bool runNext();
+
+  /// Run until the queue is empty or `until` is passed; returns the number
+  /// of events fired.
+  std::uint64_t runUntil(SimTime until = kInfiniteTime);
+
+  SimTime now() const { return now_; }
+  bool empty() const { return live_ == 0; }
+  std::size_t pendingCount() const { return live_; }
+  std::uint64_t firedCount() const { return fired_; }
+
+  /// Time of the next pending event (kInfiniteTime if none).
+  SimTime nextEventTime() const;
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    EventId id;
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  void popDead() const;
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t fired_ = 0;
+  std::size_t live_ = 0;
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<EventId, std::function<void()>> handlers_;
+};
+
+}  // namespace loadex::sim

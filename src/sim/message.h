@@ -1,0 +1,49 @@
+// Message representation for the simulated message-passing system.
+//
+// Mirrors the paper's setup: a dedicated, prioritized channel carries
+// *state information* messages (load updates, snapshot protocol traffic),
+// and a second channel carries application messages (tasks, data).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <typeinfo>
+
+#include "common/types.h"
+
+namespace loadex::sim {
+
+/// Base class for message payloads. Concrete payloads are defined by the
+/// layer that owns the message tag (mechanisms in loadex_core, the solver
+/// application in loadex_solver).
+class Payload {
+ public:
+  virtual ~Payload() = default;
+};
+
+/// The two communication channels of the paper ("In practice a specific
+/// channel is used for those [state information] messages").
+enum class Channel { kState, kApp };
+
+inline const char* channelName(Channel c) {
+  return c == Channel::kState ? "state" : "app";
+}
+
+struct Message {
+  Rank src = kNoRank;
+  Rank dst = kNoRank;
+  Channel channel = Channel::kApp;
+  int tag = 0;        ///< receiver-layer dispatch key
+  Bytes size = 0;     ///< payload size in bytes (bandwidth + stats)
+  std::shared_ptr<const Payload> payload;
+
+  /// Convenient typed access; hard-fails on a tag/type mismatch.
+  template <typename T>
+  const T& as() const {
+    const auto* p = dynamic_cast<const T*>(payload.get());
+    if (p == nullptr) throw std::bad_cast();
+    return *p;
+  }
+};
+
+}  // namespace loadex::sim

@@ -1,0 +1,69 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+#include "common/expect.h"
+
+namespace loadex::sim {
+
+Network::Network(EventQueue& queue, NetworkConfig config, int nprocs)
+    : queue_(queue),
+      config_(config),
+      receivers_(static_cast<std::size_t>(nprocs)),
+      sender_free_at_(static_cast<std::size_t>(nprocs), 0.0),
+      jitter_rng_(config.seed) {
+  LOADEX_EXPECT(nprocs > 0, "network needs at least one process");
+  LOADEX_EXPECT(config_.latency_s >= 0.0, "latency must be non-negative");
+  LOADEX_EXPECT(config_.jitter_s >= 0.0, "jitter must be non-negative");
+  LOADEX_EXPECT(config_.bandwidth_bytes_per_s > 0.0,
+                "bandwidth must be positive");
+}
+
+void Network::setReceiver(Rank rank, DeliveryFn fn) {
+  LOADEX_EXPECT(rank >= 0 && rank < static_cast<Rank>(receivers_.size()),
+                "receiver rank out of range");
+  receivers_[static_cast<std::size_t>(rank)] = std::move(fn);
+}
+
+double Network::transferTime(Bytes size) const {
+  return static_cast<double>(size + config_.per_message_overhead_bytes) /
+         config_.bandwidth_bytes_per_s;
+}
+
+void Network::send(Message msg) {
+  LOADEX_EXPECT(msg.src >= 0 && msg.src < static_cast<Rank>(receivers_.size()),
+                "message src out of range");
+  LOADEX_EXPECT(msg.dst >= 0 && msg.dst < static_cast<Rank>(receivers_.size()),
+                "message dst out of range");
+  LOADEX_EXPECT(msg.src != msg.dst, "self-sends are not modelled");
+  LOADEX_EXPECT(msg.size >= 0, "message size must be non-negative");
+
+  const SimTime now = queue_.now();
+  const double transfer = transferTime(msg.size);
+
+  SimTime depart = now;
+  if (config_.serialize_sender) {
+    auto& free_at = sender_free_at_[static_cast<std::size_t>(msg.src)];
+    depart = std::max(now, free_at);
+    free_at = depart + transfer;
+  }
+  SimTime arrival = depart + transfer + config_.latency_s;
+  if (config_.jitter_s > 0.0)
+    arrival += jitter_rng_.uniformReal(0.0, config_.jitter_s);
+
+  // FIFO per ordered (src,dst) pair: never deliver before an earlier send.
+  auto& last = pair_last_arrival_[{msg.src, msg.dst}];
+  arrival = std::max(arrival, last);
+  last = arrival;
+
+  counts_.bump(channelName(msg.channel));
+  bytes_sent_ += msg.size;
+
+  queue_.scheduleAt(arrival, [this, m = std::move(msg)]() {
+    auto& recv = receivers_[static_cast<std::size_t>(m.dst)];
+    LOADEX_EXPECT(static_cast<bool>(recv), "no receiver registered for rank");
+    recv(m);
+  });
+}
+
+}  // namespace loadex::sim

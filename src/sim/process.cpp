@@ -1,0 +1,190 @@
+#include "sim/process.h"
+
+#include "common/expect.h"
+#include "common/log.h"
+
+namespace loadex::sim {
+
+Process::Process(EventQueue& queue, Network& network, Rank rank, int nprocs,
+                 ProcessConfig config)
+    : queue_(queue),
+      network_(network),
+      rank_(rank),
+      nprocs_(nprocs),
+      config_(config) {
+  LOADEX_EXPECT(rank >= 0 && rank < nprocs, "rank out of range");
+  LOADEX_EXPECT(config_.flops_per_s > 0.0, "flops_per_s must be positive");
+  LOADEX_EXPECT(!config_.comm_thread || config_.poll_period_s > 0.0,
+                "poll period must be positive in comm-thread mode");
+}
+
+void Process::attach(Application* app, StateHandler* state_handler) {
+  app_ = app;
+  state_handler_ = state_handler;
+}
+
+void Process::start() {
+  if (app_ != nullptr) app_->onStart(*this);
+  schedulePumpAfter(0.0);
+}
+
+void Process::deliver(const Message& msg) {
+  LOADEX_EXPECT(msg.dst == rank_, "message delivered to wrong process");
+  if (msg.channel == Channel::kState) {
+    state_q_.push_back(msg);
+  } else {
+    app_q_.push_back(msg);
+  }
+  pump();
+}
+
+void Process::send(Rank dst, Channel channel, int tag, Bytes size,
+                   std::shared_ptr<const Payload> payload) {
+  Message m;
+  m.src = rank_;
+  m.dst = dst;
+  m.channel = channel;
+  m.tag = tag;
+  m.size = size;
+  m.payload = std::move(payload);
+  network_.send(std::move(m));
+}
+
+void Process::notifyReadyWork() { pump(); }
+
+void Process::schedulePumpAfter(SimTime delay) {
+  if (pump_scheduled_) return;
+  pump_scheduled_ = true;
+  queue_.scheduleAfter(delay, [this] {
+    pump_scheduled_ = false;
+    pump();
+  });
+}
+
+void Process::pump() {
+  if (pump_scheduled_) return;           // a charged continuation is pending
+  if (state_ == State::kComputing) return;  // cannot treat messages (Alg. 1)
+
+  // 1. State-information messages have absolute priority.
+  if (!state_q_.empty()) {
+    Message m = std::move(state_q_.front());
+    state_q_.pop_front();
+    ++state_handled_;
+    msg_handle_time_ += config_.state_msg_handle_s;
+    if (state_handler_ != nullptr) state_handler_->onStateMessage(m);
+    // Charge the handling cost, then continue pumping.
+    schedulePumpAfter(config_.state_msg_handle_s);
+    return;
+  }
+
+  // 2. A paused task resumes once no snapshot blocks computation.
+  if (state_ == State::kPaused) {
+    if (blocked()) return;  // comm thread keeps the worker frozen
+    resumeTask();
+    return;
+  }
+
+  // 3. While a snapshot is live, only state messages are treated.
+  if (blocked()) return;
+
+  // 4. Other messages (tasks, data, ...).
+  if (!app_q_.empty()) {
+    Message m = std::move(app_q_.front());
+    app_q_.pop_front();
+    ++app_handled_;
+    msg_handle_time_ += config_.app_msg_handle_s;
+    if (app_ != nullptr) app_->onAppMessage(*this, m);
+    schedulePumpAfter(config_.app_msg_handle_s);
+    return;
+  }
+
+  // 5. Process a new local ready task.
+  if (app_ != nullptr) {
+    std::optional<ComputeTask> task = app_->nextTask(*this);
+    if (task.has_value()) {
+      startTask(std::move(*task));
+      return;
+    }
+    // nextTask may have initiated a (blocking) view request; if so the
+    // blocked() branch above keeps us from spinning — nothing else to do.
+  }
+  // Idle: progress resumes on the next deliver()/notifyReadyWork().
+}
+
+void Process::startTask(ComputeTask task) {
+  LOADEX_EXPECT(state_ == State::kIdle, "task start while not idle");
+  LOADEX_EXPECT(task.work >= 0.0, "task work must be non-negative");
+  state_ = State::kComputing;
+  task_ = std::move(task);
+  task_started_ = now();
+  task_remaining_ = task_->work;
+  ++tasks_run_;
+  end_event_ =
+      queue_.scheduleAfter(task_remaining_ / config_.flops_per_s,
+                           [this] { finishTask(); });
+  if (config_.comm_thread) schedulePoll();
+}
+
+void Process::finishTask() {
+  LOADEX_EXPECT(state_ == State::kComputing, "finish of a non-running task");
+  busy_time_ += now() - task_started_;
+  state_ = State::kIdle;
+  end_event_ = kNoEvent;
+  if (poll_event_ != kNoEvent) {
+    queue_.cancel(poll_event_);
+    poll_event_ = kNoEvent;
+  }
+  auto cb = std::move(task_->on_complete);
+  task_.reset();
+  if (cb) cb(*this);
+  pump();
+}
+
+void Process::pauseTask() {
+  LOADEX_EXPECT(state_ == State::kComputing, "pause of a non-running task");
+  const SimTime elapsed = now() - task_started_;
+  busy_time_ += elapsed;
+  task_remaining_ -= elapsed * config_.flops_per_s;
+  if (task_remaining_ < 0.0) task_remaining_ = 0.0;
+  queue_.cancel(end_event_);
+  end_event_ = kNoEvent;
+  if (poll_event_ != kNoEvent) {
+    queue_.cancel(poll_event_);
+    poll_event_ = kNoEvent;
+  }
+  state_ = State::kPaused;
+  paused_since_ = now();
+}
+
+void Process::resumeTask() {
+  LOADEX_EXPECT(state_ == State::kPaused, "resume of a non-paused task");
+  paused_time_ += now() - paused_since_;
+  state_ = State::kComputing;
+  task_started_ = now();
+  end_event_ =
+      queue_.scheduleAfter(task_remaining_ / config_.flops_per_s,
+                           [this] { finishTask(); });
+  if (config_.comm_thread) schedulePoll();
+}
+
+void Process::schedulePoll() {
+  poll_event_ = queue_.scheduleAfter(config_.poll_period_s, [this] {
+    poll_event_ = kNoEvent;
+    pollTick();
+  });
+}
+
+void Process::pollTick() {
+  if (state_ != State::kComputing) return;  // task ended before the tick
+  if (!state_q_.empty() || blocked()) {
+    // The communication thread takes the MPI lock: the worker is paused
+    // while state messages are treated (and, for start_snp, until the
+    // snapshot completes).
+    pauseTask();
+    pump();
+  } else {
+    schedulePoll();
+  }
+}
+
+}  // namespace loadex::sim

@@ -1,0 +1,136 @@
+// Simulated process: executes the paper's Algorithm 1 main loop.
+//
+// Two execution modes:
+//  * single-threaded (paper default): messages are only treated between
+//    compute tasks; a long task delays every message behind it;
+//  * comm-thread (§4.5): a polling thread checks the state channel every
+//    poll_period_s during computation; treating a start_snp pauses the
+//    compute task until the snapshot completes, then the task resumes.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "sim/application.h"
+#include "sim/event_queue.h"
+#include "sim/message.h"
+#include "sim/network.h"
+
+namespace loadex::sim {
+
+struct ProcessConfig {
+  /// Compute speed (floating-point operations per second).
+  double flops_per_s = 1e9;
+
+  /// CPU time to receive and treat one state-information message.
+  double state_msg_handle_s = 5e-7;
+
+  /// CPU time to receive and treat one application message (excl. payload
+  /// transfer, which the network accounts for).
+  double app_msg_handle_s = 2e-6;
+
+  /// Enable the §4.5 dedicated communication thread.
+  bool comm_thread = false;
+
+  /// Poll period of the communication thread (paper: 50 microseconds).
+  SimTime poll_period_s = 50e-6;
+};
+
+class Process {
+ public:
+  Process(EventQueue& queue, Network& network, Rank rank, int nprocs,
+          ProcessConfig config);
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  /// Wire the application and the mechanism binding. Either may be null
+  /// (useful in unit tests).
+  void attach(Application* app, StateHandler* state_handler);
+
+  /// Called by the world once, at t = 0.
+  void start();
+
+  /// Network receiver hook.
+  void deliver(const Message& msg);
+
+  /// Send a message from this process.
+  void send(Rank dst, Channel channel, int tag, Bytes size,
+            std::shared_ptr<const Payload> payload);
+
+  /// The application calls this when new local work became ready outside
+  /// of the normal message flow (e.g. from a mechanism view callback).
+  void notifyReadyWork();
+
+  // ---- introspection -------------------------------------------------
+  SimTime now() const { return queue_.now(); }
+  Rank rank() const { return rank_; }
+  int nprocs() const { return nprocs_; }
+  const ProcessConfig& config() const { return config_; }
+  Application* application() { return app_; }
+  StateHandler* stateHandler() { return state_handler_; }
+  EventQueue& queue() { return queue_; }
+
+  bool computing() const { return state_ == State::kComputing; }
+  bool paused() const { return state_ == State::kPaused; }
+  bool idle() const {
+    return state_ == State::kIdle && state_q_.empty() && app_q_.empty();
+  }
+
+  // ---- metrics ---------------------------------------------------------
+  double busyTime() const { return busy_time_; }
+  double msgHandleTime() const { return msg_handle_time_; }
+  std::int64_t stateMessagesHandled() const { return state_handled_; }
+  std::int64_t appMessagesHandled() const { return app_handled_; }
+  std::int64_t tasksRun() const { return tasks_run_; }
+  double pausedTime() const { return paused_time_; }
+
+ private:
+  enum class State { kIdle, kComputing, kPaused };
+
+  bool blocked() const {
+    return state_handler_ != nullptr && state_handler_->blocksComputation();
+  }
+
+  void pump();
+  void schedulePumpAfter(SimTime delay);
+  void startTask(ComputeTask task);
+  void finishTask();
+  void pauseTask();
+  void resumeTask();
+  void schedulePoll();
+  void pollTick();
+
+  EventQueue& queue_;
+  Network& network_;
+  Rank rank_;
+  int nprocs_;
+  ProcessConfig config_;
+
+  Application* app_ = nullptr;
+  StateHandler* state_handler_ = nullptr;
+
+  std::deque<Message> state_q_;
+  std::deque<Message> app_q_;
+
+  State state_ = State::kIdle;
+  bool pump_scheduled_ = false;
+
+  std::optional<ComputeTask> task_;
+  SimTime task_started_ = 0.0;
+  Flops task_remaining_ = 0.0;
+  EventId end_event_ = kNoEvent;
+  EventId poll_event_ = kNoEvent;
+  SimTime paused_since_ = 0.0;
+
+  double busy_time_ = 0.0;
+  double msg_handle_time_ = 0.0;
+  double paused_time_ = 0.0;
+  std::int64_t state_handled_ = 0;
+  std::int64_t app_handled_ = 0;
+  std::int64_t tasks_run_ = 0;
+};
+
+}  // namespace loadex::sim

@@ -1,0 +1,70 @@
+#include "sim/world.h"
+
+#include "common/expect.h"
+
+namespace loadex::sim {
+
+World::World(WorldConfig config)
+    : config_(config), network_(queue_, config.network, config.nprocs) {
+  LOADEX_EXPECT(config.nprocs > 0, "world needs at least one process");
+  LOADEX_EXPECT(config.speed_factors.empty() ||
+                    static_cast<int>(config.speed_factors.size()) ==
+                        config.nprocs,
+                "speed_factors must be empty or have nprocs entries");
+  processes_.reserve(static_cast<std::size_t>(config.nprocs));
+  for (Rank r = 0; r < config.nprocs; ++r) {
+    ProcessConfig pc = config.process;
+    if (!config.speed_factors.empty()) {
+      const double f = config.speed_factors[static_cast<std::size_t>(r)];
+      LOADEX_EXPECT(f > 0.0, "speed factor must be positive");
+      pc.flops_per_s *= f;
+    }
+    processes_.push_back(std::make_unique<Process>(
+        queue_, network_, r, config.nprocs, pc));
+    network_.setReceiver(
+        r, [p = processes_.back().get()](const Message& m) { p->deliver(m); });
+  }
+}
+
+Process& World::process(Rank rank) {
+  LOADEX_EXPECT(rank >= 0 && rank < nprocs(), "rank out of range");
+  return *processes_[static_cast<std::size_t>(rank)];
+}
+
+const Process& World::process(Rank rank) const {
+  LOADEX_EXPECT(rank >= 0 && rank < nprocs(), "rank out of range");
+  return *processes_[static_cast<std::size_t>(rank)];
+}
+
+void World::attach(Rank rank, Application* app, StateHandler* handler) {
+  process(rank).attach(app, handler);
+}
+
+RunResult World::run(SimTime until, std::uint64_t max_events) {
+  if (!started_) {
+    started_ = true;
+    for (auto& p : processes_) p->start();
+  }
+  RunResult result;
+  std::uint64_t fired = 0;
+  while (!queue_.empty()) {
+    if (queue_.nextEventTime() > until || fired >= max_events) {
+      result.hit_limit = true;
+      break;
+    }
+    queue_.runNext();
+    ++fired;
+  }
+  result.end_time = queue_.now();
+  result.events = fired;
+  return result;
+}
+
+bool World::quiescent() const {
+  if (!queue_.empty()) return false;
+  for (const auto& p : processes_)
+    if (!p->idle()) return false;
+  return true;
+}
+
+}  // namespace loadex::sim

@@ -1,0 +1,47 @@
+// Flop and memory cost model of a frontal-matrix partial factorization.
+//
+// For a front of order m eliminating k pivots (border b = m - k):
+//  * the master eliminates the k pivot rows (panel factorization + update
+//    of the U/L panel);
+//  * in a type-2 node, the b border rows are distributed by rows over the
+//    slaves, which perform the Schur-complement update;
+//  * the contribution block (b x b) is passed to the parent front.
+// Symmetric (LDLt) problems cost roughly half of unsymmetric (LU) ones
+// and store only the lower factor part.
+#pragma once
+
+#include "common/types.h"
+#include "symbolic/assembly_tree.h"
+
+namespace loadex::solver {
+
+struct FrontCosts {
+  Flops total_flops = 0.0;    ///< full front factorization
+  Flops master_flops = 0.0;   ///< pivot-panel part (type-2 master share)
+  Flops slave_flops = 0.0;    ///< Schur update part (distributed by rows)
+  Entries front_entries = 0;        ///< m*m (whole front)
+  Entries master_front_entries = 0; ///< k*m (master's rows)
+  Entries cb_entries = 0;           ///< b*b contribution block
+  Entries factor_entries = 0;       ///< factors stored after elimination
+};
+
+inline FrontCosts frontCosts(const symbolic::FrontNode& node, bool symmetric) {
+  const double k = static_cast<double>(node.npiv);
+  const double m = static_cast<double>(node.front);
+  const double b = m - k;
+  FrontCosts c;
+  const double panel = (2.0 / 3.0) * k * k * k + 2.0 * k * k * b;
+  const double update = 2.0 * k * b * b;
+  const double factor = symmetric ? 0.5 : 1.0;
+  c.master_flops = factor * panel;
+  c.slave_flops = factor * update;
+  c.total_flops = c.master_flops + c.slave_flops;
+  c.front_entries = static_cast<Entries>(m * m);
+  c.master_front_entries = static_cast<Entries>(k * m);
+  c.cb_entries = static_cast<Entries>(b * b);
+  c.factor_entries = symmetric ? static_cast<Entries>(k * m)
+                               : static_cast<Entries>(k * (2.0 * m - k));
+  return c;
+}
+
+}  // namespace loadex::solver

@@ -1,0 +1,480 @@
+#include "solver/factor_app.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace loadex::solver {
+
+namespace {
+
+struct ContributionPayload final : sim::Payload {
+  int node = -1;
+  Entries cb = 0;
+};
+
+struct SlaveTaskPayload final : sim::Payload {
+  int node = -1;
+  Rank master = kNoRank;
+  int rows = 0;
+  Flops flops = 0.0;
+  Entries mem = 0;
+  Entries cb_part = 0;
+};
+
+struct SlavePartPayload final : sim::Payload {
+  int node = -1;
+  Entries part = 0;
+};
+
+struct RootChunkPayload final : sim::Payload {
+  Flops flops = 0.0;
+  Entries mem = 0;
+};
+
+constexpr Bytes kEntryBytes = 8;
+
+}  // namespace
+
+FactorApp::FactorApp(const symbolic::AssemblyTree& tree, const TreePlan& plan,
+                     core::MechanismSet& mechanisms,
+                     const SlaveScheduler& scheduler, FactorAppOptions options)
+    : tree_(tree),
+      plan_(plan),
+      mechs_(mechanisms),
+      scheduler_(scheduler),
+      options_(options),
+      procs_(static_cast<std::size_t>(mechanisms.size())),
+      nodes_(static_cast<std::size_t>(tree.size())) {
+  LOADEX_EXPECT(static_cast<int>(plan.nodes.size()) == tree.size(),
+                "plan does not match tree");
+  for (int id = 0; id < tree_.size(); ++id)
+    ns(id).contribs_pending =
+        static_cast<int>(tree_.node(id).children.size());
+  for (Rank r = 0; r < mechanisms.size(); ++r)
+    ps(r).type2_masters_left =
+        plan_.type2_masters_per_rank[static_cast<std::size_t>(r)];
+}
+
+void FactorApp::onStart(sim::Process& p) {
+  const Rank r = p.rank();
+  auto& mech = mechs_.at(r);
+
+  // The paper (§4.2.2): "each processor has as initial load the cost of
+  // all its subtrees".
+  const double initial =
+      plan_.initial_workload[static_cast<std::size_t>(r)];
+  if (initial > 0.0) mech.addLocalLoad({initial, 0.0});
+
+  // Leaves mapped to this process are ready immediately.
+  for (const int id : tree_.postorder()) {
+    if (plan_.at(id).master != r) continue;
+    if (!tree_.node(id).children.empty()) continue;
+    activateNode(p, id);
+  }
+
+  // Processes that will never master a type-2 node can announce it right
+  // away (§2.3: this may be known statically).
+  if (options_.announce_no_more_master &&
+      ps(r).type2_masters_left == 0)
+    mech.noMoreMaster();
+}
+
+void FactorApp::memDelta(sim::Process& p, Entries delta, bool delegated) {
+  if (delta == 0) return;
+  ps(p.rank()).active_mem.add(static_cast<double>(delta));
+  mechs_.at(p.rank()).addLocalLoad({0.0, static_cast<double>(delta)},
+                                   delegated);
+}
+
+void FactorApp::consumeContributions(int id) {
+  auto& st = ns(id);
+  for (const auto& [rank, entries] : st.cb_holders) {
+    ps(rank).active_mem.add(-static_cast<double>(entries));
+    mechs_.at(rank).addLocalLoad({0.0, -static_cast<double>(entries)});
+  }
+  st.cb_holders.clear();
+}
+
+void FactorApp::activateNode(sim::Process& p, int id) {
+  const auto& np = plan_.at(id);
+  LOADEX_EXPECT(np.master == p.rank(), "node activated on a foreign process");
+  auto& mech = mechs_.at(p.rank());
+  switch (np.type) {
+    case NodeType::kSubtree:
+      break;  // already in the initial workload
+    case NodeType::kType1:
+      mech.addLocalLoad({np.costs.total_flops, 0.0});
+      break;
+    case NodeType::kType2:
+      // The master's own panel work; the slaves' shares enter the loads
+      // through the selection's reservation messages.
+      mech.addLocalLoad({np.costs.master_flops, 0.0});
+      break;
+    case NodeType::kType3:
+      break;  // accounted per chunk in startRoot
+  }
+  ps(p.rank()).ready.push_back(id);
+}
+
+void FactorApp::onAppMessage(sim::Process& p, const sim::Message& m) {
+  switch (m.tag) {
+    case kTagContribution: {
+      const auto& c = m.as<ContributionPayload>();
+      deliverContribution(p, c.node, c.cb);
+      return;
+    }
+    case kTagSlaveTask: {
+      const auto& t = m.as<SlaveTaskPayload>();
+      // Alg. 3 line (1): the reservation already carried this increase for
+      // the increment/snapshot mechanisms; the naive mechanism accounts it
+      // here (that delay is exactly Fig. 1's coherence window).
+      mechs_.at(p.rank()).addLocalLoad(
+          {t.flops, static_cast<double>(t.mem)}, /*is_slave_delegated=*/true);
+      ps(p.rank()).active_mem.add(static_cast<double>(t.mem));
+      SlaveWork w;
+      w.node = t.node;
+      w.master = t.master;
+      w.rows = t.rows;
+      w.flops = t.flops;
+      w.mem = t.mem;
+      w.cb_part = t.cb_part;
+      ps(p.rank()).slave_work.push_back(w);
+      return;
+    }
+    case kTagSlavePart: {
+      // The part's entries stay on the slave (registered as a CB holder
+      // for the parent front); this message only signals completion.
+      const auto& sp = m.as<SlavePartPayload>();
+      auto& st = ns(sp.node);
+      LOADEX_EXPECT(st.parts_pending > 0, "unexpected slave part");
+      --st.parts_pending;
+      maybeCompleteType2(p, sp.node);
+      return;
+    }
+    case kTagRootChunk: {
+      const auto& rc = m.as<RootChunkPayload>();
+      mechs_.at(p.rank()).addLocalLoad({rc.flops, 0.0});
+      ps(p.rank()).root_chunks.emplace_back(rc.flops, rc.mem);
+      return;
+    }
+    default:
+      LOADEX_EXPECT(false, "unknown application message tag");
+  }
+}
+
+std::optional<sim::ComputeTask> FactorApp::nextTask(sim::Process& p) {
+  auto& st = ps(p.rank());
+
+  // Slave row blocks first: a waiting master is the most expensive thing
+  // in the system.
+  if (!st.slave_work.empty()) {
+    SlaveWork w = st.slave_work.front();
+    st.slave_work.pop_front();
+    return makeSlaveTask(p, w);
+  }
+
+  if (!st.root_chunks.empty()) {
+    auto [flops, mem] = st.root_chunks.front();
+    st.root_chunks.pop_front();
+    memDelta(p, mem);
+    sim::ComputeTask task;
+    task.work = flops;
+    task.label = "root_chunk";
+    task.on_complete = [this, flops, mem](sim::Process& proc) {
+      mechs_.at(proc.rank()).addLocalLoad({-flops, 0.0});
+      memDelta(proc, -mem);
+      ps(proc.rank()).factor_entries += mem;
+    };
+    return task;
+  }
+
+  while (!st.ready.empty()) {
+    // Local task selection. The memory-aware policy (§4.2.1) prefers the
+    // smallest front when this process's memory runs above the view
+    // average.
+    std::size_t pick = 0;
+    if (options_.memory_aware_task_selection && st.ready.size() > 1) {
+      const auto& view = mechs_.at(p.rank()).view();
+      double avg = 0.0;
+      for (Rank r = 0; r < view.nprocs(); ++r) avg += view.load(r).memory;
+      avg /= view.nprocs();
+      if (st.active_mem.current() > avg) {
+        for (std::size_t i = 1; i < st.ready.size(); ++i) {
+          if (plan_.at(st.ready[i]).costs.front_entries <
+              plan_.at(st.ready[pick]).costs.front_entries)
+            pick = i;
+        }
+      }
+    }
+    const int id = st.ready[pick];
+    st.ready.erase(st.ready.begin() + static_cast<std::ptrdiff_t>(pick));
+
+    const auto& np = plan_.at(id);
+    switch (np.type) {
+      case NodeType::kSubtree:
+      case NodeType::kType1:
+        return makeMasterTask(p, id);
+      case NodeType::kType2: {
+        if (ns(id).selection_done) return makeMasterTask(p, id);
+        // Dynamic decision: ask the mechanism for a view. Maintained-view
+        // mechanisms answer synchronously; the snapshot mechanism freezes
+        // this process and fires the callback when the snapshot is built.
+        mechs_.at(p.rank()).requestView(
+            [this, &p, id](const core::LoadView& view) {
+              performSelection(p, id, view);
+            });
+        if (ns(id).selection_done) {
+          // Synchronous mechanism: the node went back to the ready queue;
+          // pop it again and run the master part.
+          LOADEX_EXPECT(!st.ready.empty() && st.ready.front() == id,
+                        "selection did not requeue the node");
+          st.ready.pop_front();
+          return makeMasterTask(p, id);
+        }
+        return std::nullopt;  // snapshot in flight; process is frozen
+      }
+      case NodeType::kType3:
+        startRoot(p, id);
+        return nextTask(p);  // pick up the root chunk just queued
+    }
+  }
+  return std::nullopt;
+}
+
+sim::ComputeTask FactorApp::makeMasterTask(sim::Process& p, int id) {
+  const auto& np = plan_.at(id);
+  const bool type2 = np.type == NodeType::kType2;
+  const Entries front_share =
+      type2 ? np.costs.master_front_entries : np.costs.front_entries;
+
+  // Assembly: the front is allocated, the children's contribution blocks
+  // are consumed (freed wherever they were held).
+  memDelta(p, front_share);
+  consumeContributions(id);
+
+  sim::ComputeTask task;
+  task.work = type2 ? np.costs.master_flops : np.costs.total_flops;
+  task.label = std::string(nodeTypeName(np.type)) + "#" + std::to_string(id);
+  task.on_complete = [this, id](sim::Process& proc) {
+    const auto& nplan = plan_.at(id);
+    const bool t2 = nplan.type == NodeType::kType2;
+    const Flops done = t2 ? nplan.costs.master_flops : nplan.costs.total_flops;
+    mechs_.at(proc.rank()).addLocalLoad({-done, 0.0});
+    const Entries share =
+        t2 ? nplan.costs.master_front_entries : nplan.costs.front_entries;
+    memDelta(proc, -share);
+    // Factors stay on this process (not active memory).
+    Entries factor_share = nplan.costs.factor_entries;
+    if (t2) {
+      // Slaves keep their rows of the factors (rows * npiv each).
+      const int b = tree_.node(id).border();
+      factor_share -= static_cast<Entries>(b) * tree_.node(id).npiv;
+    }
+    ps(proc.rank()).factor_entries += factor_share;
+    if (t2) {
+      masterPartDone(proc, id);
+    } else {
+      completeNode(proc, id);
+    }
+  };
+  return task;
+}
+
+sim::ComputeTask FactorApp::makeSlaveTask(sim::Process& /*p*/,
+                                          SlaveWork work) {
+  sim::ComputeTask task;
+  task.work = work.flops;
+  task.label = "slave#" + std::to_string(work.node);
+  task.on_complete = [this, work](sim::Process& proc) {
+    // The slave keeps its factor rows (rows * npiv, no longer "active")
+    // and *retains its contribution-block rows* until the parent front's
+    // assembly consumes them — this is where the memory-based slave
+    // selection pays off: CB memory sits where the slaves were placed.
+    const Entries freed = work.mem - work.cb_part;
+    mechs_.at(proc.rank()).addLocalLoad(
+        {-work.flops, -static_cast<double>(freed)},
+        /*is_slave_delegated=*/true);
+    ps(proc.rank()).active_mem.add(-static_cast<double>(freed));
+    ps(proc.rank()).factor_entries +=
+        static_cast<Entries>(work.rows) * tree_.node(work.node).npiv;
+    const int parent = tree_.node(work.node).parent;
+    if (work.cb_part > 0) {
+      LOADEX_EXPECT(parent != -1, "type-2 root produced a CB part");
+      ns(parent).cb_holders.emplace_back(proc.rank(), work.cb_part);
+    }
+    // Signal completion to the node's master (the data stays here).
+    auto payload = std::make_shared<SlavePartPayload>();
+    payload->node = work.node;
+    payload->part = work.cb_part;
+    ++app_messages_;
+    proc.send(work.master, sim::Channel::kApp, kTagSlavePart, 16,
+              std::move(payload));
+  };
+  return task;
+}
+
+void FactorApp::performSelection(sim::Process& p, int id,
+                                 const core::LoadView& view) {
+  const auto& np = plan_.at(id);
+  const auto& nd = tree_.node(id);
+  auto& mech = mechs_.at(p.rank());
+
+  SelectionRequest req;
+  req.master = p.rank();
+  req.rows = nd.border();
+  req.front = nd.front;
+  req.slave_flops = np.costs.slave_flops;
+  req.min_rows_per_slave = options_.min_rows_per_slave;
+  req.max_slaves = options_.max_slaves;
+
+  const core::SlaveSelection sel = scheduler_.select(view, req);
+  mech.commitSelection(sel);
+  ++selections_made_;
+
+  auto& st = ns(id);
+  st.parts_pending = static_cast<int>(sel.size());
+  st.selection_done = true;
+
+  const double flops_per_row =
+      req.rows > 0 ? req.slave_flops / req.rows : 0.0;
+  for (const auto& a : sel) {
+    const int rows = static_cast<int>(
+        std::llround(a.share.memory / static_cast<double>(req.front)));
+    auto payload = std::make_shared<SlaveTaskPayload>();
+    payload->node = id;
+    payload->master = p.rank();
+    payload->rows = rows;
+    payload->flops = flops_per_row * rows;
+    payload->mem = static_cast<Entries>(rows) * req.front;
+    payload->cb_part = static_cast<Entries>(rows) * nd.border();
+    const Bytes size = payload->mem * kEntryBytes;
+    ++app_messages_;
+    p.send(a.slave, sim::Channel::kApp, kTagSlaveTask, size,
+           std::move(payload));
+  }
+
+  auto& pst = ps(p.rank());
+  if (--pst.type2_masters_left == 0 && options_.announce_no_more_master)
+    mech.noMoreMaster();
+
+  // The master's own panel task runs next.
+  pst.ready.push_front(id);
+}
+
+void FactorApp::masterPartDone(sim::Process& p, int id) {
+  ns(id).master_done = true;
+  maybeCompleteType2(p, id);
+}
+
+void FactorApp::maybeCompleteType2(sim::Process& p, int id) {
+  auto& st = ns(id);
+  if (!st.selection_done || !st.master_done || st.parts_pending != 0 ||
+      st.completed)
+    return;
+  completeNode(p, id);
+}
+
+void FactorApp::completeNode(sim::Process& p, int id) {
+  auto& st = ns(id);
+  LOADEX_EXPECT(!st.completed, "node completed twice");
+  st.completed = true;
+  ++nodes_done_;
+
+  const auto& nd = tree_.node(id);
+  const Entries cb = plan_.at(id).costs.cb_entries;
+  if (nd.parent == -1) {
+    LOADEX_EXPECT(cb == 0, "root front with a contribution block");
+    return;
+  }
+  // Contribution-block entries stay where they were produced until the
+  // parent's assembly consumes them: on this process for a type-1 or
+  // subtree node, on the slaves (already registered at part completion)
+  // for a type-2 node. The parent's master only needs the completion
+  // signal to count down its children.
+  const Rank parent_master = plan_.at(nd.parent).master;
+  if (plan_.at(id).type == NodeType::kSubtree ||
+      plan_.at(id).type == NodeType::kType1) {
+    if (cb > 0) {
+      memDelta(p, cb);
+      ns(nd.parent).cb_holders.emplace_back(p.rank(), cb);
+    }
+  }
+  if (parent_master == p.rank()) {
+    LOADEX_EXPECT(ns(nd.parent).contribs_pending > 0,
+                  "parent did not expect a contribution");
+    if (--ns(nd.parent).contribs_pending == 0) activateNode(p, nd.parent);
+  } else {
+    auto payload = std::make_shared<ContributionPayload>();
+    payload->node = nd.parent;
+    payload->cb = cb;
+    ++app_messages_;
+    p.send(parent_master, sim::Channel::kApp, kTagContribution,
+           cb * kEntryBytes, std::move(payload));
+  }
+}
+
+void FactorApp::deliverContribution(sim::Process& p, int node, Entries cb) {
+  // Pure completion signal: the block's entries remain on their producer
+  // (a registered cb_holder) until this node's assembly starts.
+  (void)cb;
+  auto& st = ns(node);
+  LOADEX_EXPECT(st.contribs_pending > 0, "unexpected contribution");
+  if (--st.contribs_pending == 0) activateNode(p, node);
+}
+
+void FactorApp::startRoot(sim::Process& p, int id) {
+  const auto& np = plan_.at(id);
+  const int nprocs = mechs_.size();
+
+  // Children contribution blocks are consumed by the 2-D assembly,
+  // freed wherever they were held.
+  consumeContributions(id);
+
+  const Flops flops_share = np.costs.total_flops / nprocs;
+  const Entries mem_share = np.costs.front_entries / nprocs;
+  // The master's chunk absorbs the integer-division remainder so that
+  // factor entries are conserved exactly.
+  const Entries master_share =
+      np.costs.front_entries - static_cast<Entries>(nprocs - 1) * mem_share;
+  for (Rank r = 0; r < nprocs; ++r) {
+    if (r == p.rank()) {
+      mechs_.at(p.rank()).addLocalLoad({flops_share, 0.0});
+      ps(p.rank()).root_chunks.emplace_back(flops_share, master_share);
+    } else {
+      auto payload = std::make_shared<RootChunkPayload>();
+      payload->flops = flops_share;
+      payload->mem = mem_share;
+      ++app_messages_;
+      p.send(r, sim::Channel::kApp, kTagRootChunk, mem_share * kEntryBytes,
+             payload);
+    }
+  }
+  completeNode(p, id);
+}
+
+bool FactorApp::finished(const sim::Process& p) const {
+  const auto& st = procs_[static_cast<std::size_t>(p.rank())];
+  return st.ready.empty() && st.slave_work.empty() && st.root_chunks.empty();
+}
+
+double FactorApp::peakActiveMemory(Rank r) const {
+  return procs_[static_cast<std::size_t>(r)].active_mem.peak();
+}
+
+double FactorApp::currentActiveMemory(Rank r) const {
+  return procs_[static_cast<std::size_t>(r)].active_mem.current();
+}
+
+double FactorApp::maxPeakActiveMemory() const {
+  double peak = 0.0;
+  for (const auto& st : procs_) peak = std::max(peak, st.active_mem.peak());
+  return peak;
+}
+
+Entries FactorApp::factorEntries(Rank r) const {
+  return procs_[static_cast<std::size_t>(r)].factor_entries;
+}
+
+}  // namespace loadex::solver

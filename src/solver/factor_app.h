@@ -1,0 +1,137 @@
+// The distributed multifrontal factorization, as a sim::Application.
+//
+// One FactorApp instance drives all N simulated processes (it keeps
+// per-rank state internally, as a real MPI application keeps per-process
+// state in each rank's memory). It follows the paper's Algorithm 1 shape:
+// tasks activate when their children's contributions arrived; type-2
+// masters take a dynamic slave-selection decision through the load
+// mechanism; slaves receive row blocks, compute, and return contribution
+// parts; the type-3 root is processed with a static 2-D distribution.
+//
+// Memory accounting tracks *active* memory per process (live fronts +
+// buffered contribution blocks), the metric Table 4 reports.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/binding.h"
+#include "sim/application.h"
+#include "solver/mapping.h"
+#include "solver/schedulers.h"
+#include "symbolic/assembly_tree.h"
+
+namespace loadex::solver {
+
+struct FactorAppOptions {
+  int min_rows_per_slave = 8;
+  int max_slaves = 16;
+  /// Trigger No_more_master after a process's last type-2 selection.
+  bool announce_no_more_master = true;
+  /// Memory-aware local task selection (§4.2.1's task-selection side):
+  /// when the local active memory exceeds the view average, prefer the
+  /// ready task with the smallest front.
+  bool memory_aware_task_selection = false;
+};
+
+class FactorApp final : public sim::Application {
+ public:
+  FactorApp(const symbolic::AssemblyTree& tree, const TreePlan& plan,
+            core::MechanismSet& mechanisms, const SlaveScheduler& scheduler,
+            FactorAppOptions options);
+
+  // ---- sim::Application -------------------------------------------------
+  void onStart(sim::Process& p) override;
+  void onAppMessage(sim::Process& p, const sim::Message& m) override;
+  std::optional<sim::ComputeTask> nextTask(sim::Process& p) override;
+  bool finished(const sim::Process& p) const override;
+
+  // ---- results ----------------------------------------------------------
+  bool allNodesDone() const { return nodes_done_ == tree_.size(); }
+  int nodesDone() const { return nodes_done_; }
+  double peakActiveMemory(Rank r) const;   ///< entries
+  double maxPeakActiveMemory() const;      ///< max over ranks
+  /// Active memory currently held (should return to ~0 at quiescence:
+  /// every front and contribution block is eventually freed).
+  double currentActiveMemory(Rank r) const;
+  Entries factorEntries(Rank r) const;
+  std::int64_t appMessages() const { return app_messages_; }
+  int selectionsMade() const { return selections_made_; }
+
+ private:
+  // message tags on the application channel
+  static constexpr int kTagContribution = 10;
+  static constexpr int kTagSlaveTask = 11;
+  static constexpr int kTagSlavePart = 12;
+  static constexpr int kTagRootChunk = 13;
+
+  struct SlaveWork {
+    int node = -1;
+    Rank master = kNoRank;
+    int rows = 0;
+    Flops flops = 0.0;
+    Entries mem = 0;
+    Entries cb_part = 0;
+  };
+
+  struct ProcState {
+    std::deque<int> ready;             ///< ready local (master) nodes
+    std::deque<SlaveWork> slave_work;  ///< received row blocks
+    std::deque<std::pair<Flops, Entries>> root_chunks;
+    int type2_masters_left = 0;
+    PeakTracker active_mem;            ///< entries
+    Entries factor_entries = 0;
+  };
+
+  struct NodeState {
+    int contribs_pending = 0;  ///< children contributions not yet arrived
+    /// Where the children's contribution-block entries physically live
+    /// until this node's assembly consumes them. For a type-2 child the
+    /// holders are its *slaves* — so the child's slave selection decides
+    /// where CB memory sits, exactly the lever the memory-based strategy
+    /// uses in MUMPS.
+    std::vector<std::pair<Rank, Entries>> cb_holders;
+    int parts_pending = 0;     ///< slave CB parts not yet arrived (type 2)
+    bool selection_done = false;
+    bool master_done = false;
+    bool completed = false;
+  };
+
+  ProcState& ps(Rank r) { return procs_[static_cast<std::size_t>(r)]; }
+  NodeState& ns(int id) { return nodes_[static_cast<std::size_t>(id)]; }
+
+  /// Mirror an active-memory change into both the local tracker and the
+  /// mechanism's memory metric.
+  void memDelta(sim::Process& p, Entries delta, bool delegated = false);
+
+  /// Release the contribution blocks buffered for node `id` from the
+  /// processes holding them (called when the node's assembly starts).
+  void consumeContributions(int id);
+
+  void activateNode(sim::Process& p, int id);
+  sim::ComputeTask makeMasterTask(sim::Process& p, int id);
+  sim::ComputeTask makeSlaveTask(sim::Process& p, SlaveWork work);
+  void performSelection(sim::Process& p, int id,
+                        const core::LoadView& view);
+  void masterPartDone(sim::Process& p, int id);
+  void maybeCompleteType2(sim::Process& p, int id);
+  void completeNode(sim::Process& p, int id);
+  void deliverContribution(sim::Process& p, int node, Entries cb);
+  void startRoot(sim::Process& p, int id);
+
+  const symbolic::AssemblyTree& tree_;
+  const TreePlan& plan_;
+  core::MechanismSet& mechs_;
+  const SlaveScheduler& scheduler_;
+  FactorAppOptions options_;
+
+  std::vector<ProcState> procs_;
+  std::vector<NodeState> nodes_;
+  int nodes_done_ = 0;
+  std::int64_t app_messages_ = 0;
+  int selections_made_ = 0;
+};
+
+}  // namespace loadex::solver

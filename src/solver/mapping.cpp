@@ -1,0 +1,152 @@
+#include "solver/mapping.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/expect.h"
+
+namespace loadex::solver {
+
+TreePlan planTree(const symbolic::AssemblyTree& tree, bool symmetric,
+                  const MappingOptions& options) {
+  LOADEX_EXPECT(options.nprocs >= 1, "mapping needs at least one process");
+  const int nn = tree.size();
+  TreePlan plan;
+  plan.nodes.resize(static_cast<std::size_t>(nn));
+  plan.subtree_flops.assign(static_cast<std::size_t>(nn), 0.0);
+  plan.initial_workload.assign(static_cast<std::size_t>(options.nprocs), 0.0);
+  plan.type2_masters_per_rank.assign(static_cast<std::size_t>(options.nprocs),
+                                     0);
+
+  // Costs and subtree work (postorder: children before parents).
+  for (const int id : tree.postorder()) {
+    const auto& nd = tree.node(id);
+    auto& np = plan.nodes[static_cast<std::size_t>(id)];
+    np.costs = frontCosts(nd, symmetric);
+    plan.total_flops += np.costs.total_flops;
+    plan.total_factor_entries += np.costs.factor_entries;
+    plan.subtree_flops[static_cast<std::size_t>(id)] = np.costs.total_flops;
+    for (const int c : nd.children)
+      plan.subtree_flops[static_cast<std::size_t>(id)] +=
+          plan.subtree_flops[static_cast<std::size_t>(c)];
+  }
+
+  // Proportional mapping: distribute the process range [lo, hi) of a node
+  // over its children by subtree work; a range of size 1 maps the whole
+  // subtree onto that process.
+  int master_rr = 0;  // round-robin offset for master placement
+  std::function<void(int, int, int, bool)> assign = [&](int id, int lo,
+                                                        int hi, bool is_root) {
+    const auto& nd = tree.node(id);
+    auto& np = plan.nodes[static_cast<std::size_t>(id)];
+    const int span = hi - lo;
+    LOADEX_EXPECT(span >= 1, "empty process range during mapping");
+
+    if (span == 1) {
+      // Whole subtree on one process: every node below becomes a subtree
+      // task (the paper's "leave subtrees").
+      std::function<void(int)> mark = [&](int sid) {
+        auto& sp = plan.nodes[static_cast<std::size_t>(sid)];
+        sp.type = NodeType::kSubtree;
+        sp.master = lo;
+        plan.initial_workload[static_cast<std::size_t>(lo)] +=
+            sp.costs.total_flops;
+        for (const int c : tree.node(sid).children) mark(c);
+      };
+      mark(id);
+      return;
+    }
+
+    // Node type on a multi-process range.
+    const bool big_front = nd.front >= options.type2_min_front &&
+                           nd.border() >= options.type2_min_border;
+    if (is_root && options.type3_root && nd.front >= options.type2_min_front) {
+      np.type = NodeType::kType3;
+      np.master = lo;
+    } else if (big_front) {
+      np.type = NodeType::kType2;
+      np.master = lo + (master_rr++ % span);
+      ++plan.dynamic_decisions;
+      ++plan.type2_masters_per_rank[static_cast<std::size_t>(np.master)];
+    } else {
+      np.type = NodeType::kType1;
+      np.master = lo + (master_rr++ % span);
+    }
+
+    // Children ranges proportional to subtree work, each >= 1 process.
+    if (nd.children.empty()) return;
+    std::vector<int> kids = nd.children;
+    std::sort(kids.begin(), kids.end(), [&](int a, int b) {
+      return plan.subtree_flops[static_cast<std::size_t>(a)] >
+             plan.subtree_flops[static_cast<std::size_t>(b)];
+    });
+    // More children than processes: the smallest children become
+    // single-process subtrees spread round-robin over the range, and only
+    // the top `span` children take part in the proportional allocation.
+    if (static_cast<int>(kids.size()) > span) {
+      for (std::size_t i = static_cast<std::size_t>(span); i < kids.size();
+           ++i) {
+        const int p = lo + static_cast<int>((i - span) % span);
+        assign(kids[i], p, p + 1, false);
+      }
+      kids.resize(static_cast<std::size_t>(span));
+    }
+    double work_total = 0.0;
+    for (const int c : kids)
+      work_total += plan.subtree_flops[static_cast<std::size_t>(c)];
+    // Largest-remainder proportional allocation of `span` processes.
+    const int nk = static_cast<int>(kids.size());
+    std::vector<int> share(static_cast<std::size_t>(nk), 0);
+    int used = 0;
+    std::vector<std::pair<double, int>> rema;
+    for (int i = 0; i < nk; ++i) {
+      const double frac =
+          work_total > 0.0
+              ? plan.subtree_flops[static_cast<std::size_t>(kids[i])] /
+                    work_total * span
+              : static_cast<double>(span) / nk;
+      share[static_cast<std::size_t>(i)] = static_cast<int>(frac);
+      used += share[static_cast<std::size_t>(i)];
+      rema.emplace_back(frac - share[static_cast<std::size_t>(i)], i);
+    }
+    std::sort(rema.rbegin(), rema.rend());
+    for (int extra = span - used, r = 0; extra > 0 && r < nk; --extra, ++r)
+      ++share[static_cast<std::size_t>(rema[static_cast<std::size_t>(r)].second)];
+    // Every child needs at least one process; steal from the largest.
+    for (int i = 0; i < nk; ++i) {
+      while (share[static_cast<std::size_t>(i)] == 0) {
+        const auto big = std::max_element(share.begin(), share.end());
+        LOADEX_EXPECT(*big > 1, "cannot give every child a process");
+        --*big;
+        ++share[static_cast<std::size_t>(i)];
+      }
+    }
+    int cursor = lo;
+    for (int i = 0; i < nk; ++i) {
+      assign(kids[i], cursor, cursor + share[static_cast<std::size_t>(i)],
+             false);
+      cursor += share[static_cast<std::size_t>(i)];
+    }
+    LOADEX_EXPECT(cursor == hi, "proportional mapping lost processes");
+  };
+
+  // The roots share the whole machine. The dominant root (by subtree
+  // work) gets the full process range — disconnected leftovers (isolated
+  // vertices, small components) are mapped as single-process subtrees,
+  // round-robin over the machine.
+  std::vector<int> rs = tree.roots();
+  if (!rs.empty()) {
+    std::sort(rs.begin(), rs.end(), [&](int a, int b) {
+      return plan.subtree_flops[static_cast<std::size_t>(a)] >
+             plan.subtree_flops[static_cast<std::size_t>(b)];
+    });
+    assign(rs[0], 0, options.nprocs, true);
+    for (std::size_t i = 1; i < rs.size(); ++i) {
+      const int p = static_cast<int>((i - 1) % options.nprocs);
+      assign(rs[i], p, p + 1, false);
+    }
+  }
+  return plan;
+}
+
+}  // namespace loadex::solver

@@ -1,0 +1,63 @@
+// Static planning of the assembly tree over N processes:
+//  * node types (paper §4.1 / Fig. 2): leaf subtrees (all tasks of a
+//    subtree mapped to one process), type-1 sequential nodes, type-2
+//    1-D-parallel master/slave nodes (the dynamic-decision sites), and a
+//    type-3 2-D root treated statically (ScaLAPACK substitute);
+//  * Geist–Ng style proportional mapping of processes onto subtrees;
+//  * static choice of each node's master (the paper: "mapping of the
+//    masters ... is static and only aims at balancing the memory").
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "solver/costs.h"
+#include "symbolic/assembly_tree.h"
+
+namespace loadex::solver {
+
+enum class NodeType { kSubtree, kType1, kType2, kType3 };
+
+inline const char* nodeTypeName(NodeType t) {
+  switch (t) {
+    case NodeType::kSubtree: return "subtree";
+    case NodeType::kType1: return "type1";
+    case NodeType::kType2: return "type2";
+    case NodeType::kType3: return "type3";
+  }
+  return "?";
+}
+
+struct NodePlan {
+  NodeType type = NodeType::kType1;
+  Rank master = 0;
+  FrontCosts costs;
+};
+
+struct MappingOptions {
+  int nprocs = 4;
+  /// Fronts at least this large (and with enough border rows) become
+  /// type-2 parallel nodes.
+  int type2_min_front = 300;
+  /// Minimum border rows for a type-2 node to be worth parallelizing.
+  int type2_min_border = 32;
+  /// Treat the biggest root front as a static 2-D (type-3) node.
+  bool type3_root = true;
+};
+
+struct TreePlan {
+  std::vector<NodePlan> nodes;              ///< indexed by node id
+  std::vector<double> subtree_flops;        ///< total flops below+at node
+  std::vector<double> initial_workload;     ///< per rank: mapped subtree work
+  std::vector<int> type2_masters_per_rank;  ///< for No_more_master triggers
+  int dynamic_decisions = 0;                ///< number of type-2 nodes
+  double total_flops = 0.0;
+  Entries total_factor_entries = 0;
+
+  const NodePlan& at(int id) const { return nodes[static_cast<std::size_t>(id)]; }
+};
+
+TreePlan planTree(const symbolic::AssemblyTree& tree, bool symmetric,
+                  const MappingOptions& options);
+
+}  // namespace loadex::solver

@@ -1,0 +1,120 @@
+#include "solver/runner.h"
+
+#include <algorithm>
+
+#include "common/expect.h"
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace loadex::solver {
+
+symbolic::Analysis analyzeProblem(const sparse::Problem& problem,
+                                  ordering::OrderingKind ordering) {
+  const auto perm = ordering::computeOrdering(problem.pattern, ordering);
+  return symbolic::analyze(problem.pattern, perm);
+}
+
+SolverResult runSolver(const symbolic::Analysis& analysis, bool symmetric,
+                       const SolverConfig& config,
+                       const std::string& problem_name) {
+  SolverConfig cfg = config;
+  cfg.mapping.nprocs = cfg.nprocs;
+
+  const TreePlan plan = planTree(analysis.tree, symmetric, cfg.mapping);
+
+  if (cfg.auto_threshold) {
+    // Threshold "of the same order as the granularity of the tasks": a
+    // fraction of the mean per-node work / front size.
+    const double nn = std::max(1, analysis.tree.size());
+    cfg.mech.threshold.workload =
+        cfg.auto_threshold_fraction * plan.total_flops / nn;
+    double mean_front = 0.0;
+    for (const auto& nd : analysis.tree.nodes())
+      mean_front += static_cast<double>(nd.front) * nd.front;
+    cfg.mech.threshold.memory = cfg.auto_threshold_fraction * mean_front / nn;
+  }
+
+  sim::WorldConfig wcfg;
+  wcfg.nprocs = cfg.nprocs;
+  wcfg.network = cfg.network;
+  wcfg.process = cfg.process;
+  if (cfg.heterogeneity > 0.0) {
+    LOADEX_EXPECT(cfg.heterogeneity < 1.0, "heterogeneity must be in [0,1)");
+    Rng rng(cfg.heterogeneity_seed, 0xe7e20);
+    wcfg.speed_factors.reserve(static_cast<std::size_t>(cfg.nprocs));
+    for (int r = 0; r < cfg.nprocs; ++r)
+      wcfg.speed_factors.push_back(
+          rng.uniformReal(1.0 - cfg.heterogeneity, 1.0 + cfg.heterogeneity));
+  }
+  sim::World world(wcfg);
+
+  core::MechanismSet mechs(world, cfg.mechanism, cfg.mech);
+  const auto scheduler = makeScheduler(cfg.strategy);
+  FactorAppOptions app_opts = cfg.app;
+  app_opts.memory_aware_task_selection =
+      (cfg.strategy == Strategy::kMemory);
+  FactorApp app(analysis.tree, plan, mechs, *scheduler, app_opts);
+  for (Rank r = 0; r < cfg.nprocs; ++r)
+    world.attach(r, &app, &mechs.at(r));
+
+  const sim::RunResult run = world.run();
+
+  SolverResult res;
+  res.problem = problem_name;
+  res.mechanism = core::mechanismKindName(cfg.mechanism);
+  res.strategy = strategyName(cfg.strategy);
+  res.nprocs = cfg.nprocs;
+  res.completed = app.allNodesDone() && !run.hit_limit;
+  res.factor_time = run.end_time;
+  res.sim_events = run.events;
+  res.tree_nodes = analysis.tree.size();
+  res.total_flops = plan.total_flops;
+  res.dynamic_decisions = plan.dynamic_decisions;
+  res.selections_made = app.selectionsMade();
+  res.app_messages = app.appMessages();
+
+  double peak = 0.0, sum_peak = 0.0;
+  for (Rank r = 0; r < cfg.nprocs; ++r) {
+    peak = std::max(peak, app.peakActiveMemory(r));
+    sum_peak += app.peakActiveMemory(r);
+  }
+  res.peak_active_mem = peak;
+  res.avg_peak_active_mem = sum_peak / cfg.nprocs;
+
+  const core::MechanismStats total = mechs.aggregateStats();
+  res.state_messages = total.messagesSent();
+  res.state_bytes = total.bytes_sent;
+  res.snapshots = total.snapshots_initiated;
+  res.rearms = total.snapshot_rearms;
+  double max_blocked = 0.0;
+  for (Rank r = 0; r < cfg.nprocs; ++r)
+    max_blocked = std::max(max_blocked, mechs.at(r).stats().time_blocked);
+  res.snapshot_time = max_blocked;
+
+  for (Rank r = 0; r < cfg.nprocs; ++r) {
+    res.residual_active_mem = std::max(
+        res.residual_active_mem, std::abs(app.currentActiveMemory(r)));
+    res.residual_workload = std::max(
+        res.residual_workload, std::abs(mechs.at(r).localLoad().workload));
+    res.residual_memory_metric = std::max(
+        res.residual_memory_metric, std::abs(mechs.at(r).localLoad().memory));
+    res.factor_entries_total += app.factorEntries(r);
+  }
+
+  if (!res.completed) {
+    LOG_WARN("factorization incomplete: " << app.nodesDone() << "/"
+                                          << analysis.tree.size()
+                                          << " nodes done (problem "
+                                          << problem_name << ")");
+  }
+  return res;
+}
+
+SolverResult runProblem(const sparse::Problem& problem,
+                        const SolverConfig& config,
+                        ordering::OrderingKind ordering) {
+  const symbolic::Analysis analysis = analyzeProblem(problem, ordering);
+  return runSolver(analysis, problem.symmetric, config, problem.name);
+}
+
+}  // namespace loadex::solver

@@ -1,0 +1,90 @@
+// Experiment runner: one call runs a full simulated parallel factorization
+// of a problem under a chosen mechanism / scheduling strategy and returns
+// the metrics the paper's tables report.
+#pragma once
+
+#include <string>
+
+#include "core/mechanism.h"
+#include "ordering/ordering.h"
+#include "sim/world.h"
+#include "solver/factor_app.h"
+#include "solver/mapping.h"
+#include "solver/schedulers.h"
+#include "sparse/generators.h"
+#include "symbolic/analysis.h"
+
+namespace loadex::solver {
+
+struct SolverConfig {
+  int nprocs = 32;
+  core::MechanismKind mechanism = core::MechanismKind::kIncrement;
+  core::MechanismConfig mech;
+  Strategy strategy = Strategy::kWorkload;
+  sim::NetworkConfig network;
+  sim::ProcessConfig process;     ///< incl. the §4.5 comm-thread mode
+  MappingOptions mapping;         ///< nprocs field is overwritten
+  FactorAppOptions app;
+  /// When true (default), the Update threshold is derived from the task
+  /// granularity ("a threshold of the same order as the granularity of
+  /// the tasks", §2.3): a fraction of the mean front cost.
+  bool auto_threshold = true;
+  double auto_threshold_fraction = 0.05;
+
+  /// Heterogeneous platform (paper §4 remark): per-process speeds drawn
+  /// uniformly from [1-h, 1+h] with a deterministic seed. 0 = homogeneous.
+  double heterogeneity = 0.0;
+  std::uint64_t heterogeneity_seed = 7;
+};
+
+struct SolverResult {
+  std::string problem;
+  std::string mechanism;
+  std::string strategy;
+  int nprocs = 0;
+
+  bool completed = false;
+  double factor_time = 0.0;              ///< simulated seconds (Table 5/7)
+  double peak_active_mem = 0.0;          ///< max-over-procs entries (Table 4)
+  double avg_peak_active_mem = 0.0;
+  std::int64_t state_messages = 0;       ///< Table 6
+  Bytes state_bytes = 0;
+  std::int64_t app_messages = 0;
+  int dynamic_decisions = 0;             ///< Table 3
+  int selections_made = 0;
+
+  // Snapshot-specific
+  double snapshot_time = 0.0;            ///< max-over-procs frozen time
+  std::int64_t snapshots = 0;
+  std::int64_t rearms = 0;
+
+  double total_flops = 0.0;
+  std::uint64_t sim_events = 0;
+  std::int64_t tree_nodes = 0;
+
+  // Conservation diagnostics (all ~0 for a correct run): leftover active
+  // memory, leftover mechanism workload/memory metrics at quiescence, and
+  // the factor entries accumulated across all processes.
+  double residual_active_mem = 0.0;
+  double residual_workload = 0.0;
+  double residual_memory_metric = 0.0;
+  Entries factor_entries_total = 0;
+};
+
+/// Run a prepared symbolic analysis.
+SolverResult runSolver(const symbolic::Analysis& analysis, bool symmetric,
+                       const SolverConfig& config,
+                       const std::string& problem_name = "");
+
+/// Convenience: order (nested dissection by default) + analyze + run.
+SolverResult runProblem(const sparse::Problem& problem,
+                        const SolverConfig& config,
+                        ordering::OrderingKind ordering =
+                            ordering::OrderingKind::kNestedDissection);
+
+/// Shared analysis cache-friendly variant: analyze once, run many configs.
+symbolic::Analysis analyzeProblem(const sparse::Problem& problem,
+                                  ordering::OrderingKind ordering =
+                                      ordering::OrderingKind::kNestedDissection);
+
+}  // namespace loadex::solver

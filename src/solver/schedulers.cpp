@@ -1,0 +1,124 @@
+#include "solver/schedulers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/expect.h"
+
+namespace loadex::solver {
+
+const char* strategyName(Strategy s) {
+  return s == Strategy::kWorkload ? "workload" : "memory";
+}
+
+Strategy parseStrategy(const std::string& name) {
+  if (name == "workload") return Strategy::kWorkload;
+  if (name == "memory") return Strategy::kMemory;
+  LOADEX_EXPECT(false, "unknown scheduling strategy: " + name);
+}
+
+std::unique_ptr<SlaveScheduler> makeScheduler(Strategy strategy) {
+  if (strategy == Strategy::kWorkload)
+    return std::make_unique<WorkloadScheduler>();
+  return std::make_unique<MemoryScheduler>();
+}
+
+std::vector<RowAssignment> waterFillRows(
+    const std::vector<std::pair<double, Rank>>& sorted_metric, int rows,
+    double metric_per_row, int min_rows_per_slave, int max_slaves) {
+  LOADEX_EXPECT(rows > 0, "no rows to distribute");
+  LOADEX_EXPECT(!sorted_metric.empty(), "no candidate slaves");
+  min_rows_per_slave = std::max(1, min_rows_per_slave);
+
+  // Upper bound on the useful number of slaves.
+  int nslaves = std::min<int>(
+      {static_cast<int>(sorted_metric.size()), std::max(1, max_slaves),
+       std::max(1, rows / min_rows_per_slave)});
+
+  while (true) {
+    // Water level T with the nslaves least-loaded candidates, dropping
+    // candidates that sit above the water line.
+    int used = nslaves;
+    double level = 0.0;
+    while (used > 0) {
+      double sum = 0.0;
+      for (int i = 0; i < used; ++i) sum += sorted_metric[static_cast<std::size_t>(i)].first;
+      level = (sum + rows * metric_per_row) / used;
+      if (used == 1 ||
+          level >= sorted_metric[static_cast<std::size_t>(used) - 1].first)
+        break;
+      --used;
+    }
+
+    // Convert the level into integer row counts.
+    std::vector<RowAssignment> out;
+    out.reserve(static_cast<std::size_t>(used));
+    int assigned = 0;
+    for (int i = 0; i < used; ++i) {
+      double want = rows;
+      if (metric_per_row > 0.0)
+        want = (level - sorted_metric[static_cast<std::size_t>(i)].first) /
+               metric_per_row;
+      else
+        want = static_cast<double>(rows) / used;
+      int r = static_cast<int>(std::floor(want));
+      r = std::max(0, std::min(r, rows - assigned));
+      out.push_back({sorted_metric[static_cast<std::size_t>(i)].second, r});
+      assigned += r;
+    }
+    // Distribute the rounding leftovers to the least-loaded slaves.
+    for (std::size_t i = 0; assigned < rows; i = (i + 1) % out.size()) {
+      ++out[i].rows;
+      ++assigned;
+    }
+
+    // Enforce granularity: drop empty/undersized slaves and retry with a
+    // smaller committee (their rows go back into the pool).
+    int undersized = 0;
+    for (const auto& a : out)
+      if (a.rows < min_rows_per_slave) ++undersized;
+    if (undersized == 0 || static_cast<int>(out.size()) <= 1) {
+      out.erase(std::remove_if(out.begin(), out.end(),
+                               [](const RowAssignment& a) { return a.rows == 0; }),
+                out.end());
+      // A single undersized slave still gets everything (rows must go
+      // somewhere).
+      if (out.empty())
+        out.push_back({sorted_metric[0].second, rows});
+      return out;
+    }
+    nslaves = std::max(1, static_cast<int>(out.size()) - undersized);
+  }
+}
+
+core::SlaveSelection SlaveScheduler::select(const core::LoadView& view,
+                                            const SelectionRequest& req) const {
+  LOADEX_EXPECT(req.rows > 0, "type-2 node without border rows");
+  std::vector<std::pair<double, Rank>> cand;
+  cand.reserve(static_cast<std::size_t>(view.nprocs()));
+  for (Rank r = 0; r < view.nprocs(); ++r) {
+    if (r == req.master) continue;
+    cand.emplace_back(metric(view, r), r);
+  }
+  LOADEX_EXPECT(!cand.empty(), "type-2 selection needs at least 2 processes");
+  std::stable_sort(cand.begin(), cand.end());
+
+  const auto rows = waterFillRows(cand, req.rows, metricPerRow(req),
+                                  req.min_rows_per_slave, req.max_slaves);
+  core::SlaveSelection sel;
+  sel.reserve(rows.size());
+  const double flops_per_row =
+      req.rows > 0 ? req.slave_flops / req.rows : 0.0;
+  for (const auto& a : rows) {
+    core::SlaveAssignment sa;
+    sa.slave = a.slave;
+    sa.share.workload = flops_per_row * a.rows;
+    sa.share.memory = static_cast<double>(a.rows) *
+                      static_cast<double>(req.front);
+    sel.push_back(sa);
+  }
+  return sel;
+}
+
+}  // namespace loadex::solver

@@ -1,0 +1,92 @@
+// Dynamic slave-selection strategies (§4.2).
+//
+// Given the mechanism's current view of all loads, a type-2 master picks
+// the slaves and splits the border rows of its front into an irregular
+// 1-D row blocking:
+//  * workload-based (§4.2.2): equalize remaining floating-point work;
+//  * memory-based   (§4.2.1): equalize active-memory occupation.
+// Both honour granularity constraints (minimum rows per slave, maximum
+// number of slaves).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/load.h"
+#include "solver/costs.h"
+
+namespace loadex::solver {
+
+enum class Strategy { kWorkload, kMemory };
+
+const char* strategyName(Strategy s);
+Strategy parseStrategy(const std::string& name);
+
+struct SelectionRequest {
+  Rank master = 0;
+  int rows = 0;            ///< border rows b to distribute
+  int front = 0;           ///< front order m (memory per row = m entries)
+  Flops slave_flops = 0;   ///< total update work to distribute
+  int min_rows_per_slave = 8;
+  int max_slaves = 16;
+};
+
+/// Selected slaves with (rows, flops, memory) shares. The LoadMetrics
+/// share of each assignment is {flops share, rows * m entries}.
+struct RowAssignment {
+  Rank slave = kNoRank;
+  int rows = 0;
+};
+
+class SlaveScheduler {
+ public:
+  virtual ~SlaveScheduler() = default;
+  virtual Strategy strategy() const = 0;
+
+  /// Pick slaves and row shares from the given load view.
+  core::SlaveSelection select(const core::LoadView& view,
+                              const SelectionRequest& req) const;
+
+ protected:
+  /// Metric the strategy balances (workload or memory) for rank r.
+  virtual double metric(const core::LoadView& view, Rank r) const = 0;
+  /// Metric increase per assigned row.
+  virtual double metricPerRow(const SelectionRequest& req) const = 0;
+};
+
+class WorkloadScheduler final : public SlaveScheduler {
+ public:
+  Strategy strategy() const override { return Strategy::kWorkload; }
+
+ protected:
+  double metric(const core::LoadView& view, Rank r) const override {
+    return view.load(r).workload;
+  }
+  double metricPerRow(const SelectionRequest& req) const override {
+    return req.rows > 0 ? req.slave_flops / req.rows : 0.0;
+  }
+};
+
+class MemoryScheduler final : public SlaveScheduler {
+ public:
+  Strategy strategy() const override { return Strategy::kMemory; }
+
+ protected:
+  double metric(const core::LoadView& view, Rank r) const override {
+    return view.load(r).memory;
+  }
+  double metricPerRow(const SelectionRequest& req) const override {
+    return static_cast<double>(req.front);
+  }
+};
+
+std::unique_ptr<SlaveScheduler> makeScheduler(Strategy strategy);
+
+/// Water-filling row partition: give rows to the least-loaded candidates
+/// so their post-assignment metric equalizes, subject to the granularity
+/// constraints. Exposed for direct unit testing.
+std::vector<RowAssignment> waterFillRows(
+    const std::vector<std::pair<double, Rank>>& sorted_metric, int rows,
+    double metric_per_row, int min_rows_per_slave, int max_slaves);
+
+}  // namespace loadex::solver

@@ -1,0 +1,272 @@
+#include "sparse/generators.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace loadex::sparse {
+
+Pattern grid2d(int nx, int ny, bool nine_point) {
+  LOADEX_EXPECT(nx > 0 && ny > 0, "grid dimensions must be positive");
+  const auto id = [nx](int x, int y) { return y * nx + x; };
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(static_cast<std::size_t>(nx) * ny * (nine_point ? 4 : 2));
+  for (int y = 0; y < ny; ++y) {
+    for (int x = 0; x < nx; ++x) {
+      if (x + 1 < nx) edges.emplace_back(id(x, y), id(x + 1, y));
+      if (y + 1 < ny) edges.emplace_back(id(x, y), id(x, y + 1));
+      if (nine_point) {
+        if (x + 1 < nx && y + 1 < ny)
+          edges.emplace_back(id(x, y), id(x + 1, y + 1));
+        if (x > 0 && y + 1 < ny) edges.emplace_back(id(x, y), id(x - 1, y + 1));
+      }
+    }
+  }
+  return Pattern::fromEdges(nx * ny, std::move(edges));
+}
+
+Pattern grid3d(int nx, int ny, int nz, bool twenty_seven_point) {
+  LOADEX_EXPECT(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be positive");
+  const auto id = [nx, ny](int x, int y, int z) {
+    return (z * ny + y) * nx + x;
+  };
+  std::vector<std::pair<int, int>> edges;
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        const int v = id(x, y, z);
+        if (!twenty_seven_point) {
+          if (x + 1 < nx) edges.emplace_back(v, id(x + 1, y, z));
+          if (y + 1 < ny) edges.emplace_back(v, id(x, y + 1, z));
+          if (z + 1 < nz) edges.emplace_back(v, id(x, y, z + 1));
+        } else {
+          // All 26 neighbours; emit each undirected edge from one side.
+          for (int dz = -1; dz <= 1; ++dz) {
+            for (int dy = -1; dy <= 1; ++dy) {
+              for (int dx = -1; dx <= 1; ++dx) {
+                if (dx == 0 && dy == 0 && dz == 0) continue;
+                const int x2 = x + dx, y2 = y + dy, z2 = z + dz;
+                if (x2 < 0 || x2 >= nx || y2 < 0 || y2 >= ny || z2 < 0 ||
+                    z2 >= nz)
+                  continue;
+                const int w = id(x2, y2, z2);
+                if (w > v) edges.emplace_back(v, w);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return Pattern::fromEdges(nx * ny * nz, std::move(edges));
+}
+
+Pattern lpAAT(int m, int k, int nnz_per_col, Rng& rng) {
+  LOADEX_EXPECT(m > 0 && k > 0 && nnz_per_col > 0, "bad lpAAT parameters");
+  // Columns of A couple nnz_per_col random rows; A·Aᵀ links every pair of
+  // rows sharing a column (clique per column).
+  std::vector<std::pair<int, int>> edges;
+  std::vector<int> rows(static_cast<std::size_t>(nnz_per_col));
+  for (int c = 0; c < k; ++c) {
+    for (auto& r : rows) r = static_cast<int>(rng.uniformInt(m));
+    for (std::size_t a = 0; a < rows.size(); ++a)
+      for (std::size_t b = a + 1; b < rows.size(); ++b)
+        edges.emplace_back(rows[a], rows[b]);
+  }
+  return Pattern::fromEdges(m, std::move(edges));
+}
+
+Pattern circuitLike(int n, int avg_degree, int num_hubs, Rng& rng) {
+  LOADEX_EXPECT(n > 1 && avg_degree >= 1, "bad circuitLike parameters");
+  std::vector<std::pair<int, int>> edges;
+  // Planar-ish backbone (placement grid) — circuit matrices behave
+  // between chains and 2-D meshes under dissection orderings.
+  const int nx = std::max(2, static_cast<int>(std::sqrt(double(n))));
+  for (int v = 0; v + 1 < n; ++v) {
+    edges.emplace_back(v, v + 1);
+    if (v + nx < n) edges.emplace_back(v, v + nx);
+  }
+  // Random short-range couplings on top of the backbone.
+  const std::int64_t local_edges =
+      static_cast<std::int64_t>(n) * avg_degree / 2;
+  for (std::int64_t e = 0; e < local_edges; ++e) {
+    const int i = static_cast<int>(rng.uniformInt(n));
+    const int span = 1 + static_cast<int>(rng.exponential(0.25)) +
+                     (rng.bernoulli(0.3) ? nx : 0);
+    const int j = std::min(n - 1, i + span);
+    if (i != j) edges.emplace_back(i, j);
+  }
+  // A few high-degree "nets" (power rails, clock) touching many nodes.
+  for (int h = 0; h < num_hubs; ++h) {
+    const int hub = static_cast<int>(rng.uniformInt(n));
+    const int fan = n / 400 + 8;
+    for (int t = 0; t < fan; ++t) {
+      const int j = static_cast<int>(rng.uniformInt(n));
+      if (hub != j) edges.emplace_back(hub, j);
+    }
+  }
+  return Pattern::fromEdges(n, std::move(edges));
+}
+
+Pattern randomMesh(int n, int neighbours, Rng& rng, bool three_d) {
+  LOADEX_EXPECT(n > 0 && neighbours > 0, "bad randomMesh parameters");
+  // Points in the unit square/cube, each linked to its closest neighbours
+  // within a sorted-window approximation of kNN — enough to get an
+  // unstructured-mesh-like pattern without an exact spatial index.
+  struct Pt {
+    double x, y, z;
+    int id;
+  };
+  std::vector<Pt> pts(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    pts[static_cast<std::size_t>(i)] = {rng.uniformReal(), rng.uniformReal(),
+                                        three_d ? rng.uniformReal() : 0.0, i};
+  std::sort(pts.begin(), pts.end(),
+            [](const Pt& a, const Pt& b) { return a.x < b.x; });
+  std::vector<std::pair<int, int>> edges;
+  const int window = std::max(8, (three_d ? 8 : 4) * neighbours);
+  std::vector<std::pair<double, int>> cand;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    cand.clear();
+    for (int d = 1; d <= window; ++d) {
+      const std::size_t j = i + static_cast<std::size_t>(d);
+      if (j >= pts.size()) break;
+      const double dx = pts[j].x - pts[i].x;
+      const double dy = pts[j].y - pts[i].y;
+      const double dz = pts[j].z - pts[i].z;
+      cand.emplace_back(dx * dx + dy * dy + dz * dz, pts[j].id);
+    }
+    std::sort(cand.begin(), cand.end());
+    const std::size_t take =
+        std::min<std::size_t>(cand.size(), static_cast<std::size_t>(neighbours));
+    for (std::size_t t = 0; t < take; ++t)
+      edges.emplace_back(pts[i].id, cand[t].second);
+  }
+  return Pattern::fromEdges(n, std::move(edges));
+}
+
+namespace {
+
+int scaled(int base, double scale) {
+  return std::max(4, static_cast<int>(std::lround(base * std::cbrt(scale))));
+}
+
+int scaledLin(int base, double scale) {
+  return std::max(16, static_cast<int>(std::lround(base * scale)));
+}
+
+}  // namespace
+
+std::vector<Problem> paperSuiteSmall(double scale, std::uint64_t seed) {
+  std::vector<Problem> out;
+  Rng rng(seed, /*stream=*/0xA11);
+
+  // BMWCRA_1: automotive crankshaft FE model, SYM, n = 148,770.
+  out.push_back({"BMWCRA_1",
+                 grid3d(scaled(24, scale), scaled(24, scale),
+                        scaled(24, scale), /*27pt=*/true),
+                 true, "Automotive crankshaft model (3-D FE substitute)",
+                 "grid3d27"});
+
+  // GUPTA3: LP matrix A·Aᵀ, SYM, n = 16,783 — few, very dense rows.
+  {
+    Rng g = rng.fork();
+    out.push_back({"GUPTA3",
+                   lpAAT(scaledLin(4000, scale), scaledLin(9000, scale), 5, g),
+                   true, "Linear programming basis A*A' (random substitute)",
+                   "lpAAT"});
+  }
+
+  // MSDOOR: medium-size door (shell FE), SYM, n = 415,863 — 2-D-like.
+  out.push_back({"MSDOOR",
+                 grid2d(scaledLin(340, scale), scaledLin(260, scale),
+                        /*9pt=*/true),
+                 true, "Medium size door (2-D shell FE substitute)", "grid2d9"});
+
+  // SHIP_003: ship structure, SYM, n = 121,728 — thick shell.
+  out.push_back({"SHIP_003",
+                 grid3d(scaledLin(90, scale), scaledLin(46, scale),
+                        std::max(4, static_cast<int>(std::lround(8 * scale))),
+                        true),
+                 true, "Ship structure (thick-shell FE substitute)",
+                 "grid3d27"});
+
+  // PRE2: AT&T harmonic balance, UNS, n = 659,033 — circuit-like.
+  {
+    Rng g = rng.fork();
+    out.push_back({"PRE2", circuitLike(scaledLin(42000, scale), 6, 40, g),
+                   false, "Harmonic balance method (circuit substitute)",
+                   "circuit"});
+  }
+
+  // TWOTONE: AT&T harmonic balance, UNS, n = 120,750.
+  {
+    Rng g = rng.fork();
+    out.push_back({"TWOTONE", circuitLike(scaledLin(24000, scale), 5, 24, g),
+                   false, "Harmonic balance method (circuit substitute)",
+                   "circuit"});
+  }
+
+  // ULTRASOUND3: 3-D ultrasound wave propagation, UNS, n = 185,193.
+  out.push_back({"ULTRASOUND3",
+                 grid3d(scaled(26, scale), scaled(26, scale),
+                        scaled(26, scale), true),
+                 false, "3-D ultrasound propagation (3-D grid substitute)",
+                 "grid3d27"});
+
+  // XENON2: complex zeolite crystals (3-D), UNS, n = 157,464.
+  {
+    Rng g = rng.fork();
+    out.push_back({"XENON2",
+                   randomMesh(scaledLin(22000, scale), 10, g, /*3d=*/true),
+                   false,
+                   "Complex zeolite, sodalite crystals (3-D mesh substitute)",
+                   "randomMesh3d"});
+  }
+  return out;
+}
+
+std::vector<Problem> paperSuiteLarge(double scale, std::uint64_t seed) {
+  std::vector<Problem> out;
+  (void)seed;
+
+  // AUDIKW_1: automotive crankshaft, SYM, n = 943,695 — big 3-D FE.
+  out.push_back({"AUDIKW_1",
+                 grid3d(scaled(34, scale), scaled(34, scale),
+                        scaled(34, scale), true),
+                 true, "Automotive crankshaft model (large 3-D FE substitute)",
+                 "grid3d27"});
+
+  // CONV3D64: CEA-CESTA convection, UNS, n = 836,550 — structured 3-D.
+  out.push_back({"CONV3D64",
+                 grid3d(scaled(44, scale), scaled(44, scale),
+                        scaled(22, scale), false),
+                 false, "3-D convection (AQUILON) (7-pt 3-D grid substitute)",
+                 "grid3d7"});
+
+  // ULTRASOUND80: 3-D ultrasound, UNS, n = 531,441 (81³).
+  out.push_back({"ULTRASOUND80",
+                 grid3d(scaled(30, scale), scaled(30, scale),
+                        scaled(30, scale), true),
+                 false, "3-D ultrasound propagation, larger (3-D substitute)",
+                 "grid3d27"});
+  return out;
+}
+
+std::optional<Problem> paperProblem(const std::string& name, double scale,
+                                    std::uint64_t seed) {
+  auto canon = [](std::string s) {
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+    return s;
+  };
+  const std::string want = canon(name);
+  for (auto& suite : {paperSuiteSmall(scale, seed), paperSuiteLarge(scale, seed)})
+    for (auto& p : suite)
+      if (canon(p.name) == want) return p;
+  return std::nullopt;
+}
+
+}  // namespace loadex::sparse

@@ -1,0 +1,68 @@
+// Synthetic sparse-problem generators.
+//
+// The paper evaluates on matrices from the PARASOL and Tim Davis
+// collections (Tables 1 and 2). Those files are not redistributable here,
+// so each paper matrix is substituted by a generator producing a pattern
+// of the same structural family (3-D/2-D finite-element grids, A·Aᵀ of a
+// sparse LP matrix, circuit-like irregular graphs). What the experiments
+// depend on — the shape of the assembly tree and the distribution of
+// front sizes — is preserved by family; DESIGN.md documents the mapping.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sparse/pattern.h"
+
+namespace loadex::sparse {
+
+struct Problem {
+  std::string name;         ///< paper matrix it substitutes (or own name)
+  Pattern pattern;
+  bool symmetric = true;    ///< SYM vs UNS in the paper's tables
+  std::string description;
+  std::string family;       ///< generator family used
+};
+
+// ---- elementary generators ------------------------------------------------
+
+/// 5-point (or 9-point) 2-D grid Laplacian pattern, nx*ny vertices.
+Pattern grid2d(int nx, int ny, bool nine_point = false);
+
+/// 7-point (or 27-point) 3-D grid Laplacian pattern.
+Pattern grid3d(int nx, int ny, int nz, bool twenty_seven_point = false);
+
+/// Pattern of A·Aᵀ for a random sparse m×k LP-style matrix with
+/// `nnz_per_col` entries per column. Produces dense-ish rows like GUPTA3.
+Pattern lpAAT(int m, int k, int nnz_per_col, Rng& rng);
+
+/// Circuit-like irregular pattern: mostly short-range couplings plus a few
+/// high-degree nets (like TWOTONE / PRE2 / XENON2).
+Pattern circuitLike(int n, int avg_degree, int num_hubs, Rng& rng);
+
+/// Random geometric-ish mesh: k-nearest-neighbour graph of random points
+/// on the unit square (`three_d == false`) or unit cube (unstructured
+/// FE-style; 3-D meshes produce the larger separators of volume models).
+Pattern randomMesh(int n, int neighbours, Rng& rng, bool three_d = false);
+
+// ---- the paper's test suites ----------------------------------------------
+
+/// Table 1 equivalents (8 problems used for the memory experiments).
+/// `scale` rescales the number of unknowns; 1.0 is the library default
+/// (sized so the whole benchmark suite runs in minutes on one core).
+std::vector<Problem> paperSuiteSmall(double scale = 1.0,
+                                     std::uint64_t seed = 1);
+
+/// Table 2 equivalents (AUDIKW_1, CONV3D64, ULTRASOUND80) used for the
+/// time / message-count experiments.
+std::vector<Problem> paperSuiteLarge(double scale = 1.0,
+                                     std::uint64_t seed = 1);
+
+/// Look a problem up by (case-insensitive) name across both suites.
+std::optional<Problem> paperProblem(const std::string& name,
+                                    double scale = 1.0,
+                                    std::uint64_t seed = 1);
+
+}  // namespace loadex::sparse

@@ -1,0 +1,87 @@
+#include "sparse/matrix_market.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/expect.h"
+
+namespace loadex::sparse {
+
+namespace {
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+}  // namespace
+
+Pattern readMatrixMarket(std::istream& in, MatrixMarketInfo* info) {
+  std::string line;
+  LOADEX_EXPECT(static_cast<bool>(std::getline(in, line)),
+                "empty matrix market stream");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  LOADEX_EXPECT(banner == "%%MatrixMarket", "missing MatrixMarket banner");
+  LOADEX_EXPECT(lower(object) == "matrix", "only matrix objects supported");
+  LOADEX_EXPECT(lower(format) == "coordinate",
+                "only coordinate format supported");
+  const std::string sym = lower(symmetry);
+  LOADEX_EXPECT(sym == "general" || sym == "symmetric",
+                "only general/symmetric supported");
+
+  // Skip comments.
+  do {
+    LOADEX_EXPECT(static_cast<bool>(std::getline(in, line)),
+                  "truncated matrix market stream");
+  } while (!line.empty() && line[0] == '%');
+
+  std::istringstream dims(line);
+  int rows = 0, cols = 0;
+  std::int64_t entries = 0;
+  dims >> rows >> cols >> entries;
+  LOADEX_EXPECT(rows > 0 && cols > 0 && entries >= 0,
+                "bad matrix market dimensions");
+  LOADEX_EXPECT(rows == cols, "only square matrices supported");
+
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(static_cast<std::size_t>(entries));
+  for (std::int64_t e = 0; e < entries; ++e) {
+    LOADEX_EXPECT(static_cast<bool>(std::getline(in, line)),
+                  "truncated matrix market entries");
+    std::istringstream es(line);
+    int i = 0, j = 0;
+    es >> i >> j;  // values (if any) are ignored
+    LOADEX_EXPECT(i >= 1 && i <= rows && j >= 1 && j <= cols,
+                  "entry index out of range");
+    edges.emplace_back(i - 1, j - 1);
+  }
+  if (info != nullptr)
+    *info = {rows, cols, entries, sym == "symmetric"};
+  return Pattern::fromEdges(rows, std::move(edges));
+}
+
+Pattern readMatrixMarketFile(const std::string& path, MatrixMarketInfo* info) {
+  std::ifstream in(path);
+  LOADEX_EXPECT(in.good(), "cannot open matrix market file: " + path);
+  return readMatrixMarket(in, info);
+}
+
+void writeMatrixMarket(std::ostream& out, const Pattern& pattern) {
+  std::int64_t lower_entries = 0;
+  for (int i = 0; i < pattern.n(); ++i)
+    for (const int j : pattern.row(i))
+      if (j < i) ++lower_entries;
+  out << "%%MatrixMarket matrix coordinate pattern symmetric\n";
+  out << pattern.n() << " " << pattern.n() << " "
+      << lower_entries + pattern.n() << "\n";
+  for (int i = 0; i < pattern.n(); ++i) {
+    out << (i + 1) << " " << (i + 1) << "\n";
+    for (const int j : pattern.row(i))
+      if (j < i) out << (i + 1) << " " << (j + 1) << "\n";
+  }
+}
+
+}  // namespace loadex::sparse

@@ -1,0 +1,34 @@
+// Minimal Matrix Market (.mtx) pattern I/O.
+//
+// Only the structure is read (values, if present, are skipped): the solver
+// pipeline is purely symbolic. Supports `coordinate` format with
+// real/integer/pattern fields and general/symmetric symmetry.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/pattern.h"
+
+namespace loadex::sparse {
+
+struct MatrixMarketInfo {
+  int rows = 0;
+  int cols = 0;
+  std::int64_t entries = 0;  ///< entries as declared in the header
+  bool symmetric = false;
+};
+
+/// Parse a Matrix Market stream into a (square, symmetrized) Pattern.
+/// Throws ContractViolation on malformed input or non-square matrices.
+Pattern readMatrixMarket(std::istream& in, MatrixMarketInfo* info = nullptr);
+
+/// Read from a file path.
+Pattern readMatrixMarketFile(const std::string& path,
+                             MatrixMarketInfo* info = nullptr);
+
+/// Write a pattern as a symmetric coordinate `pattern` matrix (lower
+/// triangle plus diagonal).
+void writeMatrixMarket(std::ostream& out, const Pattern& pattern);
+
+}  // namespace loadex::sparse

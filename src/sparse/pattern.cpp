@@ -1,0 +1,116 @@
+#include "sparse/pattern.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/expect.h"
+
+namespace loadex::sparse {
+
+Pattern Pattern::fromEdges(int n, std::vector<std::pair<int, int>> edges) {
+  LOADEX_EXPECT(n >= 0, "pattern size must be non-negative");
+  Pattern p;
+  p.n_ = n;
+
+  // Symmetrize, drop diagonal.
+  std::vector<std::pair<int, int>> sym;
+  sym.reserve(edges.size() * 2);
+  for (const auto& [i, j] : edges) {
+    LOADEX_EXPECT(i >= 0 && i < n && j >= 0 && j < n,
+                  "edge endpoint out of range");
+    if (i == j) continue;
+    sym.emplace_back(i, j);
+    sym.emplace_back(j, i);
+  }
+  std::sort(sym.begin(), sym.end());
+  sym.erase(std::unique(sym.begin(), sym.end()), sym.end());
+
+  p.ptr_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& [i, _] : sym) ++p.ptr_[static_cast<std::size_t>(i) + 1];
+  for (int i = 0; i < n; ++i)
+    p.ptr_[static_cast<std::size_t>(i) + 1] +=
+        p.ptr_[static_cast<std::size_t>(i)];
+  p.ind_.resize(sym.size());
+  std::size_t k = 0;
+  for (const auto& [_, j] : sym) p.ind_[k++] = j;
+  return p;
+}
+
+std::span<const int> Pattern::row(int i) const {
+  LOADEX_EXPECT(i >= 0 && i < n_, "row index out of range");
+  const auto begin = static_cast<std::size_t>(ptr_[static_cast<std::size_t>(i)]);
+  const auto end =
+      static_cast<std::size_t>(ptr_[static_cast<std::size_t>(i) + 1]);
+  return {ind_.data() + begin, end - begin};
+}
+
+Pattern Pattern::permuted(const std::vector<int>& new_to_old) const {
+  LOADEX_EXPECT(static_cast<int>(new_to_old.size()) == n_,
+                "permutation size mismatch");
+  LOADEX_EXPECT(isPermutation(new_to_old), "not a permutation");
+  const std::vector<int> old_to_new = invertPermutation(new_to_old);
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(ind_.size() / 2);
+  for (int i = 0; i < n_; ++i) {
+    for (const int j : row(i)) {
+      if (j > i) continue;  // each undirected edge once
+      edges.emplace_back(old_to_new[static_cast<std::size_t>(i)],
+                         old_to_new[static_cast<std::size_t>(j)]);
+    }
+  }
+  return fromEdges(n_, std::move(edges));
+}
+
+int Pattern::connectedComponents(std::vector<int>* labels) const {
+  std::vector<int> lbl(static_cast<std::size_t>(n_), -1);
+  int count = 0;
+  std::vector<int> stack;
+  for (int s = 0; s < n_; ++s) {
+    if (lbl[static_cast<std::size_t>(s)] != -1) continue;
+    stack.push_back(s);
+    lbl[static_cast<std::size_t>(s)] = count;
+    while (!stack.empty()) {
+      const int v = stack.back();
+      stack.pop_back();
+      for (const int w : row(v)) {
+        if (lbl[static_cast<std::size_t>(w)] == -1) {
+          lbl[static_cast<std::size_t>(w)] = count;
+          stack.push_back(w);
+        }
+      }
+    }
+    ++count;
+  }
+  if (labels != nullptr) *labels = std::move(lbl);
+  return count;
+}
+
+bool Pattern::hasEdge(int i, int j) const {
+  const auto r = row(i);
+  return std::binary_search(r.begin(), r.end(), j);
+}
+
+bool isPermutation(const std::vector<int>& p) {
+  const int n = static_cast<int>(p.size());
+  std::vector<bool> seen(p.size(), false);
+  for (const int v : p) {
+    if (v < 0 || v >= n || seen[static_cast<std::size_t>(v)]) return false;
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+  return true;
+}
+
+std::vector<int> invertPermutation(const std::vector<int>& p) {
+  std::vector<int> inv(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i)
+    inv[static_cast<std::size_t>(p[i])] = static_cast<int>(i);
+  return inv;
+}
+
+std::vector<int> identityPermutation(int n) {
+  std::vector<int> p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), 0);
+  return p;
+}
+
+}  // namespace loadex::sparse

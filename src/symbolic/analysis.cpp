@@ -1,0 +1,41 @@
+#include "symbolic/analysis.h"
+
+#include "common/expect.h"
+
+namespace loadex::symbolic {
+
+Analysis analyze(const sparse::Pattern& pattern,
+                 const std::vector<int>& ordering,
+                 AmalgamationOptions amalgamation) {
+  LOADEX_EXPECT(static_cast<int>(ordering.size()) == pattern.n(),
+                "ordering size mismatch");
+  Analysis a;
+
+  // Apply the fill-reducing ordering, then postorder the elimination tree
+  // so that supernode detection sees a monotone parent structure.
+  const sparse::Pattern permuted = pattern.permuted(ordering);
+  const std::vector<int> parent0 = eliminationTree(permuted);
+  const std::vector<int> post = postorder(parent0);
+
+  a.perm.resize(ordering.size());
+  for (std::size_t i = 0; i < post.size(); ++i)
+    a.perm[i] = ordering[static_cast<std::size_t>(post[i])];
+
+  const sparse::Pattern reordered = permuted.permuted(post);
+  a.parent = eliminationTree(reordered);
+  a.col_count = columnCounts(reordered, a.parent);
+
+  a.factor_nnz = 0;
+  a.factor_flops = 0.0;
+  for (const auto c : a.col_count) {
+    a.factor_nnz += c;
+    a.factor_flops += static_cast<double>(c) * static_cast<double>(c);
+  }
+
+  a.tree = buildAssemblyTree(a.parent, a.col_count, amalgamation);
+  LOADEX_EXPECT(a.tree.totalPivots() == pattern.n(),
+                "assembly tree lost pivots");
+  return a;
+}
+
+}  // namespace loadex::symbolic

@@ -1,0 +1,35 @@
+// Full symbolic-analysis pipeline: ordering -> postordered elimination
+// tree -> column counts -> amalgamated assembly tree. This is the
+// "symbolic preprocessing step" of the paper's solver (§4.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/pattern.h"
+#include "symbolic/assembly_tree.h"
+#include "symbolic/etree.h"
+
+namespace loadex::symbolic {
+
+struct Analysis {
+  /// Combined new->old permutation (fill-reducing ordering ∘ postorder).
+  std::vector<int> perm;
+  /// Monotone elimination tree on the final ordering.
+  std::vector<int> parent;
+  /// Exact factor column counts (incl. diagonal) on the final ordering.
+  std::vector<std::int64_t> col_count;
+  /// nnz(L) — sum of the column counts.
+  std::int64_t factor_nnz = 0;
+  /// Cholesky-style flop estimate: sum of squared column counts.
+  double factor_flops = 0.0;
+  /// Amalgamated assembly tree.
+  AssemblyTree tree;
+};
+
+/// Run the pipeline under a given fill-reducing ordering (new->old).
+Analysis analyze(const sparse::Pattern& pattern,
+                 const std::vector<int>& ordering,
+                 AmalgamationOptions amalgamation = {});
+
+}  // namespace loadex::symbolic

@@ -1,0 +1,175 @@
+#include "symbolic/assembly_tree.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "common/expect.h"
+#include "symbolic/etree.h"
+
+namespace loadex::symbolic {
+
+AssemblyTree::AssemblyTree(std::vector<FrontNode> nodes, int nvars)
+    : nodes_(std::move(nodes)), nvars_(nvars) {
+  std::vector<int> parent(nodes_.size(), -1);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    LOADEX_EXPECT(nodes_[i].id == static_cast<int>(i),
+                  "assembly tree ids must be dense");
+    parent[i] = nodes_[i].parent;
+    if (nodes_[i].parent == -1) roots_.push_back(static_cast<int>(i));
+  }
+  post_ = symbolic::postorder(parent);
+}
+
+const FrontNode& AssemblyTree::node(int id) const {
+  LOADEX_EXPECT(id >= 0 && id < size(), "node id out of range");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+std::int64_t AssemblyTree::totalPivots() const {
+  std::int64_t total = 0;
+  for (const auto& nd : nodes_) total += nd.npiv;
+  return total;
+}
+
+int AssemblyTree::height() const {
+  std::vector<int> parent(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) parent[i] = nodes_[i].parent;
+  return treeHeight(parent);
+}
+
+int AssemblyTree::maxFront() const {
+  int m = 0;
+  for (const auto& nd : nodes_) m = std::max(m, nd.front);
+  return m;
+}
+
+std::string AssemblyTree::render(int max_nodes) const {
+  std::ostringstream os;
+  int emitted = 0;
+  std::function<void(int, int)> emit = [&](int id, int depth) {
+    if (emitted >= max_nodes) return;
+    const auto& nd = node(id);
+    for (int d = 0; d < depth; ++d) os << "  ";
+    os << "front #" << id << "  m=" << nd.front << " npiv=" << nd.npiv
+       << " cb=" << nd.border() << "\n";
+    ++emitted;
+    // Children, biggest front first, so truncation keeps the heavy path.
+    auto kids = nd.children;
+    std::sort(kids.begin(), kids.end(), [&](int a, int b) {
+      return node(a).front > node(b).front;
+    });
+    for (const int c : kids) emit(c, depth + 1);
+  };
+  for (const int r : roots_) emit(r, 0);
+  if (emitted >= max_nodes) os << "... (" << size() - emitted << " more)\n";
+  return os.str();
+}
+
+AssemblyTree buildAssemblyTree(const std::vector<int>& parent,
+                               const std::vector<std::int64_t>& col_count,
+                               AmalgamationOptions options) {
+  const int n = static_cast<int>(parent.size());
+  LOADEX_EXPECT(col_count.size() == parent.size(),
+                "column count size mismatch");
+  for (int j = 0; j < n; ++j)
+    LOADEX_EXPECT(parent[static_cast<std::size_t>(j)] == -1 ||
+                      parent[static_cast<std::size_t>(j)] > j,
+                  "assembly tree needs a postordered (monotone) etree");
+
+  // ---- 1. fundamental(ish) supernodes: maximal runs of consecutive
+  // columns along a chain with nested structure.
+  struct Sup {
+    int first = 0;
+    int npiv = 0;
+    int border = 0;    ///< col_count(last) - 1
+    int parent = -1;   ///< supernode index, filled below
+  };
+  std::vector<Sup> sups;
+  std::vector<int> sup_of_col(static_cast<std::size_t>(n), -1);
+  for (int j = 0; j < n; ++j) {
+    const bool extend =
+        !sups.empty() && parent[static_cast<std::size_t>(j) - 1] == j &&
+        sups.back().first + sups.back().npiv == j &&
+        col_count[static_cast<std::size_t>(j) - 1] ==
+            col_count[static_cast<std::size_t>(j)] + 1;
+    if (extend) {
+      ++sups.back().npiv;
+    } else {
+      sups.push_back(Sup{j, 1, 0, -1});
+    }
+    sup_of_col[static_cast<std::size_t>(j)] =
+        static_cast<int>(sups.size()) - 1;
+  }
+  for (auto& s : sups) {
+    const int last = s.first + s.npiv - 1;
+    s.border =
+        static_cast<int>(col_count[static_cast<std::size_t>(last)]) - 1;
+    const int pcol = parent[static_cast<std::size_t>(last)];
+    s.parent = (pcol == -1) ? -1 : sup_of_col[static_cast<std::size_t>(pcol)];
+  }
+
+  // ---- 2. relaxed amalgamation (children are processed before parents
+  // because supernode indices increase with first column).
+  const int ns = static_cast<int>(sups.size());
+  std::vector<int> merged_into(static_cast<std::size_t>(ns), -1);
+  std::function<int(int)> find = [&](int s) {
+    while (merged_into[static_cast<std::size_t>(s)] != -1)
+      s = merged_into[static_cast<std::size_t>(s)];
+    return s;
+  };
+  for (int s = 0; s < ns; ++s) {
+    if (sups[static_cast<std::size_t>(s)].parent == -1) continue;
+    const int p = find(sups[static_cast<std::size_t>(s)].parent);
+    if (p == s) continue;
+    auto& child = sups[static_cast<std::size_t>(s)];
+    auto& par = sups[static_cast<std::size_t>(p)];
+    const double m_child = child.npiv + child.border;
+    const double m_par = par.npiv + par.border;
+    const double m_new = child.npiv + par.npiv + par.border;
+    // Merging widens the child's pivot rows/columns from m_child to m_new.
+    const double extra_fill = 2.0 * child.npiv * (m_new - m_child);
+    const double own = m_child * m_child + m_par * m_par;
+    const bool tiny_child =
+        child.npiv <= options.small_supernode &&
+        par.npiv + child.npiv <= options.max_amalgamated_pivots;
+    const bool cheap_fill =
+        extra_fill <= options.fill_tolerance * own &&
+        par.npiv + child.npiv <= 4 * options.max_amalgamated_pivots;
+    if (tiny_child || cheap_fill) {
+      merged_into[static_cast<std::size_t>(s)] = p;
+      par.npiv += child.npiv;
+      par.first = std::min(par.first, child.first);
+    }
+  }
+
+  // ---- 3. compact the surviving supernodes into FrontNodes.
+  std::vector<int> final_id(static_cast<std::size_t>(ns), -1);
+  std::vector<FrontNode> nodes;
+  for (int s = 0; s < ns; ++s) {
+    if (merged_into[static_cast<std::size_t>(s)] != -1) continue;
+    FrontNode nd;
+    nd.id = static_cast<int>(nodes.size());
+    nd.first_col = sups[static_cast<std::size_t>(s)].first;
+    nd.npiv = sups[static_cast<std::size_t>(s)].npiv;
+    nd.front =
+        sups[static_cast<std::size_t>(s)].npiv +
+        sups[static_cast<std::size_t>(s)].border;
+    final_id[static_cast<std::size_t>(s)] = nd.id;
+    nodes.push_back(nd);
+  }
+  for (int s = 0; s < ns; ++s) {
+    if (merged_into[static_cast<std::size_t>(s)] != -1) continue;
+    const int ps = sups[static_cast<std::size_t>(s)].parent;
+    const int fid = final_id[static_cast<std::size_t>(s)];
+    if (ps != -1) {
+      const int fp = final_id[static_cast<std::size_t>(find(ps))];
+      LOADEX_EXPECT(fp != fid, "amalgamation created a self-loop");
+      nodes[static_cast<std::size_t>(fid)].parent = fp;
+      nodes[static_cast<std::size_t>(fp)].children.push_back(fid);
+    }
+  }
+  return AssemblyTree(std::move(nodes), n);
+}
+
+}  // namespace loadex::symbolic

@@ -1,0 +1,79 @@
+// Assembly tree: supernodal elimination tree with relaxed amalgamation.
+//
+// Each node is a *front*: a dense matrix of order `front` whose first
+// `npiv` variables are eliminated at this node; the trailing
+// `front - npiv` rows/columns form the contribution block passed to the
+// parent. This is exactly MUMPS' task-graph structure (§4.1 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparse/pattern.h"
+
+namespace loadex::symbolic {
+
+struct FrontNode {
+  int id = -1;
+  int parent = -1;             ///< assembly-tree parent (-1 for roots)
+  std::vector<int> children;
+  int first_col = 0;           ///< first pivot column (postordered index)
+  int npiv = 0;                ///< variables eliminated at this front
+  int front = 0;               ///< front order m (npiv + border)
+
+  int border() const { return front - npiv; }
+};
+
+struct AmalgamationOptions {
+  /// Merge a child into its parent when the child eliminates fewer
+  /// variables than this (classic small-supernode absorption) ...
+  int small_supernode = 4;
+  /// ... as long as the parent's accumulated pivot block stays below this
+  /// (prevents the whole tree collapsing into a handful of giant fronts).
+  int max_amalgamated_pivots = 64;
+  /// Otherwise merge when the extra factor entries created by the merge
+  /// stay below this fraction of the two fronts' own entries.
+  double fill_tolerance = 0.08;
+};
+
+class AssemblyTree {
+ public:
+  AssemblyTree() = default;
+  AssemblyTree(std::vector<FrontNode> nodes, int nvars);
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+  int nvars() const { return nvars_; }
+  const FrontNode& node(int id) const;
+  const std::vector<FrontNode>& nodes() const { return nodes_; }
+  const std::vector<int>& roots() const { return roots_; }
+
+  /// Node ids in postorder (children before parents).
+  const std::vector<int>& postorder() const { return post_; }
+
+  /// Sum of npiv over all nodes == nvars (invariant).
+  std::int64_t totalPivots() const;
+
+  /// Diagnostics.
+  int height() const;
+  int maxFront() const;
+
+  /// ASCII rendering of the tree (largest fronts first), truncated to
+  /// `max_nodes` lines — used by the Fig. 2 example.
+  std::string render(int max_nodes = 60) const;
+
+ private:
+  std::vector<FrontNode> nodes_;
+  std::vector<int> roots_;
+  std::vector<int> post_;
+  int nvars_ = 0;
+};
+
+/// Build the supernodal assembly tree from an elimination tree and exact
+/// column counts (both on the postordered matrix), then apply relaxed
+/// amalgamation.
+AssemblyTree buildAssemblyTree(const std::vector<int>& parent,
+                               const std::vector<std::int64_t>& col_count,
+                               AmalgamationOptions options = {});
+
+}  // namespace loadex::symbolic

@@ -1,0 +1,116 @@
+#include "symbolic/etree.h"
+
+#include <algorithm>
+
+#include "common/expect.h"
+
+namespace loadex::symbolic {
+
+std::vector<int> eliminationTree(const sparse::Pattern& pattern) {
+  const int n = pattern.n();
+  std::vector<int> parent(static_cast<std::size_t>(n), -1);
+  std::vector<int> ancestor(static_cast<std::size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    for (const int j : pattern.row(i)) {
+      if (j >= i) continue;
+      // Walk from j to the root of its current subtree, compressing the
+      // ancestor path, then link that root to i.
+      int k = j;
+      while (ancestor[static_cast<std::size_t>(k)] != -1 &&
+             ancestor[static_cast<std::size_t>(k)] != i) {
+        const int next = ancestor[static_cast<std::size_t>(k)];
+        ancestor[static_cast<std::size_t>(k)] = i;
+        k = next;
+      }
+      if (ancestor[static_cast<std::size_t>(k)] == -1) {
+        ancestor[static_cast<std::size_t>(k)] = i;
+        parent[static_cast<std::size_t>(k)] = i;
+      }
+    }
+  }
+  return parent;
+}
+
+std::vector<int> postorder(const std::vector<int>& parent) {
+  const int n = static_cast<int>(parent.size());
+  // Children lists, built so smaller children come first.
+  std::vector<int> head(static_cast<std::size_t>(n), -1);
+  std::vector<int> next(static_cast<std::size_t>(n), -1);
+  for (int v = n - 1; v >= 0; --v) {
+    const int p = parent[static_cast<std::size_t>(v)];
+    if (p != -1) {
+      next[static_cast<std::size_t>(v)] = head[static_cast<std::size_t>(p)];
+      head[static_cast<std::size_t>(p)] = v;
+    }
+  }
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<std::pair<int, int>> stack;  // (node, next child to expand)
+  for (int root = 0; root < n; ++root) {
+    if (parent[static_cast<std::size_t>(root)] != -1) continue;
+    stack.emplace_back(root, head[static_cast<std::size_t>(root)]);
+    while (!stack.empty()) {
+      auto& [v, child] = stack.back();
+      if (child == -1) {
+        order.push_back(v);
+        stack.pop_back();
+      } else {
+        const int c = child;
+        child = next[static_cast<std::size_t>(c)];
+        stack.emplace_back(c, head[static_cast<std::size_t>(c)]);
+      }
+    }
+  }
+  LOADEX_EXPECT(static_cast<int>(order.size()) == n,
+                "postorder did not visit every node (cycle in parent[]?)");
+  return order;
+}
+
+std::vector<std::int64_t> columnCounts(const sparse::Pattern& pattern,
+                                       const std::vector<int>& parent) {
+  const int n = pattern.n();
+  LOADEX_EXPECT(static_cast<int>(parent.size()) == n, "parent size mismatch");
+  std::vector<std::int64_t> count(static_cast<std::size_t>(n), 1);  // diag
+  std::vector<int> mark(static_cast<std::size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    mark[static_cast<std::size_t>(i)] = i;
+    for (const int j : pattern.row(i)) {
+      if (j >= i) continue;
+      // Climb the row subtree of i starting at j; stop at visited nodes.
+      int k = j;
+      while (k != -1 && k != i && mark[static_cast<std::size_t>(k)] != i) {
+        ++count[static_cast<std::size_t>(k)];
+        mark[static_cast<std::size_t>(k)] = i;
+        k = parent[static_cast<std::size_t>(k)];
+      }
+    }
+  }
+  return count;
+}
+
+int treeHeight(const std::vector<int>& parent) {
+  const int n = static_cast<int>(parent.size());
+  std::vector<int> depth(static_cast<std::size_t>(n), -1);
+  int height = 0;
+  for (int v = 0; v < n; ++v) {
+    // Walk up until a node with known depth.
+    int len = 0;
+    int k = v;
+    while (k != -1 && depth[static_cast<std::size_t>(k)] == -1) {
+      ++len;
+      k = parent[static_cast<std::size_t>(k)];
+    }
+    int base = (k == -1) ? 0 : depth[static_cast<std::size_t>(k)] + 1;
+    // Assign depths along the walked path.
+    k = v;
+    int d = base + len - 1;
+    while (k != -1 && depth[static_cast<std::size_t>(k)] == -1) {
+      depth[static_cast<std::size_t>(k)] = d--;
+      k = parent[static_cast<std::size_t>(k)];
+    }
+    height = std::max(height, depth[static_cast<std::size_t>(v)] + 1);
+  }
+  return height;
+}
+
+}  // namespace loadex::symbolic

@@ -1,0 +1,116 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.h"
+
+namespace loadex {
+namespace {
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator acc;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) acc.add(v);
+  EXPECT_EQ(acc.count(), 4);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(acc.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 1.25);
+}
+
+TEST(Accumulator, EmptyThrows) {
+  Accumulator acc;
+  EXPECT_TRUE(acc.empty());
+  EXPECT_THROW(acc.mean(), ContractViolation);
+  EXPECT_THROW(acc.min(), ContractViolation);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  Accumulator a, b, all;
+  for (int i = 0; i < 10; ++i) {
+    a.add(i);
+    all.add(i);
+  }
+  for (int i = 10; i < 25; ++i) {
+    b.add(i * 0.5);
+    all.add(i * 0.5);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmpty) {
+  Accumulator a, empty;
+  a.add(5.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1);
+  EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
+}
+
+TEST(PeakTracker, TracksMaximum) {
+  PeakTracker t;
+  t.add(10.0);
+  t.add(5.0);
+  EXPECT_DOUBLE_EQ(t.peak(), 15.0);
+  t.add(-12.0);
+  EXPECT_DOUBLE_EQ(t.current(), 3.0);
+  EXPECT_DOUBLE_EQ(t.peak(), 15.0);
+  t.add(20.0);
+  EXPECT_DOUBLE_EQ(t.peak(), 23.0);
+}
+
+TEST(PeakTracker, SetAndReset) {
+  PeakTracker t;
+  t.set(7.0);
+  t.set(3.0);
+  EXPECT_DOUBLE_EQ(t.current(), 3.0);
+  EXPECT_DOUBLE_EQ(t.peak(), 7.0);
+  t.reset();
+  EXPECT_DOUBLE_EQ(t.current(), 0.0);
+  EXPECT_DOUBLE_EQ(t.peak(), 0.0);
+}
+
+TEST(CounterSet, BumpAndTotal) {
+  CounterSet c;
+  c.bump("a");
+  c.bump("a", 4);
+  c.bump("b", 2);
+  EXPECT_EQ(c.get("a"), 5);
+  EXPECT_EQ(c.get("b"), 2);
+  EXPECT_EQ(c.get("missing"), 0);
+  EXPECT_EQ(c.total(), 7);
+}
+
+TEST(CounterSet, Merge) {
+  CounterSet a, b;
+  a.bump("x", 1);
+  b.bump("x", 2);
+  b.bump("y", 3);
+  a.merge(b);
+  EXPECT_EQ(a.get("x"), 3);
+  EXPECT_EQ(a.get("y"), 3);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  std::vector<double> s{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(s, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(s, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(s, 50), 25.0);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 99), 42.0);
+}
+
+TEST(Percentile, EmptyThrows) {
+  EXPECT_THROW(percentile({}, 50), ContractViolation);
+}
+
+}  // namespace
+}  // namespace loadex

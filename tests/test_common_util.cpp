@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/cli.h"
+#include "common/expect.h"
+#include "common/log.h"
+#include "common/table.h"
+
+namespace loadex {
+namespace {
+
+TEST(Expect, ThrowsWithMessage) {
+  try {
+    LOADEX_EXPECT(1 == 2, "math is broken");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("math is broken"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Expect, PassesSilently) {
+  EXPECT_NO_THROW(LOADEX_CHECK(2 + 2 == 4));
+}
+
+TEST(Log, ParseLevels) {
+  EXPECT_EQ(parseLogLevel("off"), LogLevel::kOff);
+  EXPECT_EQ(parseLogLevel("ERROR"), LogLevel::kError);
+  EXPECT_EQ(parseLogLevel("Debug"), LogLevel::kDebug);
+  EXPECT_THROW(parseLogLevel("loud"), ContractViolation);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t("Demo");
+  t.setHeader({"Matrix", "32 procs", "64 procs"});
+  t.addRow({"BMWCRA_1", "41", "96"});
+  t.addRow({"GUPTA3", "8", "8"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Demo"), std::string::npos);
+  EXPECT_NE(out.find("BMWCRA_1"), std::string::npos);
+  // Numeric cells are right-aligned to the column width of "64 procs".
+  EXPECT_NE(out.find("|       96"), std::string::npos);
+}
+
+TEST(Table, RowArityMustMatchHeader) {
+  Table t;
+  t.setHeader({"a", "b"});
+  EXPECT_THROW(t.addRow({"only one"}), ContractViolation);
+}
+
+TEST(Table, FmtHelpers) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmtInt(1401373), "1,401,373");
+  EXPECT_EQ(Table::fmtInt(-42), "-42");
+  EXPECT_EQ(Table::fmtInt(7), "7");
+}
+
+TEST(Cli, ParsesAllForms) {
+  const char* argv[] = {"prog",     "--procs=64", "--mechanism", "snapshot",
+                        "--paper",  "--no-trace", "positional"};
+  CliFlags flags(7, argv);
+  EXPECT_EQ(flags.getInt("procs", 0), 64);
+  EXPECT_EQ(flags.getString("mechanism", ""), "snapshot");
+  EXPECT_TRUE(flags.getBool("paper", false));
+  EXPECT_FALSE(flags.getBool("trace", true));
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "positional");
+}
+
+TEST(Cli, Fallbacks) {
+  const char* argv[] = {"prog"};
+  CliFlags flags(1, argv);
+  EXPECT_EQ(flags.getInt("absent", 7), 7);
+  EXPECT_DOUBLE_EQ(flags.getDouble("absent", 2.5), 2.5);
+  EXPECT_EQ(flags.getString("absent", "dflt"), "dflt");
+  EXPECT_FALSE(flags.has("absent"));
+}
+
+TEST(Cli, BadBoolThrows) {
+  const char* argv[] = {"prog", "--flag=banana"};
+  CliFlags flags(2, argv);
+  EXPECT_THROW(flags.getBool("flag", false), ContractViolation);
+}
+
+}  // namespace
+}  // namespace loadex

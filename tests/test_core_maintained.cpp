@@ -1,0 +1,248 @@
+// Unit and property tests for the maintained-view mechanisms:
+// NaiveMechanism (Algorithm 2) and IncrementMechanism (Algorithm 3).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+#include "core/increment.h"
+#include "core/naive.h"
+#include "sim_test_utils.h"
+
+namespace loadex::core {
+namespace {
+
+using test::CoreHarness;
+
+MechanismConfig tinyThreshold() {
+  MechanismConfig cfg;
+  cfg.threshold = LoadMetrics{0.0, 0.0};  // broadcast any nonzero change
+  return cfg;
+}
+
+TEST(Naive, BroadcastConvergesViews) {
+  CoreHarness h(4, MechanismKind::kNaive, tinyThreshold());
+  h.at(0.5, [&] { h.mechs.at(2).addLocalLoad({100.0, 7.0}); });
+  h.run();
+  for (Rank r = 0; r < 4; ++r) {
+    EXPECT_DOUBLE_EQ(h.mechs.at(r).view().load(2).workload, 100.0) << r;
+    EXPECT_DOUBLE_EQ(h.mechs.at(r).view().load(2).memory, 7.0) << r;
+  }
+}
+
+TEST(Naive, ThresholdSuppressesSmallChanges) {
+  MechanismConfig cfg;
+  cfg.threshold = LoadMetrics{50.0, 50.0};
+  CoreHarness h(3, MechanismKind::kNaive, cfg);
+  h.at(0.5, [&] { h.mechs.at(0).addLocalLoad({10.0, 0.0}); });
+  h.run();
+  EXPECT_EQ(h.mechs.at(0).stats().messagesSent(), 0);
+  EXPECT_DOUBLE_EQ(h.mechs.at(1).view().load(0).workload, 0.0);
+  // Local view always tracks the true local load.
+  EXPECT_DOUBLE_EQ(h.mechs.at(0).view().load(0).workload, 10.0);
+}
+
+TEST(Naive, ThresholdTripsOnAccumulatedDrift) {
+  MechanismConfig cfg;
+  cfg.threshold = LoadMetrics{50.0, 50.0};
+  CoreHarness h(3, MechanismKind::kNaive, cfg);
+  h.at(0.5, [&] { h.mechs.at(0).addLocalLoad({30.0, 0.0}); });
+  h.at(0.6, [&] { h.mechs.at(0).addLocalLoad({30.0, 0.0}); });  // drift 60 > 50
+  h.run();
+  // One broadcast to each of the 2 peers, carrying the absolute value 60.
+  EXPECT_EQ(h.mechs.at(0).stats().sent_by_tag.get("update_abs"), 2);
+  EXPECT_DOUBLE_EQ(h.mechs.at(1).view().load(0).workload, 60.0);
+}
+
+TEST(Naive, MemoryMetricAloneCanTrip) {
+  MechanismConfig cfg;
+  cfg.threshold = LoadMetrics{1e9, 5.0};
+  CoreHarness h(2, MechanismKind::kNaive, cfg);
+  h.at(0.5, [&] { h.mechs.at(0).addLocalLoad({1.0, 10.0}); });
+  h.run();
+  EXPECT_DOUBLE_EQ(h.mechs.at(1).view().load(0).memory, 10.0);
+}
+
+TEST(Naive, CommitSelectionPublishesNothing) {
+  CoreHarness h(3, MechanismKind::kNaive, tinyThreshold());
+  h.at(0.5, [&] {
+    auto& m = h.mechs.at(0);
+    m.requestView([&](const LoadView&) {});
+    m.commitSelection({{1, LoadMetrics{500.0, 0.0}}});
+  });
+  h.run();
+  // No reservation traffic: peer 2 still sees p1 at zero (Fig. 1's hole).
+  EXPECT_DOUBLE_EQ(h.mechs.at(2).view().load(1).workload, 0.0);
+  EXPECT_EQ(h.mechs.at(0).stats().messagesSent(), 0);
+}
+
+TEST(Increment, DeltaBroadcastAccumulates) {
+  MechanismConfig cfg;
+  cfg.threshold = LoadMetrics{50.0, 50.0};
+  CoreHarness h(3, MechanismKind::kIncrement, cfg);
+  h.at(0.5, [&] { h.mechs.at(0).addLocalLoad({30.0, 1.0}); });
+  h.at(0.6, [&] { h.mechs.at(0).addLocalLoad({40.0, 1.0}); });
+  h.run();
+  EXPECT_EQ(h.mechs.at(0).stats().sent_by_tag.get("update_delta"), 2);
+  EXPECT_DOUBLE_EQ(h.mechs.at(1).view().load(0).workload, 70.0);
+  EXPECT_DOUBLE_EQ(h.mechs.at(1).view().load(0).memory, 2.0);
+  EXPECT_TRUE(
+      static_cast<IncrementMechanism&>(h.mechs.at(0)).pendingDelta().isZero());
+}
+
+TEST(Increment, NegativeDeltasPropagate) {
+  CoreHarness h(2, MechanismKind::kIncrement, tinyThreshold());
+  h.at(0.5, [&] { h.mechs.at(0).addLocalLoad({100.0, 0.0}); });
+  h.at(0.6, [&] { h.mechs.at(0).addLocalLoad({-40.0, 0.0}); });
+  h.run();
+  EXPECT_DOUBLE_EQ(h.mechs.at(1).view().load(0).workload, 60.0);
+}
+
+TEST(Increment, SlaveDelegatedPositiveDeltaIsSkipped) {
+  CoreHarness h(2, MechanismKind::kIncrement, tinyThreshold());
+  h.at(0.5, [&] {
+    // Algorithm 3 line (1): delegated positive load must not be
+    // self-reported — the Master_To_All already carried it.
+    h.mechs.at(0).addLocalLoad({100.0, 5.0}, /*is_slave_delegated=*/true);
+  });
+  h.run();
+  EXPECT_EQ(h.mechs.at(0).stats().messagesSent(), 0);
+  EXPECT_DOUBLE_EQ(h.mechs.at(0).localLoad().workload, 0.0);
+}
+
+TEST(Increment, SlaveDelegatedNegativeDeltaPropagates) {
+  CoreHarness h(2, MechanismKind::kIncrement, tinyThreshold());
+  h.at(0.5, [&] {
+    h.mechs.at(0).addLocalLoad({-100.0, -5.0}, /*is_slave_delegated=*/true);
+  });
+  h.run();
+  EXPECT_DOUBLE_EQ(h.mechs.at(0).localLoad().workload, -100.0);
+  EXPECT_DOUBLE_EQ(h.mechs.at(1).view().load(0).workload, -100.0);
+}
+
+TEST(Increment, MasterToAllReachesEveryoneIncludingSlave) {
+  CoreHarness h(4, MechanismKind::kIncrement, tinyThreshold());
+  h.at(0.5, [&] {
+    auto& m = h.mechs.at(0);
+    m.requestView([](const LoadView&) {});
+    m.commitSelection(
+        {{1, LoadMetrics{500.0, 10.0}}, {2, LoadMetrics{300.0, 6.0}}});
+  });
+  h.run();
+  // Observer p3 sees both reservations.
+  EXPECT_DOUBLE_EQ(h.mechs.at(3).view().load(1).workload, 500.0);
+  EXPECT_DOUBLE_EQ(h.mechs.at(3).view().load(2).workload, 300.0);
+  // The slaves' own local loads were bumped on reception (line 21).
+  EXPECT_DOUBLE_EQ(h.mechs.at(1).localLoad().workload, 500.0);
+  EXPECT_DOUBLE_EQ(h.mechs.at(2).localLoad().memory, 6.0);
+  // The master's own view includes its decision without a round-trip.
+  EXPECT_DOUBLE_EQ(h.mechs.at(0).view().load(1).workload, 500.0);
+}
+
+TEST(Increment, ConsecutiveSelectionsSeeEachOther) {
+  CoreHarness h(3, MechanismKind::kIncrement, tinyThreshold());
+  LoadMetrics p1_seen_by_2{-1, -1};
+  h.at(0.5, [&] {
+    auto& m = h.mechs.at(0);
+    m.requestView([](const LoadView&) {});
+    m.commitSelection({{1, LoadMetrics{500.0, 0.0}}});
+  });
+  h.at(1.5, [&] {
+    auto& m = h.mechs.at(2);
+    m.requestView([&](const LoadView& v) { p1_seen_by_2 = v.load(1); });
+    m.commitSelection({});
+  });
+  h.run();
+  EXPECT_DOUBLE_EQ(p1_seen_by_2.workload, 500.0);
+}
+
+TEST(NoMoreMaster, StopsLoadTrafficTowardsSender) {
+  CoreHarness h(3, MechanismKind::kIncrement, tinyThreshold());
+  h.at(0.5, [&] { h.mechs.at(2).noMoreMaster(); });
+  h.at(1.0, [&] { h.mechs.at(0).addLocalLoad({100.0, 0.0}); });
+  h.run();
+  // p0 broadcast only to p1 (p2 opted out): 1 update instead of 2.
+  EXPECT_EQ(h.mechs.at(0).stats().sent_by_tag.get("update_delta"), 1);
+  EXPECT_DOUBLE_EQ(h.mechs.at(1).view().load(0).workload, 100.0);
+  EXPECT_DOUBLE_EQ(h.mechs.at(2).view().load(0).workload, 0.0);
+}
+
+TEST(NoMoreMaster, DisabledByConfig) {
+  MechanismConfig cfg = tinyThreshold();
+  cfg.no_more_master = false;
+  CoreHarness h(3, MechanismKind::kIncrement, cfg);
+  h.at(0.5, [&] { h.mechs.at(2).noMoreMaster(); });
+  h.at(1.0, [&] { h.mechs.at(0).addLocalLoad({100.0, 0.0}); });
+  h.run();
+  EXPECT_EQ(h.mechs.at(0).stats().sent_by_tag.get("update_delta"), 2);
+  EXPECT_EQ(h.mechs.at(2).stats().sent_by_tag.get("no_more_master"), 0);
+}
+
+TEST(NoMoreMaster, SentOnlyOnce) {
+  CoreHarness h(3, MechanismKind::kIncrement, tinyThreshold());
+  h.at(0.5, [&] {
+    h.mechs.at(2).noMoreMaster();
+    h.mechs.at(2).noMoreMaster();
+  });
+  h.run();
+  EXPECT_EQ(h.mechs.at(2).stats().sent_by_tag.get("no_more_master"), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Property: after the system quiesces, every process's view of every rank
+// agrees with that rank's true local load, up to the broadcast threshold.
+// ---------------------------------------------------------------------------
+
+using PropertyParams =
+    std::tuple<MechanismKind, int /*nprocs*/, double /*threshold*/,
+               std::uint64_t /*seed*/>;
+
+class MaintainedViewProperty : public ::testing::TestWithParam<PropertyParams> {};
+
+TEST_P(MaintainedViewProperty, ViewsConvergeWithinThreshold) {
+  const auto [kind, nprocs, threshold, seed] = GetParam();
+  MechanismConfig cfg;
+  cfg.threshold = LoadMetrics{threshold, threshold};
+  CoreHarness h(nprocs, kind, cfg);
+  Rng rng(seed);
+
+  // Random load-change schedule; cumulative loads stay the ground truth.
+  std::vector<LoadMetrics> truth(static_cast<std::size_t>(nprocs));
+  SimTime t = 0.1;
+  for (int i = 0; i < 200; ++i) {
+    const Rank r = static_cast<Rank>(rng.uniformInt(nprocs));
+    LoadMetrics delta{rng.uniformReal(-20.0, 50.0), rng.uniformReal(-2.0, 5.0)};
+    truth[static_cast<std::size_t>(r)] += delta;
+    h.at(t, [&h, r, delta] { h.mechs.at(r).addLocalLoad(delta); });
+    t += rng.uniformReal(0.0, 0.05);
+  }
+  h.run();
+
+  for (Rank obs = 0; obs < nprocs; ++obs) {
+    for (Rank r = 0; r < nprocs; ++r) {
+      const auto& seen = h.mechs.at(obs).view().load(r);
+      const auto& real = truth[static_cast<std::size_t>(r)];
+      EXPECT_LE(std::abs(seen.workload - real.workload), threshold + 1e-9)
+          << "observer " << obs << " target " << r;
+      EXPECT_LE(std::abs(seen.memory - real.memory), threshold + 1e-9)
+          << "observer " << obs << " target " << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MaintainedViewProperty,
+    ::testing::Combine(::testing::Values(MechanismKind::kNaive,
+                                         MechanismKind::kIncrement),
+                       ::testing::Values(2, 3, 8, 16),
+                       ::testing::Values(0.0, 25.0),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const ::testing::TestParamInfo<PropertyParams>& info) {
+      return std::string(mechanismKindName(std::get<0>(info.param))) + "_n" +
+             std::to_string(std::get<1>(info.param)) + "_t" +
+             std::to_string(static_cast<int>(std::get<2>(info.param))) + "_s" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+}  // namespace
+}  // namespace loadex::core

@@ -1,0 +1,116 @@
+// Exact message-count and byte-accounting properties of the mechanisms —
+// the quantities Table 6 reports must follow closed-form protocol costs.
+#include <gtest/gtest.h>
+
+#include "sim_test_utils.h"
+
+namespace loadex::core {
+namespace {
+
+using test::CoreHarness;
+
+TEST(MessageCounts, NaiveBroadcastsPerThresholdCrossing) {
+  MechanismConfig cfg;
+  cfg.threshold = {10.0, 10.0};
+  const int n = 6;
+  CoreHarness h(n, MechanismKind::kNaive, cfg);
+  // 5 changes of +6: crossings at cumulative 12, 24 (drift resets at each
+  // broadcast): +6 (6), +6 (12 -> send), +6 (6), +6 (12 -> send), +6 (6).
+  for (int i = 0; i < 5; ++i)
+    h.at(0.1 + i * 0.1, [&h] { h.mechs.at(0).addLocalLoad({6.0, 0.0}); });
+  h.run();
+  const auto& st = h.mechs.at(0).stats();
+  EXPECT_EQ(st.sent_by_tag.get("update_abs"), 2 * (n - 1));
+  EXPECT_EQ(st.bytes_sent,
+            2 * (n - 1) * UpdateAbsolutePayload::sizeBytes());
+}
+
+TEST(MessageCounts, IncrementAccumulatorResetsExactly) {
+  MechanismConfig cfg;
+  cfg.threshold = {10.0, 10.0};
+  const int n = 4;
+  CoreHarness h(n, MechanismKind::kIncrement, cfg);
+  // +6, +6 (12 -> send, reset), -4, -4, -4 (-12 -> send, reset), +6.
+  const double deltas[] = {6, 6, -4, -4, -4, 6};
+  for (int i = 0; i < 6; ++i) {
+    const double d = deltas[i];
+    h.at(0.1 + i * 0.1, [&h, d] { h.mechs.at(0).addLocalLoad({d, 0.0}); });
+  }
+  h.run();
+  EXPECT_EQ(h.mechs.at(0).stats().sent_by_tag.get("update_delta"),
+            2 * (n - 1));
+  // Everyone agrees on the broadcast part; the trailing +6 is pending.
+  EXPECT_DOUBLE_EQ(h.mechs.at(2).view().load(0).workload, 0.0);
+  EXPECT_DOUBLE_EQ(h.mechs.at(0).localLoad().workload, 6.0);
+}
+
+TEST(MessageCounts, MasterToAllCostsOneBroadcastPerSelection) {
+  MechanismConfig cfg;
+  cfg.threshold = {1e18, 1e18};  // silence updates entirely
+  cfg.no_more_master = false;
+  const int n = 8;
+  CoreHarness h(n, MechanismKind::kIncrement, cfg);
+  const int selections = 5;
+  for (int s = 0; s < selections; ++s) {
+    h.at(0.1 + s * 0.1, [&h] {
+      auto& m = h.mechs.at(0);
+      m.requestView([](const LoadView&) {});
+      m.commitSelection({{1, {10, 0}}, {2, {10, 0}}});
+    });
+  }
+  h.run();
+  const auto total = h.mechs.aggregateStats();
+  EXPECT_EQ(total.sent_by_tag.get("master_to_all"), selections * (n - 1));
+  EXPECT_EQ(total.messagesSent(), selections * (n - 1));
+  EXPECT_EQ(total.bytes_sent,
+            selections * (n - 1) * MasterToAllPayload::sizeBytes(2));
+}
+
+TEST(MessageCounts, SnapshotSequentialDecisionsCostFormula) {
+  const int n = 7;
+  CoreHarness h(n, MechanismKind::kSnapshot);
+  const int decisions = 4;
+  // Spaced far enough apart that no two snapshots overlap: each costs
+  // exactly (n-1) start + (n-1) snp + (n-1) end + 1 master_to_slave.
+  for (int d = 0; d < decisions; ++d) {
+    h.at(1.0 + d * 10.0, [&h] {
+      h.mechs.at(0).requestView([&h](const LoadView&) {
+        h.mechs.at(0).commitSelection({{3, {10, 0}}});
+      });
+    });
+  }
+  h.run();
+  const auto total = h.mechs.aggregateStats();
+  EXPECT_EQ(total.sent_by_tag.get("start_snp"), decisions * (n - 1));
+  EXPECT_EQ(total.sent_by_tag.get("snp"), decisions * (n - 1));
+  EXPECT_EQ(total.sent_by_tag.get("end_snp"), decisions * (n - 1));
+  EXPECT_EQ(total.sent_by_tag.get("master_to_slave"), decisions);
+  EXPECT_EQ(total.snapshot_rearms, 0);
+  EXPECT_EQ(total.messagesSent(),
+            decisions * (3 * (n - 1) + 1));
+}
+
+TEST(MessageCounts, SnapshotAnswersAreBiggerMessages) {
+  // §4.5 note: "the size of each message is larger for the snapshot-based
+  // algorithm since we can send all the metrics required in a single
+  // message."
+  EXPECT_GT(SnpPayload::sizeBytes(), UpdateDeltaPayload::sizeBytes());
+  EXPECT_GT(SnpPayload::sizeBytes(), UpdateAbsolutePayload::sizeBytes());
+}
+
+TEST(MessageCounts, NetworkAndMechanismCountsAgree) {
+  // The network's state-channel tally must equal the mechanisms' sends.
+  MechanismConfig cfg;
+  cfg.threshold = {0.0, 0.0};
+  CoreHarness h(5, MechanismKind::kIncrement, cfg);
+  for (int i = 0; i < 10; ++i)
+    h.at(0.1 + i * 0.05, [&h, i] {
+      h.mechs.at(i % 5).addLocalLoad({1.0 + i, 0.0});
+    });
+  h.run();
+  EXPECT_EQ(h.world.network().messageCounts().get("state"),
+            h.mechs.aggregateStats().messagesSent());
+}
+
+}  // namespace
+}  // namespace loadex::core

@@ -1,0 +1,463 @@
+// Tests for the §3 snapshot mechanism: protocol-level unit tests through a
+// fake transport, and end-to-end tests in the simulated world.
+#include "core/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim_test_utils.h"
+
+namespace loadex::core {
+namespace {
+
+using test::CoreHarness;
+
+// ---------------------------------------------------------------------------
+// Protocol-level tests: feed messages directly into one mechanism instance.
+// ---------------------------------------------------------------------------
+
+struct FakeTransport final : Transport {
+  Rank self_rank = 0;
+  int n = 4;
+  SimTime time = 0.0;
+
+  struct Sent {
+    Rank dst;
+    StateTag tag;
+    std::shared_ptr<const sim::Payload> payload;
+  };
+  std::vector<Sent> sent;
+
+  Rank self() const override { return self_rank; }
+  int nprocs() const override { return n; }
+  SimTime now() const override { return time; }
+  void sendState(Rank dst, StateTag tag, Bytes,
+                 std::shared_ptr<const sim::Payload> payload) override {
+    sent.push_back({dst, tag, std::move(payload)});
+  }
+
+  int count(StateTag tag, Rank dst = kNoRank) const {
+    int c = 0;
+    for (const auto& s : sent)
+      if (s.tag == tag && (dst == kNoRank || s.dst == dst)) ++c;
+    return c;
+  }
+};
+
+/// Inject a state message into a mechanism as if delivered by the network.
+template <typename P>
+void inject(Mechanism& m, Rank src, StateTag tag, P payload) {
+  sim::Message msg;
+  msg.src = src;
+  msg.dst = m.self();
+  msg.channel = sim::Channel::kState;
+  msg.tag = static_cast<int>(tag);
+  msg.payload = std::make_shared<P>(std::move(payload));
+  m.onStateMessage(msg);
+}
+
+StartSnpPayload start(RequestId req) {
+  StartSnpPayload p;
+  p.request = req;
+  return p;
+}
+
+SnpPayload answer(RequestId req, double workload) {
+  SnpPayload p;
+  p.request = req;
+  p.state = LoadMetrics{workload, 0.0};
+  return p;
+}
+
+TEST(SnapshotProtocol, AnswersFirstStartSnpImmediately) {
+  FakeTransport t;
+  t.self_rank = 3;
+  SnapshotMechanism m(t, {});
+  m.addLocalLoad({42.0, 0.0});
+  inject(m, 1, StateTag::kStartSnp, start(1));
+  ASSERT_EQ(t.count(StateTag::kSnp, 1), 1);
+  const auto& snp = dynamic_cast<const SnpPayload&>(*t.sent.back().payload);
+  EXPECT_EQ(snp.request, 1u);
+  EXPECT_DOUBLE_EQ(snp.state.workload, 42.0);
+  EXPECT_TRUE(m.blocksComputation());
+}
+
+TEST(SnapshotProtocol, DelaysNonLeaderStartSnp) {
+  FakeTransport t;
+  t.self_rank = 3;
+  SnapshotMechanism m(t, {});
+  inject(m, 1, StateTag::kStartSnp, start(1));  // leader: rank 1
+  inject(m, 2, StateTag::kStartSnp, start(1));  // not leader: delayed
+  EXPECT_EQ(t.count(StateTag::kSnp, 1), 1);
+  EXPECT_EQ(t.count(StateTag::kSnp, 2), 0);
+  EXPECT_EQ(m.concurrentSnapshots(), 2);
+}
+
+TEST(SnapshotProtocol, StrongerLaterStartGetsAnswered) {
+  // Paper line 20: the election winner is answered immediately, even if
+  // another (weaker) snapshot is already open — delaying instead would
+  // deadlock three-way initiator races.
+  FakeTransport t;
+  t.self_rank = 3;
+  SnapshotMechanism m(t, {});
+  inject(m, 2, StateTag::kStartSnp, start(1));  // leader: 2
+  inject(m, 1, StateTag::kStartSnp, start(1));  // 1 preempts: answered too
+  EXPECT_EQ(t.count(StateTag::kSnp, 2), 1);
+  EXPECT_EQ(t.count(StateTag::kSnp, 1), 1);
+}
+
+TEST(SnapshotProtocol, EndSnpFlushesDelayedAnswerToNewLeader) {
+  FakeTransport t;
+  t.self_rank = 3;
+  SnapshotMechanism m(t, {});
+  inject(m, 1, StateTag::kStartSnp, start(1));
+  inject(m, 2, StateTag::kStartSnp, start(7));
+  EXPECT_EQ(t.count(StateTag::kSnp, 2), 0);
+  inject(m, 1, StateTag::kEndSnp, EndSnpPayload{});
+  ASSERT_EQ(t.count(StateTag::kSnp, 2), 1);
+  const auto& snp = dynamic_cast<const SnpPayload&>(*t.sent.back().payload);
+  EXPECT_EQ(snp.request, 7u);  // answered with the request id 2 sent
+  EXPECT_TRUE(m.blocksComputation());  // snapshot of 2 still open
+  inject(m, 2, StateTag::kEndSnp, EndSnpPayload{});
+  EXPECT_FALSE(m.blocksComputation());
+}
+
+TEST(SnapshotProtocol, MasterToSlaveUpdatesLocalLoad) {
+  FakeTransport t;
+  SnapshotMechanism m(t, {});
+  m.addLocalLoad({10.0, 1.0});
+  MasterToSlavePayload p;
+  p.share = LoadMetrics{90.0, 9.0};
+  inject(m, 2, StateTag::kMasterToSlave, p);
+  EXPECT_DOUBLE_EQ(m.localLoad().workload, 100.0);
+  EXPECT_DOUBLE_EQ(m.localLoad().memory, 10.0);
+}
+
+TEST(SnapshotProtocol, InitiatorCollectsAnswersAndFinalizes) {
+  FakeTransport t;
+  t.self_rank = 0;
+  t.n = 3;
+  SnapshotMechanism m(t, {});
+  m.addLocalLoad({5.0, 0.0});
+  bool fired = false;
+  m.requestView([&](const LoadView& v) {
+    fired = true;
+    EXPECT_DOUBLE_EQ(v.load(0).workload, 5.0);
+    EXPECT_DOUBLE_EQ(v.load(1).workload, 11.0);
+    EXPECT_DOUBLE_EQ(v.load(2).workload, 22.0);
+    m.commitSelection({{1, LoadMetrics{100.0, 0.0}}});
+  });
+  EXPECT_EQ(t.count(StateTag::kStartSnp), 2);
+  EXPECT_TRUE(m.blocksComputation());
+  inject(m, 1, StateTag::kSnp, answer(1, 11.0));
+  EXPECT_FALSE(fired);
+  inject(m, 2, StateTag::kSnp, answer(1, 22.0));
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(t.count(StateTag::kMasterToSlave, 1), 1);
+  EXPECT_EQ(t.count(StateTag::kEndSnp), 2);
+  EXPECT_FALSE(m.blocksComputation());  // no other snapshot was open
+}
+
+TEST(SnapshotProtocol, StaleRequestAnswersAreIgnored) {
+  FakeTransport t;
+  t.self_rank = 0;
+  t.n = 3;
+  SnapshotMechanism m(t, {});
+  bool fired = false;
+  m.requestView([&](const LoadView&) {
+    fired = true;
+    m.commitSelection({});
+  });
+  inject(m, 1, StateTag::kSnp, answer(999, 1.0));  // wrong request id
+  inject(m, 2, StateTag::kSnp, answer(1, 2.0));
+  EXPECT_FALSE(fired);
+  inject(m, 1, StateTag::kSnp, answer(1, 1.0));
+  EXPECT_TRUE(fired);
+}
+
+TEST(SnapshotProtocol, DuplicateAnswersAreCountedOnce) {
+  FakeTransport t;
+  t.self_rank = 0;
+  t.n = 3;
+  SnapshotMechanism m(t, {});
+  bool fired = false;
+  m.requestView([&](const LoadView&) {
+    fired = true;
+    m.commitSelection({});
+  });
+  inject(m, 1, StateTag::kSnp, answer(1, 1.0));
+  inject(m, 1, StateTag::kSnp, answer(1, 1.0));
+  EXPECT_FALSE(fired);
+}
+
+TEST(SnapshotProtocol, PreemptedInitiatorRearmsWithFreshRequest) {
+  FakeTransport t;
+  t.self_rank = 2;
+  t.n = 4;
+  SnapshotMechanism m(t, {});  // hardened re-arm (default config)
+  bool fired = false;
+  m.requestView([&](const LoadView&) {
+    fired = true;
+    m.commitSelection({});
+  });
+  EXPECT_EQ(m.myRequestId(), 1u);
+  inject(m, 3, StateTag::kSnp, answer(1, 3.0));  // one early answer
+  // Rank 0 preempts: we answer it but keep our request id for now — only
+  // rank 0's *decision* (its end_snp) can invalidate gathered answers.
+  inject(m, 0, StateTag::kStartSnp, start(5));
+  EXPECT_EQ(t.count(StateTag::kSnp, 0), 1);
+  EXPECT_EQ(m.myRequestId(), 1u);
+  inject(m, 1, StateTag::kSnp, answer(1, 1.0));
+  EXPECT_FALSE(fired);
+  // The leader finishes: re-arm with request id 2; every answer gathered
+  // for request 1 is now worthless.
+  inject(m, 0, StateTag::kEndSnp, EndSnpPayload{});
+  EXPECT_EQ(m.myRequestId(), 2u);
+  EXPECT_EQ(m.stats().snapshot_rearms, 1);
+  inject(m, 3, StateTag::kSnp, answer(1, 3.0));  // stale, ignored
+  EXPECT_FALSE(fired);
+  inject(m, 0, StateTag::kSnp, answer(2, 0.0));
+  inject(m, 1, StateTag::kSnp, answer(2, 1.0));
+  inject(m, 3, StateTag::kSnp, answer(2, 3.0));
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(m.blocksComputation());
+}
+
+TEST(SnapshotProtocol, PaperModeRearmsOnFirstPreemptingStart) {
+  MechanismConfig cfg;
+  cfg.rearm_on_every_preemption = false;  // the paper's pseudocode rule
+  FakeTransport t;
+  t.self_rank = 2;
+  t.n = 4;
+  SnapshotMechanism m(t, cfg);
+  m.requestView([&](const LoadView&) { m.commitSelection({}); });
+  EXPECT_EQ(m.myRequestId(), 1u);
+  inject(m, 0, StateTag::kStartSnp, start(5));
+  // nb_snp == 1 and rank 0 preempts: immediate re-arm (lines 23-27 +
+  // the initiate-loop).
+  EXPECT_EQ(m.myRequestId(), 2u);
+  EXPECT_EQ(m.stats().snapshot_rearms, 1);
+  // A second simultaneous snapshot (nb_snp == 2) does not re-arm again.
+  inject(m, 1, StateTag::kStartSnp, start(9));
+  EXPECT_EQ(m.myRequestId(), 2u);
+  EXPECT_EQ(m.stats().snapshot_rearms, 1);
+}
+
+TEST(SnapshotProtocol, WeakerConcurrentInitiatorDoesNotCauseRearm) {
+  FakeTransport t;
+  t.self_rank = 1;
+  t.n = 4;
+  SnapshotMechanism m(t, {});
+  m.requestView([&](const LoadView&) { m.commitSelection({}); });
+  // Rank 3 also starts a snapshot, but we are the stronger leader: we delay
+  // the answer and keep our request id.
+  inject(m, 3, StateTag::kStartSnp, start(9));
+  EXPECT_EQ(m.myRequestId(), 1u);
+  EXPECT_EQ(m.stats().snapshot_rearms, 0);
+  EXPECT_EQ(t.count(StateTag::kSnp, 3), 0);
+  // Our snapshot completes; the delayed answer is flushed at finalize time.
+  inject(m, 0, StateTag::kSnp, answer(1, 0.0));
+  inject(m, 2, StateTag::kSnp, answer(1, 2.0));
+  inject(m, 3, StateTag::kSnp, answer(1, 3.0));
+  EXPECT_EQ(t.count(StateTag::kSnp, 3), 1);
+  // Still blocked: rank 3's snapshot is open; its end releases us.
+  EXPECT_TRUE(m.blocksComputation());
+  inject(m, 3, StateTag::kEndSnp, EndSnpPayload{});
+  EXPECT_FALSE(m.blocksComputation());
+}
+
+TEST(SnapshotProtocol, SingleProcessViewIsImmediate) {
+  FakeTransport t;
+  t.self_rank = 0;
+  t.n = 1;
+  SnapshotMechanism m(t, {});
+  m.addLocalLoad({3.0, 1.0});
+  bool fired = false;
+  m.requestView([&](const LoadView& v) {
+    fired = true;
+    EXPECT_DOUBLE_EQ(v.load(0).workload, 3.0);
+    m.commitSelection({});
+  });
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(m.blocksComputation());
+}
+
+TEST(SnapshotProtocol, CommitOutsideCallbackIsRejected) {
+  FakeTransport t;
+  SnapshotMechanism m(t, {});
+  EXPECT_THROW(m.commitSelection({}), ContractViolation);
+}
+
+TEST(SnapshotProtocol, OverlappingRequestViewIsRejected) {
+  FakeTransport t;
+  t.n = 3;
+  SnapshotMechanism m(t, {});
+  m.requestView([&](const LoadView&) { m.commitSelection({}); });
+  EXPECT_THROW(m.requestView([](const LoadView&) {}), ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end tests in the simulated world.
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotWorld, SingleSnapshotSeesExactLoads) {
+  CoreHarness h(5, MechanismKind::kSnapshot);
+  for (Rank r = 0; r < 5; ++r)
+    h.at(0.1, [&h, r] { h.mechs.at(r).addLocalLoad({10.0 * (r + 1), 1.0 * r}); });
+  LoadView seen;
+  h.at(1.0, [&] {
+    h.mechs.at(0).requestView([&](const LoadView& v) {
+      seen = v;
+      h.mechs.at(0).commitSelection({{3, LoadMetrics{77.0, 7.0}}});
+    });
+  });
+  h.run();
+  ASSERT_EQ(seen.nprocs(), 5);
+  for (Rank r = 0; r < 5; ++r)
+    EXPECT_DOUBLE_EQ(seen.load(r).workload, 10.0 * (r + 1)) << r;
+  // The selected slave's local load carries the reservation.
+  EXPECT_DOUBLE_EQ(h.mechs.at(3).localLoad().workload, 40.0 + 77.0);
+  // Everyone is unblocked at the end.
+  for (Rank r = 0; r < 5; ++r)
+    EXPECT_FALSE(h.mechs.at(r).blocksComputation()) << r;
+}
+
+TEST(SnapshotWorld, MessageCountsMatchProtocol) {
+  const int n = 6;
+  CoreHarness h(n, MechanismKind::kSnapshot);
+  h.at(1.0, [&] {
+    h.mechs.at(2).requestView([&](const LoadView&) {
+      h.mechs.at(2).commitSelection({});
+    });
+  });
+  h.run();
+  const auto total = h.mechs.aggregateStats();
+  EXPECT_EQ(total.sent_by_tag.get("start_snp"), n - 1);
+  EXPECT_EQ(total.sent_by_tag.get("snp"), n - 1);
+  EXPECT_EQ(total.sent_by_tag.get("end_snp"), n - 1);
+  EXPECT_EQ(total.snapshots_initiated, 1);
+}
+
+TEST(SnapshotWorld, ConcurrentSnapshotsAreSequentialized) {
+  CoreHarness h(4, MechanismKind::kSnapshot);
+  for (Rank r = 0; r < 4; ++r)
+    h.at(0.1, [&h, r] { h.mechs.at(r).addLocalLoad({100.0, 0.0}); });
+
+  SimTime p0_done = -1, p2_done = -1;
+  double p2_sees_p3 = -1;
+  // Both initiate at (simulated) the same instant.
+  h.at(1.0, [&] {
+    h.mechs.at(0).requestView([&](const LoadView&) {
+      p0_done = h.world.now();
+      h.mechs.at(0).commitSelection({{3, LoadMetrics{500.0, 0.0}}});
+    });
+  });
+  h.at(1.0, [&] {
+    h.mechs.at(2).requestView([&](const LoadView& v) {
+      p2_done = h.world.now();
+      p2_sees_p3 = v.load(3).workload;
+      h.mechs.at(2).commitSelection({});
+    });
+  });
+  h.run();
+
+  // Min-rank leader completes first; the later snapshot must include the
+  // earlier selection's reservation on p3.
+  ASSERT_GE(p0_done, 0.0);
+  ASSERT_GE(p2_done, 0.0);
+  EXPECT_LT(p0_done, p2_done);
+  EXPECT_DOUBLE_EQ(p2_sees_p3, 600.0);
+  for (Rank r = 0; r < 4; ++r)
+    EXPECT_FALSE(h.mechs.at(r).blocksComputation()) << r;
+}
+
+TEST(SnapshotWorld, ThreeConcurrentSnapshotsAllComplete) {
+  CoreHarness h(6, MechanismKind::kSnapshot);
+  std::vector<std::pair<Rank, SimTime>> completions;
+  std::vector<double> p5_seen;
+  for (Rank r : {4, 2, 0}) {
+    h.at(1.0, [&h, &completions, &p5_seen, r] {
+      h.mechs.at(r).requestView([&, r](const LoadView& v) {
+        completions.emplace_back(r, h.world.now());
+        p5_seen.push_back(v.load(5).workload);
+        h.mechs.at(r).commitSelection({{5, LoadMetrics{100.0, 0.0}}});
+      });
+    });
+  }
+  h.run();
+  ASSERT_EQ(completions.size(), 3u);
+  // Completion order follows the min-rank election.
+  EXPECT_EQ(completions[0].first, 0);
+  EXPECT_EQ(completions[1].first, 2);
+  EXPECT_EQ(completions[2].first, 4);
+  // Each successive decision saw the previous reservations on p5.
+  EXPECT_DOUBLE_EQ(p5_seen[0], 0.0);
+  EXPECT_DOUBLE_EQ(p5_seen[1], 100.0);
+  EXPECT_DOUBLE_EQ(p5_seen[2], 200.0);
+  EXPECT_DOUBLE_EQ(h.mechs.at(5).localLoad().workload, 300.0);
+  for (Rank r = 0; r < 6; ++r)
+    EXPECT_FALSE(h.mechs.at(r).blocksComputation()) << r;
+}
+
+TEST(SnapshotWorld, MaxRankElectionReversesOrder) {
+  MechanismConfig cfg;
+  cfg.election = ElectionPolicy::kMaxRank;
+  CoreHarness h(4, MechanismKind::kSnapshot, cfg);
+  std::vector<Rank> order;
+  for (Rank r : {1, 3}) {
+    h.at(1.0, [&h, &order, r] {
+      h.mechs.at(r).requestView([&, r](const LoadView&) {
+        order.push_back(r);
+        h.mechs.at(r).commitSelection({});
+      });
+    });
+  }
+  h.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 3);
+  EXPECT_EQ(order[1], 1);
+}
+
+TEST(SnapshotWorld, SnapshotFreezesComputation) {
+  // Slow network: the snapshot stays in flight for ~40 ms, a comfortable
+  // window in which to queue work on a frozen process.
+  sim::WorldConfig wcfg;
+  wcfg.network.latency_s = 0.01;
+  CoreHarness h(3, MechanismKind::kSnapshot, MechanismConfig{}, wcfg);
+  SimTime task_done = -1;
+  h.at(1.0, [&] {
+    h.mechs.at(0).requestView([&](const LoadView&) {
+      h.mechs.at(0).commitSelection({});
+    });
+  });
+  // start_snp reaches p1 at ~1.01 (p1 freezes); end_snp at ~1.03+. The
+  // task is queued at 1.02, in the middle of the frozen window.
+  h.at(1.02, [&] {
+    h.app.pushTask(1, 1e6, [&](sim::Process& p) { task_done = p.now(); });
+    h.world.process(1).notifyReadyWork();
+  });
+  h.run();
+  ASSERT_GE(task_done, 0.0);
+  // The task (1 ms at 1 Gflop/s) must only have run after end_snp arrived.
+  EXPECT_GT(task_done, 1.03);
+  const auto& stats = h.mechs.at(1).stats();
+  EXPECT_GT(stats.time_blocked, 0.0);
+}
+
+TEST(SnapshotWorld, BlockedTimeIsAccounted) {
+  CoreHarness h(4, MechanismKind::kSnapshot);
+  h.at(1.0, [&] {
+    h.mechs.at(0).requestView([&](const LoadView&) {
+      h.mechs.at(0).commitSelection({});
+    });
+  });
+  h.run();
+  const auto total = h.mechs.aggregateStats();
+  EXPECT_GT(total.time_blocked, 0.0);
+  EXPECT_EQ(total.snapshot_duration.count(), 1);
+  EXPECT_GT(total.snapshot_duration.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace loadex::core

@@ -1,0 +1,236 @@
+// Stress / property tests of the mechanisms under adversarial conditions:
+// network jitter (arbitrary interleavings), many concurrent snapshot
+// initiators, heterogeneous process speeds, threaded mode.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+#include "sim_test_utils.h"
+#include "solver/runner.h"
+#include "sparse/generators.h"
+
+namespace loadex::core {
+namespace {
+
+using test::CoreHarness;
+
+// ---------------------------------------------------------------------------
+// Snapshot sequentialisation property: k concurrent initiators, arbitrary
+// jitter. Every initiator must complete, exactly once each, and the i-th
+// completed view (in completion order) must contain exactly the
+// reservations of the i earlier decisions — byte-exact sequentialisation.
+// ---------------------------------------------------------------------------
+
+using SnapParams = std::tuple<int /*nprocs*/, int /*initiators*/,
+                              double /*jitter*/, std::uint64_t /*seed*/>;
+
+class SnapshotSequentialisation
+    : public ::testing::TestWithParam<SnapParams> {};
+
+TEST_P(SnapshotSequentialisation, ViewsReflectAllPriorDecisions) {
+  const auto [nprocs, k, jitter, seed] = GetParam();
+  if (k > nprocs - 1) GTEST_SKIP() << "more initiators than candidates";
+
+  sim::WorldConfig wcfg;
+  wcfg.network.jitter_s = jitter;
+  wcfg.network.seed = seed;
+  CoreHarness h(nprocs, MechanismKind::kSnapshot, MechanismConfig{}, wcfg);
+
+  // The target everyone assigns work to: the highest rank (never an
+  // initiator here), share 100 each.
+  const Rank target = nprocs - 1;
+  Rng rng(seed);
+  std::vector<Rank> initiators;
+  for (Rank r = 0; r < k; ++r) initiators.push_back(r);
+  rng.shuffle(initiators);
+
+  std::vector<double> target_seen;  // view of target at each completion
+  for (const Rank who : initiators) {
+    const SimTime t = 1.0 + rng.uniformReal(0.0, 1e-4);
+    h.atWhenFree(t, who, [&h, &target_seen, who, target] {
+      h.mechs.at(who).requestView(
+          [&h, &target_seen, who, target](const LoadView& v) {
+            target_seen.push_back(v.load(target).workload);
+            h.mechs.at(who).commitSelection(
+                {{target, LoadMetrics{100.0, 0.0}}});
+          });
+    });
+  }
+  h.run();
+
+  ASSERT_EQ(target_seen.size(), static_cast<std::size_t>(k));
+  if (jitter == 0.0) {
+    // On an in-order network (MPI-like, as in the paper) the
+    // sequentialisation is exact: the i-th completed view contains
+    // precisely the i earlier reservations.
+    for (int i = 0; i < k; ++i)
+      EXPECT_DOUBLE_EQ(target_seen[static_cast<std::size_t>(i)], 100.0 * i)
+          << "completion " << i;
+  } else {
+    // With cross-pair reordering a one-decision staleness window remains
+    // (shared with the paper's pseudocode; see snapshot.cpp): views are
+    // monotone and at most one decision behind.
+    for (int i = 0; i < k; ++i) {
+      const double seen = target_seen[static_cast<std::size_t>(i)];
+      EXPECT_GE(seen, 100.0 * (i - 1)) << "completion " << i;
+      EXPECT_LE(seen, 100.0 * i) << "completion " << i;
+      if (i > 0)
+        EXPECT_GE(seen, target_seen[static_cast<std::size_t>(i - 1)]);
+    }
+  }
+  EXPECT_DOUBLE_EQ(h.mechs.at(target).localLoad().workload, 100.0 * k);
+  for (Rank r = 0; r < nprocs; ++r)
+    EXPECT_FALSE(h.mechs.at(r).blocksComputation()) << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SnapshotSequentialisation,
+    ::testing::Combine(::testing::Values(4, 8, 16),
+                       ::testing::Values(2, 3, 7),
+                       ::testing::Values(0.0, 5e-4),
+                       ::testing::Values(11u, 12u, 13u)),
+    [](const ::testing::TestParamInfo<SnapParams>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param)) + "_j" +
+             std::to_string(static_cast<int>(std::get<2>(info.param) * 1e4)) +
+             "_s" + std::to_string(std::get<3>(info.param));
+    });
+
+// The same property under the pseudocode-faithful re-arm rule and under
+// alternative election policies.
+TEST(SnapshotSequentialisation, HoldsUnderMaxRankElection) {
+  MechanismConfig cfg;
+  cfg.election = ElectionPolicy::kMaxRank;
+  CoreHarness h(8, MechanismKind::kSnapshot, cfg);
+  std::vector<double> seen;
+  for (const Rank who : {1, 3, 5}) {
+    h.at(1.0, [&h, &seen, who] {
+      h.mechs.at(who).requestView([&h, &seen, who](const LoadView& v) {
+        seen.push_back(v.load(7).workload);
+        h.mechs.at(who).commitSelection({{7, LoadMetrics{50.0, 0.0}}});
+      });
+    });
+  }
+  h.run();
+  ASSERT_EQ(seen.size(), 3u);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_DOUBLE_EQ(seen[static_cast<std::size_t>(i)], 50.0 * i);
+}
+
+TEST(SnapshotSequentialisation, PaperRearmRuleWithTwoInitiators) {
+  // With only two concurrent snapshots the pseudocode rule is airtight;
+  // verify it end-to-end.
+  MechanismConfig cfg;
+  cfg.rearm_on_every_preemption = false;
+  CoreHarness h(6, MechanismKind::kSnapshot, cfg);
+  std::vector<double> seen;
+  for (const Rank who : {0, 4}) {
+    h.at(1.0, [&h, &seen, who] {
+      h.mechs.at(who).requestView([&h, &seen, who](const LoadView& v) {
+        seen.push_back(v.load(5).workload);
+        h.mechs.at(who).commitSelection({{5, LoadMetrics{70.0, 0.0}}});
+      });
+    });
+  }
+  h.run();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_DOUBLE_EQ(seen[0], 0.0);
+  EXPECT_DOUBLE_EQ(seen[1], 70.0);
+}
+
+// ---------------------------------------------------------------------------
+// Maintained views under jitter: convergence within threshold still holds.
+// ---------------------------------------------------------------------------
+
+TEST(MaintainedUnderJitter, ViewsStillConverge) {
+  for (const auto kind :
+       {MechanismKind::kNaive, MechanismKind::kIncrement}) {
+    MechanismConfig mcfg;
+    mcfg.threshold = {0.0, 0.0};
+    sim::WorldConfig wcfg;
+    wcfg.network.jitter_s = 1e-3;
+    CoreHarness h(6, kind, mcfg, wcfg);
+    Rng rng(5);
+    std::vector<double> truth(6, 0.0);
+    for (int i = 0; i < 100; ++i) {
+      const Rank r = static_cast<Rank>(rng.uniformInt(6));
+      const double d = rng.uniformReal(-10.0, 20.0);
+      truth[static_cast<std::size_t>(r)] += d;
+      h.at(0.1 + i * 0.01, [&h, r, d] {
+        h.mechs.at(r).addLocalLoad({d, 0.0});
+      });
+    }
+    h.run();
+    for (Rank obs = 0; obs < 6; ++obs)
+      for (Rank r = 0; r < 6; ++r)
+        EXPECT_NEAR(h.mechs.at(obs).view().load(r).workload,
+                    truth[static_cast<std::size_t>(r)], 1e-9)
+            << mechanismKindName(kind);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Full-solver stress: jitter + heterogeneity + threaded mode, for every
+// mechanism — completion and conservation must survive all of it.
+// ---------------------------------------------------------------------------
+
+using SolverStressParams = std::tuple<MechanismKind, bool /*threaded*/>;
+
+class SolverStress : public ::testing::TestWithParam<SolverStressParams> {};
+
+TEST_P(SolverStress, HeterogeneousJitteryMachineStillBalances) {
+  const auto [kind, threaded] = GetParam();
+  sparse::Problem p;
+  p.name = "grid";
+  p.symmetric = false;
+  p.pattern = sparse::grid3d(10, 10, 10);
+
+  solver::SolverConfig cfg;
+  cfg.nprocs = 12;
+  cfg.mechanism = kind;
+  cfg.strategy = solver::Strategy::kMemory;
+  cfg.mapping.type2_min_front = 80;
+  cfg.mapping.type2_min_border = 8;
+  cfg.network.jitter_s = 1e-4;
+  cfg.heterogeneity = 0.5;
+  cfg.process.comm_thread = threaded;
+  const auto res = solver::runProblem(p, cfg);
+
+  ASSERT_TRUE(res.completed) << mechanismKindName(kind);
+  EXPECT_LT(res.residual_active_mem, 1.0 + 1e-6 * res.peak_active_mem);
+  EXPECT_LT(res.residual_workload, 1.0 + 1e-6 * res.total_flops);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SolverStress,
+    ::testing::Combine(::testing::Values(MechanismKind::kNaive,
+                                         MechanismKind::kIncrement,
+                                         MechanismKind::kSnapshot),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      return std::string(mechanismKindName(std::get<0>(info.param))) +
+             (std::get<1>(info.param) ? "_thr" : "_plain");
+    });
+
+TEST(Heterogeneity, SlowMachineTakesLonger) {
+  sparse::Problem p;
+  p.name = "grid";
+  p.symmetric = true;
+  p.pattern = sparse::grid3d(10, 10, 10);
+  solver::SolverConfig cfg;
+  cfg.nprocs = 8;
+  cfg.mapping.type2_min_front = 80;
+  cfg.mapping.type2_min_border = 8;
+  const auto homo = solver::runProblem(p, cfg);
+  cfg.heterogeneity = 0.8;  // speeds in [0.2, 1.8]
+  const auto hetero = solver::runProblem(p, cfg);
+  ASSERT_TRUE(homo.completed);
+  ASSERT_TRUE(hetero.completed);
+  // A machine with 0.2x-speed stragglers cannot beat the homogeneous one
+  // when the workload view assumes equal speeds.
+  EXPECT_GT(hetero.factor_time, homo.factor_time);
+}
+
+}  // namespace
+}  // namespace loadex::core

@@ -1,0 +1,156 @@
+#include "ordering/ordering.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/expect.h"
+#include "common/rng.h"
+#include "sparse/generators.h"
+#include "symbolic/analysis.h"
+
+namespace loadex::ordering {
+namespace {
+
+sparse::Pattern path(int n) {
+  std::vector<std::pair<int, int>> e;
+  for (int i = 0; i + 1 < n; ++i) e.emplace_back(i, i + 1);
+  return sparse::Pattern::fromEdges(n, std::move(e));
+}
+
+std::int64_t fillOf(const sparse::Pattern& p, const std::vector<int>& perm) {
+  const auto a = symbolic::analyze(p, perm);
+  return a.factor_nnz;
+}
+
+TEST(Rcm, IsPermutationOnGrids) {
+  const auto g = sparse::grid2d(7, 9);
+  EXPECT_TRUE(sparse::isPermutation(reverseCuthillMcKee(g)));
+}
+
+TEST(Rcm, HandlesDisconnected) {
+  const auto p = sparse::Pattern::fromEdges(7, {{0, 1}, {1, 2}, {4, 5}});
+  const auto perm = reverseCuthillMcKee(p);
+  EXPECT_TRUE(sparse::isPermutation(perm));
+}
+
+TEST(Rcm, ReducesBandwidthOnShuffledPath) {
+  // A path graph with scrambled labels has terrible natural bandwidth;
+  // RCM must recover an (almost) banded ordering.
+  Rng rng(3);
+  auto scramble = sparse::identityPermutation(40);
+  rng.shuffle(scramble);
+  const auto p = path(40).permuted(scramble);
+  const auto perm = reverseCuthillMcKee(p);
+  const auto q = p.permuted(perm);
+  int bw = 0;
+  for (int i = 0; i < q.n(); ++i)
+    for (const int j : q.row(i)) bw = std::max(bw, std::abs(i - j));
+  EXPECT_LE(bw, 2);  // a path has optimal bandwidth 1
+}
+
+TEST(MinDegree, IsPermutation) {
+  const auto g = sparse::grid2d(8, 8);
+  EXPECT_TRUE(sparse::isPermutation(minimumDegree(g)));
+}
+
+TEST(MinDegree, NoFillOnTreeGraph) {
+  // Eliminating a tree in minimum-degree order creates zero fill:
+  // factor nnz == edges + diagonal.
+  std::vector<std::pair<int, int>> e;
+  for (int i = 1; i < 31; ++i) e.emplace_back(i, (i - 1) / 2);  // binary tree
+  const auto t = sparse::Pattern::fromEdges(31, std::move(e));
+  const auto perm = minimumDegree(t);
+  EXPECT_EQ(fillOf(t, perm), 31 + 30);
+}
+
+TEST(MinDegree, BeatsNaturalOrderOnGrid) {
+  const auto g = sparse::grid2d(12, 12);
+  const auto md = fillOf(g, minimumDegree(g));
+  const auto nat = fillOf(g, sparse::identityPermutation(g.n()));
+  EXPECT_LT(md, nat);
+}
+
+TEST(NestedDissection, IsPermutationOnSuite) {
+  Rng rng(5);
+  for (const auto& p :
+       {sparse::grid2d(15, 17), sparse::grid3d(6, 7, 8),
+        sparse::circuitLike(800, 4, 5, rng), sparse::randomMesh(600, 6, rng)}) {
+    EXPECT_TRUE(sparse::isPermutation(nestedDissection(p))) << p.n();
+  }
+}
+
+TEST(NestedDissection, HandlesIsolatedVertices) {
+  const auto p = sparse::Pattern::fromEdges(10, {{0, 1}, {2, 3}});
+  EXPECT_TRUE(sparse::isPermutation(nestedDissection(p)));
+}
+
+TEST(NestedDissection, BeatsRcmFillOnGrid) {
+  const auto g = sparse::grid2d(24, 24);
+  const auto nd = fillOf(g, nestedDissection(g));
+  const auto rcm = fillOf(g, reverseCuthillMcKee(g));
+  EXPECT_LT(nd, rcm);
+}
+
+TEST(NestedDissection, SeparatorLandsLastOnGrid) {
+  // The top-level separator of a grid is eliminated last; the final
+  // vertices of the ordering must form a small, connected-ish cut.
+  const auto g = sparse::grid2d(16, 16);
+  NestedDissectionOptions opts;
+  opts.leaf_size = 16;
+  const auto perm = nestedDissection(g, opts);
+  EXPECT_TRUE(sparse::isPermutation(perm));
+  // Fill must be far below the dense worst case.
+  const auto a = symbolic::analyze(g, perm);
+  EXPECT_LT(a.factor_nnz, static_cast<std::int64_t>(g.n()) * g.n() / 8);
+}
+
+TEST(OrderingKind, ParseAndName) {
+  EXPECT_EQ(parseOrderingKind("nd"), OrderingKind::kNestedDissection);
+  EXPECT_EQ(parseOrderingKind("metis"), OrderingKind::kNestedDissection);
+  EXPECT_EQ(parseOrderingKind("rcm"), OrderingKind::kRcm);
+  EXPECT_EQ(parseOrderingKind("amd"), OrderingKind::kMinDegree);
+  EXPECT_EQ(parseOrderingKind("natural"), OrderingKind::kNatural);
+  EXPECT_THROW(parseOrderingKind("sorcery"), ContractViolation);
+  EXPECT_STREQ(orderingKindName(OrderingKind::kRcm), "rcm");
+}
+
+// Property sweep: every ordering is a permutation and never loses to the
+// dense factor on fill.
+using OrderingParams = std::tuple<OrderingKind, int /*which graph*/>;
+
+class OrderingProperty : public ::testing::TestWithParam<OrderingParams> {};
+
+TEST_P(OrderingProperty, ValidAndBounded) {
+  const auto [kind, which] = GetParam();
+  Rng rng(11 + which);
+  sparse::Pattern g;
+  switch (which) {
+    case 0: g = sparse::grid2d(11, 13); break;
+    case 1: g = sparse::grid3d(5, 5, 5); break;
+    case 2: g = sparse::circuitLike(400, 4, 4, rng); break;
+    default: g = sparse::lpAAT(150, 220, 4, rng); break;
+  }
+  const auto perm = computeOrdering(g, kind);
+  ASSERT_TRUE(sparse::isPermutation(perm));
+  const auto a = symbolic::analyze(g, perm);
+  const std::int64_t dense =
+      static_cast<std::int64_t>(g.n()) * (g.n() + 1) / 2;
+  EXPECT_GE(a.factor_nnz, g.n());
+  EXPECT_LE(a.factor_nnz, dense);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OrderingProperty,
+    ::testing::Combine(::testing::Values(OrderingKind::kNatural,
+                                         OrderingKind::kRcm,
+                                         OrderingKind::kMinDegree,
+                                         OrderingKind::kNestedDissection),
+                       ::testing::Values(0, 1, 2, 3)),
+    [](const ::testing::TestParamInfo<OrderingParams>& info) {
+      return std::string(orderingKindName(std::get<0>(info.param))) + "_g" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace loadex::ordering

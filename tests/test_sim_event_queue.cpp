@@ -1,0 +1,125 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/expect.h"
+
+namespace loadex::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.scheduleAt(3.0, [&] { order.push_back(3); });
+  q.scheduleAt(1.0, [&] { order.push_back(1); });
+  q.scheduleAt(2.0, [&] { order.push_back(2); });
+  q.runUntil();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) q.scheduleAt(1.0, [&, i] { order.push_back(i); });
+  q.runUntil();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  SimTime fired_at = -1;
+  q.scheduleAt(5.0, [&] {
+    q.scheduleAfter(2.0, [&] { fired_at = q.now(); });
+  });
+  q.runUntil();
+  EXPECT_DOUBLE_EQ(fired_at, 7.0);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.scheduleAt(1.0, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  q.runUntil();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelUnknownIsNoop) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(12345));
+  const EventId id = q.scheduleAt(1.0, [] {});
+  q.runUntil();
+  EXPECT_FALSE(q.cancel(id));  // already fired
+}
+
+TEST(EventQueue, PastSchedulingThrows) {
+  EventQueue q;
+  q.scheduleAt(10.0, [] {});
+  q.runUntil();
+  EXPECT_THROW(q.scheduleAt(5.0, [] {}), ContractViolation);
+  EXPECT_THROW(q.scheduleAfter(-1.0, [] {}), ContractViolation);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.scheduleAt(1.0, [&] { ++fired; });
+  q.scheduleAt(2.0, [&] { ++fired; });
+  q.scheduleAt(3.0, [&] { ++fired; });
+  EXPECT_EQ(q.runUntil(2.0), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.pendingCount(), 1u);
+  EXPECT_DOUBLE_EQ(q.nextEventTime(), 3.0);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) q.scheduleAfter(1.0, recurse);
+  };
+  q.scheduleAt(0.0, recurse);
+  q.runUntil();
+  EXPECT_EQ(depth, 10);
+  EXPECT_DOUBLE_EQ(q.now(), 9.0);
+}
+
+TEST(EventQueue, FiredCountAndPending) {
+  EventQueue q;
+  for (int i = 0; i < 7; ++i) q.scheduleAt(i, [] {});
+  EXPECT_EQ(q.pendingCount(), 7u);
+  q.runUntil();
+  EXPECT_EQ(q.firedCount(), 7u);
+  EXPECT_EQ(q.pendingCount(), 0u);
+}
+
+TEST(EventQueue, CancelInsideHandler) {
+  EventQueue q;
+  bool late_fired = false;
+  EventId late = q.scheduleAt(5.0, [&] { late_fired = true; });
+  q.scheduleAt(1.0, [&] { q.cancel(late); });
+  q.runUntil();
+  EXPECT_FALSE(late_fired);
+}
+
+TEST(EventQueue, ManyEventsStressOrder) {
+  EventQueue q;
+  SimTime last = -1.0;
+  bool monotone = true;
+  for (int i = 0; i < 10000; ++i) {
+    const SimTime t = static_cast<SimTime>((i * 7919) % 1000);
+    q.scheduleAt(t, [&, t] {
+      if (t < last) monotone = false;
+      last = t;
+    });
+  }
+  q.runUntil();
+  EXPECT_TRUE(monotone);
+}
+
+}  // namespace
+}  // namespace loadex::sim

@@ -1,0 +1,147 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/expect.h"
+
+namespace loadex::sim {
+namespace {
+
+struct Delivery {
+  SimTime time;
+  Message msg;
+};
+
+struct NetFixture {
+  EventQueue queue;
+  NetworkConfig cfg;
+  Network net;
+  std::vector<Delivery> deliveries;
+
+  explicit NetFixture(NetworkConfig c, int nprocs = 4)
+      : cfg(c), net(queue, c, nprocs) {
+    for (Rank r = 0; r < nprocs; ++r)
+      net.setReceiver(r, [this](const Message& m) {
+        deliveries.push_back({queue.now(), m});
+      });
+  }
+
+  Message mk(Rank src, Rank dst, Bytes size, Channel ch = Channel::kApp) {
+    Message m;
+    m.src = src;
+    m.dst = dst;
+    m.size = size;
+    m.channel = ch;
+    return m;
+  }
+};
+
+TEST(Network, LatencyPlusTransfer) {
+  NetworkConfig cfg;
+  cfg.latency_s = 1e-3;
+  cfg.bandwidth_bytes_per_s = 1e6;
+  cfg.per_message_overhead_bytes = 0;
+  NetFixture f(cfg);
+  f.net.send(f.mk(0, 1, 1000));  // 1 ms transfer + 1 ms latency
+  f.queue.runUntil();
+  ASSERT_EQ(f.deliveries.size(), 1u);
+  EXPECT_NEAR(f.deliveries[0].time, 2e-3, 1e-12);
+}
+
+TEST(Network, PerPairFifoOrder) {
+  NetworkConfig cfg;
+  cfg.latency_s = 1e-3;
+  cfg.bandwidth_bytes_per_s = 1e6;
+  cfg.per_message_overhead_bytes = 0;
+  NetFixture f(cfg);
+  // Big message first, tiny one second: FIFO must hold anyway.
+  auto big = f.mk(0, 1, 100000);
+  big.tag = 1;
+  auto small = f.mk(0, 1, 1);
+  small.tag = 2;
+  f.net.send(big);
+  f.net.send(small);
+  f.queue.runUntil();
+  ASSERT_EQ(f.deliveries.size(), 2u);
+  EXPECT_EQ(f.deliveries[0].msg.tag, 1);
+  EXPECT_EQ(f.deliveries[1].msg.tag, 2);
+  EXPECT_LE(f.deliveries[0].time, f.deliveries[1].time);
+}
+
+TEST(Network, SenderSerialization) {
+  NetworkConfig cfg;
+  cfg.latency_s = 0.0;
+  cfg.bandwidth_bytes_per_s = 1e3;  // 1 byte per ms
+  cfg.per_message_overhead_bytes = 0;
+  NetFixture f(cfg);
+  f.net.send(f.mk(0, 1, 100));  // 100 ms transfer
+  f.net.send(f.mk(0, 2, 100));  // queued behind the first on the NIC
+  f.queue.runUntil();
+  ASSERT_EQ(f.deliveries.size(), 2u);
+  EXPECT_NEAR(f.deliveries[0].time, 0.1, 1e-9);
+  EXPECT_NEAR(f.deliveries[1].time, 0.2, 1e-9);
+}
+
+TEST(Network, ParallelSendersDoNotInterfere) {
+  NetworkConfig cfg;
+  cfg.latency_s = 0.0;
+  cfg.bandwidth_bytes_per_s = 1e3;
+  cfg.per_message_overhead_bytes = 0;
+  NetFixture f(cfg);
+  f.net.send(f.mk(0, 2, 100));
+  f.net.send(f.mk(1, 3, 100));
+  f.queue.runUntil();
+  ASSERT_EQ(f.deliveries.size(), 2u);
+  EXPECT_NEAR(f.deliveries[0].time, 0.1, 1e-9);
+  EXPECT_NEAR(f.deliveries[1].time, 0.1, 1e-9);
+}
+
+TEST(Network, NoSerializationModeOverlaps) {
+  NetworkConfig cfg;
+  cfg.latency_s = 0.0;
+  cfg.bandwidth_bytes_per_s = 1e3;
+  cfg.per_message_overhead_bytes = 0;
+  cfg.serialize_sender = false;
+  NetFixture f(cfg);
+  f.net.send(f.mk(0, 1, 100));
+  f.net.send(f.mk(0, 2, 100));
+  f.queue.runUntil();
+  ASSERT_EQ(f.deliveries.size(), 2u);
+  EXPECT_NEAR(f.deliveries[1].time, 0.1, 1e-9);
+}
+
+TEST(Network, OverheadBytesCount) {
+  NetworkConfig cfg;
+  cfg.latency_s = 0.0;
+  cfg.bandwidth_bytes_per_s = 1e3;
+  cfg.per_message_overhead_bytes = 50;
+  NetFixture f(cfg);
+  f.net.send(f.mk(0, 1, 50));
+  f.queue.runUntil();
+  EXPECT_NEAR(f.deliveries[0].time, 0.1, 1e-9);
+}
+
+TEST(Network, CountsAndBytes) {
+  NetworkConfig cfg;
+  NetFixture f(cfg);
+  f.net.send(f.mk(0, 1, 10, Channel::kState));
+  f.net.send(f.mk(0, 1, 20, Channel::kState));
+  f.net.send(f.mk(1, 0, 30, Channel::kApp));
+  f.queue.runUntil();
+  EXPECT_EQ(f.net.messageCounts().get("state"), 2);
+  EXPECT_EQ(f.net.messageCounts().get("app"), 1);
+  EXPECT_EQ(f.net.bytesSent(), 60);
+}
+
+TEST(Network, RejectsBadEndpoints) {
+  NetworkConfig cfg;
+  NetFixture f(cfg);
+  EXPECT_THROW(f.net.send(f.mk(0, 0, 1)), ContractViolation);
+  EXPECT_THROW(f.net.send(f.mk(-1, 1, 1)), ContractViolation);
+  EXPECT_THROW(f.net.send(f.mk(0, 9, 1)), ContractViolation);
+}
+
+}  // namespace
+}  // namespace loadex::sim

@@ -1,0 +1,137 @@
+#include "sim/world.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "common/expect.h"
+
+namespace loadex::sim {
+namespace {
+
+struct OneShotApp : Application {
+  std::deque<ComputeTask> tasks;
+  void onAppMessage(Process&, const Message&) override {}
+  std::optional<ComputeTask> nextTask(Process&) override {
+    if (tasks.empty()) return std::nullopt;
+    auto t = std::move(tasks.front());
+    tasks.pop_front();
+    return t;
+  }
+};
+
+TEST(World, EmptyWorldIsImmediatelyQuiescent) {
+  World world(WorldConfig{});
+  const auto r = world.run();
+  EXPECT_FALSE(r.hit_limit);
+  EXPECT_TRUE(world.quiescent());
+  EXPECT_DOUBLE_EQ(r.end_time, 0.0);
+}
+
+TEST(World, RunUntilLimitStopsEarly) {
+  World world(WorldConfig{});
+  world.queue().scheduleAt(5.0, [] {});
+  world.queue().scheduleAt(10.0, [] {});
+  const auto r = world.run(/*until=*/7.0);
+  EXPECT_TRUE(r.hit_limit);
+  EXPECT_DOUBLE_EQ(r.end_time, 5.0);
+  EXPECT_FALSE(world.quiescent());
+  const auto r2 = world.run();
+  EXPECT_FALSE(r2.hit_limit);
+  EXPECT_TRUE(world.quiescent());
+}
+
+TEST(World, MaxEventsGuardTrips) {
+  World world(WorldConfig{});
+  // Self-perpetuating event chain.
+  std::function<void()> tick = [&] { world.queue().scheduleAfter(1.0, tick); };
+  world.queue().scheduleAt(0.0, tick);
+  const auto r = world.run(kInfiniteTime, /*max_events=*/100);
+  EXPECT_TRUE(r.hit_limit);
+  EXPECT_EQ(r.events, 100u);
+}
+
+TEST(World, SpeedFactorsScaleTaskDurations) {
+  WorldConfig cfg;
+  cfg.nprocs = 2;
+  cfg.process.flops_per_s = 1e6;
+  cfg.speed_factors = {1.0, 4.0};
+  World world(cfg);
+  OneShotApp slow, fast;
+  SimTime slow_done = -1, fast_done = -1;
+  slow.tasks.push_back(
+      ComputeTask{4e6, "t", [&](Process& p) { slow_done = p.now(); }});
+  fast.tasks.push_back(
+      ComputeTask{4e6, "t", [&](Process& p) { fast_done = p.now(); }});
+  world.attach(0, &slow, nullptr);
+  world.attach(1, &fast, nullptr);
+  world.run();
+  EXPECT_NEAR(slow_done, 4.0, 1e-9);
+  EXPECT_NEAR(fast_done, 1.0, 1e-9);
+}
+
+TEST(World, SpeedFactorsValidated) {
+  WorldConfig cfg;
+  cfg.nprocs = 3;
+  cfg.speed_factors = {1.0, 2.0};  // wrong arity
+  EXPECT_THROW(World w(cfg), ContractViolation);
+  cfg.speed_factors = {1.0, 0.0, 1.0};  // non-positive
+  EXPECT_THROW(World w2(cfg), ContractViolation);
+}
+
+TEST(NetworkJitter, PreservesPerPairFifo) {
+  WorldConfig cfg;
+  cfg.nprocs = 2;
+  cfg.network.jitter_s = 1e-3;
+  cfg.network.latency_s = 1e-6;
+  World world(cfg);
+  std::vector<int> received;
+  struct Recorder : Application {
+    std::vector<int>* out;
+    void onAppMessage(Process&, const Message& m) override {
+      out->push_back(m.tag);
+    }
+    std::optional<ComputeTask> nextTask(Process&) override {
+      return std::nullopt;
+    }
+  } rec;
+  rec.out = &received;
+  world.attach(1, &rec, nullptr);
+  world.queue().scheduleAt(0.0, [&] {
+    for (int i = 0; i < 50; ++i)
+      world.process(0).send(1, Channel::kApp, i, 8, nullptr);
+  });
+  world.run();
+  ASSERT_EQ(received.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(received[static_cast<std::size_t>(i)], i);
+}
+
+TEST(NetworkJitter, DeterministicForSameSeed) {
+  auto run = [](std::uint64_t seed) {
+    WorldConfig cfg;
+    cfg.nprocs = 2;
+    cfg.network.jitter_s = 1e-3;
+    cfg.network.seed = seed;
+    World world(cfg);
+    SimTime arrival = -1;
+    struct Recorder : Application {
+      SimTime* at;
+      void onAppMessage(Process& p, const Message&) override { *at = p.now(); }
+      std::optional<ComputeTask> nextTask(Process&) override {
+        return std::nullopt;
+      }
+    } rec;
+    rec.at = &arrival;
+    world.attach(1, &rec, nullptr);
+    world.queue().scheduleAt(0.0, [&] {
+      world.process(0).send(1, Channel::kApp, 0, 8, nullptr);
+    });
+    world.run();
+    return arrival;
+  };
+  EXPECT_EQ(run(1), run(1));
+  EXPECT_NE(run(1), run(2));
+}
+
+}  // namespace
+}  // namespace loadex::sim

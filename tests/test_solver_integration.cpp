@@ -1,0 +1,232 @@
+// End-to-end tests: full simulated factorizations under each mechanism.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+#include "ordering/ordering.h"
+#include "solver/runner.h"
+#include "sparse/generators.h"
+
+namespace loadex::solver {
+namespace {
+
+sparse::Problem gridProblem(int nx, int ny, int nz = 1, bool symmetric = true) {
+  sparse::Problem p;
+  p.name = "grid";
+  p.pattern = nz > 1 ? sparse::grid3d(nx, ny, nz) : sparse::grid2d(nx, ny);
+  p.symmetric = symmetric;
+  return p;
+}
+
+SolverConfig baseConfig(int nprocs, core::MechanismKind kind,
+                        Strategy strategy = Strategy::kWorkload) {
+  SolverConfig cfg;
+  cfg.nprocs = nprocs;
+  cfg.mechanism = kind;
+  cfg.strategy = strategy;
+  cfg.mapping.type2_min_front = 80;
+  cfg.mapping.type2_min_border = 8;
+  cfg.auto_threshold_fraction = 0.05;
+  return cfg;
+}
+
+TEST(Integration, CompletesOnOneProcess) {
+  const auto res = runProblem(gridProblem(14, 14),
+                              baseConfig(1, core::MechanismKind::kIncrement));
+  EXPECT_TRUE(res.completed);
+  EXPECT_GT(res.factor_time, 0.0);
+  EXPECT_EQ(res.dynamic_decisions, 0);
+  EXPECT_EQ(res.state_messages, 0);
+}
+
+class MechanismCompletion
+    : public ::testing::TestWithParam<
+          std::tuple<core::MechanismKind, int, Strategy>> {};
+
+TEST_P(MechanismCompletion, FactorizationCompletes) {
+  const auto [kind, nprocs, strategy] = GetParam();
+  const auto res =
+      runProblem(gridProblem(12, 12, 12), baseConfig(nprocs, kind, strategy));
+  EXPECT_TRUE(res.completed) << res.mechanism << " " << nprocs;
+  EXPECT_GT(res.factor_time, 0.0);
+  EXPECT_GT(res.peak_active_mem, 0.0);
+  if (nprocs >= 8) {
+    // Small process counts may map every big front onto single-process
+    // subtrees; from 8 on there are genuine type-2 decisions.
+    EXPECT_GT(res.dynamic_decisions, 0);
+    EXPECT_EQ(res.selections_made, res.dynamic_decisions);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MechanismCompletion,
+    ::testing::Combine(::testing::Values(core::MechanismKind::kNaive,
+                                         core::MechanismKind::kIncrement,
+                                         core::MechanismKind::kSnapshot),
+                       ::testing::Values(2, 4, 8, 16),
+                       ::testing::Values(Strategy::kWorkload,
+                                         Strategy::kMemory)),
+    [](const auto& info) {
+      return std::string(core::mechanismKindName(std::get<0>(info.param))) +
+             "_p" + std::to_string(std::get<1>(info.param)) + "_" +
+             strategyName(std::get<2>(info.param));
+    });
+
+TEST(Integration, DeterministicAcrossRuns) {
+  const auto cfg = baseConfig(8, core::MechanismKind::kIncrement);
+  const auto problem = gridProblem(8, 8, 8);
+  const auto a = runProblem(problem, cfg);
+  const auto b = runProblem(problem, cfg);
+  EXPECT_EQ(a.factor_time, b.factor_time);
+  EXPECT_EQ(a.peak_active_mem, b.peak_active_mem);
+  EXPECT_EQ(a.state_messages, b.state_messages);
+  EXPECT_EQ(a.sim_events, b.sim_events);
+}
+
+TEST(Integration, SnapshotUsesFarFewerMessages) {
+  // Table 6's shape: the demand-driven snapshot sends an order of
+  // magnitude fewer state messages than the increment mechanism.
+  const auto problem = gridProblem(12, 12, 12, /*symmetric=*/false);
+  const auto incr = runProblem(
+      problem, baseConfig(8, core::MechanismKind::kIncrement));
+  const auto snap = runProblem(
+      problem, baseConfig(8, core::MechanismKind::kSnapshot));
+  ASSERT_TRUE(incr.completed);
+  ASSERT_TRUE(snap.completed);
+  EXPECT_GT(incr.state_messages, 4 * snap.state_messages);
+}
+
+TEST(Integration, SnapshotIsSlowerThanIncrements) {
+  // Table 5's shape: the synchronisation of snapshots costs wall-clock.
+  const auto problem = gridProblem(12, 12, 12, false);
+  const auto incr = runProblem(
+      problem, baseConfig(16, core::MechanismKind::kIncrement));
+  const auto snap = runProblem(
+      problem, baseConfig(16, core::MechanismKind::kSnapshot));
+  EXPECT_GT(snap.factor_time, incr.factor_time);
+  EXPECT_GT(snap.snapshot_time, 0.0);
+  EXPECT_EQ(snap.snapshots, snap.dynamic_decisions);
+}
+
+TEST(Integration, NaiveMemoryNeverBeatsIncrementsMuch) {
+  // Table 4's shape: with the memory-based scheduler the naive mechanism
+  // tends to a worse (or equal) peak than increments; it must never be
+  // dramatically better.
+  const auto problem = gridProblem(9, 9, 9);
+  const auto naive =
+      runProblem(problem, baseConfig(8, core::MechanismKind::kNaive,
+                                     Strategy::kMemory));
+  const auto incr =
+      runProblem(problem, baseConfig(8, core::MechanismKind::kIncrement,
+                                     Strategy::kMemory));
+  ASSERT_TRUE(naive.completed);
+  ASSERT_TRUE(incr.completed);
+  EXPECT_GE(naive.peak_active_mem, 0.8 * incr.peak_active_mem);
+}
+
+TEST(Integration, ThreadedModeSpeedsUpSnapshot) {
+  // Table 7's shape: the comm thread reduces snapshot stalls.
+  const auto problem = gridProblem(10, 10, 10, false);
+  auto cfg = baseConfig(16, core::MechanismKind::kSnapshot);
+  const auto plain = runProblem(problem, cfg);
+  cfg.process.comm_thread = true;
+  cfg.process.poll_period_s = 50e-6;
+  const auto threaded = runProblem(problem, cfg);
+  ASSERT_TRUE(plain.completed);
+  ASSERT_TRUE(threaded.completed);
+  EXPECT_LT(threaded.factor_time, plain.factor_time);
+  EXPECT_LT(threaded.snapshot_time, plain.snapshot_time);
+}
+
+TEST(Integration, NoMoreMasterReducesMessages) {
+  const auto problem = gridProblem(10, 10, 10, false);
+  auto cfg = baseConfig(16, core::MechanismKind::kIncrement);
+  const auto with_nmm = runProblem(problem, cfg);
+  cfg.mech.no_more_master = false;
+  cfg.app.announce_no_more_master = false;
+  const auto without = runProblem(problem, cfg);
+  ASSERT_TRUE(with_nmm.completed);
+  ASSERT_TRUE(without.completed);
+  EXPECT_LT(with_nmm.state_messages, without.state_messages);
+}
+
+TEST(Integration, ThresholdControlsMessageVolume) {
+  const auto problem = gridProblem(12, 12, 12);
+  auto cfg = baseConfig(8, core::MechanismKind::kIncrement);
+  // Isolate the Update traffic: reservation broadcasts and No_more_master
+  // announcements are independent of the threshold.
+  cfg.mech.no_more_master = false;
+  cfg.app.announce_no_more_master = false;
+  cfg.auto_threshold = false;
+  cfg.mech.threshold = {1.0, 1.0};  // hair trigger
+  const auto chatty = runProblem(problem, cfg);
+  cfg.mech.threshold = {1e12, 1e12};  // nearly mute
+  const auto quiet = runProblem(problem, cfg);
+  ASSERT_TRUE(chatty.completed);
+  ASSERT_TRUE(quiet.completed);
+  EXPECT_GT(chatty.state_messages, 5 * quiet.state_messages);
+}
+
+TEST(Integration, MessageCountGrowsWithProcs) {
+  // §2.3: "the number of messages will increase with the number of
+  // processes" for the broadcast-based mechanisms.
+  const auto problem = gridProblem(9, 9, 9, false);
+  const auto p8 =
+      runProblem(problem, baseConfig(8, core::MechanismKind::kIncrement));
+  const auto p32 =
+      runProblem(problem, baseConfig(32, core::MechanismKind::kIncrement));
+  EXPECT_GT(p32.state_messages, p8.state_messages);
+}
+
+TEST(Integration, SnapshotMessagesScaleWithDecisionsTimesProcs) {
+  const auto problem = gridProblem(9, 9, 9, false);
+  const auto res =
+      runProblem(problem, baseConfig(12, core::MechanismKind::kSnapshot));
+  ASSERT_TRUE(res.completed);
+  // Protocol floor: each decision needs >= 3(P-1) messages
+  // (start/snp/end), plus re-arms and master_to_slave traffic.
+  const std::int64_t floor =
+      static_cast<std::int64_t>(res.dynamic_decisions) * 3 * (12 - 1);
+  EXPECT_GE(res.state_messages, floor);
+  EXPECT_LT(res.state_messages, 4 * floor + 1000);
+}
+
+TEST(Integration, WorkloadStrategyBalancesBusyTime) {
+  const auto problem = gridProblem(16, 16, 16, false);
+  const auto res = runProblem(
+      problem, baseConfig(8, core::MechanismKind::kIncrement));
+  ASSERT_TRUE(res.completed);
+  // Parallel efficiency sanity: 8 processes must beat 1 process by > 2x.
+  const auto serial =
+      runProblem(problem, baseConfig(1, core::MechanismKind::kIncrement));
+  EXPECT_LT(res.factor_time, serial.factor_time / 2.0);
+}
+
+TEST(Integration, HonoursDifferentOrderings) {
+  const auto problem = gridProblem(12, 12);
+  for (const auto kind :
+       {ordering::OrderingKind::kRcm, ordering::OrderingKind::kMinDegree,
+        ordering::OrderingKind::kNestedDissection}) {
+    const auto res = runProblem(
+        problem, baseConfig(4, core::MechanismKind::kIncrement), kind);
+    EXPECT_TRUE(res.completed) << ordering::orderingKindName(kind);
+  }
+}
+
+TEST(Integration, IrregularProblemsComplete) {
+  Rng rng(5);
+  sparse::Problem p;
+  p.name = "circuit";
+  p.symmetric = false;
+  p.pattern = sparse::circuitLike(3000, 4, 8, rng);
+  for (const auto kind :
+       {core::MechanismKind::kNaive, core::MechanismKind::kIncrement,
+        core::MechanismKind::kSnapshot}) {
+    const auto res = runProblem(p, baseConfig(8, kind));
+    EXPECT_TRUE(res.completed) << core::mechanismKindName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace loadex::solver

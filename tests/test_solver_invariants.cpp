@@ -1,0 +1,128 @@
+// Conservation invariants of the distributed factorization, checked at
+// quiescence across mechanisms, strategies, process counts and problem
+// families:
+//  * every front and contribution block allocated is eventually freed
+//    (residual active memory ~ 0 on every process);
+//  * every unit of workload accounted by the mechanisms is eventually
+//    retired (residual workload / memory metrics ~ 0) — this catches any
+//    double counting between reservations (Master_To_All /
+//    master_to_slave) and slave-side self-accounting (Alg. 3 line (1));
+//  * the factor entries accumulated across processes equal the symbolic
+//    prediction.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+#include "solver/runner.h"
+#include "sparse/generators.h"
+
+namespace loadex::solver {
+namespace {
+
+using Params = std::tuple<core::MechanismKind, Strategy, int /*nprocs*/,
+                          int /*problem*/, bool /*comm_thread*/>;
+
+class ConservationSweep : public ::testing::TestWithParam<Params> {};
+
+TEST_P(ConservationSweep, EverythingBalancesAtQuiescence) {
+  const auto [kind, strategy, nprocs, which, threaded] = GetParam();
+  Rng rng(91 + which);
+  sparse::Problem p;
+  p.symmetric = (which % 2 == 0);
+  switch (which) {
+    case 0:
+      p.name = "grid3d";
+      p.pattern = sparse::grid3d(11, 11, 11);
+      break;
+    case 1:
+      p.name = "circuit";
+      p.pattern = sparse::circuitLike(6000, 4, 6, rng);
+      break;
+    default:
+      p.name = "mesh3d";
+      p.pattern = sparse::randomMesh(4000, 8, rng, /*3d=*/true);
+      break;
+  }
+
+  SolverConfig cfg;
+  cfg.nprocs = nprocs;
+  cfg.mechanism = kind;
+  cfg.strategy = strategy;
+  cfg.mapping.type2_min_front = 80;
+  cfg.mapping.type2_min_border = 8;
+  cfg.process.comm_thread = threaded;
+  const auto res = runProblem(p, cfg);
+
+  ASSERT_TRUE(res.completed);
+  // Residuals are rounding-level relative to the problem size.
+  const double mem_tol = 1.0 + 1e-6 * res.peak_active_mem;
+  EXPECT_LT(res.residual_active_mem, mem_tol);
+  EXPECT_LT(res.residual_workload, 1e-6 * res.total_flops + 1.0);
+  EXPECT_LT(res.residual_memory_metric, mem_tol);
+  EXPECT_GT(res.factor_entries_total, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConservationSweep,
+    ::testing::Combine(::testing::Values(core::MechanismKind::kNaive,
+                                         core::MechanismKind::kIncrement,
+                                         core::MechanismKind::kSnapshot),
+                       ::testing::Values(Strategy::kWorkload,
+                                         Strategy::kMemory),
+                       ::testing::Values(4, 24),
+                       ::testing::Values(0, 1, 2),
+                       ::testing::Values(false, true)),
+    [](const ::testing::TestParamInfo<Params>& info) {
+      return std::string(core::mechanismKindName(std::get<0>(info.param))) +
+             "_" + strategyName(std::get<1>(info.param)) + "_p" +
+             std::to_string(std::get<2>(info.param)) + "_g" +
+             std::to_string(std::get<3>(info.param)) +
+             (std::get<4>(info.param) ? "_thr" : "");
+    });
+
+TEST(FactorEntries, MatchSymbolicPredictionExactly) {
+  sparse::Problem p;
+  p.name = "grid";
+  p.symmetric = true;
+  p.pattern = sparse::grid3d(9, 9, 9);
+  const auto analysis = analyzeProblem(p);
+  SolverConfig cfg;
+  cfg.nprocs = 8;
+  cfg.mapping.type2_min_front = 80;
+  cfg.mapping.type2_min_border = 8;
+  const auto plan = planTree(analysis.tree, p.symmetric, [&] {
+    auto m = cfg.mapping;
+    m.nprocs = cfg.nprocs;
+    return m;
+  }());
+  const auto res = runSolver(analysis, p.symmetric, cfg, p.name);
+  ASSERT_TRUE(res.completed);
+  EXPECT_EQ(res.factor_entries_total, plan.total_factor_entries);
+}
+
+TEST(FactorEntries, IndependentOfMechanism) {
+  sparse::Problem p;
+  p.name = "grid";
+  p.symmetric = false;
+  p.pattern = sparse::grid3d(10, 10, 10);
+  const auto analysis = analyzeProblem(p);
+  std::vector<Entries> totals;
+  for (const auto kind :
+       {core::MechanismKind::kNaive, core::MechanismKind::kIncrement,
+        core::MechanismKind::kSnapshot}) {
+    SolverConfig cfg;
+    cfg.nprocs = 12;
+    cfg.mechanism = kind;
+    cfg.mapping.type2_min_front = 80;
+    cfg.mapping.type2_min_border = 8;
+    const auto res = runSolver(analysis, p.symmetric, cfg, p.name);
+    ASSERT_TRUE(res.completed);
+    totals.push_back(res.factor_entries_total);
+  }
+  EXPECT_EQ(totals[0], totals[1]);
+  EXPECT_EQ(totals[1], totals[2]);
+}
+
+}  // namespace
+}  // namespace loadex::solver

@@ -1,0 +1,248 @@
+#include "solver/mapping.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+#include "ordering/ordering.h"
+#include "solver/schedulers.h"
+#include "sparse/generators.h"
+#include "symbolic/analysis.h"
+
+namespace loadex::solver {
+namespace {
+
+symbolic::Analysis gridAnalysis(int nx, int ny, int nz = 1) {
+  const auto g = nz > 1 ? sparse::grid3d(nx, ny, nz) : sparse::grid2d(nx, ny);
+  return symbolic::analyze(g, ordering::nestedDissection(g));
+}
+
+TEST(Costs, FormulasAreConsistent) {
+  symbolic::FrontNode nd;
+  nd.npiv = 10;
+  nd.front = 30;
+  const auto unsym = frontCosts(nd, false);
+  const auto sym = frontCosts(nd, true);
+  EXPECT_DOUBLE_EQ(unsym.total_flops, unsym.master_flops + unsym.slave_flops);
+  EXPECT_NEAR(sym.total_flops, unsym.total_flops / 2, 1e-9);
+  EXPECT_EQ(unsym.front_entries, 900);
+  EXPECT_EQ(unsym.master_front_entries, 300);
+  EXPECT_EQ(unsym.cb_entries, 400);
+  EXPECT_EQ(unsym.factor_entries, 10 * 50);  // k(2m-k)
+  EXPECT_EQ(sym.factor_entries, 300);        // k*m
+}
+
+TEST(Costs, RootFrontHasNoCb) {
+  symbolic::FrontNode nd;
+  nd.npiv = 20;
+  nd.front = 20;
+  const auto c = frontCosts(nd, false);
+  EXPECT_EQ(c.cb_entries, 0);
+  EXPECT_DOUBLE_EQ(c.slave_flops, 0.0);
+}
+
+TEST(Mapping, EveryNodeGetsAMasterInRange) {
+  const auto a = gridAnalysis(20, 20);
+  MappingOptions opts;
+  opts.nprocs = 8;
+  const auto plan = planTree(a.tree, true, opts);
+  ASSERT_EQ(static_cast<int>(plan.nodes.size()), a.tree.size());
+  for (const auto& np : plan.nodes) {
+    EXPECT_GE(np.master, 0);
+    EXPECT_LT(np.master, 8);
+  }
+}
+
+TEST(Mapping, SingleProcessIsAllSubtrees) {
+  const auto a = gridAnalysis(12, 12);
+  MappingOptions opts;
+  opts.nprocs = 1;
+  const auto plan = planTree(a.tree, true, opts);
+  for (const auto& np : plan.nodes) {
+    EXPECT_EQ(np.type, NodeType::kSubtree);
+    EXPECT_EQ(np.master, 0);
+  }
+  EXPECT_EQ(plan.dynamic_decisions, 0);
+}
+
+TEST(Mapping, Type2NodesExistOnBigGrids) {
+  const auto a = gridAnalysis(12, 12, 12);
+  MappingOptions opts;
+  opts.nprocs = 16;
+  opts.type2_min_front = 100;
+  opts.type2_min_border = 16;
+  const auto plan = planTree(a.tree, true, opts);
+  EXPECT_GT(plan.dynamic_decisions, 0);
+  int type2 = 0, type3 = 0;
+  for (const auto& np : plan.nodes) {
+    if (np.type == NodeType::kType2) ++type2;
+    if (np.type == NodeType::kType3) ++type3;
+  }
+  EXPECT_EQ(type2, plan.dynamic_decisions);
+  EXPECT_LE(type3, 1);
+  // Master counts add up.
+  int master_sum = 0;
+  for (const int c : plan.type2_masters_per_rank) master_sum += c;
+  EXPECT_EQ(master_sum, type2);
+}
+
+TEST(Mapping, DecisionsGrowWithProcessCount) {
+  // Table 3's trend: more processes -> more (or equal) dynamic decisions,
+  // because proportional mapping keeps multi-process ranges deeper.
+  const auto a = gridAnalysis(10, 10, 10);
+  MappingOptions base;
+  base.type2_min_front = 100;
+  base.type2_min_border = 16;
+  int prev = 0;
+  for (const int p : {4, 16, 64}) {
+    MappingOptions opts = base;
+    opts.nprocs = p;
+    const auto plan = planTree(a.tree, true, opts);
+    EXPECT_GE(plan.dynamic_decisions, prev) << p;
+    prev = plan.dynamic_decisions;
+  }
+}
+
+TEST(Mapping, InitialWorkloadCoversSubtrees) {
+  const auto a = gridAnalysis(16, 16);
+  MappingOptions opts;
+  opts.nprocs = 4;
+  const auto plan = planTree(a.tree, true, opts);
+  double initial = 0.0;
+  for (const auto w : plan.initial_workload) initial += w;
+  double subtree_work = 0.0;
+  for (int id = 0; id < a.tree.size(); ++id)
+    if (plan.at(id).type == NodeType::kSubtree)
+      subtree_work += plan.at(id).costs.total_flops;
+  EXPECT_NEAR(initial, subtree_work, 1e-6 * std::max(1.0, subtree_work));
+  EXPECT_GT(initial, 0.0);
+}
+
+TEST(Mapping, DisconnectedProblemsAreMapped) {
+  // Two independent grids + isolated vertices.
+  std::vector<std::pair<int, int>> e;
+  const auto g1 = sparse::grid2d(8, 8);
+  for (int i = 0; i < g1.n(); ++i)
+    for (const int j : g1.row(i))
+      if (j < i) e.emplace_back(i, j);
+  const int off = g1.n();
+  for (int i = 0; i < g1.n(); ++i)
+    for (const int j : g1.row(i))
+      if (j < i) e.emplace_back(off + i, off + j);
+  const auto p = sparse::Pattern::fromEdges(2 * g1.n() + 5, std::move(e));
+  const auto a = symbolic::analyze(p, ordering::nestedDissection(p));
+  MappingOptions opts;
+  opts.nprocs = 6;
+  const auto plan = planTree(a.tree, true, opts);
+  EXPECT_EQ(static_cast<int>(plan.nodes.size()), a.tree.size());
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(WaterFill, EqualLoadsSplitEvenly) {
+  std::vector<std::pair<double, Rank>> cand{{0, 1}, {0, 2}, {0, 3}, {0, 4}};
+  const auto rows = waterFillRows(cand, 100, 1.0, 4, 16);
+  ASSERT_EQ(rows.size(), 4u);
+  int total = 0;
+  for (const auto& a : rows) {
+    EXPECT_EQ(a.rows, 25);
+    total += a.rows;
+  }
+  EXPECT_EQ(total, 100);
+}
+
+TEST(WaterFill, SkewedLoadsGetCompensated) {
+  std::vector<std::pair<double, Rank>> cand{{0, 1}, {50, 2}};
+  const auto rows = waterFillRows(cand, 100, 1.0, 1, 16);
+  ASSERT_EQ(rows.size(), 2u);
+  // Final level should equalize: r1 - r2 == 50.
+  EXPECT_EQ(rows[0].rows - rows[1].rows, 50);
+  EXPECT_EQ(rows[0].rows + rows[1].rows, 100);
+}
+
+TEST(WaterFill, OverloadedCandidatesDropOut) {
+  std::vector<std::pair<double, Rank>> cand{{0, 1}, {1000, 2}};
+  const auto rows = waterFillRows(cand, 10, 1.0, 1, 16);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].slave, 1);
+  EXPECT_EQ(rows[0].rows, 10);
+}
+
+TEST(WaterFill, RespectsMaxSlaves) {
+  std::vector<std::pair<double, Rank>> cand;
+  for (Rank r = 0; r < 20; ++r) cand.emplace_back(0.0, r);
+  const auto rows = waterFillRows(cand, 1000, 1.0, 1, 5);
+  EXPECT_LE(rows.size(), 5u);
+}
+
+TEST(WaterFill, RespectsMinRows) {
+  std::vector<std::pair<double, Rank>> cand;
+  for (Rank r = 0; r < 8; ++r) cand.emplace_back(0.0, r);
+  // Only 20 rows with min 8 per slave: at most 2 slaves.
+  const auto rows = waterFillRows(cand, 20, 1.0, 8, 16);
+  EXPECT_LE(rows.size(), 2u);
+  int total = 0;
+  for (const auto& a : rows) {
+    total += a.rows;
+    EXPECT_GE(a.rows, 8);
+  }
+  EXPECT_EQ(total, 20);
+}
+
+TEST(WaterFill, TinyWorkSingleSlave) {
+  std::vector<std::pair<double, Rank>> cand{{3.0, 7}, {9.0, 2}};
+  const auto rows = waterFillRows(cand, 2, 1.0, 8, 16);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].slave, 7);
+  EXPECT_EQ(rows[0].rows, 2);
+}
+
+TEST(Schedulers, WorkloadPicksLeastLoaded) {
+  core::LoadView view(4);
+  view.set(0, {100, 0});
+  view.set(1, {5, 999});   // light work, heavy memory
+  view.set(2, {200, 1});
+  view.set(3, {300, 1});
+  SelectionRequest req;
+  req.master = 0;
+  req.rows = 16;
+  req.front = 32;
+  req.slave_flops = 1600.0;
+  req.min_rows_per_slave = 16;  // forces a single slave
+  const auto w = WorkloadScheduler{}.select(view, req);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0].slave, 1);
+  const auto m = MemoryScheduler{}.select(view, req);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0].slave, 2);  // least memory among the non-masters
+}
+
+TEST(Schedulers, SharesCarryFlopsAndMemory) {
+  core::LoadView view(3);
+  SelectionRequest req;
+  req.master = 0;
+  req.rows = 10;
+  req.front = 20;
+  req.slave_flops = 500.0;
+  req.min_rows_per_slave = 1;
+  const auto sel = WorkloadScheduler{}.select(view, req);
+  double flops = 0.0, mem = 0.0;
+  for (const auto& a : sel) {
+    flops += a.share.workload;
+    mem += a.share.memory;
+    EXPECT_NE(a.slave, 0);
+  }
+  EXPECT_NEAR(flops, 500.0, 1e-9);
+  EXPECT_NEAR(mem, 10.0 * 20.0, 1e-9);
+}
+
+TEST(Schedulers, ParseAndName) {
+  EXPECT_EQ(parseStrategy("workload"), Strategy::kWorkload);
+  EXPECT_EQ(parseStrategy("memory"), Strategy::kMemory);
+  EXPECT_THROW(parseStrategy("vibes"), ContractViolation);
+  EXPECT_STREQ(strategyName(Strategy::kMemory), "memory");
+}
+
+}  // namespace
+}  // namespace loadex::solver

@@ -1,0 +1,196 @@
+#include "sparse/pattern.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/expect.h"
+#include "common/rng.h"
+#include "sparse/generators.h"
+#include "sparse/matrix_market.h"
+
+namespace loadex::sparse {
+namespace {
+
+TEST(Pattern, FromEdgesSymmetrizesAndDedups) {
+  const auto p = Pattern::fromEdges(4, {{0, 1}, {1, 0}, {0, 1}, {2, 3}, {1, 1}});
+  EXPECT_EQ(p.n(), 4);
+  EXPECT_EQ(p.adjCount(), 4);  // (0,1),(1,0),(2,3),(3,2); diagonal dropped
+  EXPECT_TRUE(p.hasEdge(0, 1));
+  EXPECT_TRUE(p.hasEdge(1, 0));
+  EXPECT_TRUE(p.hasEdge(3, 2));
+  EXPECT_FALSE(p.hasEdge(0, 2));
+  EXPECT_FALSE(p.hasEdge(1, 1));
+}
+
+TEST(Pattern, RowsAreSorted) {
+  const auto p = Pattern::fromEdges(5, {{4, 0}, {2, 0}, {0, 1}, {3, 0}});
+  const auto r0 = p.row(0);
+  EXPECT_TRUE(std::is_sorted(r0.begin(), r0.end()));
+  EXPECT_EQ(p.degree(0), 4);
+}
+
+TEST(Pattern, EdgeEndpointValidation) {
+  EXPECT_THROW(Pattern::fromEdges(3, {{0, 3}}), ContractViolation);
+  EXPECT_THROW(Pattern::fromEdges(3, {{-1, 0}}), ContractViolation);
+}
+
+TEST(Pattern, PermutedPreservesStructure) {
+  const auto p = Pattern::fromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  const std::vector<int> perm{3, 2, 1, 0};  // reverse
+  const auto q = p.permuted(perm);
+  EXPECT_EQ(q.adjCount(), p.adjCount());
+  // old edge (0,1) -> new vertices (3,2)
+  EXPECT_TRUE(q.hasEdge(3, 2));
+  EXPECT_TRUE(q.hasEdge(1, 0));  // old (2,3)
+  EXPECT_FALSE(q.hasEdge(0, 3));
+}
+
+TEST(Pattern, PermutedRejectsBadPerm) {
+  const auto p = Pattern::fromEdges(3, {{0, 1}});
+  EXPECT_THROW(p.permuted({0, 0, 1}), ContractViolation);
+  EXPECT_THROW(p.permuted({0, 1}), ContractViolation);
+}
+
+TEST(Pattern, ConnectedComponents) {
+  const auto p = Pattern::fromEdges(6, {{0, 1}, {1, 2}, {4, 5}});
+  std::vector<int> labels;
+  EXPECT_EQ(p.connectedComponents(&labels), 3);  // {0,1,2}, {3}, {4,5}
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_NE(labels[0], labels[3]);
+  EXPECT_EQ(labels[4], labels[5]);
+}
+
+TEST(PermutationHelpers, InvertAndIdentity) {
+  const std::vector<int> p{2, 0, 1};
+  const auto inv = invertPermutation(p);
+  EXPECT_EQ(inv, (std::vector<int>{1, 2, 0}));
+  EXPECT_TRUE(isPermutation(p));
+  EXPECT_FALSE(isPermutation({0, 0, 1}));
+  EXPECT_FALSE(isPermutation({0, 3, 1}));
+  EXPECT_EQ(identityPermutation(3), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Generators, Grid2dStructure) {
+  const auto g = grid2d(4, 3);
+  EXPECT_EQ(g.n(), 12);
+  // Interior vertex 5 = (1,1): 4 neighbours in the 5-point stencil.
+  EXPECT_EQ(g.degree(5), 4);
+  EXPECT_EQ(g.degree(0), 2);  // corner
+  std::vector<int> labels;
+  EXPECT_EQ(g.connectedComponents(&labels), 1);
+}
+
+TEST(Generators, Grid2dNinePoint) {
+  const auto g = grid2d(4, 4, /*nine_point=*/true);
+  EXPECT_EQ(g.degree(5), 8);  // interior of a 9-point stencil
+}
+
+TEST(Generators, Grid3dStructure) {
+  const auto g = grid3d(3, 3, 3);
+  EXPECT_EQ(g.n(), 27);
+  EXPECT_EQ(g.degree(13), 6);  // centre of the 7-point stencil
+  const auto g27 = grid3d(3, 3, 3, /*27pt=*/true);
+  EXPECT_EQ(g27.degree(13), 26);
+}
+
+TEST(Generators, LpAATHasCliques) {
+  Rng rng(7);
+  const auto g = lpAAT(200, 300, 4, rng);
+  EXPECT_EQ(g.n(), 200);
+  EXPECT_GT(g.adjCount(), 0);
+}
+
+TEST(Generators, CircuitLikeHasHubs) {
+  Rng rng(7);
+  const auto g = circuitLike(20000, 4, 6, rng);
+  int max_deg = 0;
+  double avg = static_cast<double>(g.adjCount()) / g.n();
+  for (int v = 0; v < g.n(); ++v) max_deg = std::max(max_deg, g.degree(v));
+  // Hub nets tower over the average degree.
+  EXPECT_GT(max_deg, 5 * avg);
+}
+
+TEST(Generators, RandomMeshIsModestDegree) {
+  Rng rng(9);
+  const auto g = randomMesh(1000, 6, rng);
+  EXPECT_EQ(g.n(), 1000);
+  double avg = static_cast<double>(g.adjCount()) / g.n();
+  EXPECT_GT(avg, 4.0);
+  EXPECT_LT(avg, 20.0);
+}
+
+TEST(Generators, PaperSuitesAreComplete) {
+  const auto small = paperSuiteSmall(0.5);
+  ASSERT_EQ(small.size(), 8u);
+  EXPECT_EQ(small[0].name, "BMWCRA_1");
+  EXPECT_TRUE(small[0].symmetric);
+  EXPECT_FALSE(small[6].symmetric);  // ULTRASOUND3 is UNS
+  const auto large = paperSuiteLarge(0.5);
+  ASSERT_EQ(large.size(), 3u);
+  EXPECT_EQ(large[0].name, "AUDIKW_1");
+}
+
+TEST(Generators, SuiteIsDeterministic) {
+  const auto a = paperSuiteSmall(0.3, 42);
+  const auto b = paperSuiteSmall(0.3, 42);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].pattern.n(), b[i].pattern.n());
+    EXPECT_EQ(a[i].pattern.adjCount(), b[i].pattern.adjCount());
+  }
+}
+
+TEST(Generators, ScaleChangesSize) {
+  const auto s1 = paperSuiteSmall(0.25);
+  const auto s2 = paperSuiteSmall(1.0);
+  EXPECT_LT(s1[0].pattern.n(), s2[0].pattern.n());
+}
+
+TEST(Generators, PaperProblemLookup) {
+  EXPECT_TRUE(paperProblem("gupta3", 0.25).has_value());
+  EXPECT_TRUE(paperProblem("AUDIKW_1", 0.25).has_value());
+  EXPECT_FALSE(paperProblem("NOT_A_MATRIX").has_value());
+}
+
+TEST(MatrixMarket, RoundTrip) {
+  const auto g = grid2d(3, 3);
+  std::stringstream ss;
+  writeMatrixMarket(ss, g);
+  MatrixMarketInfo info;
+  const auto back = readMatrixMarket(ss, &info);
+  EXPECT_TRUE(info.symmetric);
+  EXPECT_EQ(back.n(), g.n());
+  EXPECT_EQ(back.adjCount(), g.adjCount());
+  for (int i = 0; i < g.n(); ++i)
+    for (const int j : g.row(i)) EXPECT_TRUE(back.hasEdge(i, j));
+}
+
+TEST(MatrixMarket, ParsesGeneralWithValues) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 3 4\n"
+      "1 1 5.0\n"
+      "2 1 -1.0\n"
+      "1 2 -1.0\n"
+      "3 3 2.0\n");
+  const auto p = readMatrixMarket(ss);
+  EXPECT_EQ(p.n(), 3);
+  EXPECT_TRUE(p.hasEdge(0, 1));
+  EXPECT_EQ(p.adjCount(), 2);
+}
+
+TEST(MatrixMarket, RejectsMalformed) {
+  std::stringstream no_banner("3 3 1\n1 1\n");
+  EXPECT_THROW(readMatrixMarket(no_banner), ContractViolation);
+  std::stringstream rect(
+      "%%MatrixMarket matrix coordinate pattern general\n2 3 1\n1 1\n");
+  EXPECT_THROW(readMatrixMarket(rect), ContractViolation);
+  std::stringstream oob(
+      "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n");
+  EXPECT_THROW(readMatrixMarket(oob), ContractViolation);
+}
+
+}  // namespace
+}  // namespace loadex::sparse

@@ -1,0 +1,266 @@
+#include "symbolic/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/expect.h"
+#include "common/rng.h"
+#include "ordering/ordering.h"
+#include "sparse/generators.h"
+#include "symbolic/etree.h"
+
+namespace loadex::symbolic {
+namespace {
+
+// Brute-force Boolean Cholesky fill on a dense copy; returns per-column
+// counts of L (incl. diagonal). O(n^3); for cross-checking only.
+std::vector<std::int64_t> bruteColCounts(const sparse::Pattern& p) {
+  const int n = p.n();
+  std::vector<std::vector<bool>> a(static_cast<std::size_t>(n),
+                                   std::vector<bool>(static_cast<std::size_t>(n), false));
+  for (int i = 0; i < n; ++i)
+    for (const int j : p.row(i)) a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = true;
+  for (int k = 0; k < n; ++k)
+    for (int i = k + 1; i < n; ++i)
+      if (a[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)])
+        for (int j = k + 1; j < n; ++j)
+          if (a[static_cast<std::size_t>(j)][static_cast<std::size_t>(k)]) {
+            a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = true;
+            a[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = true;
+          }
+  std::vector<std::int64_t> count(static_cast<std::size_t>(n), 0);
+  for (int j = 0; j < n; ++j) {
+    count[static_cast<std::size_t>(j)] = 1;
+    for (int i = j + 1; i < n; ++i)
+      if (a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)])
+        ++count[static_cast<std::size_t>(j)];
+  }
+  return count;
+}
+
+// Brute-force elimination tree: parent(j) = min{i > j : L(i,j) != 0}.
+std::vector<int> bruteEtree(const sparse::Pattern& p) {
+  const auto counts = bruteColCounts(p);  // fills `a` internally; redo here
+  const int n = p.n();
+  std::vector<std::vector<bool>> a(static_cast<std::size_t>(n),
+                                   std::vector<bool>(static_cast<std::size_t>(n), false));
+  for (int i = 0; i < n; ++i)
+    for (const int j : p.row(i)) a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = true;
+  for (int k = 0; k < n; ++k)
+    for (int i = k + 1; i < n; ++i)
+      if (a[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)])
+        for (int j = k + 1; j < n; ++j)
+          if (a[static_cast<std::size_t>(j)][static_cast<std::size_t>(k)]) {
+            a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = true;
+            a[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = true;
+          }
+  std::vector<int> parent(static_cast<std::size_t>(n), -1);
+  for (int j = 0; j < n; ++j)
+    for (int i = j + 1; i < n; ++i)
+      if (a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]) {
+        parent[static_cast<std::size_t>(j)] = i;
+        break;
+      }
+  (void)counts;
+  return parent;
+}
+
+TEST(Etree, PathGraphIsAChain) {
+  std::vector<std::pair<int, int>> e;
+  for (int i = 0; i + 1 < 6; ++i) e.emplace_back(i, i + 1);
+  const auto p = sparse::Pattern::fromEdges(6, std::move(e));
+  const auto parent = eliminationTree(p);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(parent[static_cast<std::size_t>(i)], i + 1);
+  EXPECT_EQ(parent[5], -1);
+}
+
+TEST(Etree, MatchesBruteForceOnRandomGraphs) {
+  Rng rng(21);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 20 + static_cast<int>(rng.uniformInt(30));
+    std::vector<std::pair<int, int>> e;
+    const int ne = n * 2;
+    for (int k = 0; k < ne; ++k)
+      e.emplace_back(static_cast<int>(rng.uniformInt(n)),
+                     static_cast<int>(rng.uniformInt(n)));
+    const auto p = sparse::Pattern::fromEdges(n, std::move(e));
+    EXPECT_EQ(eliminationTree(p), bruteEtree(p)) << "trial " << trial;
+  }
+}
+
+TEST(ColCounts, MatchBruteForceOnRandomGraphs) {
+  Rng rng(22);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 15 + static_cast<int>(rng.uniformInt(25));
+    std::vector<std::pair<int, int>> e;
+    for (int k = 0; k < n * 2; ++k)
+      e.emplace_back(static_cast<int>(rng.uniformInt(n)),
+                     static_cast<int>(rng.uniformInt(n)));
+    const auto p = sparse::Pattern::fromEdges(n, std::move(e));
+    const auto parent = eliminationTree(p);
+    EXPECT_EQ(columnCounts(p, parent), bruteColCounts(p)) << "trial " << trial;
+  }
+}
+
+TEST(Postorder, ChildrenBeforeParents) {
+  //        5
+  //      /   \
+  //     3     4
+  //    / \    |
+  //   0   1   2
+  const std::vector<int> parent{3, 3, 4, 5, 5, -1};
+  const auto post = postorder(parent);
+  ASSERT_EQ(post.size(), 6u);
+  std::vector<int> pos(6);
+  for (int i = 0; i < 6; ++i) pos[static_cast<std::size_t>(post[static_cast<std::size_t>(i)])] = i;
+  for (int v = 0; v < 6; ++v)
+    if (parent[static_cast<std::size_t>(v)] != -1)
+      EXPECT_LT(pos[static_cast<std::size_t>(v)],
+                pos[static_cast<std::size_t>(parent[static_cast<std::size_t>(v)])]);
+}
+
+TEST(Postorder, ForestsCoverAllRoots) {
+  const std::vector<int> parent{-1, -1, -1};
+  EXPECT_EQ(postorder(parent).size(), 3u);
+}
+
+TEST(TreeHeight, Chain) {
+  const std::vector<int> parent{1, 2, 3, -1};
+  EXPECT_EQ(treeHeight(parent), 4);
+}
+
+TEST(Analysis, MonotoneEtreeAndExactNnz) {
+  const auto g = sparse::grid2d(9, 9);
+  const auto a = analyze(g, ordering::nestedDissection(g));
+  for (int j = 0; j < g.n(); ++j) {
+    const int p = a.parent[static_cast<std::size_t>(j)];
+    EXPECT_TRUE(p == -1 || p > j) << j;
+  }
+  std::int64_t sum = 0;
+  for (const auto c : a.col_count) sum += c;
+  EXPECT_EQ(sum, a.factor_nnz);
+  EXPECT_TRUE(sparse::isPermutation(a.perm));
+}
+
+TEST(Analysis, PermutationComposesCorrectly) {
+  // The combined permutation must yield the same factor size as applying
+  // it directly (self-consistency of the composition).
+  const auto g = sparse::grid2d(8, 7);
+  const auto a = analyze(g, ordering::minimumDegree(g));
+  const auto direct = analyze(g, a.perm);
+  EXPECT_EQ(direct.factor_nnz, a.factor_nnz);
+}
+
+TEST(AssemblyTree, PivotsConserved) {
+  const auto g = sparse::grid3d(5, 5, 5);
+  const auto a = analyze(g, ordering::nestedDissection(g));
+  EXPECT_EQ(a.tree.totalPivots(), g.n());
+  EXPECT_GT(a.tree.size(), 1);
+  EXPECT_LT(a.tree.size(), g.n());  // amalgamation compressed something
+}
+
+TEST(AssemblyTree, StructureInvariants) {
+  const auto g = sparse::grid2d(16, 16);
+  const auto a = analyze(g, ordering::nestedDissection(g));
+  const auto& tree = a.tree;
+  int root_count = 0;
+  for (const auto& nd : tree.nodes()) {
+    EXPECT_GT(nd.npiv, 0);
+    EXPECT_GE(nd.front, nd.npiv);
+    if (nd.parent == -1) {
+      ++root_count;
+      EXPECT_EQ(nd.border(), 0);  // roots have no contribution block
+    } else {
+      EXPECT_NE(nd.parent, nd.id);
+      EXPECT_GE(tree.node(nd.parent).id, 0);
+    }
+    for (const int c : nd.children) EXPECT_EQ(tree.node(c).parent, nd.id);
+  }
+  EXPECT_EQ(static_cast<int>(tree.roots().size()), root_count);
+  // Postorder: children before parents.
+  std::vector<int> pos(static_cast<std::size_t>(tree.size()), -1);
+  for (int i = 0; i < tree.size(); ++i)
+    pos[static_cast<std::size_t>(tree.postorder()[static_cast<std::size_t>(i)])] = i;
+  for (const auto& nd : tree.nodes())
+    if (nd.parent != -1)
+      EXPECT_LT(pos[static_cast<std::size_t>(nd.id)],
+                pos[static_cast<std::size_t>(nd.parent)]);
+}
+
+TEST(AssemblyTree, AmalgamationMonotoneInTolerance) {
+  const auto g = sparse::grid2d(20, 20);
+  const auto perm = ordering::nestedDissection(g);
+  const sparse::Pattern permuted = g.permuted(perm);
+  const auto parent0 = eliminationTree(permuted);
+  const auto post = postorder(parent0);
+  const auto reordered = permuted.permuted(post);
+  const auto parent = eliminationTree(reordered);
+  const auto cc = columnCounts(reordered, parent);
+
+  AmalgamationOptions strict;
+  strict.small_supernode = 1;
+  strict.fill_tolerance = 0.0;
+  AmalgamationOptions relaxed;
+  relaxed.small_supernode = 16;
+  relaxed.fill_tolerance = 0.4;
+  const auto t_strict = buildAssemblyTree(parent, cc, strict);
+  const auto t_relaxed = buildAssemblyTree(parent, cc, relaxed);
+  EXPECT_GE(t_strict.size(), t_relaxed.size());
+  EXPECT_EQ(t_strict.totalPivots(), g.n());
+  EXPECT_EQ(t_relaxed.totalPivots(), g.n());
+}
+
+TEST(AssemblyTree, RenderMentionsFronts) {
+  const auto g = sparse::grid2d(10, 10);
+  const auto a = analyze(g, ordering::nestedDissection(g));
+  const auto text = a.tree.render(10);
+  EXPECT_NE(text.find("front #"), std::string::npos);
+  EXPECT_NE(text.find("npiv="), std::string::npos);
+}
+
+TEST(AssemblyTree, RequiresMonotoneParent) {
+  const std::vector<int> bad_parent{2, 0, -1};  // parent[1] = 0 < 1
+  const std::vector<std::int64_t> cc{1, 1, 1};
+  EXPECT_THROW(buildAssemblyTree(bad_parent, cc), ContractViolation);
+}
+
+// Parameterized sweep over generators and orderings: pivot conservation
+// and sane front sizes everywhere.
+using SymbolicParams = std::tuple<int /*graph*/, ordering::OrderingKind>;
+
+class SymbolicSweep : public ::testing::TestWithParam<SymbolicParams> {};
+
+TEST_P(SymbolicSweep, TreeInvariantsHold) {
+  const auto [which, kind] = GetParam();
+  Rng rng(33 + which);
+  sparse::Pattern g;
+  switch (which) {
+    case 0: g = sparse::grid2d(13, 11); break;
+    case 1: g = sparse::grid3d(5, 6, 4); break;
+    case 2: g = sparse::circuitLike(500, 4, 4, rng); break;
+    default: g = sparse::randomMesh(400, 5, rng); break;
+  }
+  const auto a = analyze(g, ordering::computeOrdering(g, kind));
+  EXPECT_EQ(a.tree.totalPivots(), g.n());
+  for (const auto& nd : a.tree.nodes()) {
+    EXPECT_GE(nd.front, nd.npiv);
+    EXPECT_LE(nd.front, g.n());
+  }
+  EXPECT_GE(a.factor_nnz, g.n());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SymbolicSweep,
+    ::testing::Combine(
+        ::testing::Values(0, 1, 2, 3),
+        ::testing::Values(ordering::OrderingKind::kRcm,
+                          ordering::OrderingKind::kMinDegree,
+                          ordering::OrderingKind::kNestedDissection)),
+    [](const ::testing::TestParamInfo<SymbolicParams>& info) {
+      return "g" + std::to_string(std::get<0>(info.param)) + "_" +
+             ordering::orderingKindName(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace loadex::symbolic
