@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_no_more_master.dir/bench_ablation_no_more_master.cpp.o"
+  "CMakeFiles/bench_ablation_no_more_master.dir/bench_ablation_no_more_master.cpp.o.d"
+  "bench_ablation_no_more_master"
+  "bench_ablation_no_more_master.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_no_more_master.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_naive_incoherence.dir/bench_fig1_naive_incoherence.cpp.o"
+  "CMakeFiles/bench_fig1_naive_incoherence.dir/bench_fig1_naive_incoherence.cpp.o.d"
+  "bench_fig1_naive_incoherence"
+  "bench_fig1_naive_incoherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_naive_incoherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_symbolic.dir/bench_micro_symbolic.cpp.o"
+  "CMakeFiles/bench_micro_symbolic.dir/bench_micro_symbolic.cpp.o.d"
+  "bench_micro_symbolic"
+  "bench_micro_symbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

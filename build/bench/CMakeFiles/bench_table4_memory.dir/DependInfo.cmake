@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table4_memory.cpp" "bench/CMakeFiles/bench_table4_memory.dir/bench_table4_memory.cpp.o" "gcc" "bench/CMakeFiles/bench_table4_memory.dir/bench_table4_memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/solver/CMakeFiles/loadex_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/loadex_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/loadex_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/ordering/CMakeFiles/loadex_ordering.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/loadex_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/loadex_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/loadex_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_threaded.dir/bench_table7_threaded.cpp.o"
+  "CMakeFiles/bench_table7_threaded.dir/bench_table7_threaded.cpp.o.d"
+  "bench_table7_threaded"
+  "bench_table7_threaded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_threaded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

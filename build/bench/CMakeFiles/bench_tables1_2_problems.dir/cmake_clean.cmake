@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tables1_2_problems.dir/bench_tables1_2_problems.cpp.o"
+  "CMakeFiles/bench_tables1_2_problems.dir/bench_tables1_2_problems.cpp.o.d"
+  "bench_tables1_2_problems"
+  "bench_tables1_2_problems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tables1_2_problems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

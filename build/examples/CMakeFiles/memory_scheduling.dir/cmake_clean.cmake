@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_scheduling.dir/memory_scheduling.cpp.o"
+  "CMakeFiles/memory_scheduling.dir/memory_scheduling.cpp.o.d"
+  "memory_scheduling"
+  "memory_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

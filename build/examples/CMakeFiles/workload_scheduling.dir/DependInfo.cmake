@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/workload_scheduling.cpp" "examples/CMakeFiles/workload_scheduling.dir/workload_scheduling.cpp.o" "gcc" "examples/CMakeFiles/workload_scheduling.dir/workload_scheduling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/solver/CMakeFiles/loadex_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/loadex_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/loadex_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/ordering/CMakeFiles/loadex_ordering.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/loadex_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/loadex_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/loadex_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_scheduling.dir/workload_scheduling.cpp.o"
+  "CMakeFiles/workload_scheduling.dir/workload_scheduling.cpp.o.d"
+  "workload_scheduling"
+  "workload_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loadex_common.dir/cli.cpp.o"
+  "CMakeFiles/loadex_common.dir/cli.cpp.o.d"
+  "CMakeFiles/loadex_common.dir/expect.cpp.o"
+  "CMakeFiles/loadex_common.dir/expect.cpp.o.d"
+  "CMakeFiles/loadex_common.dir/log.cpp.o"
+  "CMakeFiles/loadex_common.dir/log.cpp.o.d"
+  "CMakeFiles/loadex_common.dir/rng.cpp.o"
+  "CMakeFiles/loadex_common.dir/rng.cpp.o.d"
+  "CMakeFiles/loadex_common.dir/stats.cpp.o"
+  "CMakeFiles/loadex_common.dir/stats.cpp.o.d"
+  "CMakeFiles/loadex_common.dir/table.cpp.o"
+  "CMakeFiles/loadex_common.dir/table.cpp.o.d"
+  "libloadex_common.a"
+  "libloadex_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loadex_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libloadex_common.a"
+)

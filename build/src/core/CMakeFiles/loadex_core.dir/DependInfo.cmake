@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/binding.cpp" "src/core/CMakeFiles/loadex_core.dir/binding.cpp.o" "gcc" "src/core/CMakeFiles/loadex_core.dir/binding.cpp.o.d"
+  "/root/repo/src/core/increment.cpp" "src/core/CMakeFiles/loadex_core.dir/increment.cpp.o" "gcc" "src/core/CMakeFiles/loadex_core.dir/increment.cpp.o.d"
+  "/root/repo/src/core/mechanism.cpp" "src/core/CMakeFiles/loadex_core.dir/mechanism.cpp.o" "gcc" "src/core/CMakeFiles/loadex_core.dir/mechanism.cpp.o.d"
+  "/root/repo/src/core/naive.cpp" "src/core/CMakeFiles/loadex_core.dir/naive.cpp.o" "gcc" "src/core/CMakeFiles/loadex_core.dir/naive.cpp.o.d"
+  "/root/repo/src/core/snapshot.cpp" "src/core/CMakeFiles/loadex_core.dir/snapshot.cpp.o" "gcc" "src/core/CMakeFiles/loadex_core.dir/snapshot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/loadex_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/loadex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

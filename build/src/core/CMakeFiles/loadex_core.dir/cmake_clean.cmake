@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loadex_core.dir/binding.cpp.o"
+  "CMakeFiles/loadex_core.dir/binding.cpp.o.d"
+  "CMakeFiles/loadex_core.dir/increment.cpp.o"
+  "CMakeFiles/loadex_core.dir/increment.cpp.o.d"
+  "CMakeFiles/loadex_core.dir/mechanism.cpp.o"
+  "CMakeFiles/loadex_core.dir/mechanism.cpp.o.d"
+  "CMakeFiles/loadex_core.dir/naive.cpp.o"
+  "CMakeFiles/loadex_core.dir/naive.cpp.o.d"
+  "CMakeFiles/loadex_core.dir/snapshot.cpp.o"
+  "CMakeFiles/loadex_core.dir/snapshot.cpp.o.d"
+  "libloadex_core.a"
+  "libloadex_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loadex_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loadex_ordering.dir/min_degree.cpp.o"
+  "CMakeFiles/loadex_ordering.dir/min_degree.cpp.o.d"
+  "CMakeFiles/loadex_ordering.dir/nested_dissection.cpp.o"
+  "CMakeFiles/loadex_ordering.dir/nested_dissection.cpp.o.d"
+  "CMakeFiles/loadex_ordering.dir/rcm.cpp.o"
+  "CMakeFiles/loadex_ordering.dir/rcm.cpp.o.d"
+  "libloadex_ordering.a"
+  "libloadex_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loadex_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

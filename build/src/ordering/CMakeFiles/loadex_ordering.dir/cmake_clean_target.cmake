@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libloadex_ordering.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loadex_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/loadex_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/loadex_sim.dir/network.cpp.o"
+  "CMakeFiles/loadex_sim.dir/network.cpp.o.d"
+  "CMakeFiles/loadex_sim.dir/process.cpp.o"
+  "CMakeFiles/loadex_sim.dir/process.cpp.o.d"
+  "CMakeFiles/loadex_sim.dir/world.cpp.o"
+  "CMakeFiles/loadex_sim.dir/world.cpp.o.d"
+  "libloadex_sim.a"
+  "libloadex_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loadex_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loadex_solver.dir/factor_app.cpp.o"
+  "CMakeFiles/loadex_solver.dir/factor_app.cpp.o.d"
+  "CMakeFiles/loadex_solver.dir/mapping.cpp.o"
+  "CMakeFiles/loadex_solver.dir/mapping.cpp.o.d"
+  "CMakeFiles/loadex_solver.dir/runner.cpp.o"
+  "CMakeFiles/loadex_solver.dir/runner.cpp.o.d"
+  "CMakeFiles/loadex_solver.dir/schedulers.cpp.o"
+  "CMakeFiles/loadex_solver.dir/schedulers.cpp.o.d"
+  "libloadex_solver.a"
+  "libloadex_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loadex_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

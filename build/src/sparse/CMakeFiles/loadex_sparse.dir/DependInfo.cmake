@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/generators.cpp" "src/sparse/CMakeFiles/loadex_sparse.dir/generators.cpp.o" "gcc" "src/sparse/CMakeFiles/loadex_sparse.dir/generators.cpp.o.d"
+  "/root/repo/src/sparse/matrix_market.cpp" "src/sparse/CMakeFiles/loadex_sparse.dir/matrix_market.cpp.o" "gcc" "src/sparse/CMakeFiles/loadex_sparse.dir/matrix_market.cpp.o.d"
+  "/root/repo/src/sparse/pattern.cpp" "src/sparse/CMakeFiles/loadex_sparse.dir/pattern.cpp.o" "gcc" "src/sparse/CMakeFiles/loadex_sparse.dir/pattern.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/loadex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

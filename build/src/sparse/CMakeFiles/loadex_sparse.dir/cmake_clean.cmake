@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loadex_sparse.dir/generators.cpp.o"
+  "CMakeFiles/loadex_sparse.dir/generators.cpp.o.d"
+  "CMakeFiles/loadex_sparse.dir/matrix_market.cpp.o"
+  "CMakeFiles/loadex_sparse.dir/matrix_market.cpp.o.d"
+  "CMakeFiles/loadex_sparse.dir/pattern.cpp.o"
+  "CMakeFiles/loadex_sparse.dir/pattern.cpp.o.d"
+  "libloadex_sparse.a"
+  "libloadex_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loadex_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

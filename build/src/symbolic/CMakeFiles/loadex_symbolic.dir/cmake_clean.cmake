@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loadex_symbolic.dir/analysis.cpp.o"
+  "CMakeFiles/loadex_symbolic.dir/analysis.cpp.o.d"
+  "CMakeFiles/loadex_symbolic.dir/assembly_tree.cpp.o"
+  "CMakeFiles/loadex_symbolic.dir/assembly_tree.cpp.o.d"
+  "CMakeFiles/loadex_symbolic.dir/etree.cpp.o"
+  "CMakeFiles/loadex_symbolic.dir/etree.cpp.o.d"
+  "libloadex_symbolic.a"
+  "libloadex_symbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loadex_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

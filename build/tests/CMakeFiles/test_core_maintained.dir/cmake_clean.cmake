@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_maintained.dir/test_core_maintained.cpp.o"
+  "CMakeFiles/test_core_maintained.dir/test_core_maintained.cpp.o.d"
+  "test_core_maintained"
+  "test_core_maintained.pdb"
+  "test_core_maintained[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_maintained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

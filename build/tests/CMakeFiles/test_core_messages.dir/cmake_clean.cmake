@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_messages.dir/test_core_messages.cpp.o"
+  "CMakeFiles/test_core_messages.dir/test_core_messages.cpp.o.d"
+  "test_core_messages"
+  "test_core_messages.pdb"
+  "test_core_messages[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_scenarios.dir/test_core_scenarios.cpp.o"
+  "CMakeFiles/test_core_scenarios.dir/test_core_scenarios.cpp.o.d"
+  "test_core_scenarios"
+  "test_core_scenarios.pdb"
+  "test_core_scenarios[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver_integration.dir/test_solver_integration.cpp.o"
+  "CMakeFiles/test_solver_integration.dir/test_solver_integration.cpp.o.d"
+  "test_solver_integration"
+  "test_solver_integration.pdb"
+  "test_solver_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

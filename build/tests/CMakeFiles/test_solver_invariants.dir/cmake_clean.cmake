@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver_invariants.dir/test_solver_invariants.cpp.o"
+  "CMakeFiles/test_solver_invariants.dir/test_solver_invariants.cpp.o.d"
+  "test_solver_invariants"
+  "test_solver_invariants.pdb"
+  "test_solver_invariants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_pattern.dir/test_sparse_pattern.cpp.o"
+  "CMakeFiles/test_sparse_pattern.dir/test_sparse_pattern.cpp.o.d"
+  "test_sparse_pattern"
+  "test_sparse_pattern.pdb"
+  "test_sparse_pattern[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_common_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_common_util[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_event_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_world[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_network[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_process[1]_include.cmake")
+include("/root/repo/build/tests/test_core_maintained[1]_include.cmake")
+include("/root/repo/build/tests/test_core_snapshot[1]_include.cmake")
+include("/root/repo/build/tests/test_core_scenarios[1]_include.cmake")
+include("/root/repo/build/tests/test_core_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_core_messages[1]_include.cmake")
+include("/root/repo/build/tests/test_sparse_pattern[1]_include.cmake")
+include("/root/repo/build/tests/test_ordering[1]_include.cmake")
+include("/root/repo/build/tests/test_symbolic[1]_include.cmake")
+include("/root/repo/build/tests/test_solver_mapping[1]_include.cmake")
+include("/root/repo/build/tests/test_solver_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_solver_invariants[1]_include.cmake")
