@@ -26,6 +26,17 @@ class SimTransport final : public Transport {
     process_.send(dst, sim::Channel::kState, static_cast<int>(tag), size,
                   std::move(payload));
   }
+  void schedule(SimTime delay, std::function<void()> fn) override {
+    // A mechanism timer can unfreeze the process or make local work ready
+    // (snapshot answer timeout firing the view callback, a foreign guard
+    // force-closing a snapshot); unlike a message delivery, a bare queue
+    // event does not pump the process, so re-pump after the callback.
+    process_.queue().scheduleAfter(delay,
+                                   [this, fn = std::move(fn)] {
+                                     fn();
+                                     process_.notifyReadyWork();
+                                   });
+  }
 
  private:
   sim::Process& process_;

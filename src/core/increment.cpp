@@ -1,12 +1,29 @@
 #include "core/increment.h"
 
+#include <algorithm>
+
 #include "common/expect.h"
 
 namespace loadex::core {
 
+namespace {
+/// Wire cost of the sequence number added by the hardened protocol.
+constexpr Bytes kSeqBytes = 8;
+}  // namespace
+
 IncrementMechanism::IncrementMechanism(Transport& transport,
                                        MechanismConfig config)
-    : Mechanism(transport, config) {}
+    : Mechanism(transport, config),
+      last_seq_out_(static_cast<std::size_t>(transport.nprocs()), 0),
+      resend_buf_(static_cast<std::size_t>(transport.nprocs())),
+      flushed_seq_(static_cast<std::size_t>(transport.nprocs()), 0),
+      idle_rounds_(static_cast<std::size_t>(transport.nprocs()), 0),
+      in_(static_cast<std::size_t>(transport.nprocs())) {
+  LOADEX_EXPECT(config_.reliability.resend_window > 0,
+                "resend window must be positive");
+  LOADEX_EXPECT(!hardened() || config_.reliability.heartbeat_period_s > 0.0,
+                "hardened increments need a positive heartbeat period");
+}
 
 void IncrementMechanism::addLocalLoad(const LoadMetrics& delta,
                                       bool is_slave_delegated) {
@@ -18,12 +35,25 @@ void IncrementMechanism::addLocalLoad(const LoadMetrics& delta,
 
   my_load_ += delta;
   view_.set(self(), my_load_);
+  view_.touch(self(), transport_.now());
   pending_delta_ += delta;
   if (pending_delta_.exceeds(config_.threshold)) {
-    auto payload = std::make_shared<UpdateDeltaPayload>();
-    payload->delta = pending_delta_;
-    broadcastState(StateTag::kUpdateDelta, UpdateDeltaPayload::sizeBytes(),
-                   std::move(payload), /*respect_no_more_master=*/true);
+    UpdateDeltaPayload proto;
+    proto.delta = pending_delta_;
+    if (!hardened()) {
+      broadcastState(StateTag::kUpdateDelta, UpdateDeltaPayload::sizeBytes(),
+                     std::make_shared<UpdateDeltaPayload>(proto),
+                     /*respect_no_more_master=*/true);
+    } else {
+      const Bytes size = UpdateDeltaPayload::sizeBytes() + kSeqBytes;
+      for (Rank r = 0; r < nprocs(); ++r) {
+        if (r == self()) continue;
+        if (config_.no_more_master &&
+            stop_sending_to_[static_cast<std::size_t>(r)])
+          continue;
+        sequencedSend(r, StateTag::kUpdateDelta, size, proto);
+      }
+    }
     pending_delta_ = LoadMetrics{};
   }
 }
@@ -36,14 +66,18 @@ void IncrementMechanism::requestView(ViewCallback cb) {
 void IncrementMechanism::commitSelection(const SlaveSelection& selection) {
   ++stats_.selections;
   if (selection.empty()) return;
-  auto payload = std::make_shared<MasterToAllPayload>();
-  payload->assignments = selection;
+  MasterToAllPayload proto;
+  proto.assignments = selection;
   // Processes that announced No_more_master no longer need load
   // information — unless they are among the selected slaves: a slave
   // learns its own reservation from this very message (Alg. 3 line 21),
   // and its self-accounting (hence the Updates everyone else relies on)
   // would diverge without it.
-  const Bytes size = MasterToAllPayload::sizeBytes(selection.size());
+  const Bytes size = MasterToAllPayload::sizeBytes(selection.size()) +
+                     (hardened() ? kSeqBytes : 0);
+  auto shared = hardened()
+                    ? nullptr
+                    : std::make_shared<MasterToAllPayload>(proto);
   for (Rank r = 0; r < nprocs(); ++r) {
     if (r == self()) continue;
     bool skip = config_.no_more_master &&
@@ -55,7 +89,11 @@ void IncrementMechanism::commitSelection(const SlaveSelection& selection) {
           break;
         }
     }
-    if (!skip) sendState(r, StateTag::kMasterToAll, size, payload);
+    if (skip) continue;
+    if (hardened())
+      sequencedSend(r, StateTag::kMasterToAll, size, proto);
+    else
+      sendState(r, StateTag::kMasterToAll, size, shared);
   }
   // Apply the reservation locally too: this master will not receive its
   // own broadcast, yet its next decision must see this one.
@@ -71,29 +109,43 @@ void IncrementMechanism::commitSelection(const SlaveSelection& selection) {
   }
 }
 
+void IncrementMechanism::applyLoadBearing(Rank src, StateTag tag,
+                                          const sim::Payload& p) {
+  if (tag == StateTag::kUpdateDelta) {
+    const auto& up = dynamic_cast<const UpdateDeltaPayload&>(p);
+    view_.add(src, up.delta);
+    return;
+  }
+  const auto& mta = dynamic_cast<const MasterToAllPayload&>(p);
+  for (const auto& a : mta.assignments) {
+    if (a.slave == self()) {
+      // Algorithm 3 line 21: the slave learns its reservation here.
+      my_load_ += a.share;
+      view_.set(self(), my_load_);
+    } else {
+      view_.add(a.slave, a.share);
+    }
+  }
+  // The sender's own share of the parallel task is accounted by the
+  // sender itself through addLocalLoad.
+}
+
 void IncrementMechanism::handleState(Rank src, StateTag tag,
                                      const sim::Payload& p) {
   switch (tag) {
-    case StateTag::kUpdateDelta: {
-      const auto& up = dynamic_cast<const UpdateDeltaPayload&>(p);
-      view_.add(src, up.delta);
+    case StateTag::kUpdateDelta:
+    case StateTag::kMasterToAll:
+      if (hardened())
+        onSequenced(src, tag, p);
+      else
+        applyLoadBearing(src, tag, p);
       return;
-    }
-    case StateTag::kMasterToAll: {
-      const auto& mta = dynamic_cast<const MasterToAllPayload&>(p);
-      for (const auto& a : mta.assignments) {
-        if (a.slave == self()) {
-          // Algorithm 3 line 21: the slave learns its reservation here.
-          my_load_ += a.share;
-          view_.set(self(), my_load_);
-        } else {
-          view_.add(a.slave, a.share);
-        }
-      }
-      // The sender's own share of the parallel task is accounted by the
-      // sender itself through addLocalLoad.
+    case StateTag::kNack:
+      onNack(src, dynamic_cast<const NackPayload&>(p));
       return;
-    }
+    case StateTag::kHeartbeat:
+      onHeartbeat(src, dynamic_cast<const HeartbeatPayload&>(p));
+      return;
     case StateTag::kNoMoreMaster:
       markNoMoreMaster(src);
       return;
@@ -101,6 +153,187 @@ void IncrementMechanism::handleState(Rank src, StateTag tag,
       LOADEX_EXPECT(false, std::string("increment mechanism received ") +
                                stateTagName(tag));
   }
+}
+
+// ---- hardened sender side -------------------------------------------------
+
+template <typename P>
+void IncrementMechanism::sequencedSend(Rank dst, StateTag tag, Bytes size,
+                                       const P& proto) {
+  const auto d = static_cast<std::size_t>(dst);
+  auto copy = std::make_shared<P>(proto);
+  copy->seq = ++last_seq_out_[d];
+  auto& buf = resend_buf_[d];
+  buf.push_back({copy->seq, tag, size, copy});
+  if (static_cast<int>(buf.size()) > config_.reliability.resend_window)
+    buf.pop_front();
+  idle_rounds_[d] = 0;
+  sendState(dst, tag, size, std::move(copy));
+  armFlushTimer();
+}
+
+void IncrementMechanism::onNack(Rank src, const NackPayload& p) {
+  LOADEX_EXPECT(hardened(), "NACK received with reliability disabled");
+  for (const auto& rec : resend_buf_[static_cast<std::size_t>(src)]) {
+    if (rec.seq < p.from || rec.seq > p.to) continue;
+    ++stats_.retransmissions;
+    sendState(src, rec.tag, rec.size, rec.payload);
+  }
+}
+
+void IncrementMechanism::armFlushTimer() {
+  if (flush_timer_armed_) return;
+  const double period = config_.reliability.heartbeat_period_s;
+  if (period <= 0.0) return;
+  flush_timer_armed_ = true;
+  transport_.schedule(period, [this] { onFlushTick(); });
+}
+
+void IncrementMechanism::onFlushTick() {
+  flush_timer_armed_ = false;
+  sendHeartbeats();
+}
+
+void IncrementMechanism::sendHeartbeats() {
+  bool any_active = false;
+  for (Rank r = 0; r < nprocs(); ++r) {
+    if (r == self()) continue;
+    const auto d = static_cast<std::size_t>(r);
+    if (last_seq_out_[d] == 0) continue;  // stream never used
+    if (last_seq_out_[d] > flushed_seq_[d])
+      idle_rounds_[d] = 0;
+    else
+      ++idle_rounds_[d];
+    // Streams stay on heartbeat duty for `tail_heartbeats` quiet rounds:
+    // each beacon is an independent chance to detect a lost stream tail.
+    if (idle_rounds_[d] > config_.reliability.tail_heartbeats) continue;
+    auto hb = std::make_shared<HeartbeatPayload>();
+    hb->last_seq = last_seq_out_[d];
+    flushed_seq_[d] = last_seq_out_[d];
+    sendState(r, StateTag::kHeartbeat, HeartbeatPayload::sizeBytes(),
+              std::move(hb));
+    any_active = true;
+  }
+  if (any_active) armFlushTimer();
+}
+
+// ---- hardened receiver side -----------------------------------------------
+
+bool IncrementMechanism::gapOpen(Rank src) const {
+  const auto& s = in_[static_cast<std::size_t>(src)];
+  return !s.stash.empty() || s.announced_last >= s.next;
+}
+
+void IncrementMechanism::onSequenced(Rank src, StateTag tag,
+                                     const sim::Payload& p) {
+  const SeqNo seq =
+      tag == StateTag::kUpdateDelta
+          ? dynamic_cast<const UpdateDeltaPayload&>(p).seq
+          : dynamic_cast<const MasterToAllPayload&>(p).seq;
+  LOADEX_EXPECT(seq > 0, "hardened receiver got an unsequenced message");
+  auto& s = in_[static_cast<std::size_t>(src)];
+
+  if (seq < s.next) {  // duplicate or already-recovered retransmission
+    ++stats_.duplicates_dropped;
+    return;
+  }
+  if (seq == s.next) {
+    applyLoadBearing(src, tag, p);
+    ++s.next;
+    drainStash(src);
+    return;
+  }
+
+  // Early arrival: something in [next, seq-1] is missing. Stash a copy
+  // (the network owns the original) and ask the sender to fill the gap.
+  const bool was_open = gapOpen(src);
+  Stashed st;
+  st.tag = tag;
+  if (tag == StateTag::kUpdateDelta)
+    st.payload = std::make_shared<UpdateDeltaPayload>(
+        dynamic_cast<const UpdateDeltaPayload&>(p));
+  else
+    st.payload = std::make_shared<MasterToAllPayload>(
+        dynamic_cast<const MasterToAllPayload&>(p));
+  s.stash.emplace(seq, std::move(st));
+  if (!was_open) {
+    ++stats_.gaps_detected;
+    sendNack(src);
+    armNackTimer(src);
+  }
+}
+
+void IncrementMechanism::onHeartbeat(Rank src, const HeartbeatPayload& p) {
+  LOADEX_EXPECT(hardened(), "heartbeat received with reliability disabled");
+  auto& s = in_[static_cast<std::size_t>(src)];
+  const bool was_open = gapOpen(src);
+  s.announced_last = std::max(s.announced_last, p.last_seq);
+  if (!gapOpen(src)) return;
+  if (!was_open) ++stats_.gaps_detected;
+  // Re-NACK on every beacon while the gap persists: heartbeats are few
+  // (bounded by tail_heartbeats) and each NACK is another recovery shot.
+  sendNack(src);
+  armNackTimer(src);
+}
+
+void IncrementMechanism::drainStash(Rank src) {
+  auto& s = in_[static_cast<std::size_t>(src)];
+  auto it = s.stash.begin();
+  while (it != s.stash.end() && it->first == s.next) {
+    applyLoadBearing(src, it->second.tag, *it->second.payload);
+    ++s.next;
+    it = s.stash.erase(it);
+  }
+  if (!gapOpen(src)) s.nack_retries = 0;
+}
+
+void IncrementMechanism::sendNack(Rank src) {
+  auto& s = in_[static_cast<std::size_t>(src)];
+  SeqNo to = s.announced_last;
+  if (!s.stash.empty()) to = std::max(to, s.stash.rbegin()->first - 1);
+  if (to < s.next) return;  // nothing missing after all
+  auto np = std::make_shared<NackPayload>();
+  np->from = s.next;
+  np->to = to;
+  ++stats_.nacks_sent;
+  sendState(src, StateTag::kNack, NackPayload::sizeBytes(), std::move(np));
+}
+
+void IncrementMechanism::armNackTimer(Rank src) {
+  auto& s = in_[static_cast<std::size_t>(src)];
+  if (s.nack_timer_armed) return;
+  s.nack_timer_armed = true;
+  transport_.schedule(config_.reliability.nack_timeout_s, [this, src] {
+    auto& st = in_[static_cast<std::size_t>(src)];
+    st.nack_timer_armed = false;
+    if (!gapOpen(src)) {
+      st.nack_retries = 0;
+      return;
+    }
+    if (++st.nack_retries > config_.reliability.max_nack_retries) {
+      abandonGap(src);
+      return;
+    }
+    sendNack(src);
+    armNackTimer(src);
+  });
+}
+
+void IncrementMechanism::abandonGap(Rank src) {
+  // The source did not answer any retry: it is presumed crashed. Apply
+  // whatever arrived out of order (better than discarding it), fast-
+  // forward the stream, and flag the rank so schedulers stop trusting
+  // its entry. If it ever speaks again, reception revives it.
+  auto& s = in_[static_cast<std::size_t>(src)];
+  ++stats_.gaps_abandoned;
+  declareDead(src);
+  for (auto& [seq, st] : s.stash) {
+    applyLoadBearing(src, st.tag, *st.payload);
+    s.next = seq + 1;
+  }
+  s.stash.clear();
+  s.next = std::max(s.next, s.announced_last + 1);
+  s.nack_retries = 0;
 }
 
 }  // namespace loadex::core

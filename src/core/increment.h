@@ -5,7 +5,23 @@
 // reservation carrying the load assigned to each chosen slave; every
 // process (including the slaves) applies it immediately, so the next
 // decision — wherever it is taken — already accounts for this one.
+//
+// Because every message is a *delta*, a single lost Update or
+// Master_To_All corrupts every remote view forever on a lossy network.
+// With `MechanismConfig::reliability.reliable_updates` the load-bearing
+// stream between each (sender, receiver) pair is sequence-numbered:
+// receivers detect gaps, reorder-buffer what arrived early, NACK the
+// missing range (with timed, bounded retries), and senders retransmit
+// from a bounded per-destination buffer. A periodic heartbeat carrying
+// the last sequence number flushes the stream tail, so the *last* message
+// being lost is also detected. A source that exhausts all NACK retries is
+// declared dead in the local view (degradation-aware schedulers skip it).
 #pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
 
 #include "core/mechanism.h"
 
@@ -29,7 +45,60 @@ class IncrementMechanism final : public Mechanism {
   void handleState(Rank src, StateTag tag, const sim::Payload& p) override;
 
  private:
+  bool hardened() const { return config_.reliability.reliable_updates; }
+
+  /// Apply a load-bearing message (Update delta or Master_To_All) to the
+  /// local view — the paper's reception rules, shared by the direct and
+  /// the reorder-buffer delivery paths.
+  void applyLoadBearing(Rank src, StateTag tag, const sim::Payload& p);
+
+  // ---- hardened sender side --------------------------------------------
+  /// Send a per-destination clone of `proto` with the next sequence
+  /// number of the (self, dst) stream, remembering it for retransmission.
+  template <typename P>
+  void sequencedSend(Rank dst, StateTag tag, Bytes size, const P& proto);
+  void onNack(Rank src, const NackPayload& p);
+  void armFlushTimer();
+  void onFlushTick();
+  void sendHeartbeats();
+
+  // ---- hardened receiver side ------------------------------------------
+  void onSequenced(Rank src, StateTag tag, const sim::Payload& p);
+  void onHeartbeat(Rank src, const HeartbeatPayload& p);
+  void drainStash(Rank src);
+  bool gapOpen(Rank src) const;
+  void sendNack(Rank src);
+  void armNackTimer(Rank src);
+  void abandonGap(Rank src);
+
   LoadMetrics pending_delta_;  ///< ∆load accumulator
+
+  // ---- hardened sender state -------------------------------------------
+  struct SentRecord {
+    SeqNo seq = 0;
+    StateTag tag = StateTag::kUpdateDelta;
+    Bytes size = 0;
+    std::shared_ptr<const sim::Payload> payload;
+  };
+  std::vector<SeqNo> last_seq_out_;               ///< per destination
+  std::vector<std::deque<SentRecord>> resend_buf_;  ///< per destination
+  std::vector<SeqNo> flushed_seq_;  ///< last seq covered by a heartbeat
+  std::vector<int> idle_rounds_;    ///< quiet flush rounds per destination
+  bool flush_timer_armed_ = false;
+
+  // ---- hardened receiver state -----------------------------------------
+  struct Stashed {
+    StateTag tag = StateTag::kUpdateDelta;
+    std::shared_ptr<const sim::Payload> payload;
+  };
+  struct InStream {
+    SeqNo next = 1;                    ///< next sequence number expected
+    SeqNo announced_last = 0;          ///< highest seq learnt via heartbeat
+    std::map<SeqNo, Stashed> stash;    ///< early arrivals, by seq
+    int nack_retries = 0;
+    bool nack_timer_armed = false;
+  };
+  std::vector<InStream> in_;  ///< per source
 };
 
 }  // namespace loadex::core

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/expect.h"
@@ -52,12 +53,18 @@ struct LoadMetrics {
   }
 };
 
-/// A process's view of the load of every process in the system.
+/// A process's view of the load of every process in the system, plus
+/// freshness metadata: when each entry was last refreshed by a message
+/// from its owner, and whether the owner has been declared dead (crashed
+/// or persistently unreachable). Degradation-aware schedulers use both to
+/// skip ranks whose entries cannot be trusted.
 class LoadView {
  public:
   LoadView() = default;
   explicit LoadView(int nprocs)
-      : load_(static_cast<std::size_t>(nprocs)) {}
+      : load_(static_cast<std::size_t>(nprocs)),
+        last_heard_(static_cast<std::size_t>(nprocs), 0.0),
+        dead_(static_cast<std::size_t>(nprocs), false) {}
 
   int nprocs() const { return static_cast<int>(load_.size()); }
 
@@ -80,8 +87,35 @@ class LoadView {
     return t;
   }
 
+  // ---- freshness tracking ----------------------------------------------
+
+  /// Record that `r` was heard from at time `t` (any message counts).
+  void touch(Rank r, SimTime t) {
+    auto& last = last_heard_[static_cast<std::size_t>(r)];
+    if (t > last) last = t;
+  }
+  SimTime lastHeardFrom(Rank r) const {
+    return last_heard_[static_cast<std::size_t>(r)];
+  }
+  /// Age of the entry for `r` as seen at time `now` (infinite if dead).
+  double staleness(Rank r, SimTime now) const {
+    if (dead(r)) return std::numeric_limits<double>::infinity();
+    return now - last_heard_[static_cast<std::size_t>(r)];
+  }
+
+  bool dead(Rank r) const { return dead_[static_cast<std::size_t>(r)]; }
+  void markDead(Rank r) { dead_[static_cast<std::size_t>(r)] = true; }
+  void revive(Rank r) { dead_[static_cast<std::size_t>(r)] = false; }
+  int deadCount() const {
+    int n = 0;
+    for (const bool d : dead_) n += d ? 1 : 0;
+    return n;
+  }
+
  private:
   std::vector<LoadMetrics> load_;
+  std::vector<SimTime> last_heard_;
+  std::vector<bool> dead_;
 };
 
 /// One slave chosen by a master, with the load (work + memory) assigned.

@@ -21,6 +21,12 @@ MechanismKind parseMechanismKind(const std::string& name) {
   LOADEX_EXPECT(false, "unknown mechanism kind: " + name);
 }
 
+void Transport::schedule(SimTime /*delay*/, std::function<void()> /*fn*/) {
+  LOADEX_EXPECT(false,
+                "this transport has no timer support (required by the "
+                "reliability/hardening options)");
+}
+
 void MechanismStats::mergeInto(MechanismStats& out) const {
   out.sent_by_tag.merge(sent_by_tag);
   out.bytes_sent += bytes_sent;
@@ -30,6 +36,15 @@ void MechanismStats::mergeInto(MechanismStats& out) const {
   out.snapshot_rearms += snapshot_rearms;
   out.time_blocked += time_blocked;
   out.snapshot_duration.merge(snapshot_duration);
+  out.gaps_detected += gaps_detected;
+  out.nacks_sent += nacks_sent;
+  out.retransmissions += retransmissions;
+  out.duplicates_dropped += duplicates_dropped;
+  out.gaps_abandoned += gaps_abandoned;
+  out.snapshot_timeouts += snapshot_timeouts;
+  out.partial_snapshots += partial_snapshots;
+  out.snapshot_aborts += snapshot_aborts;
+  out.ranks_declared_dead += ranks_declared_dead;
 }
 
 Mechanism::Mechanism(Transport& transport, MechanismConfig config)
@@ -45,6 +60,10 @@ Mechanism::Mechanism(Transport& transport, MechanismConfig config)
 
 void Mechanism::onStateMessage(const sim::Message& msg) {
   LOADEX_EXPECT(msg.payload != nullptr, "state message without payload");
+  // Any message from src proves it is alive: refresh the staleness clock
+  // and clear a possible dead mark (a restarted process revives here).
+  view_.touch(msg.src, transport_.now());
+  if (view_.dead(msg.src)) view_.revive(msg.src);
   handleState(msg.src, static_cast<StateTag>(msg.tag), *msg.payload);
 }
 

@@ -40,12 +40,53 @@ class Transport {
   virtual SimTime now() const = 0;
   virtual void sendState(Rank dst, StateTag tag, Bytes size,
                          std::shared_ptr<const sim::Payload> payload) = 0;
+
+  /// Arm a one-shot timer `delay` seconds from now. Only the hardened
+  /// (reliability-enabled) protocol paths use timers; the default
+  /// implementation hard-fails so that a transport without timer support
+  /// cannot silently drop a retry/timeout.
+  virtual void schedule(SimTime delay, std::function<void()> fn);
+};
+
+/// Knobs of the protocol hardening layer (ack/timeout/retry). Everything
+/// defaults to OFF: with the default config the mechanisms behave exactly
+/// as the paper's pseudocode on a reliable network, bit for bit.
+struct ReliabilityConfig {
+  /// Master switch for the hardened increment protocol: sequence-numbered
+  /// load updates with gap detection, NACK/resend and heartbeat tail
+  /// flush. Requires a Transport with timer support.
+  bool reliable_updates = false;
+  /// Retry period of a pending NACK while a gap persists.
+  double nack_timeout_s = 2e-4;
+  /// NACK retries before the source is declared dead in the local view.
+  int max_nack_retries = 8;
+  /// Flush-beacon period; each active (sender, receiver) stream gets one
+  /// heartbeat per period so tail losses are detected.
+  double heartbeat_period_s = 2e-3;
+  /// Idle heartbeat rounds sent after the stream goes quiet (each one is
+  /// an independent chance to detect a lost tail).
+  int tail_heartbeats = 4;
+  /// Per-destination retransmission buffer depth (messages).
+  int resend_window = 512;
+
+  /// Snapshot hardening: answer-collection timeout. 0 disables it (paper
+  /// behaviour: a lost snp answer deadlocks the initiator forever).
+  double snapshot_timeout_s = 0.0;
+  /// Full re-arm/retry rounds before the initiator completes with a
+  /// partial quorum (missing ranks are declared dead, their entries kept
+  /// from the maintained view and flagged stale).
+  int max_snapshot_retries = 3;
+
+  bool snapshotHardened() const { return snapshot_timeout_s > 0.0; }
 };
 
 struct MechanismConfig {
   /// "Significant variation" threshold (per metric) that triggers an
   /// Update broadcast in the maintained-view mechanisms.
   LoadMetrics threshold{1e6, 1e4};
+
+  /// Fault-tolerance hardening, all off by default (see above).
+  ReliabilityConfig reliability;
 
   /// Enable the §2.3 No_more_master optimisation.
   bool no_more_master = true;
@@ -74,6 +115,17 @@ struct MechanismStats {
   std::int64_t snapshot_rearms = 0;
   double time_blocked = 0.0;        ///< time this process spent frozen
   Accumulator snapshot_duration;    ///< requestView -> view delivery
+
+  // Hardened-protocol statistics (all zero with reliability off):
+  std::int64_t gaps_detected = 0;        ///< sequence gaps seen as receiver
+  std::int64_t nacks_sent = 0;
+  std::int64_t retransmissions = 0;      ///< messages resent on NACK
+  std::int64_t duplicates_dropped = 0;   ///< stale/duplicate seq discarded
+  std::int64_t gaps_abandoned = 0;       ///< NACK retries exhausted
+  std::int64_t snapshot_timeouts = 0;    ///< answer timeouts fired
+  std::int64_t partial_snapshots = 0;    ///< completed with a partial quorum
+  std::int64_t snapshot_aborts = 0;      ///< foreign snapshots force-closed
+  std::int64_t ranks_declared_dead = 0;
 
   std::int64_t messagesSent() const { return sent_by_tag.total(); }
   void mergeInto(MechanismStats& out) const;
@@ -136,6 +188,14 @@ class Mechanism : public sim::StateHandler {
 
   /// Record a No_more_master received from `src`.
   void markNoMoreMaster(Rank src);
+
+  /// Declare `src` dead in the local view (crashed or persistently
+  /// unreachable); any later message from it revives it.
+  void declareDead(Rank src) {
+    if (view_.dead(src)) return;
+    view_.markDead(src);
+    ++stats_.ranks_declared_dead;
+  }
 
   Transport& transport_;
   MechanismConfig config_;

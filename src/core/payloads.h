@@ -29,10 +29,17 @@ enum class StateTag : int {
   kSnp = 6,
   kEndSnp = 7,
   kMasterToSlave = 8,
+  // Hardened-protocol traffic (reliability extension, not in the paper):
+  kNack = 9,       ///< receiver-detected gap: please resend [from, to]
+  kHeartbeat = 10, ///< sender's last sequence number, for tail-loss detection
 };
 
 /// Request identifier for the snapshot protocol.
 using RequestId = std::uint64_t;
+
+/// Per-(sender, receiver) sequence number of the hardened increment
+/// stream; 0 means "unsequenced" (hardening disabled).
+using SeqNo = std::uint64_t;
 
 struct UpdateAbsolutePayload final : sim::Payload {
   LoadMetrics load;
@@ -41,14 +48,32 @@ struct UpdateAbsolutePayload final : sim::Payload {
 
 struct UpdateDeltaPayload final : sim::Payload {
   LoadMetrics delta;
+  SeqNo seq = 0;  ///< set (>= 1) only by the hardened increment protocol
   static Bytes sizeBytes() { return 24; }
 };
 
 struct MasterToAllPayload final : sim::Payload {
   std::vector<SlaveAssignment> assignments;
+  SeqNo seq = 0;  ///< set (>= 1) only by the hardened increment protocol
   static Bytes sizeBytes(std::size_t nslaves) {
     return 16 + 24 * static_cast<Bytes>(nslaves);
   }
+};
+
+/// Gap report: the receiver is missing sequence numbers [from, to] of the
+/// sender's load-bearing stream and asks for a retransmission.
+struct NackPayload final : sim::Payload {
+  SeqNo from = 0;
+  SeqNo to = 0;
+  static Bytes sizeBytes() { return 24; }
+};
+
+/// Periodic flush beacon of the hardened increment protocol: carries the
+/// last sequence number sent on this (sender, receiver) stream so the
+/// receiver can detect that the *tail* of the stream was lost.
+struct HeartbeatPayload final : sim::Payload {
+  SeqNo last_seq = 0;
+  static Bytes sizeBytes() { return 16; }
 };
 
 struct NoMoreMasterPayload final : sim::Payload {
@@ -87,6 +112,8 @@ inline const char* stateTagName(StateTag tag) {
     case StateTag::kSnp: return "snp";
     case StateTag::kEndSnp: return "end_snp";
     case StateTag::kMasterToSlave: return "master_to_slave";
+    case StateTag::kNack: return "nack";
+    case StateTag::kHeartbeat: return "heartbeat";
   }
   return "?";
 }

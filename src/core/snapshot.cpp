@@ -37,6 +37,7 @@ void SnapshotMechanism::requestView(ViewCallback cb) {
   ++stats_.snapshots_initiated;
   view_cb_ = std::move(cb);
   initiated_at_ = transport_.now();
+  timeout_retries_ = 0;
 
   // "Initiate a snapshot": leader = myself; snp(myself) = true;
   // during_snp = true; then arm the first request.
@@ -58,6 +59,54 @@ void SnapshotMechanism::arm() {
   // The snapshot must hear from *everyone*; No_more_master does not apply.
   broadcastState(StateTag::kStartSnp, StartSnpPayload::sizeBytes(),
                  std::move(payload), /*respect_no_more_master=*/false);
+  if (hardened()) armAnswerTimeout();
+}
+
+void SnapshotMechanism::armAnswerTimeout() {
+  // Captured request id instead of a cancelable timer: a timer armed for a
+  // request that completed or was superseded finds req != my_request_ (or
+  // no snapshot in flight) and dies silently.
+  const RequestId req = my_request_;
+  transport_.schedule(config_.reliability.snapshot_timeout_s,
+                      [this, req] { onAnswerTimeout(req); });
+}
+
+void SnapshotMechanism::onAnswerTimeout(RequestId req) {
+  if (!during_snp_ || !view_cb_ || req != my_request_) return;  // stale
+  ++stats_.snapshot_timeouts;
+  if (timeout_retries_ < config_.reliability.max_snapshot_retries) {
+    ++timeout_retries_;
+    // Fresh request id + re-broadcast: the retransmitted start_snp doubles
+    // as the retry, and answers to the timed-out request are ignored.
+    arm();
+    return;
+  }
+  // Retry budget exhausted: whoever never answered is presumed crashed.
+  // Complete with the partial quorum; missing ranks keep their (stale)
+  // maintained-view entries so the decision still has an estimate.
+  for (Rank r = 0; r < nprocs(); ++r) {
+    if (r == self() || answered_[static_cast<std::size_t>(r)]) continue;
+    declareDead(r);
+  }
+  ++stats_.partial_snapshots;
+  maybeComplete();
+}
+
+void SnapshotMechanism::armForeignGuard(Rank src) {
+  const RequestId req = request_[static_cast<std::size_t>(src)];
+  transport_.schedule(foreignGuardDelay(), [this, src, req] {
+    if (!snp_[static_cast<std::size_t>(src)]) return;  // end_snp arrived
+    if (request_[static_cast<std::size_t>(src)] != req) {
+      armForeignGuard(src);  // the initiator re-armed: watch the new round
+      return;
+    }
+    // No end_snp and no retry for a whole guard period: the initiator is
+    // presumed dead. Force-close its snapshot so this process unfreezes.
+    ++stats_.snapshot_aborts;
+    declareDead(src);
+    delayed_[static_cast<std::size_t>(src)] = false;
+    onEndSnp(src);
+  });
 }
 
 void SnapshotMechanism::sendSnpAnswer(Rank dst) {
@@ -69,11 +118,16 @@ void SnapshotMechanism::sendSnpAnswer(Rank dst) {
 
 void SnapshotMechanism::maybeComplete() {
   if (!during_snp_ || !view_cb_) return;
-  if (nb_msgs_ != nprocs() - 1) return;
+  for (Rank r = 0; r < nprocs(); ++r) {
+    if (r == self() || answered_[static_cast<std::size_t>(r)]) continue;
+    if (hardened() && view_.dead(r)) continue;  // partial quorum
+    return;  // still waiting for this rank
+  }
 
   view_.set(self(), my_load_);
   for (Rank r = 0; r < nprocs(); ++r)
-    if (r != self()) view_.set(r, gathered_[static_cast<std::size_t>(r)]);
+    if (r != self() && answered_[static_cast<std::size_t>(r)])
+      view_.set(r, gathered_[static_cast<std::size_t>(r)]);
   stats_.snapshot_duration.add(transport_.now() - initiated_at_);
 
   // Algorithm 4: decision happens now, synchronously; commitSelection()
@@ -162,6 +216,7 @@ void SnapshotMechanism::onStartSnp(Rank src, const StartSnpPayload& p) {
   if (!snp_[static_cast<std::size_t>(src)]) {
     ++nb_snp_;
     snp_[static_cast<std::size_t>(src)] = true;
+    if (hardened()) armForeignGuard(src);
   }
 
   if (leader_ == self()) {

@@ -17,6 +17,15 @@
 //    (master_to_slave, applied to their local load on reception) and
 //    broadcasts end_snp; it stays frozen until all other open snapshots
 //    complete.
+//
+// The paper assumes a reliable network; a single lost snp answer leaves the
+// initiator frozen forever, and a lost end_snp freezes every responder.
+// With `ReliabilityConfig::snapshot_timeout_s > 0` both are bounded: the
+// initiator re-arms (fresh request id + re-broadcast, so retransmitted
+// start_snps double as retries) up to `max_snapshot_retries` times, then
+// completes with a partial quorum — unanswered ranks are declared dead and
+// keep their (stale) maintained-view entries. Responders arm a guard timer
+// per foreign snapshot that force-closes it if no end_snp ever arrives.
 #pragma once
 
 #include "core/mechanism.h"
@@ -55,7 +64,17 @@ class SnapshotMechanism final : public Mechanism {
   void handleState(Rank src, StateTag tag, const sim::Payload& p) override;
 
  private:
+  bool hardened() const { return config_.reliability.snapshotHardened(); }
   void arm();
+  void armAnswerTimeout();
+  void onAnswerTimeout(RequestId req);
+  void armForeignGuard(Rank src);
+  /// How long a responder waits for end_snp before presuming the initiator
+  /// dead: long enough to cover every initiator-side retry round.
+  SimTime foreignGuardDelay() const {
+    return config_.reliability.snapshot_timeout_s *
+           (config_.reliability.max_snapshot_retries + 2);
+  }
   void sendSnpAnswer(Rank dst);
   void maybeComplete();
   void finalize();
@@ -84,6 +103,7 @@ class SnapshotMechanism final : public Mechanism {
   ViewCallback view_cb_;
   bool selection_open_ = false;
   SimTime initiated_at_ = 0.0;
+  int timeout_retries_ = 0;  ///< re-arm rounds spent by the current request
 
   // ---- blocked-time accounting ------------------------------------------
   bool was_blocked_ = false;

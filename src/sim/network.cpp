@@ -9,14 +9,31 @@ namespace loadex::sim {
 Network::Network(EventQueue& queue, NetworkConfig config, int nprocs)
     : queue_(queue),
       config_(config),
+      nprocs_(nprocs),
       receivers_(static_cast<std::size_t>(nprocs)),
       sender_free_at_(static_cast<std::size_t>(nprocs), 0.0),
-      jitter_rng_(config.seed) {
+      pair_last_arrival_(
+          static_cast<std::size_t>(nprocs) * static_cast<std::size_t>(nprocs),
+          0.0),
+      jitter_rng_(config.seed),
+      fault_rng_(config.faults.seed),
+      faults_enabled_(config.faults.enabled()) {
   LOADEX_EXPECT(nprocs > 0, "network needs at least one process");
   LOADEX_EXPECT(config_.latency_s >= 0.0, "latency must be non-negative");
   LOADEX_EXPECT(config_.jitter_s >= 0.0, "jitter must be non-negative");
   LOADEX_EXPECT(config_.bandwidth_bytes_per_s > 0.0,
                 "bandwidth must be positive");
+  const auto& f = config_.faults;
+  LOADEX_EXPECT(f.drop_prob >= 0.0 && f.drop_prob <= 1.0,
+                "drop probability must be in [0,1]");
+  LOADEX_EXPECT(f.duplicate_prob >= 0.0 && f.duplicate_prob <= 1.0,
+                "duplicate probability must be in [0,1]");
+  LOADEX_EXPECT(f.latency_spike_prob >= 0.0 && f.latency_spike_prob <= 1.0,
+                "latency-spike probability must be in [0,1]");
+  LOADEX_EXPECT(f.latency_spike_s >= 0.0,
+                "latency spike must be non-negative");
+  for (const auto& b : f.blackouts)
+    LOADEX_EXPECT(b.end >= b.start, "blackout window must have end >= start");
 }
 
 void Network::setReceiver(Rank rank, DeliveryFn fn) {
@@ -30,6 +47,14 @@ double Network::transferTime(Bytes size) const {
          config_.bandwidth_bytes_per_s;
 }
 
+void Network::scheduleDelivery(const Message& msg, SimTime arrival) {
+  queue_.scheduleAt(arrival, [this, m = msg]() {
+    auto& recv = receivers_[static_cast<std::size_t>(m.dst)];
+    LOADEX_EXPECT(static_cast<bool>(recv), "no receiver registered for rank");
+    recv(m);
+  });
+}
+
 void Network::send(Message msg) {
   LOADEX_EXPECT(msg.src >= 0 && msg.src < static_cast<Rank>(receivers_.size()),
                 "message src out of range");
@@ -40,6 +65,7 @@ void Network::send(Message msg) {
 
   const SimTime now = queue_.now();
   const double transfer = transferTime(msg.size);
+  const Bytes wire = msg.size + config_.per_message_overhead_bytes;
 
   SimTime depart = now;
   if (config_.serialize_sender) {
@@ -51,19 +77,54 @@ void Network::send(Message msg) {
   if (config_.jitter_s > 0.0)
     arrival += jitter_rng_.uniformReal(0.0, config_.jitter_s);
 
+  // The sender transmitted in every case: count the message and its wire
+  // bytes (payload + header overhead) before any fault is applied.
+  counts_.bump(channelName(msg.channel));
+  bytes_sent_ += wire;
+  channel_bytes_[static_cast<std::size_t>(msg.channel)] += wire;
+
+  bool duplicate = false;
+  if (faults_enabled_ && faultsApplyTo(msg.channel)) {
+    const auto& f = config_.faults;
+    for (const auto& b : f.blackouts) {
+      if (b.matches(msg.src, msg.dst, now)) {
+        counts_.bump("fault_blackout");
+        return;
+      }
+    }
+    if (f.drop_prob > 0.0 && fault_rng_.bernoulli(f.drop_prob)) {
+      counts_.bump("fault_drop");
+      return;
+    }
+    if (f.duplicate_prob > 0.0 && fault_rng_.bernoulli(f.duplicate_prob)) {
+      duplicate = true;
+      counts_.bump("fault_duplicate");
+    }
+    if (f.latency_spike_prob > 0.0 &&
+        fault_rng_.bernoulli(f.latency_spike_prob)) {
+      arrival += f.latency_spike_s;
+      counts_.bump("fault_latency_spike");
+    }
+  }
+
   // FIFO per ordered (src,dst) pair: never deliver before an earlier send.
-  auto& last = pair_last_arrival_[{msg.src, msg.dst}];
+  auto& last = pairLastArrival(msg.src, msg.dst);
   arrival = std::max(arrival, last);
   last = arrival;
+  scheduleDelivery(msg, arrival);
 
-  counts_.bump(channelName(msg.channel));
-  bytes_sent_ += msg.size;
-
-  queue_.scheduleAt(arrival, [this, m = std::move(msg)]() {
-    auto& recv = receivers_[static_cast<std::size_t>(m.dst)];
-    LOADEX_EXPECT(static_cast<bool>(recv), "no receiver registered for rank");
-    recv(m);
-  });
+  if (duplicate) {
+    // The spurious copy trails one extra latency behind and occupies the
+    // wire a second time.
+    SimTime copy_arrival = arrival + config_.latency_s;
+    if (config_.jitter_s > 0.0)
+      copy_arrival += fault_rng_.uniformReal(0.0, config_.jitter_s);
+    copy_arrival = std::max(copy_arrival, last);
+    last = copy_arrival;
+    bytes_sent_ += wire;
+    channel_bytes_[static_cast<std::size_t>(msg.channel)] += wire;
+    scheduleDelivery(msg, copy_arrival);
+  }
 }
 
 }  // namespace loadex::sim

@@ -1,18 +1,19 @@
 // Network model: point-to-point links with latency, bandwidth and
 // sender-side serialization (a process's NIC transmits one message at a
 // time per destination). Messages between the same (src, dst) pair are
-// delivered FIFO, like an MPI channel.
+// delivered FIFO, like an MPI channel. An optional FaultPlan injects
+// deterministic, seeded message loss / duplication / latency spikes and
+// scripted per-link blackouts.
 #pragma once
 
 #include <functional>
-#include <map>
-#include <utility>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "sim/event_queue.h"
+#include "sim/faults.h"
 #include "sim/message.h"
 
 namespace loadex::sim {
@@ -37,6 +38,9 @@ struct NetworkConfig {
   /// protocol correctness under adversarial message interleavings.
   double jitter_s = 0.0;
   std::uint64_t seed = 0x6a177e5;
+
+  /// Message-level fault injection; inert by default (see sim/faults.h).
+  FaultPlan faults;
 };
 
 /// Delivery callback: invoked at the destination's arrival time.
@@ -50,30 +54,66 @@ class Network {
   void setReceiver(Rank rank, DeliveryFn fn);
 
   /// Transmit a message. Sender-side serialization and per-pair FIFO are
-  /// applied; the receiver hook fires at arrival time.
+  /// applied; the receiver hook fires at arrival time (unless a fault
+  /// drops the message).
   void send(Message msg);
 
   const NetworkConfig& config() const { return config_; }
 
-  /// Global message statistics, keyed by channel name.
+  /// Global message statistics, keyed by channel name; fault events are
+  /// counted under "fault_*" keys.
   const CounterSet& messageCounts() const { return counts_; }
+
+  /// Total bytes put on the wire: payload plus per-message overhead, for
+  /// every transmission (duplicated copies included).
   Bytes bytesSent() const { return bytes_sent_; }
+  /// Wire bytes broken down per channel.
+  Bytes bytesSent(Channel c) const {
+    return channel_bytes_[static_cast<std::size_t>(c)];
+  }
+
+  // ---- fault statistics -------------------------------------------------
+  std::int64_t messagesDropped() const {
+    return counts_.get("fault_drop") + counts_.get("fault_blackout");
+  }
+  std::int64_t messagesDuplicated() const {
+    return counts_.get("fault_duplicate");
+  }
+  std::int64_t latencySpikes() const {
+    return counts_.get("fault_latency_spike");
+  }
 
   /// Transfer time (seconds) for a payload of `size` bytes, excluding
   /// latency and queueing.
   double transferTime(Bytes size) const;
 
  private:
+  bool faultsApplyTo(Channel c) const {
+    return c == Channel::kState ? config_.faults.affects_state
+                                : config_.faults.affects_app;
+  }
+  SimTime& pairLastArrival(Rank src, Rank dst) {
+    return pair_last_arrival_[static_cast<std::size_t>(src) *
+                                  static_cast<std::size_t>(nprocs_) +
+                              static_cast<std::size_t>(dst)];
+  }
+  void scheduleDelivery(const Message& msg, SimTime arrival);
+
   EventQueue& queue_;
   NetworkConfig config_;
+  int nprocs_;
   std::vector<DeliveryFn> receivers_;
   /// Earliest time each sender's NIC is free (serialize_sender mode).
   std::vector<SimTime> sender_free_at_;
-  /// Earliest delivery time per (src,dst) pair to preserve FIFO order.
-  std::map<std::pair<Rank, Rank>, SimTime> pair_last_arrival_;
+  /// Earliest delivery time per (src,dst) pair to preserve FIFO order;
+  /// flat, indexed src * nprocs + dst (hot path: no map lookups).
+  std::vector<SimTime> pair_last_arrival_;
   CounterSet counts_;
   Bytes bytes_sent_ = 0;
+  Bytes channel_bytes_[2] = {0, 0};
   Rng jitter_rng_;
+  Rng fault_rng_;
+  bool faults_enabled_;
 };
 
 }  // namespace loadex::sim

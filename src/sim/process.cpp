@@ -28,8 +28,57 @@ void Process::start() {
   schedulePumpAfter(0.0);
 }
 
+void Process::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  ++crashes_;
+  if (state_ == State::kComputing) {
+    busy_time_ += now() - task_started_;
+    queue_.cancel(end_event_);
+    end_event_ = kNoEvent;
+  } else if (state_ == State::kPaused) {
+    paused_time_ += now() - paused_since_;
+  }
+  if (poll_event_ != kNoEvent) {
+    queue_.cancel(poll_event_);
+    poll_event_ = kNoEvent;
+  }
+  task_.reset();
+  state_ = State::kIdle;
+  fault_paused_ = false;
+  messages_lost_ +=
+      static_cast<std::int64_t>(state_q_.size() + app_q_.size());
+  state_q_.clear();
+  app_q_.clear();
+}
+
+void Process::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  ++restarts_;
+  // In-flight and queued messages were lost while down; local application
+  // state is whatever survived the crash (the app/mechanism decide).
+  pump();
+}
+
+void Process::faultPause() {
+  if (crashed_ || fault_paused_) return;
+  fault_paused_ = true;
+  if (state_ == State::kComputing) pauseTask();
+}
+
+void Process::faultResume() {
+  if (!fault_paused_) return;
+  fault_paused_ = false;
+  pump();
+}
+
 void Process::deliver(const Message& msg) {
   LOADEX_EXPECT(msg.dst == rank_, "message delivered to wrong process");
+  if (crashed_) {
+    ++messages_lost_;
+    return;
+  }
   if (msg.channel == Channel::kState) {
     state_q_.push_back(msg);
   } else {
@@ -40,6 +89,7 @@ void Process::deliver(const Message& msg) {
 
 void Process::send(Rank dst, Channel channel, int tag, Bytes size,
                    std::shared_ptr<const Payload> payload) {
+  if (crashed_) return;  // a dead process transmits nothing
   Message m;
   m.src = rank_;
   m.dst = dst;
@@ -62,6 +112,7 @@ void Process::schedulePumpAfter(SimTime delay) {
 }
 
 void Process::pump() {
+  if (crashed_ || fault_paused_) return;  // down or stalled by a fault
   if (pump_scheduled_) return;           // a charged continuation is pending
   if (state_ == State::kComputing) return;  // cannot treat messages (Alg. 1)
 

@@ -53,6 +53,18 @@ class Process {
   /// Called by the world once, at t = 0.
   void start();
 
+  // ---- scripted process faults (driven by World's fault script) --------
+  /// Fail-stop: the pending task is aborted, queued and future messages
+  /// are lost, and the process goes silent until restart().
+  void crash();
+  /// A crashed process comes back empty-handed: everything that was in
+  /// flight or queued at crash time is gone (state loss).
+  void restart();
+  /// Slow-node stall: stop computing and treating messages; arriving
+  /// messages keep queueing (unlike a crash, nothing is lost).
+  void faultPause();
+  void faultResume();
+
   /// Network receiver hook.
   void deliver(const Message& msg);
 
@@ -75,8 +87,11 @@ class Process {
 
   bool computing() const { return state_ == State::kComputing; }
   bool paused() const { return state_ == State::kPaused; }
+  bool crashed() const { return crashed_; }
+  bool faultPaused() const { return fault_paused_; }
   bool idle() const {
-    return state_ == State::kIdle && state_q_.empty() && app_q_.empty();
+    return crashed_ ||
+           (state_ == State::kIdle && state_q_.empty() && app_q_.empty());
   }
 
   // ---- metrics ---------------------------------------------------------
@@ -86,6 +101,11 @@ class Process {
   std::int64_t appMessagesHandled() const { return app_handled_; }
   std::int64_t tasksRun() const { return tasks_run_; }
   double pausedTime() const { return paused_time_; }
+  /// Messages lost because this process was crashed (queued at crash time
+  /// or delivered while down).
+  std::int64_t messagesLost() const { return messages_lost_; }
+  int crashes() const { return crashes_; }
+  int restarts() const { return restarts_; }
 
  private:
   enum class State { kIdle, kComputing, kPaused };
@@ -117,6 +137,8 @@ class Process {
 
   State state_ = State::kIdle;
   bool pump_scheduled_ = false;
+  bool crashed_ = false;
+  bool fault_paused_ = false;
 
   std::optional<ComputeTask> task_;
   SimTime task_started_ = 0.0;
@@ -131,6 +153,9 @@ class Process {
   std::int64_t state_handled_ = 0;
   std::int64_t app_handled_ = 0;
   std::int64_t tasks_run_ = 0;
+  std::int64_t messages_lost_ = 0;
+  int crashes_ = 0;
+  int restarts_ = 0;
 };
 
 }  // namespace loadex::sim

@@ -43,6 +43,20 @@ void World::attach(Rank rank, Application* app, StateHandler* handler) {
 RunResult World::run(SimTime until, std::uint64_t max_events) {
   if (!started_) {
     started_ = true;
+    for (const auto& ev : config_.process_faults) {
+      LOADEX_EXPECT(ev.rank >= 0 && ev.rank < nprocs(),
+                    "process fault names an unknown rank");
+      LOADEX_EXPECT(ev.time >= 0.0, "process fault time must be >= 0");
+      Process* p = processes_[static_cast<std::size_t>(ev.rank)].get();
+      queue_.scheduleAt(ev.time, [p, kind = ev.kind] {
+        switch (kind) {
+          case ProcessFaultEvent::Kind::kCrash: p->crash(); break;
+          case ProcessFaultEvent::Kind::kPause: p->faultPause(); break;
+          case ProcessFaultEvent::Kind::kResume: p->faultResume(); break;
+          case ProcessFaultEvent::Kind::kRestart: p->restart(); break;
+        }
+      });
+    }
     for (auto& p : processes_) p->start();
   }
   RunResult result;
@@ -57,6 +71,14 @@ RunResult World::run(SimTime until, std::uint64_t max_events) {
   }
   result.end_time = queue_.now();
   result.events = fired;
+  result.messages_dropped = network_.messagesDropped();
+  result.messages_duplicated = network_.messagesDuplicated();
+  result.latency_spikes = network_.latencySpikes();
+  for (const auto& p : processes_) {
+    result.messages_lost_at_down_procs += p->messagesLost();
+    result.crashes += p->crashes();
+    result.restarts += p->restarts();
+  }
   return result;
 }
 

@@ -20,12 +20,23 @@ struct WorldConfig {
   /// cf. the paper's §4 remark). Empty = homogeneous; otherwise must have
   /// nprocs entries, each > 0.
   std::vector<double> speed_factors;
+  /// Scripted crash / pause / resume / restart events, scheduled when the
+  /// simulation starts (see sim/faults.h).
+  std::vector<ProcessFaultEvent> process_faults;
 };
 
 struct RunResult {
   SimTime end_time = 0.0;        ///< simulated time of the last event
   std::uint64_t events = 0;      ///< number of events fired
   bool hit_limit = false;        ///< stopped by the time/event guard
+
+  // ---- fault statistics (all zero on a clean run) ----------------------
+  std::int64_t messages_dropped = 0;     ///< random drops + blackouts
+  std::int64_t messages_duplicated = 0;
+  std::int64_t latency_spikes = 0;
+  std::int64_t messages_lost_at_down_procs = 0;
+  int crashes = 0;
+  int restarts = 0;
 };
 
 class World {

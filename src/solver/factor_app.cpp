@@ -245,7 +245,9 @@ std::optional<sim::ComputeTask> FactorApp::nextTask(sim::Process& p) {
 
 sim::ComputeTask FactorApp::makeMasterTask(sim::Process& p, int id) {
   const auto& np = plan_.at(id);
-  const bool type2 = np.type == NodeType::kType2;
+  // A type-2 node degraded to local execution behaves exactly like a
+  // type-1 node from here on: full front, total work, full factor share.
+  const bool type2 = np.type == NodeType::kType2 && !ns(id).local_fallback;
   const Entries front_share =
       type2 ? np.costs.master_front_entries : np.costs.front_entries;
 
@@ -259,7 +261,7 @@ sim::ComputeTask FactorApp::makeMasterTask(sim::Process& p, int id) {
   task.label = std::string(nodeTypeName(np.type)) + "#" + std::to_string(id);
   task.on_complete = [this, id](sim::Process& proc) {
     const auto& nplan = plan_.at(id);
-    const bool t2 = nplan.type == NodeType::kType2;
+    const bool t2 = nplan.type == NodeType::kType2 && !ns(id).local_fallback;
     const Flops done = t2 ? nplan.costs.master_flops : nplan.costs.total_flops;
     mechs_.at(proc.rank()).addLocalLoad({-done, 0.0});
     const Entries share =
@@ -329,13 +331,31 @@ void FactorApp::performSelection(sim::Process& p, int id,
   req.min_rows_per_slave = options_.min_rows_per_slave;
   req.max_slaves = options_.max_slaves;
 
+  req.now = p.now();
+  req.staleness_limit_s = options_.staleness_limit_s;
+
   const core::SlaveSelection sel = scheduler_.select(view, req);
-  mech.commitSelection(sel);
+  mech.commitSelection(sel);  // also with an empty selection: the snapshot
+                              // mechanism finalizes (end_snp) here
   ++selections_made_;
 
   auto& st = ns(id);
   st.parts_pending = static_cast<int>(sel.size());
   st.selection_done = true;
+
+  if (sel.empty()) {
+    // Degraded mode: no live, fresh candidate — the master absorbs the
+    // slaves' share and runs the node alone (better slow than stuck).
+    st.local_fallback = true;
+    ++local_fallbacks_;
+    mech.addLocalLoad({np.costs.slave_flops, 0.0});
+    auto& pstate = ps(p.rank());
+    if (--pstate.type2_masters_left == 0 &&
+        options_.announce_no_more_master)
+      mech.noMoreMaster();
+    pstate.ready.push_front(id);
+    return;
+  }
 
   const double flops_per_row =
       req.rows > 0 ? req.slave_flops / req.rows : 0.0;
@@ -395,7 +415,7 @@ void FactorApp::completeNode(sim::Process& p, int id) {
   // signal to count down its children.
   const Rank parent_master = plan_.at(nd.parent).master;
   if (plan_.at(id).type == NodeType::kSubtree ||
-      plan_.at(id).type == NodeType::kType1) {
+      plan_.at(id).type == NodeType::kType1 || st.local_fallback) {
     if (cb > 0) {
       memDelta(p, cb);
       ns(nd.parent).cb_holders.emplace_back(p.rank(), cb);

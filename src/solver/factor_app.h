@@ -34,6 +34,10 @@ struct FactorAppOptions {
   /// when the local active memory exceeds the view average, prefer the
   /// ready task with the smallest front.
   bool memory_aware_task_selection = false;
+  /// Degradation awareness: candidates not heard from for longer than
+  /// this are skipped by the slave selection (0 = off). Dead-flagged
+  /// ranks are always skipped.
+  double staleness_limit_s = 0.0;
 };
 
 class FactorApp final : public sim::Application {
@@ -59,6 +63,8 @@ class FactorApp final : public sim::Application {
   Entries factorEntries(Rank r) const;
   std::int64_t appMessages() const { return app_messages_; }
   int selectionsMade() const { return selections_made_; }
+  /// Type-2 nodes the master executed alone (no usable slave candidate).
+  int localFallbacks() const { return local_fallbacks_; }
 
  private:
   // message tags on the application channel
@@ -95,6 +101,9 @@ class FactorApp final : public sim::Application {
     std::vector<std::pair<Rank, Entries>> cb_holders;
     int parts_pending = 0;     ///< slave CB parts not yet arrived (type 2)
     bool selection_done = false;
+    /// Type-2 node executed entirely by its master because no live, fresh
+    /// slave candidate was available (degraded mode).
+    bool local_fallback = false;
     bool master_done = false;
     bool completed = false;
   };
@@ -132,6 +141,7 @@ class FactorApp final : public sim::Application {
   int nodes_done_ = 0;
   std::int64_t app_messages_ = 0;
   int selections_made_ = 0;
+  int local_fallbacks_ = 0;
 };
 
 }  // namespace loadex::solver

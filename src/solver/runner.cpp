@@ -38,6 +38,7 @@ SolverResult runSolver(const symbolic::Analysis& analysis, bool symmetric,
   wcfg.nprocs = cfg.nprocs;
   wcfg.network = cfg.network;
   wcfg.process = cfg.process;
+  wcfg.process_faults = cfg.process_faults;
   if (cfg.heterogeneity > 0.0) {
     LOADEX_EXPECT(cfg.heterogeneity < 1.0, "heterogeneity must be in [0,1)");
     Rng rng(cfg.heterogeneity_seed, 0xe7e20);
@@ -72,6 +73,12 @@ SolverResult runSolver(const symbolic::Analysis& analysis, bool symmetric,
   res.dynamic_decisions = plan.dynamic_decisions;
   res.selections_made = app.selectionsMade();
   res.app_messages = app.appMessages();
+  res.local_fallbacks = app.localFallbacks();
+  res.messages_dropped = run.messages_dropped;
+  res.messages_duplicated = run.messages_duplicated;
+  res.latency_spikes = run.latency_spikes;
+  res.messages_lost_at_down_procs = run.messages_lost_at_down_procs;
+  res.crashes = run.crashes;
 
   double peak = 0.0, sum_peak = 0.0;
   for (Rank r = 0; r < cfg.nprocs; ++r) {
@@ -84,8 +91,16 @@ SolverResult runSolver(const symbolic::Analysis& analysis, bool symmetric,
   const core::MechanismStats total = mechs.aggregateStats();
   res.state_messages = total.messagesSent();
   res.state_bytes = total.bytes_sent;
+  res.state_wire_bytes = world.network().bytesSent(sim::Channel::kState);
   res.snapshots = total.snapshots_initiated;
   res.rearms = total.snapshot_rearms;
+  res.gaps_detected = total.gaps_detected;
+  res.retransmissions = total.retransmissions;
+  res.nacks_sent = total.nacks_sent;
+  res.duplicates_dropped = total.duplicates_dropped;
+  res.snapshot_timeouts = total.snapshot_timeouts;
+  res.partial_snapshots = total.partial_snapshots;
+  res.ranks_declared_dead = total.ranks_declared_dead;
   double max_blocked = 0.0;
   for (Rank r = 0; r < cfg.nprocs; ++r)
     max_blocked = std::max(max_blocked, mechs.at(r).stats().time_blocked);

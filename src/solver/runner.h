@@ -35,6 +35,10 @@ struct SolverConfig {
   /// uniformly from [1-h, 1+h] with a deterministic seed. 0 = homogeneous.
   double heterogeneity = 0.0;
   std::uint64_t heterogeneity_seed = 7;
+
+  /// Scripted process-level faults (crash/pause/resume/restart at given
+  /// times). Network-level faults live in `network.faults`.
+  std::vector<sim::ProcessFaultEvent> process_faults;
 };
 
 struct SolverResult {
@@ -48,7 +52,10 @@ struct SolverResult {
   double peak_active_mem = 0.0;          ///< max-over-procs entries (Table 4)
   double avg_peak_active_mem = 0.0;
   std::int64_t state_messages = 0;       ///< Table 6
-  Bytes state_bytes = 0;
+  Bytes state_bytes = 0;                 ///< payload bytes (sender-counted)
+  /// Bytes actually put on the wire for the state channel, including the
+  /// per-message header overhead and any fault-duplicated copies.
+  Bytes state_wire_bytes = 0;
   std::int64_t app_messages = 0;
   int dynamic_decisions = 0;             ///< Table 3
   int selections_made = 0;
@@ -69,6 +76,22 @@ struct SolverResult {
   double residual_workload = 0.0;
   double residual_memory_metric = 0.0;
   Entries factor_entries_total = 0;
+
+  // Fault-injection statistics (all zero on a clean run).
+  std::int64_t messages_dropped = 0;
+  std::int64_t messages_duplicated = 0;
+  std::int64_t latency_spikes = 0;
+  std::int64_t messages_lost_at_down_procs = 0;
+  std::int64_t crashes = 0;
+  // Hardened-protocol recovery statistics.
+  std::int64_t gaps_detected = 0;
+  std::int64_t retransmissions = 0;
+  std::int64_t nacks_sent = 0;
+  std::int64_t duplicates_dropped = 0;
+  std::int64_t snapshot_timeouts = 0;
+  std::int64_t partial_snapshots = 0;
+  std::int64_t ranks_declared_dead = 0;
+  int local_fallbacks = 0;  ///< type-2 nodes the master ran alone
 };
 
 /// Run a prepared symbolic analysis.

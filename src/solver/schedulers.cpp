@@ -99,9 +99,13 @@ core::SlaveSelection SlaveScheduler::select(const core::LoadView& view,
   cand.reserve(static_cast<std::size_t>(view.nprocs()));
   for (Rank r = 0; r < view.nprocs(); ++r) {
     if (r == req.master) continue;
+    if (view.dead(r)) continue;  // crashed/unreachable: never delegate to it
+    if (req.staleness_limit_s > 0.0 &&
+        view.staleness(r, req.now) > req.staleness_limit_s)
+      continue;  // entry too old to trust
     cand.emplace_back(metric(view, r), r);
   }
-  LOADEX_EXPECT(!cand.empty(), "type-2 selection needs at least 2 processes");
+  if (cand.empty()) return {};  // caller degrades to local execution
   std::stable_sort(cand.begin(), cand.end());
 
   const auto rows = waterFillRows(cand, req.rows, metricPerRow(req),

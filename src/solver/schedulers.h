@@ -29,6 +29,11 @@ struct SelectionRequest {
   Flops slave_flops = 0;   ///< total update work to distribute
   int min_rows_per_slave = 8;
   int max_slaves = 16;
+  // ---- degradation awareness (faulty runs) -----------------------------
+  SimTime now = 0.0;               ///< decision time, for staleness checks
+  /// Skip candidates not heard from for longer than this. 0 disables the
+  /// check (paper behaviour on a reliable network).
+  double staleness_limit_s = 0.0;
 };
 
 /// Selected slaves with (rows, flops, memory) shares. The LoadMetrics
@@ -43,7 +48,11 @@ class SlaveScheduler {
   virtual ~SlaveScheduler() = default;
   virtual Strategy strategy() const = 0;
 
-  /// Pick slaves and row shares from the given load view.
+  /// Pick slaves and row shares from the given load view. Ranks flagged
+  /// dead in the view — and, when `req.staleness_limit_s > 0`, ranks whose
+  /// entry is older than the limit — are never selected; if no candidate
+  /// survives, the selection is empty and the caller must execute the
+  /// node locally.
   core::SlaveSelection select(const core::LoadView& view,
                               const SelectionRequest& req) const;
 

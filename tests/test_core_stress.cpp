@@ -6,6 +6,7 @@
 #include <tuple>
 
 #include "common/rng.h"
+#include "core/snapshot.h"
 #include "sim_test_utils.h"
 #include "solver/runner.h"
 #include "sparse/generators.h"
@@ -75,8 +76,9 @@ TEST_P(SnapshotSequentialisation, ViewsReflectAllPriorDecisions) {
       const double seen = target_seen[static_cast<std::size_t>(i)];
       EXPECT_GE(seen, 100.0 * (i - 1)) << "completion " << i;
       EXPECT_LE(seen, 100.0 * i) << "completion " << i;
-      if (i > 0)
+      if (i > 0) {
         EXPECT_GE(seen, target_seen[static_cast<std::size_t>(i - 1)]);
+      }
     }
   }
   EXPECT_DOUBLE_EQ(h.mechs.at(target).localLoad().workload, 100.0 * k);
@@ -212,6 +214,169 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(mechanismKindName(std::get<0>(info.param))) +
              (std::get<1>(info.param) ? "_thr" : "_plain");
     });
+
+// ---------------------------------------------------------------------------
+// Adversarial scripted losses: drop one specific protocol message at a
+// known instant (via a narrow link blackout). The unhardened mechanisms
+// diverge or deadlock exactly as §2.2/§3's reliable-network assumption
+// predicts; the hardened ones recover.
+// ---------------------------------------------------------------------------
+
+// Drop the Master_To_All carrying rank 2's reservation. Without
+// reliability, rank 2 never learns its own share: its self-accounting (and
+// everyone's view of it) diverges forever. With sequence numbers the next
+// message (or heartbeat) exposes the gap and a NACK recovers the loss.
+class AdversarialIncrement : public ::testing::TestWithParam<bool> {};
+
+TEST_P(AdversarialIncrement, LostMasterToAll) {
+  const bool hard = GetParam();
+  MechanismConfig mcfg;
+  mcfg.threshold = {0.5, 1e18};
+  mcfg.reliability.reliable_updates = hard;
+  sim::WorldConfig wcfg;
+  // Only messages 0 -> 2 around t = 1.0: exactly the Master_To_All.
+  wcfg.network.faults.blackouts.push_back({0, 2, 0.999, 1.001});
+  CoreHarness h(3, MechanismKind::kIncrement, mcfg, wcfg);
+
+  h.at(1.0, [&h] {
+    h.mechs.at(0).requestView([&h](const LoadView&) {
+      h.mechs.at(0).commitSelection({{2, LoadMetrics{100.0, 0.0}}});
+    });
+  });
+  // Later traffic from rank 0 (an ordinary Update) reveals the gap early;
+  // without it the heartbeat tail-flush does.
+  h.at(1.5, [&h] { h.mechs.at(0).addLocalLoad({7.0, 0.0}); });
+  const auto run = h.run();
+  ASSERT_FALSE(run.hit_limit);
+  EXPECT_EQ(run.messages_dropped, 1);
+
+  if (hard) {
+    EXPECT_DOUBLE_EQ(h.mechs.at(2).localLoad().workload, 100.0);
+    for (Rank viewer = 0; viewer < 3; ++viewer)
+      EXPECT_DOUBLE_EQ(h.mechs.at(viewer).view().load(2).workload, 100.0)
+          << "viewer " << viewer;
+  } else {
+    // The reservation is gone: rank 2 still believes it has no work while
+    // the other ranks booked 100 on it.
+    EXPECT_DOUBLE_EQ(h.mechs.at(2).localLoad().workload, 0.0);
+    EXPECT_DOUBLE_EQ(h.mechs.at(0).view().load(2).workload, 100.0);
+  }
+}
+
+TEST_P(AdversarialIncrement, LostUpdateDelta) {
+  const bool hard = GetParam();
+  MechanismConfig mcfg;
+  mcfg.threshold = {0.5, 1e18};
+  mcfg.reliability.reliable_updates = hard;
+  sim::WorldConfig wcfg;
+  wcfg.network.faults.blackouts.push_back({1, 0, 1.999, 2.001});
+  CoreHarness h(3, MechanismKind::kIncrement, mcfg, wcfg);
+
+  h.at(2.0, [&h] { h.mechs.at(1).addLocalLoad({40.0, 0.0}); });
+  h.at(2.5, [&h] { h.mechs.at(1).addLocalLoad({2.0, 0.0}); });
+  const auto run = h.run();
+  ASSERT_FALSE(run.hit_limit);
+  EXPECT_EQ(run.messages_dropped, 1);
+
+  const double seen_by_0 = h.mechs.at(0).view().load(1).workload;
+  const double seen_by_2 = h.mechs.at(2).view().load(1).workload;
+  EXPECT_DOUBLE_EQ(seen_by_2, 42.0);  // unaffected link
+  if (hard) {
+    EXPECT_DOUBLE_EQ(seen_by_0, 42.0);
+  } else {
+    EXPECT_DOUBLE_EQ(seen_by_0, 2.0);  // the 40.0 increment is gone forever
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(HardenedVsNot, AdversarialIncrement,
+                         ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "hardened" : "paper";
+                         });
+
+// Drop rank 1's snp answer. The paper's protocol waits for it forever (the
+// initiator never completes, every process stays frozen); the hardened one
+// times out, re-arms with a fresh request id, and the retry succeeds.
+class AdversarialSnapshot : public ::testing::TestWithParam<bool> {};
+
+TEST_P(AdversarialSnapshot, LostSnpAnswer) {
+  const bool hard = GetParam();
+  MechanismConfig mcfg;
+  if (hard) mcfg.reliability.snapshot_timeout_s = 1e-3;
+  sim::WorldConfig wcfg;
+  wcfg.network.latency_s = 1e-4;  // coarse timing: easy to bracket
+  wcfg.network.faults.blackouts.push_back({1, 0, 1.0, 1.0005});
+  CoreHarness h(3, MechanismKind::kSnapshot, mcfg, wcfg);
+
+  bool completed = false;
+  h.at(1.0, [&h, &completed] {
+    h.mechs.at(0).requestView([&h, &completed](const LoadView&) {
+      completed = true;
+      h.mechs.at(0).commitSelection({{2, LoadMetrics{10.0, 0.0}}});
+    });
+  });
+  const auto run = h.run();
+  ASSERT_FALSE(run.hit_limit);
+  EXPECT_EQ(run.messages_dropped, 1);
+
+  if (hard) {
+    EXPECT_TRUE(completed);
+    EXPECT_GT(h.mechs.at(0).stats().snapshot_timeouts, 0);
+    for (Rank r = 0; r < 3; ++r)
+      EXPECT_FALSE(h.mechs.at(r).blocksComputation()) << r;
+  } else {
+    // Deadlock: the event queue drained with the snapshot still open and
+    // all three processes frozen.
+    EXPECT_FALSE(completed);
+    EXPECT_TRUE(dynamic_cast<const SnapshotMechanism&>(h.mechs.at(0))
+                    .snapshotPending());
+    for (Rank r = 0; r < 3; ++r)
+      EXPECT_TRUE(h.mechs.at(r).blocksComputation()) << r;
+  }
+}
+
+TEST_P(AdversarialSnapshot, LostEndSnp) {
+  const bool hard = GetParam();
+  MechanismConfig mcfg;
+  // Generous timeout: the snapshot itself completes undisturbed (~2 ms);
+  // only rank 1's guard timer is in play here.
+  if (hard) mcfg.reliability.snapshot_timeout_s = 5e-3;
+  sim::WorldConfig wcfg;
+  wcfg.network.latency_s = 1e-3;
+  // start_snp 0->1 is sent at t = 1.0, the end_snp around t = 1.002 (one
+  // latency out, answers one latency back): the window catches only the
+  // end_snp. The selection goes to rank 2, so no master_to_slave crosses
+  // the blacked-out link.
+  wcfg.network.faults.blackouts.push_back({0, 1, 1.0015, 1.1});
+  CoreHarness h(3, MechanismKind::kSnapshot, mcfg, wcfg);
+
+  bool completed = false;
+  h.at(1.0, [&h, &completed] {
+    h.mechs.at(0).requestView([&h, &completed](const LoadView&) {
+      completed = true;
+      h.mechs.at(0).commitSelection({{2, LoadMetrics{10.0, 0.0}}});
+    });
+  });
+  const auto run = h.run();
+  ASSERT_FALSE(run.hit_limit);
+  EXPECT_TRUE(completed);  // the initiator is unaffected either way
+  EXPECT_EQ(run.messages_dropped, 1);
+
+  if (hard) {
+    // Rank 1's guard timer force-closed the orphaned snapshot.
+    EXPECT_FALSE(h.mechs.at(1).blocksComputation());
+    EXPECT_GT(h.mechs.at(1).stats().snapshot_aborts, 0);
+  } else {
+    // Rank 1 never hears the end_snp: frozen forever.
+    EXPECT_TRUE(h.mechs.at(1).blocksComputation());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(HardenedVsNot, AdversarialSnapshot,
+                         ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "hardened" : "paper";
+                         });
 
 TEST(Heterogeneity, SlowMachineTakesLonger) {
   sparse::Problem p;

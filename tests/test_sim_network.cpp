@@ -132,7 +132,14 @@ TEST(Network, CountsAndBytes) {
   f.queue.runUntil();
   EXPECT_EQ(f.net.messageCounts().get("state"), 2);
   EXPECT_EQ(f.net.messageCounts().get("app"), 1);
-  EXPECT_EQ(f.net.bytesSent(), 60);
+  // Wire bytes: payloads (10+20+30) plus per_message_overhead_bytes for
+  // each of the three messages.
+  EXPECT_EQ(f.net.bytesSent(),
+            60 + 3 * f.cfg.per_message_overhead_bytes);
+  EXPECT_EQ(f.net.bytesSent(Channel::kState),
+            30 + 2 * f.cfg.per_message_overhead_bytes);
+  EXPECT_EQ(f.net.bytesSent(Channel::kApp),
+            30 + f.cfg.per_message_overhead_bytes);
 }
 
 TEST(Network, RejectsBadEndpoints) {
