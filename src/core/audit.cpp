@@ -1,0 +1,350 @@
+#include "core/audit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/expect.h"
+#include "core/increment.h"
+#include "core/payloads.h"
+#include "core/snapshot.h"
+#include "sim/world.h"
+
+namespace loadex::core {
+
+namespace {
+
+bool nearlyEqual(const LoadMetrics& a, const LoadMetrics& b, double tol) {
+  return std::abs(a.workload - b.workload) <= tol &&
+         std::abs(a.memory - b.memory) <= tol;
+}
+
+std::string loadStr(const LoadMetrics& m) {
+  std::ostringstream os;
+  os << "{w=" << m.workload << ", m=" << m.memory << "}";
+  return os.str();
+}
+
+}  // namespace
+
+ProtocolAuditor::ProtocolAuditor(AuditorConfig config) : config_(config) {}
+
+void ProtocolAuditor::attach(MechanismSet& mechs, sim::World* world) {
+  LOADEX_EXPECT(mechs_ == nullptr, "auditor is already attached");
+  mechs_ = &mechs;
+  world_ = world;
+  nprocs_ = mechs.size();
+  const auto n = static_cast<std::size_t>(nprocs_);
+  pairs_.assign(n * n, {});
+  outstanding_reservation_.assign(n, {});
+  last_absolute_broadcast_.assign(n, {});
+  absolute_broadcast_seen_.assign(n, false);
+  snap_.assign(n, {});
+  last_start_request_.assign(n * n, 0);
+  for (Rank r = 0; r < nprocs_; ++r) mechs.at(r).setAuditObserver(this);
+}
+
+void ProtocolAuditor::detach() {
+  if (mechs_ == nullptr) return;
+  for (Rank r = 0; r < nprocs_; ++r) mechs_->at(r).setAuditObserver(nullptr);
+  mechs_ = nullptr;
+  world_ = nullptr;
+}
+
+void ProtocolAuditor::record(std::string violation) {
+  violations_.push_back(std::move(violation));
+  if (config_.fail_fast)
+    LOADEX_EXPECT(false, "protocol audit: " + violations_.back());
+}
+
+void ProtocolAuditor::expectClean() const {
+  if (violations_.empty()) return;
+  std::ostringstream os;
+  os << violations_.size() << " protocol invariant violation(s):";
+  for (const auto& v : violations_) os << "\n  - " << v;
+  LOADEX_EXPECT(false, os.str());
+}
+
+// ---- online hooks ---------------------------------------------------------
+
+void ProtocolAuditor::onLocalLoad(const Mechanism& m, const LoadMetrics& delta,
+                                  bool is_slave_delegated) {
+  ++events_observed_;
+  if (!config_.check_reservations) return;
+  if (mechs_ == nullptr || m.kind() == MechanismKind::kNaive) return;
+  // A positive delegated variation is the real work a master reserved
+  // earlier (Master_To_All / master_to_slave): match it against the
+  // outstanding reservation on this rank.
+  if (!is_slave_delegated || !delta.allNonNegative() || delta.isZero()) return;
+  auto& out = outstanding_reservation_[static_cast<std::size_t>(m.self())];
+  out -= delta;
+  if (out.workload < -config_.tolerance || out.memory < -config_.tolerance) {
+    std::ostringstream os;
+    os << "rank " << m.self() << " received delegated work " << loadStr(delta)
+       << " exceeding its outstanding reservation by " << loadStr({-out.workload, -out.memory});
+    record(os.str());
+    out = {};  // re-anchor so one mismatch is reported once
+  }
+}
+
+void ProtocolAuditor::onViewRequest(const Mechanism& /*m*/) {
+  ++events_observed_;
+}
+
+void ProtocolAuditor::onSelection(const Mechanism& m,
+                                  const SlaveSelection& sel) {
+  ++events_observed_;
+  if (!config_.check_reservations) return;
+  if (mechs_ == nullptr || m.kind() == MechanismKind::kNaive) return;
+  for (const auto& a : sel) {
+    if (a.slave == m.self()) continue;  // local share needs no message
+    outstanding_reservation_[static_cast<std::size_t>(a.slave)] += a.share;
+  }
+}
+
+void ProtocolAuditor::onStateSend(const Mechanism& m, Rank dst, StateTag tag,
+                                  Bytes /*size*/, const sim::Payload* payload) {
+  ++events_observed_;
+  if (mechs_ == nullptr) return;
+  const Rank src = m.self();
+
+  if (config_.check_liveness && !config_.allow_crashes && world_ != nullptr &&
+      world_->process(dst).crashed()) {
+    std::ostringstream os;
+    os << "rank " << src << " sent " << stateTagName(tag)
+       << " to crashed rank " << dst;
+    record(os.str());
+  }
+
+  if (config_.check_fifo) {
+    auto& ps = pair(src, dst);
+    ps.in_flight.push_back({payload, tag, ps.sends});
+    ++ps.sends;
+  }
+
+  switch (tag) {
+    case StateTag::kUpdateAbsolute: {
+      const auto& up = dynamic_cast<const UpdateAbsolutePayload&>(*payload);
+      last_absolute_broadcast_[static_cast<std::size_t>(src)] = up.load;
+      absolute_broadcast_seen_[static_cast<std::size_t>(src)] = true;
+      break;
+    }
+    case StateTag::kNoMoreMaster:
+      no_more_master_seen_ = true;
+      break;
+    case StateTag::kStartSnp: {
+      if (!config_.check_snapshot) break;
+      const auto& sp = dynamic_cast<const StartSnpPayload&>(*payload);
+      auto& st = snap_[static_cast<std::size_t>(src)];
+      // A broadcast is one send per destination: repeats of the current id
+      // while the snapshot is open are the same fan-out, not a new request.
+      const bool same_broadcast = st.open && sp.request == st.last_started;
+      if (!same_broadcast && sp.request <= st.last_started &&
+          st.last_started != 0) {
+        std::ostringstream os;
+        os << "rank " << src << " broadcast start_snp with request id "
+           << sp.request << " not greater than the previous id "
+           << st.last_started;
+        record(os.str());
+      }
+      st.last_started = std::max(st.last_started, sp.request);
+      st.open = true;
+      break;
+    }
+    case StateTag::kEndSnp:
+      snap_[static_cast<std::size_t>(src)].open = false;
+      break;
+    case StateTag::kSnp: {
+      if (!config_.check_snapshot) break;
+      const auto& sp = dynamic_cast<const SnpPayload&>(*payload);
+      // Channel-recording consistency: the answer must carry the
+      // responder's load at recording time...
+      if (!nearlyEqual(sp.state, m.localLoad(), config_.tolerance)) {
+        std::ostringstream os;
+        os << "rank " << src << " answered snapshot of rank " << dst
+           << " with " << loadStr(sp.state) << " but its load is "
+           << loadStr(m.localLoad());
+        record(os.str());
+      }
+      // ...and name the initiator's request this responder last received
+      // (an answer to a stale or never-delivered request would let a
+      // pre-decision state leak past the snapshot sequentialisation).
+      const RequestId seen =
+          last_start_request_[static_cast<std::size_t>(src) *
+                                  static_cast<std::size_t>(nprocs_) +
+                              static_cast<std::size_t>(dst)];
+      if (sp.request != seen) {
+        std::ostringstream os;
+        os << "rank " << src << " answered request " << sp.request
+           << " of rank " << dst << " but the last start_snp it received "
+           << "from that rank named request " << seen;
+        record(os.str());
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void ProtocolAuditor::onStateDeliver(const Mechanism& m, Rank src,
+                                     StateTag tag,
+                                     const sim::Payload* payload) {
+  ++events_observed_;
+  if (mechs_ == nullptr) return;
+  const Rank dst = m.self();
+
+  if (config_.check_fifo) {
+    auto& ps = pair(src, dst);
+    auto& q = ps.in_flight;
+    if (!q.empty() && q.front().payload == payload) {
+      q.pop_front();
+    } else {
+      const auto it =
+          std::find_if(q.begin(), q.end(), [payload](const InFlight& f) {
+            return f.payload == payload;
+          });
+      if (it == q.end()) {
+        if (!config_.allow_message_loss) {
+          std::ostringstream os;
+          os << "rank " << dst << " received a " << stateTagName(tag)
+             << " from rank " << src
+             << " that was never sent or was already delivered (duplicate)";
+          record(os.str());
+        }
+      } else if (!config_.allow_message_loss) {
+        std::ostringstream os;
+        os << stateTagName(tag) << " from rank " << src << " to rank " << dst
+           << " overtook " << (it - q.begin())
+           << " earlier message(s) on the same channel (FIFO violation)";
+        record(os.str());
+        q.erase(it);
+      } else {
+        // Losses are legal: everything sent before this message is gone.
+        q.erase(q.begin(), it + 1);
+      }
+    }
+  }
+
+  if (config_.check_snapshot && tag == StateTag::kStartSnp) {
+    const auto& sp = dynamic_cast<const StartSnpPayload&>(*payload);
+    last_start_request_[static_cast<std::size_t>(dst) *
+                            static_cast<std::size_t>(nprocs_) +
+                        static_cast<std::size_t>(src)] = sp.request;
+  }
+}
+
+// ---- end-of-run checks ----------------------------------------------------
+
+void ProtocolAuditor::finish() {
+  LOADEX_EXPECT(mechs_ != nullptr, "auditor finish() before attach()");
+  if (config_.check_fifo) checkFifoAtFinish();
+  if (config_.check_conservation) checkConservationAtFinish();
+  if (config_.check_reservations) checkReservationsAtFinish();
+  if (config_.check_snapshot) checkSnapshotAtFinish();
+}
+
+void ProtocolAuditor::checkFifoAtFinish() {
+  if (config_.allow_message_loss || config_.allow_crashes) return;
+  for (Rank s = 0; s < nprocs_; ++s) {
+    for (Rank d = 0; d < nprocs_; ++d) {
+      const auto& ps = pair(s, d);
+      if (ps.in_flight.empty()) continue;
+      std::ostringstream os;
+      os << ps.in_flight.size() << " state message(s) from rank " << s
+         << " to rank " << d << " were never delivered (first: "
+         << stateTagName(ps.in_flight.front().tag) << ")";
+      record(os.str());
+    }
+  }
+}
+
+void ProtocolAuditor::checkConservationAtFinish() {
+  if (config_.allow_message_loss || config_.allow_crashes) return;
+  const MechanismKind kind = mechs_->kind();
+  if (kind == MechanismKind::kIncrement) {
+    // Algorithm 3 conservation: everything rank r ever put on the wire
+    // (threshold-crossing deltas) plus the reservations masters broadcast
+    // for r is exactly r's load minus its sub-threshold pending delta. At
+    // quiescence every observer has applied all of it, so the views agree.
+    for (Rank r = 0; r < nprocs_; ++r) {
+      const auto& owner =
+          dynamic_cast<const IncrementMechanism&>(mechs_->at(r));
+      const LoadMetrics expected = owner.localLoad() - owner.pendingDelta();
+      for (Rank o = 0; o < nprocs_; ++o) {
+        if (o == r) continue;
+        const LoadMetrics seen = mechs_->at(o).view().load(r);
+        if (nearlyEqual(seen, expected, config_.tolerance)) continue;
+        std::ostringstream os;
+        os << "increment conservation broken: rank " << o << " sees rank "
+           << r << " at " << loadStr(seen) << " but its actual load "
+           << loadStr(owner.localLoad()) << " minus pending "
+           << loadStr(owner.pendingDelta()) << " is " << loadStr(expected);
+        record(os.str());
+      }
+    }
+  } else if (kind == MechanismKind::kNaive && !no_more_master_seen_) {
+    // Algorithm 2: a view entry is exactly the last absolute value its
+    // owner broadcast (zero if it never crossed the threshold).
+    for (Rank r = 0; r < nprocs_; ++r) {
+      const LoadMetrics expected =
+          absolute_broadcast_seen_[static_cast<std::size_t>(r)]
+              ? last_absolute_broadcast_[static_cast<std::size_t>(r)]
+              : LoadMetrics{};
+      for (Rank o = 0; o < nprocs_; ++o) {
+        if (o == r) continue;
+        const LoadMetrics seen = mechs_->at(o).view().load(r);
+        if (nearlyEqual(seen, expected, config_.tolerance)) continue;
+        std::ostringstream os;
+        os << "naive coherence broken: rank " << o << " sees rank " << r
+           << " at " << loadStr(seen) << " but the last absolute broadcast "
+           << "was " << loadStr(expected);
+        record(os.str());
+      }
+    }
+  }
+}
+
+void ProtocolAuditor::checkReservationsAtFinish() {
+  if (mechs_->kind() == MechanismKind::kNaive) return;
+  if (config_.allow_message_loss || config_.allow_crashes) return;
+  for (Rank r = 0; r < nprocs_; ++r) {
+    const auto& out = outstanding_reservation_[static_cast<std::size_t>(r)];
+    if (std::abs(out.workload) <= config_.tolerance &&
+        std::abs(out.memory) <= config_.tolerance)
+      continue;
+    std::ostringstream os;
+    os << "reservation accounting broken: " << loadStr(out)
+       << " reserved on rank " << r
+       << " was never matched by delegated work nor released";
+    record(os.str());
+  }
+}
+
+void ProtocolAuditor::checkSnapshotAtFinish() {
+  if (mechs_->kind() != MechanismKind::kSnapshot) return;
+  for (Rank r = 0; r < nprocs_; ++r) {
+    const auto& sm = dynamic_cast<const SnapshotMechanism&>(mechs_->at(r));
+    const bool crashed =
+        world_ != nullptr && world_->process(r).crashed();
+    if (config_.allow_crashes && crashed) continue;
+    if (snap_[static_cast<std::size_t>(r)].open && !crashed) {
+      std::ostringstream os;
+      os << "snapshot termination broken: rank " << r
+         << " broadcast start_snp (request "
+         << snap_[static_cast<std::size_t>(r)].last_started
+         << ") but never broadcast the matching end_snp";
+      record(os.str());
+    }
+    if (sm.snapshotPending() || sm.concurrentSnapshots() != 0 ||
+        sm.blocksComputation()) {
+      std::ostringstream os;
+      os << "snapshot termination broken: rank " << r
+         << " ended the run frozen (pending=" << sm.snapshotPending()
+         << ", open foreign snapshots=" << sm.concurrentSnapshots() << ")";
+      record(os.str());
+    }
+  }
+}
+
+}  // namespace loadex::core

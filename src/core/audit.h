@@ -1,0 +1,163 @@
+// Online protocol invariant auditor.
+//
+// A ProtocolAuditor attaches to a MechanismSet (one mechanism per simulated
+// rank) as a passive AuditObserver and verifies, while the simulation runs,
+// the paper-level guarantees the mechanisms rely on:
+//
+//  * per-channel FIFO delivery — state messages between each ordered
+//    (sender, receiver) pair arrive in send order, with no loss and no
+//    duplication (the paper's MPI channel assumption; relaxable for fault
+//    scenarios via AuditorConfig::allow_message_loss);
+//  * conservation of broadcast increments (Algorithm 3) — at quiescence
+//    every observer's view of rank r equals r's actual load minus r's
+//    sub-threshold pending delta; for the naive mechanism, every view entry
+//    equals the last absolute value its owner broadcast;
+//  * Master_To_All / master_to_slave reservation accounting — every load
+//    share a master reserves on a remote slave is eventually matched by the
+//    real delegated work arriving there (addLocalLoad with
+//    is_slave_delegated == true), and no delegated work arrives that was
+//    never reserved;
+//  * snapshot termination and recording consistency (§3) — request ids
+//    grow monotonically per initiator, every snp answer names the request
+//    id the responder last received from that initiator and carries the
+//    responder's load *at recording time*, and no snapshot is left open
+//    (no frozen rank) at the end of the run;
+//  * no sends to crashed ranks — outside explicitly-allowed fault
+//    scenarios, a send whose destination is currently crashed means the
+//    sender's liveness view is broken.
+//
+// Violations are collected as human-readable strings; expectClean() turns
+// them into a ContractViolation. With fail_fast the auditor throws at the
+// exact violating event, which pinpoints the offending message in a
+// deterministic replay.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/binding.h"
+#include "core/mechanism.h"
+
+namespace loadex::sim {
+class World;
+}
+
+namespace loadex::core {
+
+struct AuditorConfig {
+  bool check_fifo = true;          ///< FIFO / no-loss / no-duplication
+  bool check_conservation = true;  ///< increment & naive view coherence
+  bool check_reservations = true;  ///< reservation matched by real work
+  bool check_snapshot = true;      ///< termination + answer consistency
+  bool check_liveness = true;      ///< no sends to crashed ranks
+
+  /// Fault scenarios drop messages on purpose: delivery gaps become legal
+  /// (FIFO degrades to "delivered in send order"), end-of-run loss and
+  /// duplicate deliveries are tolerated, and the conservation checks are
+  /// skipped (a lost increment corrupts remote views by design — that is
+  /// the paper's argument for the snapshot mechanism, not an auditor bug).
+  bool allow_message_loss = false;
+
+  /// Crash scenarios: sends to a crashed rank are expected (the sender
+  /// cannot know), and ranks may legitimately end the run frozen.
+  bool allow_crashes = false;
+
+  /// Throw ContractViolation at the first violating event instead of
+  /// collecting. The throw happens inside the simulation event, so the
+  /// stack points at the offending message.
+  bool fail_fast = false;
+
+  /// Absolute slack for floating-point load comparisons.
+  double tolerance = 1e-6;
+};
+
+class ProtocolAuditor final : public AuditObserver {
+ public:
+  explicit ProtocolAuditor(AuditorConfig config = {});
+
+  /// Attach to every mechanism of the set (and optionally to the world,
+  /// which enables the crashed-destination check). The auditor must
+  /// outlive the simulation run or be detached first.
+  void attach(MechanismSet& mechs, sim::World* world = nullptr);
+  void detach();
+
+  /// Run the end-of-run checks (quiescence invariants). Call after the
+  /// simulation has drained; online violations recorded so far are kept.
+  void finish();
+
+  /// All violations recorded so far, in detection order.
+  const std::vector<std::string>& violations() const { return violations_; }
+  bool clean() const { return violations_.empty(); }
+
+  /// Throws ContractViolation listing every recorded violation.
+  void expectClean() const;
+
+  std::int64_t eventsObserved() const { return events_observed_; }
+
+  // ---- AuditObserver ----------------------------------------------------
+  void onLocalLoad(const Mechanism& m, const LoadMetrics& delta,
+                   bool is_slave_delegated) override;
+  void onViewRequest(const Mechanism& m) override;
+  void onSelection(const Mechanism& m, const SlaveSelection& sel) override;
+  void onStateSend(const Mechanism& m, Rank dst, StateTag tag, Bytes size,
+                   const sim::Payload* payload) override;
+  void onStateDeliver(const Mechanism& m, Rank src, StateTag tag,
+                      const sim::Payload* payload) override;
+
+ private:
+  struct InFlight {
+    const sim::Payload* payload = nullptr;
+    StateTag tag = StateTag::kUpdateAbsolute;
+    std::uint64_t send_index = 0;
+  };
+  struct PairState {
+    std::deque<InFlight> in_flight;  ///< sent, not yet delivered
+    std::uint64_t sends = 0;
+  };
+  struct SnapshotState {
+    RequestId last_started = 0;   ///< highest request id broadcast
+    bool open = false;            ///< start_snp sent, end_snp pending
+  };
+
+  PairState& pair(Rank src, Rank dst) {
+    return pairs_[static_cast<std::size_t>(src) *
+                      static_cast<std::size_t>(nprocs_) +
+                  static_cast<std::size_t>(dst)];
+  }
+  void record(std::string violation);
+  void checkConservationAtFinish();
+  void checkReservationsAtFinish();
+  void checkSnapshotAtFinish();
+  void checkFifoAtFinish();
+
+  AuditorConfig config_;
+  MechanismSet* mechs_ = nullptr;
+  sim::World* world_ = nullptr;
+  int nprocs_ = 0;
+
+  std::vector<std::string> violations_;
+  std::int64_t events_observed_ = 0;
+
+  // ---- FIFO tracking ----------------------------------------------------
+  std::vector<PairState> pairs_;  ///< indexed src * nprocs + dst
+
+  // ---- reservation accounting -------------------------------------------
+  /// Load reserved on each rank by masters' selections and not yet matched
+  /// by delegated work arriving there.
+  std::vector<LoadMetrics> outstanding_reservation_;
+
+  // ---- naive conservation -----------------------------------------------
+  std::vector<LoadMetrics> last_absolute_broadcast_;
+  std::vector<bool> absolute_broadcast_seen_;
+  bool no_more_master_seen_ = false;
+
+  // ---- snapshot tracking ------------------------------------------------
+  std::vector<SnapshotState> snap_;  ///< per initiator
+  /// Request id of the last start_snp *delivered* to a responder from an
+  /// initiator (0 = never); flat, indexed responder * nprocs + initiator.
+  std::vector<RequestId> last_start_request_;
+};
+
+}  // namespace loadex::core

@@ -25,7 +25,7 @@ IncrementMechanism::IncrementMechanism(Transport& transport,
                 "hardened increments need a positive heartbeat period");
 }
 
-void IncrementMechanism::addLocalLoad(const LoadMetrics& delta,
+void IncrementMechanism::doAddLocalLoad(const LoadMetrics& delta,
                                       bool is_slave_delegated) {
   // Algorithm 3 line (1): a positive variation caused by a task for which
   // this process is a slave is skipped entirely — the master's
@@ -58,12 +58,12 @@ void IncrementMechanism::addLocalLoad(const LoadMetrics& delta,
   }
 }
 
-void IncrementMechanism::requestView(ViewCallback cb) {
+void IncrementMechanism::doRequestView(ViewCallback cb) {
   ++stats_.view_requests;
   cb(view_);
 }
 
-void IncrementMechanism::commitSelection(const SlaveSelection& selection) {
+void IncrementMechanism::doCommitSelection(const SlaveSelection& selection) {
   ++stats_.selections;
   if (selection.empty()) return;
   MasterToAllPayload proto;

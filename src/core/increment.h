@@ -33,15 +33,14 @@ class IncrementMechanism final : public Mechanism {
 
   MechanismKind kind() const override { return MechanismKind::kIncrement; }
 
-  void addLocalLoad(const LoadMetrics& delta,
-                    bool is_slave_delegated = false) override;
-  void requestView(ViewCallback cb) override;
-  void commitSelection(const SlaveSelection& selection) override;
-
   /// Accumulated, not-yet-broadcast local variation (∆load in Alg. 3).
   const LoadMetrics& pendingDelta() const { return pending_delta_; }
 
  protected:
+  void doAddLocalLoad(const LoadMetrics& delta,
+                      bool is_slave_delegated) override;
+  void doRequestView(ViewCallback cb) override;
+  void doCommitSelection(const SlaveSelection& selection) override;
   void handleState(Rank src, StateTag tag, const sim::Payload& p) override;
 
  private:

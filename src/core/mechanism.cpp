@@ -58,8 +58,27 @@ Mechanism::Mechanism(Transport& transport, MechanismConfig config)
                 "thresholds must be non-negative");
 }
 
+void Mechanism::addLocalLoad(const LoadMetrics& delta,
+                             bool is_slave_delegated) {
+  if (audit_ != nullptr) audit_->onLocalLoad(*this, delta, is_slave_delegated);
+  doAddLocalLoad(delta, is_slave_delegated);
+}
+
+void Mechanism::requestView(ViewCallback cb) {
+  if (audit_ != nullptr) audit_->onViewRequest(*this);
+  doRequestView(std::move(cb));
+}
+
+void Mechanism::commitSelection(const SlaveSelection& selection) {
+  if (audit_ != nullptr) audit_->onSelection(*this, selection);
+  doCommitSelection(selection);
+}
+
 void Mechanism::onStateMessage(const sim::Message& msg) {
   LOADEX_EXPECT(msg.payload != nullptr, "state message without payload");
+  if (audit_ != nullptr)
+    audit_->onStateDeliver(*this, msg.src, static_cast<StateTag>(msg.tag),
+                           msg.payload.get());
   // Any message from src proves it is alive: refresh the staleness clock
   // and clear a possible dead mark (a restarted process revives here).
   view_.touch(msg.src, transport_.now());
@@ -69,6 +88,8 @@ void Mechanism::onStateMessage(const sim::Message& msg) {
 
 void Mechanism::sendState(Rank dst, StateTag tag, Bytes size,
                           std::shared_ptr<const sim::Payload> payload) {
+  if (audit_ != nullptr)
+    audit_->onStateSend(*this, dst, tag, size, payload.get());
   stats_.sent_by_tag.bump(stateTagName(tag));
   stats_.bytes_sent += size;
   transport_.sendState(dst, tag, size, std::move(payload));

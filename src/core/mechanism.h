@@ -131,6 +131,29 @@ struct MechanismStats {
   void mergeInto(MechanismStats& out) const;
 };
 
+class Mechanism;
+
+/// Passive observation hooks on the semantic events of a mechanism:
+/// local load accounting, view requests, committed selections, and state
+/// traffic (at the sender and at the receiver). The ProtocolAuditor
+/// (core/audit.h) implements this to verify paper-level invariants online;
+/// with no observer attached every hook collapses to a null-pointer check.
+class AuditObserver {
+ public:
+  virtual ~AuditObserver() = default;
+
+  virtual void onLocalLoad(const Mechanism& /*m*/, const LoadMetrics& /*delta*/,
+                           bool /*is_slave_delegated*/) {}
+  virtual void onViewRequest(const Mechanism& /*m*/) {}
+  virtual void onSelection(const Mechanism& /*m*/,
+                           const SlaveSelection& /*selection*/) {}
+  virtual void onStateSend(const Mechanism& /*m*/, Rank /*dst*/,
+                           StateTag /*tag*/, Bytes /*size*/,
+                           const sim::Payload* /*payload*/) {}
+  virtual void onStateDeliver(const Mechanism& /*m*/, Rank /*src*/,
+                              StateTag /*tag*/, const sim::Payload* /*p*/) {}
+};
+
 class Mechanism : public sim::StateHandler {
  public:
   using ViewCallback = std::function<void(const LoadView&)>;
@@ -141,25 +164,31 @@ class Mechanism : public sim::StateHandler {
   virtual MechanismKind kind() const = 0;
 
   // ---- application-side API -------------------------------------------
+  // The entry points are non-virtual: they notify the attached audit
+  // observer (if any), then forward to the mechanism-specific
+  // doAddLocalLoad / doRequestView / doCommitSelection implementations.
 
   /// Account a change of this process's own load. `is_slave_delegated`
   /// marks deltas caused by a task delegated by a master (Alg. 3 line (1):
   /// positive such deltas must not be self-reported — the master's
   /// reservation message already carried them).
-  virtual void addLocalLoad(const LoadMetrics& delta,
-                            bool is_slave_delegated = false) = 0;
+  void addLocalLoad(const LoadMetrics& delta, bool is_slave_delegated = false);
 
   /// Ask for a view of the system to take a dynamic decision. Maintained-
   /// view mechanisms invoke `cb` synchronously; the snapshot mechanism
   /// invokes it once the snapshot completes. Exactly one commitSelection()
   /// must follow each requestView() before the next requestView().
-  virtual void requestView(ViewCallback cb) = 0;
+  void requestView(ViewCallback cb);
 
   /// Publish the decision taken from the last requested view.
-  virtual void commitSelection(const SlaveSelection& selection) = 0;
+  void commitSelection(const SlaveSelection& selection);
 
   /// This process will never again be a master (§2.3).
   virtual void noMoreMaster();
+
+  /// Attach (or detach, with nullptr) a passive audit observer. The
+  /// observer must outlive the mechanism or be detached before it dies.
+  void setAuditObserver(AuditObserver* observer) { audit_ = observer; }
 
   // ---- sim::StateHandler ----------------------------------------------
   void onStateMessage(const sim::Message& msg) final;
@@ -174,6 +203,12 @@ class Mechanism : public sim::StateHandler {
   int nprocs() const { return transport_.nprocs(); }
 
  protected:
+  /// Mechanism-specific bodies of the public API above.
+  virtual void doAddLocalLoad(const LoadMetrics& delta,
+                              bool is_slave_delegated) = 0;
+  virtual void doRequestView(ViewCallback cb) = 0;
+  virtual void doCommitSelection(const SlaveSelection& selection) = 0;
+
   /// Tag-dispatched handler implemented by each mechanism.
   virtual void handleState(Rank src, StateTag tag, const sim::Payload& p) = 0;
 
@@ -199,6 +234,7 @@ class Mechanism : public sim::StateHandler {
 
   Transport& transport_;
   MechanismConfig config_;
+  AuditObserver* audit_ = nullptr;
   LoadMetrics my_load_;
   LoadView view_;
   MechanismStats stats_;

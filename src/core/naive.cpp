@@ -7,8 +7,8 @@ namespace loadex::core {
 NaiveMechanism::NaiveMechanism(Transport& transport, MechanismConfig config)
     : Mechanism(transport, config) {}
 
-void NaiveMechanism::addLocalLoad(const LoadMetrics& delta,
-                                  bool /*is_slave_delegated*/) {
+void NaiveMechanism::doAddLocalLoad(const LoadMetrics& delta,
+                                    bool /*is_slave_delegated*/) {
   // Algorithm 2 has no slave special-case: every local variation counts.
   my_load_ += delta;
   view_.set(self(), my_load_);
@@ -25,13 +25,13 @@ void NaiveMechanism::maybeBroadcast() {
   last_sent_ = my_load_;
 }
 
-void NaiveMechanism::requestView(ViewCallback cb) {
+void NaiveMechanism::doRequestView(ViewCallback cb) {
   // The view is maintained: a decision can use it immediately.
   ++stats_.view_requests;
   cb(view_);
 }
 
-void NaiveMechanism::commitSelection(const SlaveSelection& /*selection*/) {
+void NaiveMechanism::doCommitSelection(const SlaveSelection& /*selection*/) {
   // Algorithm 2 publishes nothing at selection time — this is precisely
   // the coherence hole the paper illustrates in Fig. 1. The chosen slaves
   // will only advertise the extra load once the work physically reaches

@@ -16,12 +16,11 @@ class NaiveMechanism final : public Mechanism {
 
   MechanismKind kind() const override { return MechanismKind::kNaive; }
 
-  void addLocalLoad(const LoadMetrics& delta,
-                    bool is_slave_delegated = false) override;
-  void requestView(ViewCallback cb) override;
-  void commitSelection(const SlaveSelection& selection) override;
-
  protected:
+  void doAddLocalLoad(const LoadMetrics& delta,
+                      bool is_slave_delegated) override;
+  void doRequestView(ViewCallback cb) override;
+  void doCommitSelection(const SlaveSelection& selection) override;
   void handleState(Rank src, StateTag tag, const sim::Payload& p) override;
 
  private:

@@ -14,7 +14,7 @@ SnapshotMechanism::SnapshotMechanism(Transport& transport,
       answered_(static_cast<std::size_t>(transport.nprocs()), false),
       gathered_(static_cast<std::size_t>(transport.nprocs())) {}
 
-void SnapshotMechanism::addLocalLoad(const LoadMetrics& delta,
+void SnapshotMechanism::doAddLocalLoad(const LoadMetrics& delta,
                                      bool is_slave_delegated) {
   // Same guard as Algorithm 3 line (1): the reservation travelled in the
   // master_to_slave message and was applied on reception.
@@ -23,7 +23,7 @@ void SnapshotMechanism::addLocalLoad(const LoadMetrics& delta,
   view_.set(self(), my_load_);
 }
 
-void SnapshotMechanism::requestView(ViewCallback cb) {
+void SnapshotMechanism::doRequestView(ViewCallback cb) {
   LOADEX_EXPECT(!during_snp_ && !view_cb_ && !selection_open_,
                 "requestView while a snapshot of mine is already in flight");
   // A process frozen by someone else's snapshot cannot take a dynamic
@@ -140,7 +140,7 @@ void SnapshotMechanism::maybeComplete() {
                 "commitSelection must be called inside the view callback");
 }
 
-void SnapshotMechanism::commitSelection(const SlaveSelection& selection) {
+void SnapshotMechanism::doCommitSelection(const SlaveSelection& selection) {
   LOADEX_EXPECT(selection_open_,
                 "commitSelection without a completed snapshot");
   ++stats_.selections;

@@ -38,15 +38,6 @@ class SnapshotMechanism final : public Mechanism {
 
   MechanismKind kind() const override { return MechanismKind::kSnapshot; }
 
-  void addLocalLoad(const LoadMetrics& delta,
-                    bool is_slave_delegated = false) override;
-
-  /// Initiates a snapshot. The callback fires once all answers arrived;
-  /// commitSelection() must be called synchronously inside the callback
-  /// (this mirrors Algorithm 4: snapshot → selection → finalize).
-  void requestView(ViewCallback cb) override;
-  void commitSelection(const SlaveSelection& selection) override;
-
   /// The snapshot mechanism exchanges no periodic load traffic, so
   /// No_more_master is pointless; this override makes it a no-op.
   void noMoreMaster() override {}
@@ -61,6 +52,14 @@ class SnapshotMechanism final : public Mechanism {
   RequestId myRequestId() const { return my_request_; }
 
  protected:
+  void doAddLocalLoad(const LoadMetrics& delta,
+                      bool is_slave_delegated) override;
+
+  /// Initiates a snapshot. The callback fires once all answers arrived;
+  /// commitSelection() must be called synchronously inside the callback
+  /// (this mirrors Algorithm 4: snapshot → selection → finalize).
+  void doRequestView(ViewCallback cb) override;
+  void doCommitSelection(const SlaveSelection& selection) override;
   void handleState(Rank src, StateTag tag, const sim::Payload& p) override;
 
  private:

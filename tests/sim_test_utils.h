@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/audit.h"
 #include "core/binding.h"
 #include "core/mechanism.h"
 #include "sim/application.h"
@@ -81,6 +82,23 @@ struct CoreHarness {
     for (Rank r = 0; r < nprocs; ++r) world.attach(r, &app, &mechs.at(r));
   }
 
+  /// Attach a ProtocolAuditor verifying paper-level invariants online.
+  /// Call finishAudit() after run() to add the quiescence checks and
+  /// hard-fail on any recorded violation.
+  core::ProtocolAuditor& attachAuditor(core::AuditorConfig cfg = {}) {
+    auditor = std::make_unique<core::ProtocolAuditor>(cfg);
+    auditor->attach(mechs, &world);
+    return *auditor;
+  }
+
+  void finishAudit() {
+    if (auditor == nullptr) return;
+    auditor->finish();
+    auditor->expectClean();
+  }
+
+  std::unique_ptr<core::ProtocolAuditor> auditor;
+
   /// Schedule an action at an absolute simulated time.
   void at(SimTime t, std::function<void()> fn) {
     world.queue().scheduleAt(t, std::move(fn));
@@ -89,9 +107,12 @@ struct CoreHarness {
   /// Schedule an action at time t, deferring (by `retry` steps) while the
   /// rank's mechanism blocks computation — mirrors how a real process can
   /// only take decisions between tasks, never while a snapshot is live.
+  /// The retry closure lives in retry_tasks_ (stable deque addresses) so it
+  /// can re-schedule itself without a shared_ptr self-reference cycle.
   void atWhenFree(SimTime t, Rank who, std::function<void()> fn,
                   SimTime retry = 1e-5) {
-    auto task = std::make_shared<std::function<void()>>();
+    retry_tasks_.emplace_back();
+    std::function<void()>* task = &retry_tasks_.back();
     *task = [this, who, fn = std::move(fn), retry, task] {
       if (mechs.at(who).blocksComputation()) {
         world.queue().scheduleAfter(retry, *task);
@@ -103,6 +124,9 @@ struct CoreHarness {
   }
 
   sim::RunResult run() { return world.run(); }
+
+ private:
+  std::deque<std::function<void()>> retry_tasks_;
 };
 
 /// Send a work message between processes (helper for scenarios).

@@ -1,0 +1,67 @@
+#include "common/expect.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+namespace loadex {
+namespace {
+
+std::string capture(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const ContractViolation& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected a ContractViolation";
+  return {};
+}
+
+TEST(Expect, PassingConditionIsSilent) {
+  EXPECT_NO_THROW(LOADEX_EXPECT(1 + 1 == 2, "arithmetic"));
+  EXPECT_NO_THROW(LOADEX_CHECK(true));
+}
+
+TEST(Expect, MessageNamesConditionFileAndLine) {
+  const int expected_line = __LINE__ + 2;
+  const std::string what = capture([] {
+    LOADEX_EXPECT(2 + 2 == 5, "ministry of truth");
+  });
+  EXPECT_NE(what.find("contract violation"), std::string::npos) << what;
+  // The stringised condition text...
+  EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos) << what;
+  // ...the source location of the failing check...
+  EXPECT_NE(what.find("test_common_expect.cpp"), std::string::npos) << what;
+  EXPECT_NE(what.find(":" + std::to_string(expected_line)), std::string::npos)
+      << what;
+  // ...and the caller's message.
+  EXPECT_NE(what.find("ministry of truth"), std::string::npos) << what;
+}
+
+TEST(Expect, CheckOmitsTheMessageSeparator) {
+  const std::string what = capture([] { LOADEX_CHECK(false); });
+  EXPECT_NE(what.find("false"), std::string::npos) << what;
+  // No trailing " — " separator when there is no message.
+  EXPECT_EQ(what.find("—"), std::string::npos) << what;
+}
+
+TEST(Expect, ViolationIsALogicError) {
+  // Callers may catch the std hierarchy; the type must stay a logic_error.
+  try {
+    LOADEX_EXPECT(false, "hierarchy");
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("hierarchy"), std::string::npos);
+  }
+}
+
+TEST(Expect, ConditionIsEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  LOADEX_EXPECT(++evaluations > 0, "side effect");
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace loadex

@@ -204,6 +204,7 @@ TEST_P(MaintainedViewProperty, ViewsConvergeWithinThreshold) {
   MechanismConfig cfg;
   cfg.threshold = LoadMetrics{threshold, threshold};
   CoreHarness h(nprocs, kind, cfg);
+  h.attachAuditor();  // FIFO + conservation must hold across the sweep
   Rng rng(seed);
 
   // Random load-change schedule; cumulative loads stay the ground truth.
@@ -217,6 +218,7 @@ TEST_P(MaintainedViewProperty, ViewsConvergeWithinThreshold) {
     t += rng.uniformReal(0.0, 0.05);
   }
   h.run();
+  h.finishAudit();
 
   for (Rank obs = 0; obs < nprocs; ++obs) {
     for (Rank r = 0; r < nprocs; ++r) {

@@ -41,6 +41,7 @@ Fig1Result runFig1(MechanismKind kind) {
   sim::WorldConfig wcfg;
   wcfg.process.flops_per_s = 1e6;
   CoreHarness h(3, kind, cfg, wcfg);
+  h.attachAuditor();  // protocol invariants hold on every Fig. 1 run
   Fig1Result result;
 
   h.at(0.1, [&] {
@@ -68,6 +69,7 @@ Fig1Result runFig1(MechanismKind kind) {
   h.atWhenFree(2.0, 0, [&] { selection(0); });
   h.atWhenFree(3.0, 1, [&] { selection(1); });
   h.run();
+  h.finishAudit();
   result.final_p2_load = h.mechs.at(2).localLoad().workload;
   return result;
 }

@@ -301,8 +301,17 @@ TEST(SnapshotProtocol, OverlappingRequestViewIsRejected) {
 // End-to-end tests in the simulated world.
 // ---------------------------------------------------------------------------
 
+/// These scenarios commit reservations without shipping the actual work, so
+/// the auditor runs with the reservation-matching invariant disabled.
+AuditorConfig snapshotAudit() {
+  AuditorConfig cfg;
+  cfg.check_reservations = false;
+  return cfg;
+}
+
 TEST(SnapshotWorld, SingleSnapshotSeesExactLoads) {
   CoreHarness h(5, MechanismKind::kSnapshot);
+  h.attachAuditor(snapshotAudit());
   for (Rank r = 0; r < 5; ++r)
     h.at(0.1, [&h, r] { h.mechs.at(r).addLocalLoad({10.0 * (r + 1), 1.0 * r}); });
   LoadView seen;
@@ -313,6 +322,7 @@ TEST(SnapshotWorld, SingleSnapshotSeesExactLoads) {
     });
   });
   h.run();
+  h.finishAudit();
   ASSERT_EQ(seen.nprocs(), 5);
   for (Rank r = 0; r < 5; ++r)
     EXPECT_DOUBLE_EQ(seen.load(r).workload, 10.0 * (r + 1)) << r;
@@ -326,12 +336,14 @@ TEST(SnapshotWorld, SingleSnapshotSeesExactLoads) {
 TEST(SnapshotWorld, MessageCountsMatchProtocol) {
   const int n = 6;
   CoreHarness h(n, MechanismKind::kSnapshot);
+  h.attachAuditor(snapshotAudit());
   h.at(1.0, [&] {
     h.mechs.at(2).requestView([&](const LoadView&) {
       h.mechs.at(2).commitSelection({});
     });
   });
   h.run();
+  h.finishAudit();
   const auto total = h.mechs.aggregateStats();
   EXPECT_EQ(total.sent_by_tag.get("start_snp"), n - 1);
   EXPECT_EQ(total.sent_by_tag.get("snp"), n - 1);
@@ -341,6 +353,7 @@ TEST(SnapshotWorld, MessageCountsMatchProtocol) {
 
 TEST(SnapshotWorld, ConcurrentSnapshotsAreSequentialized) {
   CoreHarness h(4, MechanismKind::kSnapshot);
+  h.attachAuditor(snapshotAudit());
   for (Rank r = 0; r < 4; ++r)
     h.at(0.1, [&h, r] { h.mechs.at(r).addLocalLoad({100.0, 0.0}); });
 
@@ -361,6 +374,7 @@ TEST(SnapshotWorld, ConcurrentSnapshotsAreSequentialized) {
     });
   });
   h.run();
+  h.finishAudit();
 
   // Min-rank leader completes first; the later snapshot must include the
   // earlier selection's reservation on p3.
@@ -374,6 +388,7 @@ TEST(SnapshotWorld, ConcurrentSnapshotsAreSequentialized) {
 
 TEST(SnapshotWorld, ThreeConcurrentSnapshotsAllComplete) {
   CoreHarness h(6, MechanismKind::kSnapshot);
+  h.attachAuditor(snapshotAudit());
   std::vector<std::pair<Rank, SimTime>> completions;
   std::vector<double> p5_seen;
   for (Rank r : {4, 2, 0}) {
@@ -386,6 +401,7 @@ TEST(SnapshotWorld, ThreeConcurrentSnapshotsAllComplete) {
     });
   }
   h.run();
+  h.finishAudit();
   ASSERT_EQ(completions.size(), 3u);
   // Completion order follows the min-rank election.
   EXPECT_EQ(completions[0].first, 0);

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 #include "common/expect.h"
+#include "common/rng.h"
 
 namespace loadex::sim {
 namespace {
@@ -104,6 +106,69 @@ TEST(EventQueue, CancelInsideHandler) {
   q.scheduleAt(1.0, [&] { q.cancel(late); });
   q.runUntil();
   EXPECT_FALSE(late_fired);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism regressions. The kernel's ordering contract — (time,
+// insertion sequence) — is what makes whole-simulation replay bit-for-bit
+// reproducible; these tests pin it down explicitly.
+// ---------------------------------------------------------------------------
+
+TEST(EventQueueDeterminism, SimultaneousEventsFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  // Interleave two tie groups with an earlier singleton, scheduling out of
+  // any "natural" order.
+  q.scheduleAt(2.0, [&] { order.push_back(20); });
+  q.scheduleAt(1.0, [&] { order.push_back(10); });
+  q.scheduleAt(2.0, [&] { order.push_back(21); });
+  q.scheduleAt(0.5, [&] { order.push_back(0); });
+  q.scheduleAt(2.0, [&] { order.push_back(22); });
+  q.scheduleAt(1.0, [&] { order.push_back(11); });
+  q.runUntil();
+  // Ties resolve by insertion sequence, never by id hashing or heap layout.
+  EXPECT_EQ(order, (std::vector<int>{0, 10, 11, 20, 21, 22}));
+}
+
+/// One pseudo-random "simulation": events reschedule follow-ups and cancel
+/// earlier events based on draws from a seeded Rng. Returns the full fired
+/// trace as (time, label) pairs.
+std::vector<std::pair<SimTime, int>> randomisedTrace(std::uint64_t seed) {
+  EventQueue q;
+  Rng rng(seed);
+  std::vector<std::pair<SimTime, int>> trace;
+  std::vector<EventId> pending;
+  int next_label = 0;
+  std::function<void(int)> fire = [&](int label) {
+    trace.emplace_back(q.now(), label);
+    const int children = rng.uniformInt(3);
+    for (int c = 0; c < children; ++c) {
+      const int child = next_label++;
+      // Coarse time grid on purpose: plenty of exact ties.
+      const SimTime dt = 0.25 * rng.uniformInt(4);
+      pending.push_back(q.scheduleAfter(dt, [&fire, child] { fire(child); }));
+    }
+    if (!pending.empty() && rng.uniformInt(4) == 0) {
+      q.cancel(pending[static_cast<std::size_t>(
+          rng.uniformInt(static_cast<int>(pending.size())))]);
+    }
+  };
+  for (int i = 0; i < 50; ++i) {
+    const int label = next_label++;
+    const SimTime t = 0.25 * rng.uniformInt(8);
+    pending.push_back(q.scheduleAt(t, [&fire, label] { fire(label); }));
+  }
+  q.runUntil(200.0);
+  return trace;
+}
+
+TEST(EventQueueDeterminism, IdenticallySeededRunsProduceIdenticalOrders) {
+  for (const std::uint64_t seed : {1u, 42u, 20050404u}) {
+    const auto a = randomisedTrace(seed);
+    const auto b = randomisedTrace(seed);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b) << "replay diverged for seed " << seed;
+  }
 }
 
 TEST(EventQueue, ManyEventsStressOrder) {

@@ -104,20 +104,18 @@ TEST(ColCounts, MatchBruteForceOnRandomGraphs) {
 }
 
 TEST(Postorder, ChildrenBeforeParents) {
-  //        5
-  //      /   \
-  //     3     4
-  //    / \    |
-  //   0   1   2
+  // Tree: 5 <- {3, 4}, 3 <- {0, 1}, 4 <- {2}.
   const std::vector<int> parent{3, 3, 4, 5, 5, -1};
   const auto post = postorder(parent);
   ASSERT_EQ(post.size(), 6u);
   std::vector<int> pos(6);
   for (int i = 0; i < 6; ++i) pos[static_cast<std::size_t>(post[static_cast<std::size_t>(i)])] = i;
-  for (int v = 0; v < 6; ++v)
-    if (parent[static_cast<std::size_t>(v)] != -1)
+  for (int v = 0; v < 6; ++v) {
+    if (parent[static_cast<std::size_t>(v)] != -1) {
       EXPECT_LT(pos[static_cast<std::size_t>(v)],
                 pos[static_cast<std::size_t>(parent[static_cast<std::size_t>(v)])]);
+    }
+  }
 }
 
 TEST(Postorder, ForestsCoverAllRoots) {
@@ -182,10 +180,12 @@ TEST(AssemblyTree, StructureInvariants) {
   std::vector<int> pos(static_cast<std::size_t>(tree.size()), -1);
   for (int i = 0; i < tree.size(); ++i)
     pos[static_cast<std::size_t>(tree.postorder()[static_cast<std::size_t>(i)])] = i;
-  for (const auto& nd : tree.nodes())
-    if (nd.parent != -1)
+  for (const auto& nd : tree.nodes()) {
+    if (nd.parent != -1) {
       EXPECT_LT(pos[static_cast<std::size_t>(nd.id)],
                 pos[static_cast<std::size_t>(nd.parent)]);
+    }
+  }
 }
 
 TEST(AssemblyTree, AmalgamationMonotoneInTolerance) {

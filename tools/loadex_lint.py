@@ -1,0 +1,390 @@
+#!/usr/bin/env python3
+"""loadex-lint: repo-specific static checks for the loadex codebase.
+
+The simulator's core promise is bit-for-bit deterministic replay, and the
+mechanisms' core promise is that every protocol message is accounted for.
+Generic linters cannot check either, so this tool enforces the repo rules
+that protect them:
+
+  banned-randomness      rand()/srand()/std::random_device and raw engine
+                         construction outside src/common/rng — all random
+                         draws must flow through the seeded loadex::Rng
+                         streams or replay breaks.
+  banned-wallclock       std::chrono::{system,steady,high_resolution}_clock,
+                         time(), clock(), gettimeofday — simulated time is
+                         the only clock; wall time makes runs unreproducible.
+  unordered-iteration    iterating an unordered_{map,set} in src/core or
+                         src/sim — iteration order is implementation-defined,
+                         so any protocol or scheduling decision derived from
+                         it is nondeterministic across platforms.
+  naked-new-delete       raw new/delete expressions — ownership must be
+                         expressed with unique_ptr/shared_ptr/containers.
+  pragma-once            every header must contain #pragma once.
+  statetag-exhaustive    the StateTag enum, stateTagName(), and each
+                         mechanism's handleState() dispatch must stay in
+                         sync: no stale case labels, no enumerator missing
+                         from the name table, every enumerator consumed by
+                         at least one mechanism, and every dispatch either
+                         names all tags or ends in a rejecting default.
+  mechanismkind-exhaustive  same for MechanismKind across mechanismKindName()
+                         and the makeMechanism() factory.
+
+A finding on one line can be silenced with a trailing
+`// loadex-lint: allow(<rule>)` comment; `allow(all)` silences every rule.
+
+Usage: loadex_lint.py [--root DIR] [FILES...]
+Exits non-zero if any violation is found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+CXX_SUFFIXES = {".h", ".hpp", ".cpp", ".cc"}
+SCAN_DIRS = ("src", "tests", "bench", "examples")
+
+ALLOW_RE = re.compile(r"//\s*loadex-lint:\s*allow\(([a-z\-, ]+)\)")
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Replace comments and string/char literal contents with spaces,
+    preserving line structure so reported line numbers stay correct."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(c)
+            elif c == "'":
+                state = "char"
+                out.append(c)
+            else:
+                out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(c)
+            elif c == "\n":  # unterminated; keep line structure
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def allowed_rules(raw_line: str) -> set[str]:
+    m = ALLOW_RE.search(raw_line)
+    if not m:
+        return set()
+    return {r.strip() for r in m.group(1).split(",")}
+
+
+def is_allowed(rule: str, raw_line: str) -> bool:
+    allowed = allowed_rules(raw_line)
+    return rule in allowed or "all" in allowed
+
+
+# ---------------------------------------------------------------------------
+# Per-line rules
+# ---------------------------------------------------------------------------
+
+RANDOMNESS_RE = re.compile(
+    r"(?<![\w:])(?:std::)?(?:rand|srand|rand_r|drand48)\s*\("
+    r"|std::random_device"
+    r"|std::(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine)\b"
+)
+WALLCLOCK_RE = re.compile(
+    r"std::chrono::(?:system_clock|steady_clock|high_resolution_clock)"
+    r"|(?<![\w:])(?:::)?gettimeofday\s*\("
+    r"|(?<![\w:.>])(?:std::)?time\s*\(\s*(?:NULL|nullptr|0|&)"
+    r"|(?<![\w:.>])(?:std::)?clock\s*\(\s*\)"
+)
+NEW_RE = re.compile(r"(?<![\w:.])new\s+(?:\(|[A-Za-z_(])")
+DELETE_RE = re.compile(r"(?<![\w:.])delete(?:\s*\[\s*\])?\s+[A-Za-z_(*]")
+
+RANDOMNESS_ALLOWED = ("src/common/rng.h", "src/common/rng.cpp")
+
+
+def rng_exempt(rel: str) -> bool:
+    return rel in RANDOMNESS_ALLOWED
+
+
+def check_lines(rel: str, path: Path, raw_lines: list[str],
+                code_lines: list[str], findings: list[Finding]) -> None:
+    for lineno0, (raw, code) in enumerate(zip(raw_lines, code_lines)):
+        lineno = lineno0 + 1
+        if not rng_exempt(rel) and RANDOMNESS_RE.search(code):
+            if not is_allowed("banned-randomness", raw):
+                findings.append(Finding(
+                    path, lineno, "banned-randomness",
+                    "unseeded/raw randomness; draw from a loadex::Rng "
+                    "stream (src/common/rng.h) so runs stay replayable"))
+        if WALLCLOCK_RE.search(code):
+            if not is_allowed("banned-wallclock", raw):
+                findings.append(Finding(
+                    path, lineno, "banned-wallclock",
+                    "wall-clock time source; simulated time "
+                    "(sim::World::now) is the only clock"))
+        if NEW_RE.search(code) and not is_allowed("naked-new-delete", raw):
+            findings.append(Finding(
+                path, lineno, "naked-new-delete",
+                "raw new expression; use std::make_unique/make_shared "
+                "or a container"))
+        if DELETE_RE.search(code) and not is_allowed("naked-new-delete", raw):
+            findings.append(Finding(
+                path, lineno, "naked-new-delete",
+                "raw delete expression; express ownership with smart "
+                "pointers"))
+
+
+# ---------------------------------------------------------------------------
+# unordered-container iteration in decision paths (src/core, src/sim)
+# ---------------------------------------------------------------------------
+
+UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;{()]*>\s*&?\s*"
+    r"(\w+)\s*[;={(]")
+RANGE_FOR_RE = re.compile(r"for\s*\([^;)]*:\s*(?:\*?\s*)?([\w.\->]+)\s*\)")
+DIRECT_ITER_RE = re.compile(
+    r"for\s*\([^;]*:\s*[^)]*unordered_(?:map|set)")
+
+
+def check_unordered_iteration(rel: str, path: Path, raw_lines: list[str],
+                              code_lines: list[str],
+                              findings: list[Finding]) -> None:
+    if not (rel.startswith("src/core/") or rel.startswith("src/sim/")):
+        return
+    unordered_names: set[str] = set()
+    for code in code_lines:
+        for m in UNORDERED_DECL_RE.finditer(code):
+            unordered_names.add(m.group(1))
+    # Member names also appear without the trailing underscore at use sites?
+    # No: C++ names match exactly; just look up the declared spelling.
+    for lineno0, (raw, code) in enumerate(zip(raw_lines, code_lines)):
+        lineno = lineno0 + 1
+        hit = DIRECT_ITER_RE.search(code) is not None
+        if not hit:
+            m = RANGE_FOR_RE.search(code)
+            if m:
+                # `for (x : foo.bar_)` → compare the last path component.
+                target = re.split(r"[.>]", m.group(1))[-1]
+                hit = target in unordered_names
+        if hit and not is_allowed("unordered-iteration", raw):
+            findings.append(Finding(
+                path, lineno, "unordered-iteration",
+                "iteration over an unordered container in a protocol/"
+                "scheduling path; order is implementation-defined — use a "
+                "std::map/std::vector or iterate ranks 0..nprocs"))
+
+
+# ---------------------------------------------------------------------------
+# pragma once
+# ---------------------------------------------------------------------------
+
+def check_pragma_once(path: Path, text: str, findings: list[Finding]) -> None:
+    if path.suffix not in (".h", ".hpp"):
+        return
+    if "#pragma once" not in text:
+        findings.append(Finding(
+            path, 1, "pragma-once", "header is missing #pragma once"))
+
+
+# ---------------------------------------------------------------------------
+# Enum dispatch exhaustiveness
+# ---------------------------------------------------------------------------
+
+def parse_enum(text: str, enum_name: str) -> list[str]:
+    m = re.search(r"enum\s+class\s+" + enum_name + r"\b[^{]*\{(.*?)\}",
+                  text, re.DOTALL)
+    if not m:
+        return []
+    body = strip_comments_and_strings(m.group(1))
+    return re.findall(r"\b(k\w+)\b", body)
+
+
+def case_labels(text: str, enum_name: str) -> set[str]:
+    return set(re.findall(r"case\s+" + enum_name + r"::(k\w+)", text))
+
+
+def has_rejecting_default(text: str, fn_name: str) -> bool:
+    """True if fn_name's body has a `default:` that raises a contract error."""
+    m = re.search(fn_name + r"\s*\([^;{]*\)[^;{]*\{", text)
+    if not m:
+        return False
+    body = text[m.end():]
+    d = body.find("default:")
+    if d < 0:
+        return False
+    return "LOADEX_EXPECT" in body[d:d + 300] or "throw" in body[d:d + 300]
+
+
+def check_enum_dispatch(root: Path, findings: list[Finding]) -> None:
+    payloads = root / "src/core/payloads.h"
+    if not payloads.is_file():  # scanning a subtree, not the repo
+        return
+    text = payloads.read_text(encoding="utf-8")
+    tags = parse_enum(text, "StateTag")
+    if not tags:
+        findings.append(Finding(payloads, 1, "statetag-exhaustive",
+                                "could not parse the StateTag enum"))
+        return
+    tag_set = set(tags)
+
+    # stateTagName must name every tag (no default hides a gap).
+    named = case_labels(text, "StateTag")
+    for t in tags:
+        if t not in named:
+            findings.append(Finding(
+                payloads, 1, "statetag-exhaustive",
+                f"StateTag::{t} is missing from stateTagName()"))
+
+    handled_anywhere: set[str] = set()
+    for mech in ("naive.cpp", "increment.cpp", "snapshot.cpp"):
+        p = root / "src/core" / mech
+        mtext = strip_comments_and_strings(p.read_text(encoding="utf-8"))
+        labels = case_labels(mtext, "StateTag")
+        handled_anywhere |= labels
+        for label in labels:
+            if label not in tag_set:
+                findings.append(Finding(
+                    p, 1, "statetag-exhaustive",
+                    f"dispatch names unknown StateTag::{label} "
+                    "(stale case after an enum change?)"))
+        if labels != tag_set and not has_rejecting_default(mtext,
+                                                          "handleState"):
+            missing = ", ".join(sorted(tag_set - labels))
+            findings.append(Finding(
+                p, 1, "statetag-exhaustive",
+                f"handleState() neither names every StateTag ({missing} "
+                "missing) nor rejects unknown tags in a default: branch"))
+    for t in tags:
+        if t not in handled_anywhere:
+            findings.append(Finding(
+                payloads, 1, "statetag-exhaustive",
+                f"StateTag::{t} is dispatched by no mechanism "
+                "(dead protocol surface)"))
+
+    # MechanismKind: name table and factory must stay exhaustive.
+    mech_h = root / "src/core/mechanism.h"
+    kinds = set(parse_enum(mech_h.read_text(encoding="utf-8"),
+                           "MechanismKind"))
+    for rel_file, fn in (("src/core/mechanism.cpp", "mechanismKindName"),
+                         ("src/core/binding.cpp", "makeMechanism")):
+        p = root / rel_file
+        ftext = strip_comments_and_strings(p.read_text(encoding="utf-8"))
+        labels = case_labels(ftext, "MechanismKind")
+        for label in labels - kinds:
+            findings.append(Finding(
+                p, 1, "mechanismkind-exhaustive",
+                f"{fn}() names unknown MechanismKind::{label}"))
+        for label in kinds - labels:
+            findings.append(Finding(
+                p, 1, "mechanismkind-exhaustive",
+                f"MechanismKind::{label} is missing from {fn}()"))
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def collect_files(root: Path, explicit: list[str]) -> list[Path]:
+    if explicit:
+        return [Path(f).resolve() for f in explicit]
+    files: list[Path] = []
+    for d in SCAN_DIRS:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for p in sorted(base.rglob("*")):
+            if p.suffix in CXX_SUFFIXES and p.is_file():
+                files.append(p)
+    return files
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=".",
+                    help="repository root (default: cwd)")
+    ap.add_argument("files", nargs="*",
+                    help="explicit files to scan (default: src tests bench "
+                         "examples)")
+    args = ap.parse_args(argv)
+    root = Path(args.root).resolve()
+
+    findings: list[Finding] = []
+    files = collect_files(root, args.files)
+    for path in files:
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as e:
+            findings.append(Finding(path, 1, "io", f"unreadable: {e}"))
+            continue
+        rel = path.relative_to(root).as_posix() if path.is_relative_to(root) \
+            else path.as_posix()
+        raw_lines = text.splitlines()
+        code_lines = strip_comments_and_strings(text).splitlines()
+        check_pragma_once(path, text, findings)
+        check_lines(rel, path, raw_lines, code_lines, findings)
+        check_unordered_iteration(rel, path, raw_lines, code_lines, findings)
+    if not args.files:
+        check_enum_dispatch(root, findings)
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"loadex-lint: {len(findings)} violation(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"loadex-lint: OK ({len(files)} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
