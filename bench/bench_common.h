@@ -24,6 +24,7 @@ struct BenchEnv {
   double scale = 1.0;      ///< problem-size multiplier (--scale)
   bool quick = false;      ///< --quick: halve the scale for smoke runs
   std::uint64_t seed = 1;  ///< --seed
+  std::string json_path;   ///< --json <path>: machine-readable results
 
   static BenchEnv parse(int argc, const char* const* argv) {
     const CliFlags flags(argc, argv);
@@ -31,11 +32,46 @@ struct BenchEnv {
     env.scale = flags.getDouble("scale", 1.0);
     env.quick = flags.getBool("quick", false);
     env.seed = static_cast<std::uint64_t>(flags.getInt("seed", 1));
+    env.json_path = flags.getString("json", "");
     if (env.quick) env.scale *= 0.5;
     return env;
   }
 
   double effectiveScale() const { return scale; }
+};
+
+/// Structured-results sink for a bench driver: collect one record per run
+/// (toResultRecord flattens a SolverResult) and write the schema-versioned
+/// JSON document when --json <path> was given. Without the flag the sink
+/// is inert — add() still accumulates, write() does nothing.
+class JsonResults {
+ public:
+  JsonResults(const std::string& bench_name, const BenchEnv& env)
+      : writer_(bench_name), path_(env.json_path) {
+    writer_.setMeta("scale", env.effectiveScale());
+    writer_.setMeta("seed", static_cast<double>(env.seed));
+  }
+
+  void add(const solver::SolverResult& res,
+           std::map<std::string, double> extra = {}) {
+    obs::BenchResultRecord rec = solver::toResultRecord(res);
+    rec.extra = std::move(extra);
+    writer_.add(std::move(rec));
+  }
+
+  /// Write the document if --json was given; returns false on I/O error.
+  bool write() const {
+    if (path_.empty()) return true;
+    const bool ok = writer_.writeFile(path_);
+    if (ok)
+      std::cerr << "  [json] " << writer_.size() << " records -> " << path_
+                << "\n";
+    return ok;
+  }
+
+ private:
+  obs::ResultWriter writer_;
+  std::string path_;
 };
 
 /// Baseline solver configuration shared by the experiment drivers.

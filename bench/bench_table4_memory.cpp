@@ -12,6 +12,7 @@ using namespace loadex;
 
 int main(int argc, char** argv) {
   const auto env = bench::BenchEnv::parse(argc, argv);
+  bench::JsonResults json("table4_memory", env);
   const auto problems =
       bench::analyzeSuite(sparse::paperSuiteSmall(env.effectiveScale(),
                                                   env.seed));
@@ -35,11 +36,13 @@ int main(int argc, char** argv) {
                                            cfg, ap.problem.name);
         row.push_back(res.completed ? bench::mega(res.peak_active_mem)
                                     : "FAIL");
+        json.add(res);
       }
       t.addRow(std::move(row));
     }
     t.print(std::cout);
   }
+  json.write();
 
   bench::printPaperReference(
       "Table 4(a), 32 procs", {"Matrix", "Incr", "Snap", "naive"},

@@ -14,6 +14,7 @@ using namespace loadex;
 
 int main(int argc, char** argv) {
   const auto env = bench::BenchEnv::parse(argc, argv);
+  bench::JsonResults json("table5_time", env);
   const auto problems =
       bench::analyzeSuite(sparse::paperSuiteLarge(env.effectiveScale(),
                                                   env.seed));
@@ -40,9 +41,13 @@ int main(int argc, char** argv) {
                 Table::fmt(snap.factor_time, 2),
                 Table::fmt(snap.factor_time / incr.factor_time, 2),
                 Table::fmt(snap.snapshot_time, 2)});
+      json.add(incr);
+      json.add(snap,
+               {{"time_ratio_vs_incr", snap.factor_time / incr.factor_time}});
     }
     t.print(std::cout);
   }
+  json.write();
 
   bench::printPaperReference(
       "Table 5(a), 64 procs", {"Matrix", "Incr (s)", "Snap (s)", "ratio"},

@@ -11,6 +11,7 @@ using namespace loadex;
 
 int main(int argc, char** argv) {
   const auto env = bench::BenchEnv::parse(argc, argv);
+  bench::JsonResults json("table6_messages", env);
   const auto problems =
       bench::analyzeSuite(sparse::paperSuiteLarge(env.effectiveScale(),
                                                   env.seed));
@@ -48,9 +49,12 @@ int main(int argc, char** argv) {
                 Table::fmtInt(snap.state_bytes),
                 Table::fmtInt(incr.state_wire_bytes),
                 Table::fmtInt(snap.state_wire_bytes)});
+      json.add(incr);
+      json.add(snap, {{"msg_ratio_incr_over_snap", ratio}});
     }
     t.print(std::cout);
   }
+  json.write();
 
   bench::printPaperReference(
       "Table 6(a), 64 procs", {"Matrix", "Incr", "Snap", "ratio"},

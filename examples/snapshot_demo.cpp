@@ -3,10 +3,13 @@
 // leader election, delayed answers, re-arm and sequentialisation are
 // visible.
 #include <iostream>
+#include <memory>
 
+#include "common/cli.h"
 #include "common/table.h"
 #include "core/binding.h"
 #include "core/snapshot.h"
+#include "obs/trace.h"
 #include "sim/world.h"
 
 using namespace loadex;
@@ -33,7 +36,25 @@ class LoggingTransport final : public core::Transport {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  // --trace <path>: dump a Chrome trace-event JSON of the run, loadable in
+  // Perfetto (ui.perfetto.dev) or chrome://tracing. Per-rank tracks,
+  // send->deliver flow arrows, snapshot lifecycle and stall spans.
+  const std::string trace_path = flags.getString("trace", "");
+  std::unique_ptr<obs::TraceRecorder> recorder;
+  if (!trace_path.empty()) {
+    recorder = std::make_unique<obs::TraceRecorder>();
+    recorder->nameRankTracks(4);
+    recorder->setMessageNamer([](int channel, int tag) {
+      if (channel == 0)
+        return std::string(
+            core::stateTagName(static_cast<core::StateTag>(tag)));
+      return "app/" + std::to_string(tag);
+    });
+  }
+  obs::ScopedObservation observe(recorder.get(), nullptr);
+
   std::cout << "Snapshot demo: P0 and P2 initiate snapshots at the same "
                "instant on a 4-process system.\n"
             << "Min-rank election: P0 leads; P2 is preempted, re-arms with "
@@ -83,5 +104,10 @@ int main() {
             << (mechs[0]->stats().snapshots_initiated +
                 mechs[2]->stats().snapshots_initiated)
             << ", re-arms: " << mechs[2]->stats().snapshot_rearms << "\n";
+  if (recorder != nullptr) {
+    if (!recorder->writeChromeTraceFile(trace_path)) return 1;
+    std::cout << "Trace (" << recorder->recorded() << " events) written to "
+              << trace_path << " — open it at ui.perfetto.dev\n";
+  }
   return 0;
 }

@@ -1,8 +1,17 @@
 #include "core/mechanism.h"
 
 #include "common/expect.h"
+#include "obs/trace.h"
 
 namespace loadex::core {
+
+namespace {
+
+inline int protoTrack(Rank rank) {
+  return obs::rankTrack(rank, obs::Lane::kProto);
+}
+
+}  // namespace
 
 const char* mechanismKindName(MechanismKind kind) {
   switch (kind) {
@@ -83,6 +92,9 @@ void Mechanism::onStateMessage(const sim::Message& msg) {
   // and clear a possible dead mark (a restarted process revives here).
   view_.touch(msg.src, transport_.now());
   if (view_.dead(msg.src)) view_.revive(msg.src);
+  LOADEX_TRACE_INSTANT(
+      transport_.now(), protoTrack(transport_.self()),
+      std::string("rx ") + stateTagName(static_cast<StateTag>(msg.tag)));
   handleState(msg.src, static_cast<StateTag>(msg.tag), *msg.payload);
 }
 
@@ -92,6 +104,8 @@ void Mechanism::sendState(Rank dst, StateTag tag, Bytes size,
     audit_->onStateSend(*this, dst, tag, size, payload.get());
   stats_.sent_by_tag.bump(stateTagName(tag));
   stats_.bytes_sent += size;
+  LOADEX_TRACE_INSTANT(transport_.now(), protoTrack(transport_.self()),
+                       std::string("tx ") + stateTagName(tag));
   transport_.sendState(dst, tag, size, std::move(payload));
 }
 

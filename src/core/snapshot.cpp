@@ -2,8 +2,18 @@
 
 #include "common/expect.h"
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace loadex::core {
+
+namespace {
+
+inline int protoTrack(Rank rank) {
+  return obs::rankTrack(rank, obs::Lane::kProto);
+}
+
+}  // namespace
 
 SnapshotMechanism::SnapshotMechanism(Transport& transport,
                                      MechanismConfig config)
@@ -38,6 +48,8 @@ void SnapshotMechanism::doRequestView(ViewCallback cb) {
   view_cb_ = std::move(cb);
   initiated_at_ = transport_.now();
   timeout_retries_ = 0;
+
+  LOADEX_TRACE_SPAN_BEGIN(transport_.now(), protoTrack(self()), "snapshot");
 
   // "Initiate a snapshot": leader = myself; snp(myself) = true;
   // during_snp = true; then arm the first request.
@@ -74,6 +86,7 @@ void SnapshotMechanism::armAnswerTimeout() {
 void SnapshotMechanism::onAnswerTimeout(RequestId req) {
   if (!during_snp_ || !view_cb_ || req != my_request_) return;  // stale
   ++stats_.snapshot_timeouts;
+  LOADEX_TRACE_INSTANT(transport_.now(), protoTrack(self()), "snp timeout");
   if (timeout_retries_ < config_.reliability.max_snapshot_retries) {
     ++timeout_retries_;
     // Fresh request id + re-broadcast: the retransmitted start_snp doubles
@@ -129,6 +142,10 @@ void SnapshotMechanism::maybeComplete() {
     if (r != self() && answered_[static_cast<std::size_t>(r)])
       view_.set(r, gathered_[static_cast<std::size_t>(r)]);
   stats_.snapshot_duration.add(transport_.now() - initiated_at_);
+  LOADEX_TRACE_INSTANT(transport_.now(), protoTrack(self()), "view complete");
+  LOADEX_METRIC(histogram("snapshot/duration_s",
+                          {1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0})
+                    .add(transport_.now() - initiated_at_));
 
   // Algorithm 4: decision happens now, synchronously; commitSelection()
   // (called inside the callback) finalizes the snapshot.
@@ -168,6 +185,12 @@ void SnapshotMechanism::finalize() {
   broadcastState(StateTag::kEndSnp, EndSnpPayload::sizeBytes(),
                  std::make_shared<EndSnpPayload>(),
                  /*respect_no_more_master=*/false);
+  // Split an open stall interval here: the trace "stalled" and "snapshot"
+  // spans live on the same track, and B/E pairs must nest — a stall that
+  // outlives my snapshot (foreign ones still open) reopens just below.
+  // The accounted total is unchanged by the split.
+  if (was_blocked_) endStallInterval();
+  LOADEX_TRACE_SPAN_END(transport_.now(), protoTrack(self()));
   snp_[static_cast<std::size_t>(self())] = false;
   during_snp_ = false;
   leader_ = kNoRank;
@@ -223,6 +246,8 @@ void SnapshotMechanism::onStartSnp(Rank src, const StartSnpPayload& p) {
     // I lead the current set of snapshots: the sender waits for my end_snp
     // before getting an answer.
     delayed_[static_cast<std::size_t>(src)] = true;
+    LOADEX_TRACE_INSTANT(transport_.now(), protoTrack(self()),
+                         "delay answer P" + std::to_string(src));
     updateBlockAccounting();
     return;
   }
@@ -235,6 +260,8 @@ void SnapshotMechanism::onStartSnp(Rank src, const StartSnpPayload& p) {
     // Either the sender is not the leader, or an answer to it was already
     // delayed: delay (again) to keep the sequentialisation consistent.
     delayed_[static_cast<std::size_t>(src)] = true;
+    LOADEX_TRACE_INSTANT(transport_.now(), protoTrack(self()),
+                         "delay answer P" + std::to_string(src));
   } else {
     // The sender won the election: answer immediately (paper line 20).
     // Note: on networks that reorder messages *across* channel pairs this
@@ -258,6 +285,7 @@ void SnapshotMechanism::onStartSnp(Rank src, const StartSnpPayload& p) {
     const bool src_preempts_me = electOver(src, self()) == src;
     if (src_preempts_me && nb_snp_ == 1) {
       ++stats_.snapshot_rearms;
+      LOADEX_TRACE_INSTANT(transport_.now(), protoTrack(self()), "rearm");
       arm();
     }
   }
@@ -287,6 +315,7 @@ void SnapshotMechanism::onEndSnp(Rank src) {
   // broadcast cascades.)
   if (config_.rearm_on_every_preemption && during_snp_ && view_cb_) {
     ++stats_.snapshot_rearms;
+    LOADEX_TRACE_INSTANT(transport_.now(), protoTrack(self()), "rearm");
     arm();
   }
   if (nb_snp_ == 0) {
@@ -311,10 +340,27 @@ void SnapshotMechanism::onEndSnp(Rank src) {
 
 void SnapshotMechanism::updateBlockAccounting() {
   const bool now_blocked = blocksComputation();
-  if (now_blocked && !was_blocked_) blocked_since_ = transport_.now();
-  if (!now_blocked && was_blocked_)
-    stats_.time_blocked += transport_.now() - blocked_since_;
-  was_blocked_ = now_blocked;
+  if (now_blocked && !was_blocked_) {
+    blocked_since_ = transport_.now();
+    was_blocked_ = true;
+    LOADEX_TRACE_SPAN_BEGIN(transport_.now(), protoTrack(self()), "stalled");
+  } else if (!now_blocked && was_blocked_) {
+    endStallInterval();
+  }
+}
+
+void SnapshotMechanism::endStallInterval() {
+  const double dur = transport_.now() - blocked_since_;
+  stats_.time_blocked += dur;
+  was_blocked_ = false;
+  LOADEX_TRACE_SPAN_END(transport_.now(), protoTrack(self()));
+  // The §4.5 stall metric, per rank: benches and the runner read these
+  // back instead of recomputing the breakdown by hand.
+  LOADEX_METRIC(
+      accumulator("snapshot/stall/P" + std::to_string(self())).add(dur));
+  LOADEX_METRIC(histogram("snapshot/stall_s",
+                          {1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0})
+                    .add(dur));
 }
 
 }  // namespace loadex::core

@@ -81,6 +81,9 @@ class SnapshotMechanism final : public Mechanism {
   void onSnp(Rank src, const SnpPayload& p);
   void onEndSnp(Rank src);
   void updateBlockAccounting();
+  /// Close the currently-open stall interval (accounting + trace span +
+  /// metrics). updateBlockAccounting() reopens one if still frozen.
+  void endStallInterval();
   Rank electOver(Rank candidate, Rank current) const {
     return elect(config_.election, candidate, current);
   }

@@ -1,0 +1,153 @@
+#include "obs/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/expect.h"
+
+namespace loadex::obs {
+
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string jsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+JsonWriter::JsonWriter(std::ostream& os, int indent)
+    : os_(os), indent_(indent) {}
+
+void JsonWriter::newlineIndent() {
+  if (indent_ <= 0) return;
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i)
+    for (int j = 0; j < indent_; ++j) os_ << ' ';
+}
+
+void JsonWriter::beforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (stack_.empty()) return;
+  Level& top = stack_.back();
+  if (top.has_items) os_ << ',';
+  top.has_items = true;
+  newlineIndent();
+}
+
+JsonWriter& JsonWriter::beginObject() {
+  beforeValue();
+  os_ << '{';
+  stack_.push_back({false, false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::endObject() {
+  LOADEX_EXPECT(!stack_.empty() && !stack_.back().is_array,
+                "endObject without a matching beginObject");
+  const bool had_items = stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) newlineIndent();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::beginArray() {
+  beforeValue();
+  os_ << '[';
+  stack_.push_back({true, false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::endArray() {
+  LOADEX_EXPECT(!stack_.empty() && stack_.back().is_array,
+                "endArray without a matching beginArray");
+  const bool had_items = stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) newlineIndent();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  LOADEX_EXPECT(!stack_.empty() && !stack_.back().is_array,
+                "key() outside of an object");
+  LOADEX_EXPECT(!pending_key_, "two keys in a row");
+  Level& top = stack_.back();
+  if (top.has_items) os_ << ',';
+  top.has_items = true;
+  newlineIndent();
+  os_ << '"' << jsonEscape(k) << '"' << (indent_ > 0 ? ": " : ":");
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  beforeValue();
+  os_ << '"' << jsonEscape(s) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  beforeValue();
+  os_ << jsonNumber(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  beforeValue();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  beforeValue();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  beforeValue();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::valueNull() {
+  beforeValue();
+  os_ << "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::valueRaw(std::string_view token) {
+  beforeValue();
+  os_ << token;
+  return *this;
+}
+
+}  // namespace loadex::obs

@@ -1,0 +1,72 @@
+// Minimal streaming JSON writer with deterministic number formatting.
+//
+// Every observability artifact (Chrome traces, metrics dumps, bench result
+// records) is emitted through this writer so the output is byte-identical
+// across runs and platforms: keys are written in the order the caller
+// chooses (callers iterate ordered containers), doubles use the shortest
+// round-trip representation (std::to_chars), and no locale is consulted.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace loadex::obs {
+
+/// Escape a string for inclusion in a JSON document (adds no quotes).
+std::string jsonEscape(std::string_view s);
+
+/// Shortest round-trip decimal representation of a double. Non-finite
+/// values (which JSON cannot carry) are clamped to null.
+std::string jsonNumber(double v);
+
+class JsonWriter {
+ public:
+  /// indent <= 0 writes compact single-line JSON.
+  explicit JsonWriter(std::ostream& os, int indent = 2);
+
+  JsonWriter& beginObject();
+  JsonWriter& endObject();
+  JsonWriter& beginArray();
+  JsonWriter& endArray();
+
+  /// Object key; must be followed by exactly one value or container.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& valueNull();
+  /// Pre-formatted number/token, written verbatim (caller guarantees it is
+  /// valid JSON — used for fixed-precision timestamps).
+  JsonWriter& valueRaw(std::string_view token);
+
+  // Convenience: key + scalar value in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+ private:
+  void beforeValue();
+  void newlineIndent();
+
+  struct Level {
+    bool is_array = false;
+    bool has_items = false;
+  };
+
+  std::ostream& os_;
+  int indent_;
+  bool pending_key_ = false;
+  std::vector<Level> stack_;
+};
+
+}  // namespace loadex::obs

@@ -1,0 +1,155 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/expect.h"
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace loadex::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(bounds_.size() + 1, 0) {
+  LOADEX_EXPECT(std::is_sorted(bounds_.begin(), bounds_.end()),
+                "histogram bounds must be ascending");
+}
+
+void Histogram::add(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += x;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Accumulator& MetricsRegistry::accumulator(const std::string& name) {
+  return accums_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  const auto it = hists_.find(name);
+  if (it != hists_.end()) return it->second;
+  return hists_.emplace(name, Histogram(std::move(bounds))).first->second;
+}
+
+const Counter* MetricsRegistry::findCounter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Accumulator* MetricsRegistry::findAccumulator(
+    const std::string& name) const {
+  const auto it = accums_.find(name);
+  return it == accums_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::findHistogram(
+    const std::string& name) const {
+  const auto it = hists_.find(name);
+  return it == hists_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::registerGauge(const std::string& name,
+                                    std::function<double()> fn) {
+  LOADEX_EXPECT(static_cast<bool>(fn), "gauge needs a callback");
+  gauges_.push_back({name, std::move(fn), {}});
+}
+
+void MetricsRegistry::setSamplePeriod(double period_s) {
+  LOADEX_EXPECT(period_s >= 0.0, "sample period must be non-negative");
+  period_s_ = period_s;
+  next_sample_ = period_s;
+}
+
+void MetricsRegistry::sampleNow(double now) {
+  ++samples_taken_;
+  for (auto& g : gauges_) {
+    const double v = g.fn();
+    g.samples.add(v);
+    LOADEX_TRACE_COUNTER(now, g.name, v);
+  }
+  if (period_s_ > 0.0) next_sample_ = now + period_s_;
+}
+
+const Accumulator* MetricsRegistry::findGaugeStats(
+    const std::string& name) const {
+  for (const auto& g : gauges_)
+    if (g.name == name) return &g.samples;
+  return nullptr;
+}
+
+double MetricsRegistry::accumulatorFamilySum(const std::string& prefix,
+                                             int nprocs) const {
+  double total = 0.0;
+  for (int r = 0; r < nprocs; ++r)
+    if (const auto* a = findAccumulator(prefix + "/P" + std::to_string(r)))
+      total += a->sum();
+  return total;
+}
+
+double MetricsRegistry::accumulatorFamilyMax(const std::string& prefix,
+                                             int nprocs) const {
+  double best = 0.0;
+  for (int r = 0; r < nprocs; ++r)
+    if (const auto* a = findAccumulator(prefix + "/P" + std::to_string(r)))
+      best = std::max(best, a->sum());
+  return best;
+}
+
+void MetricsRegistry::writeJson(std::ostream& os) const {
+  JsonWriter w(os);
+  w.beginObject();
+  w.field("schema", "loadex.metrics");
+  w.field("schema_version", 1);
+
+  w.key("counters").beginObject();
+  for (const auto& [name, c] : counters_) w.field(name, c.get());
+  w.endObject();
+
+  w.key("accumulators").beginObject();
+  for (const auto& [name, a] : accums_) {
+    w.key(name).beginObject();
+    w.field("count", a.count()).field("sum", a.sum());
+    if (!a.empty())
+      w.field("mean", a.mean()).field("min", a.min()).field("max", a.max());
+    w.endObject();
+  }
+  w.endObject();
+
+  w.key("histograms").beginObject();
+  for (const auto& [name, h] : hists_) {
+    w.key(name).beginObject();
+    w.field("count", h.count()).field("sum", h.sum());
+    w.key("bounds").beginArray();
+    for (const double b : h.bounds()) w.value(b);
+    w.endArray();
+    w.key("buckets").beginArray();
+    for (const std::int64_t b : h.buckets()) w.value(b);
+    w.endArray();
+    w.endObject();
+  }
+  w.endObject();
+
+  w.key("gauges").beginObject();
+  for (const auto& g : gauges_) {
+    w.key(g.name).beginObject();
+    w.field("samples", g.samples.count());
+    if (!g.samples.empty())
+      w.field("mean", g.samples.mean())
+          .field("min", g.samples.min())
+          .field("max", g.samples.max());
+    w.endObject();
+  }
+  w.endObject();
+
+  w.endObject();
+  os << "\n";
+}
+
+}  // namespace loadex::obs

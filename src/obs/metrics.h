@@ -1,0 +1,120 @@
+// MetricsRegistry: named counters, accumulators, fixed-bucket histograms
+// and sampled gauges for a single simulation run.
+//
+// Gauges are *pull*-style: a registered callback is evaluated whenever the
+// event kernel crosses the sampling period (sim::EventQueue::runNext calls
+// maybeSample). Sampling is driven purely by existing simulation events —
+// it schedules nothing and draws no randomness, so enabling metrics leaves
+// the event schedule bit-identical (the same guarantee as tracing).
+//
+// Instrumentation call sites go through LOADEX_METRIC(...), which, like
+// the trace macros, evaluates its argument only when a registry is
+// installed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "obs/obs.h"
+
+namespace loadex::obs {
+
+/// Monotonic named counter.
+class Counter {
+ public:
+  void add(std::int64_t n = 1) { value_ += n; }
+  std::int64_t get() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Fixed-bucket histogram: bounds are upper edges, ascending; a final
+/// overflow bucket catches everything above the last bound.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void add(double x);
+  std::int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last one is the overflow bucket.
+  const std::vector<std::int64_t>& buckets() const { return buckets_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::int64_t> buckets_;
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  // ---- named instruments (created on first use) ------------------------
+  Counter& counter(const std::string& name);
+  Accumulator& accumulator(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  // ---- read-side lookups (null if never touched) -----------------------
+  const Counter* findCounter(const std::string& name) const;
+  const Accumulator* findAccumulator(const std::string& name) const;
+  const Histogram* findHistogram(const std::string& name) const;
+
+  // ---- gauges ----------------------------------------------------------
+  /// Register a gauge; `fn` is evaluated at every sample point. Samples
+  /// accumulate into an Accumulator (mean/min/max) and, when a trace
+  /// recorder is also installed, are emitted as trace counter events.
+  void registerGauge(const std::string& name, std::function<double()> fn);
+  /// Sampling period in simulated seconds; 0 (default) disables sampling.
+  void setSamplePeriod(double period_s);
+  double samplePeriod() const { return period_s_; }
+  /// Called by the event kernel with the current simulated time; samples
+  /// every registered gauge if the period elapsed. Cheap no-op otherwise.
+  void maybeSample(double now) {
+    if (period_s_ <= 0.0 || now < next_sample_) return;
+    sampleNow(now);
+  }
+  void sampleNow(double now);
+  std::int64_t samplesTaken() const { return samples_taken_; }
+  const Accumulator* findGaugeStats(const std::string& name) const;
+
+  /// Sum of per-rank instrument values "<prefix>/P0".."<prefix>/P<n-1>"
+  /// (absent ranks contribute 0); used for per-rank accumulator families.
+  double accumulatorFamilySum(const std::string& prefix, int nprocs) const;
+  double accumulatorFamilyMax(const std::string& prefix, int nprocs) const;
+
+  /// Deterministic JSON dump (ordered by instrument name).
+  void writeJson(std::ostream& os) const;
+
+ private:
+  struct Gauge {
+    std::string name;
+    std::function<double()> fn;
+    Accumulator samples;
+  };
+
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Accumulator> accums_;
+  std::map<std::string, Histogram> hists_;
+  std::vector<Gauge> gauges_;  ///< sampled in registration order
+  double period_s_ = 0.0;
+  double next_sample_ = 0.0;
+  std::int64_t samples_taken_ = 0;
+};
+
+}  // namespace loadex::obs
+
+/// Run `stmt` against the installed registry (named `lx_mx_`), only when
+/// metrics are enabled; the statement is not evaluated otherwise.
+#define LOADEX_METRIC(stmt)                                   \
+  do {                                                        \
+    if (auto* lx_mx_ = ::loadex::obs::metricsRegistry()) {    \
+      lx_mx_->stmt;                                           \
+    }                                                         \
+  } while (0)

@@ -1,0 +1,8 @@
+#include "obs/obs.h"
+
+namespace loadex::obs::detail {
+
+TraceRecorder* g_trace = nullptr;
+MetricsRegistry* g_metrics = nullptr;
+
+}  // namespace loadex::obs::detail

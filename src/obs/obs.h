@@ -1,0 +1,54 @@
+// loadex_obs — observability session plumbing.
+//
+// A *session* is the pair (TraceRecorder*, MetricsRegistry*) the
+// instrumentation seams in sim/core/solver report to. Both pointers are
+// null by default: every LOADEX_TRACE_* / LOADEX_METRIC macro collapses
+// to a single pointer load + branch, evaluating none of its arguments
+// (enforced by the `trace-macro-guard` lint rule). Installing a session
+// never perturbs the simulation — the recorder and the registry schedule
+// no events and draw no random numbers, so the event schedule is
+// bit-identical with observation on or off (enforced by test via
+// sim::EventQueue::scheduleDigest()).
+//
+// The simulator is single-threaded; the session globals are plain
+// pointers, not atomics, on purpose.
+#pragma once
+
+namespace loadex::obs {
+
+class TraceRecorder;
+class MetricsRegistry;
+
+namespace detail {
+extern TraceRecorder* g_trace;
+extern MetricsRegistry* g_metrics;
+}  // namespace detail
+
+/// Currently installed recorder (null when tracing is off).
+inline TraceRecorder* traceRecorder() { return detail::g_trace; }
+
+/// Currently installed metrics registry (null when metrics are off).
+inline MetricsRegistry* metricsRegistry() { return detail::g_metrics; }
+
+/// RAII session installer: swaps the globals in, restores the previous
+/// session on destruction (sessions nest like a stack).
+class ScopedObservation {
+ public:
+  ScopedObservation(TraceRecorder* trace, MetricsRegistry* metrics)
+      : prev_trace_(detail::g_trace), prev_metrics_(detail::g_metrics) {
+    detail::g_trace = trace;
+    detail::g_metrics = metrics;
+  }
+  ~ScopedObservation() {
+    detail::g_trace = prev_trace_;
+    detail::g_metrics = prev_metrics_;
+  }
+  ScopedObservation(const ScopedObservation&) = delete;
+  ScopedObservation& operator=(const ScopedObservation&) = delete;
+
+ private:
+  TraceRecorder* prev_trace_;
+  MetricsRegistry* prev_metrics_;
+};
+
+}  // namespace loadex::obs

@@ -1,0 +1,71 @@
+#include "obs/results.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/log.h"
+#include "obs/json.h"
+
+namespace loadex::obs {
+
+void ResultWriter::write(std::ostream& os) const {
+  JsonWriter w(os);
+  w.beginObject();
+  w.field("schema", kSchemaName);
+  w.field("schema_version", kSchemaVersion);
+  w.field("bench", bench_);
+  w.key("meta").beginObject();
+  for (const auto& [k, v] : meta_) w.field(k, v);
+  w.endObject();
+  w.key("records").beginArray();
+  for (const auto& r : records_) {
+    w.beginObject();
+    w.field("problem", r.problem);
+    w.field("mechanism", r.mechanism);
+    w.field("strategy", r.strategy);
+    w.field("nprocs", r.nprocs);
+    w.field("completed", r.completed);
+    w.field("makespan_s", r.makespan_s);
+    w.field("peak_active_mem", r.peak_active_mem);
+    w.field("avg_peak_active_mem", r.avg_peak_active_mem);
+    w.field("total_flops", r.total_flops);
+    w.field("state_messages", r.state_messages);
+    w.field("state_bytes", r.state_bytes);
+    w.field("state_wire_bytes", r.state_wire_bytes);
+    w.field("app_messages", r.app_messages);
+    w.field("dynamic_decisions", r.dynamic_decisions);
+    w.field("selections", r.selections);
+    w.field("snapshots", r.snapshots);
+    w.field("snapshot_rearms", r.snapshot_rearms);
+    w.field("sim_events", r.sim_events);
+    w.key("stall").beginObject();
+    w.field("snapshot_max_s", r.stall_snapshot_max_s);
+    w.field("snapshot_total_s", r.stall_snapshot_total_s);
+    w.field("busy_max_s", r.busy_max_s);
+    w.field("paused_max_s", r.paused_max_s);
+    w.field("msg_handle_total_s", r.msg_handle_total_s);
+    w.endObject();
+    w.field("schedule_digest", r.schedule_digest);
+    if (!r.extra.empty()) {
+      w.key("extra").beginObject();
+      for (const auto& [k, v] : r.extra) w.field(k, v);
+      w.endObject();
+    }
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  os << "\n";
+}
+
+bool ResultWriter::writeFile(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) {
+    LOG_WARN("cannot open result output file: " << path);
+    return false;
+  }
+  write(f);
+  return static_cast<bool>(f);
+}
+
+}  // namespace loadex::obs

@@ -1,0 +1,81 @@
+// Structured, schema-versioned benchmark result records.
+//
+// Every bench driver emits — next to its human-readable table — one JSON
+// document describing each run: mechanism, procs, problem, makespan, peak
+// memory, message/byte counts and the stall breakdown. The documents are
+// the data points of the repo's performance trajectory (BENCH_*.json) and
+// the input of `tools/trace_stats.py diff` (A-vs-B regression reports).
+//
+// Schema: see kSchemaName/kSchemaVersion; bump the version on any
+// backwards-incompatible field change and teach trace_stats.py both.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace loadex::obs {
+
+struct BenchResultRecord {
+  std::string problem;
+  std::string mechanism;
+  std::string strategy;
+  int nprocs = 0;
+  bool completed = false;
+
+  double makespan_s = 0.0;          ///< simulated factorization time
+  double peak_active_mem = 0.0;     ///< max-over-procs entries
+  double avg_peak_active_mem = 0.0;
+  double total_flops = 0.0;
+
+  std::int64_t state_messages = 0;
+  std::int64_t state_bytes = 0;      ///< payload bytes, sender-counted
+  std::int64_t state_wire_bytes = 0; ///< incl. per-message overhead
+  std::int64_t app_messages = 0;
+  std::int64_t dynamic_decisions = 0;
+  std::int64_t selections = 0;
+  std::int64_t snapshots = 0;
+  std::int64_t snapshot_rearms = 0;
+  std::uint64_t sim_events = 0;
+
+  // Stall breakdown (where the time went, §4.5's metric and friends).
+  double stall_snapshot_max_s = 0.0;    ///< max-over-procs frozen time
+  double stall_snapshot_total_s = 0.0;  ///< summed over procs
+  double busy_max_s = 0.0;              ///< max-over-procs compute time
+  double paused_max_s = 0.0;            ///< max-over-procs task-paused time
+  double msg_handle_total_s = 0.0;      ///< summed message-treatment cost
+
+  /// Event-schedule digest of the run (replay-determinism fingerprint).
+  std::uint64_t schedule_digest = 0;
+
+  /// Bench-specific extra columns (ordered, so output is deterministic).
+  std::map<std::string, double> extra;
+};
+
+/// Collects records and writes the schema-versioned JSON document.
+class ResultWriter {
+ public:
+  static constexpr const char* kSchemaName = "loadex.bench-result";
+  static constexpr int kSchemaVersion = 1;
+
+  explicit ResultWriter(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+  /// Run-level metadata (scale, seed, ...) stored next to the records.
+  void setMeta(const std::string& key, double value) { meta_[key] = value; }
+
+  void add(BenchResultRecord record) { records_.push_back(std::move(record)); }
+  std::size_t size() const { return records_.size(); }
+
+  void write(std::ostream& os) const;
+  /// Returns false (and logs) if the file cannot be written.
+  bool writeFile(const std::string& path) const;
+
+ private:
+  std::string bench_;
+  std::map<std::string, double> meta_;
+  std::vector<BenchResultRecord> records_;
+};
+
+}  // namespace loadex::obs

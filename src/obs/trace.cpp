@@ -1,0 +1,190 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "common/expect.h"
+#include "common/log.h"
+#include "obs/json.h"
+
+namespace loadex::obs {
+
+namespace {
+
+/// Simulated seconds -> trace microseconds, fixed 3-decimal precision
+/// (nanosecond resolution) so export is byte-deterministic.
+std::string traceTs(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+  return std::string(buf);
+}
+
+std::string flowIdHex(std::uint64_t flow) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(flow));
+  return std::string(buf);
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(TraceConfig config) : config_(std::move(config)) {
+  LOADEX_EXPECT(config_.capacity > 0, "trace ring capacity must be positive");
+}
+
+void TraceRecorder::setTrackName(int track, std::string name) {
+  track_names_[track] = std::move(name);
+}
+
+void TraceRecorder::nameRankTracks(int nprocs) {
+  static constexpr const char* kLaneNames[kLaneCount] = {"main", "proto",
+                                                         "net state",
+                                                         "net app"};
+  for (Rank r = 0; r < nprocs; ++r)
+    for (int lane = 0; lane < kLaneCount; ++lane)
+      setTrackName(rankTrack(r, static_cast<Lane>(lane)),
+                   "P" + std::to_string(r) + " " + kLaneNames[lane]);
+}
+
+std::string TraceRecorder::messageName(int channel, int tag) const {
+  if (message_namer_) return message_namer_(channel, tag);
+  return (channel == 0 ? "state/" : "app/") + std::to_string(tag);
+}
+
+int TraceRecorder::intern(std::string_view name) {
+  const auto it = name_ids_.find(std::string(name));
+  if (it != name_ids_.end()) return it->second;
+  const int id = static_cast<int>(names_.size());
+  names_.emplace_back(name);
+  name_ids_.emplace(names_.back(), id);
+  return id;
+}
+
+void TraceRecorder::push(const Event& ev) {
+  ++recorded_;
+  if (events_.size() < config_.capacity) {
+    events_.push_back(ev);
+    return;
+  }
+  events_[head_] = ev;
+  head_ = (head_ + 1) % config_.capacity;
+  ++dropped_;
+}
+
+void TraceRecorder::beginSpan(double t, int track, std::string_view name) {
+  push({t, 0.0, 0.0, 0, track, intern(name), Phase::kBegin});
+}
+
+void TraceRecorder::endSpan(double t, int track) {
+  push({t, 0.0, 0.0, 0, track, -1, Phase::kEnd});
+}
+
+void TraceRecorder::completeSpan(double t0, double t1, int track,
+                                 std::string_view name) {
+  push({t0, t1 - t0, 0.0, 0, track, intern(name), Phase::kComplete});
+}
+
+void TraceRecorder::instant(double t, int track, std::string_view name) {
+  push({t, 0.0, 0.0, 0, track, intern(name), Phase::kInstant});
+}
+
+void TraceRecorder::counter(double t, std::string_view name, double value) {
+  push({t, 0.0, value, 0, kGlobalTrack, intern(name), Phase::kCounter});
+}
+
+void TraceRecorder::flowBegin(double t, int track, std::string_view name,
+                              std::uint64_t flow) {
+  push({t, 0.0, 0.0, flow, track, intern(name), Phase::kFlowBegin});
+}
+
+void TraceRecorder::flowEnd(double t, int track, std::string_view name,
+                            std::uint64_t flow) {
+  push({t, 0.0, 0.0, flow, track, intern(name), Phase::kFlowEnd});
+}
+
+void TraceRecorder::writeChromeTrace(std::ostream& os) const {
+  os << "{\n";
+  os << "\"displayTimeUnit\": \"ms\",\n";
+  os << "\"otherData\": {\"generator\": \"loadex_obs\", \"recorded\": "
+     << recorded_ << ", \"dropped\": " << dropped_ << "},\n";
+  os << "\"traceEvents\": [";
+
+  bool first = true;
+  const auto emit = [&](auto&& fn) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    JsonWriter w(os, /*indent=*/0);
+    w.beginObject();
+    fn(w);
+    w.endObject();
+  };
+
+  // Metadata: process name, then track (thread) names + sort order.
+  emit([&](JsonWriter& w) {
+    w.field("name", "process_name").field("ph", "M").field("pid", 0)
+        .field("tid", 0);
+    w.key("args").beginObject().field("name", config_.process_name)
+        .endObject();
+  });
+  for (const auto& [track, name] : track_names_) {
+    if (track < 0) continue;
+    emit([&, t = track, n = name](JsonWriter& w) {
+      w.field("name", "thread_name").field("ph", "M").field("pid", 0)
+          .field("tid", t);
+      w.key("args").beginObject().field("name", n).endObject();
+    });
+    emit([&, t = track](JsonWriter& w) {
+      w.field("name", "thread_sort_index").field("ph", "M").field("pid", 0)
+          .field("tid", t);
+      w.key("args").beginObject().field("sort_index", t).endObject();
+    });
+  }
+
+  // Ring contents, oldest first (insertion order == simulated-time order).
+  const std::size_t n = events_.size();
+  const bool wrapped = dropped_ > 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Event& ev = events_[wrapped ? (head_ + i) % n : i];
+    emit([&](JsonWriter& w) {
+      const char ph[2] = {static_cast<char>(ev.phase), '\0'};
+      if (ev.name >= 0)
+        w.field("name", names_[static_cast<std::size_t>(ev.name)]);
+      w.field("ph", ph);
+      switch (ev.phase) {
+        case Phase::kFlowBegin:
+        case Phase::kFlowEnd:
+          w.field("cat", "msg").field("id", flowIdHex(ev.flow));
+          break;
+        case Phase::kCounter:
+          w.field("cat", "metric");
+          break;
+        default:
+          w.field("cat", "sim");
+      }
+      w.field("pid", 0).field("tid", ev.track >= 0 ? ev.track : 0);
+      w.key("ts").valueRaw(traceTs(ev.ts));
+      if (ev.phase == Phase::kComplete)
+        w.key("dur").valueRaw(traceTs(ev.dur));
+      if (ev.phase == Phase::kInstant) w.field("s", "t");
+      if (ev.phase == Phase::kFlowEnd) w.field("bp", "e");
+      if (ev.phase == Phase::kCounter)
+        w.key("args").beginObject()
+            .key("value").valueRaw(jsonNumber(ev.value)).endObject();
+    });
+  }
+
+  os << "\n]\n}\n";
+}
+
+bool TraceRecorder::writeChromeTraceFile(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) {
+    LOG_WARN("cannot open trace output file: " << path);
+    return false;
+  }
+  writeChromeTrace(f);
+  return static_cast<bool>(f);
+}
+
+}  // namespace loadex::obs

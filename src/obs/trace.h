@@ -1,0 +1,187 @@
+// TraceRecorder: ring-buffered span/instant/counter/flow events stamped
+// with *simulated* time, exported as Chrome trace-event JSON (loadable in
+// Perfetto / chrome://tracing).
+//
+// Design constraints (see DESIGN.md §9):
+//  * zero overhead when disabled — call sites go through the
+//    LOADEX_TRACE_* macros below, which evaluate no argument unless a
+//    recorder is installed (lint rule `trace-macro-guard`);
+//  * recording never perturbs the simulation — no events are scheduled,
+//    no random numbers drawn; memory is a bounded ring (oldest events are
+//    overwritten, with a drop counter), so a trace of an arbitrarily long
+//    run cannot exhaust memory;
+//  * deterministic export — interned names, insertion-ordered ring,
+//    fixed-precision timestamps: the same run produces the same bytes.
+//
+// Track model: one Perfetto "thread" per (rank, lane). Lane kMain carries
+// compute/pause/message-handling slices, kProto the mechanism protocol
+// spans (snapshot lifecycle, decisions, tx/rx instants), kNetState/kNetApp
+// the wire transfers of the two channels, which also anchor the
+// send→deliver flow arrows.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/obs.h"
+
+namespace loadex::obs {
+
+/// Per-rank trace lanes (Perfetto threads). Keep kLaneCount in sync.
+enum class Lane : int { kMain = 0, kProto = 1, kNetState = 2, kNetApp = 3 };
+inline constexpr int kLaneCount = 4;
+
+/// Track id of a (rank, lane) pair; rank-major so the Perfetto sort index
+/// groups each rank's lanes together.
+constexpr int rankTrack(Rank rank, Lane lane) {
+  return rank * kLaneCount + static_cast<int>(lane);
+}
+
+/// Track used for global (non-rank) counters and instants.
+inline constexpr int kGlobalTrack = -1;
+
+struct TraceConfig {
+  /// Ring capacity in events. When full the oldest events are overwritten
+  /// (the export notes the drop count). ~56 bytes per slot.
+  std::size_t capacity = 1u << 19;
+  std::string process_name = "loadex sim";
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(TraceConfig config = {});
+
+  // ---- naming ----------------------------------------------------------
+  /// Label a track (exported as Perfetto thread_name metadata).
+  void setTrackName(int track, std::string name);
+  /// Standard per-rank lane names ("P3 main", "P3 proto", ...).
+  void nameRankTracks(int nprocs);
+  /// Optional message namer used by the network instrumentation to label
+  /// wire slices ("start_snp" instead of "state/5"). Must be a pure
+  /// function of (channel, tag).
+  void setMessageNamer(std::function<std::string(int channel, int tag)> fn) {
+    message_namer_ = std::move(fn);
+  }
+  std::string messageName(int channel, int tag) const;
+
+  // ---- event recording (call through the LOADEX_TRACE_* macros) --------
+  void beginSpan(double t, int track, std::string_view name);
+  void endSpan(double t, int track);
+  void completeSpan(double t0, double t1, int track, std::string_view name);
+  void instant(double t, int track, std::string_view name);
+  void counter(double t, std::string_view name, double value);
+  void flowBegin(double t, int track, std::string_view name,
+                 std::uint64_t flow);
+  void flowEnd(double t, int track, std::string_view name,
+               std::uint64_t flow);
+  /// Fresh id for a send→deliver flow arrow.
+  std::uint64_t nextFlowId() { return ++last_flow_; }
+
+  // ---- introspection ---------------------------------------------------
+  std::size_t size() const { return events_.size(); }
+  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t dropped() const { return dropped_; }
+  const TraceConfig& config() const { return config_; }
+
+  // ---- export ----------------------------------------------------------
+  /// Chrome trace-event JSON ("traceEvents" array + metadata), ts in
+  /// microseconds with fixed 3-decimal precision.
+  void writeChromeTrace(std::ostream& os) const;
+  /// Returns false (and logs) if the file cannot be written.
+  bool writeChromeTraceFile(const std::string& path) const;
+
+ private:
+  enum class Phase : char {
+    kBegin = 'B',
+    kEnd = 'E',
+    kComplete = 'X',
+    kInstant = 'i',
+    kCounter = 'C',
+    kFlowBegin = 's',
+    kFlowEnd = 'f',
+  };
+
+  struct Event {
+    double ts = 0.0;       ///< simulated seconds
+    double dur = 0.0;      ///< kComplete only
+    double value = 0.0;    ///< kCounter only
+    std::uint64_t flow = 0;
+    std::int32_t track = 0;
+    std::int32_t name = -1;  ///< intern id (-1: unnamed end event)
+    Phase phase = Phase::kInstant;
+  };
+
+  int intern(std::string_view name);
+  void push(const Event& ev);
+
+  TraceConfig config_;
+  std::vector<Event> events_;  ///< grows to capacity, then wraps
+  std::size_t head_ = 0;       ///< next write slot once the ring is full
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t last_flow_ = 0;
+  std::vector<std::string> names_;
+  std::map<std::string, int> name_ids_;
+  std::map<int, std::string> track_names_;
+  std::function<std::string(int, int)> message_namer_;
+};
+
+}  // namespace loadex::obs
+
+// ---------------------------------------------------------------------------
+// Instrumentation macros. Every macro guards argument evaluation behind the
+// recorder null check, so a disabled trace costs one load + branch and
+// evaluates *none* of its arguments (string concatenations, accessors, ...).
+// The lint rule `trace-macro-guard` enforces this shape.
+// ---------------------------------------------------------------------------
+
+#define LOADEX_TRACE_SPAN_BEGIN(...)                          \
+  do {                                                        \
+    if (auto* lx_tr_ = ::loadex::obs::traceRecorder()) {      \
+      lx_tr_->beginSpan(__VA_ARGS__);                         \
+    }                                                         \
+  } while (0)
+
+#define LOADEX_TRACE_SPAN_END(...)                            \
+  do {                                                        \
+    if (auto* lx_tr_ = ::loadex::obs::traceRecorder()) {      \
+      lx_tr_->endSpan(__VA_ARGS__);                           \
+    }                                                         \
+  } while (0)
+
+#define LOADEX_TRACE_COMPLETE(...)                            \
+  do {                                                        \
+    if (auto* lx_tr_ = ::loadex::obs::traceRecorder()) {      \
+      lx_tr_->completeSpan(__VA_ARGS__);                      \
+    }                                                         \
+  } while (0)
+
+#define LOADEX_TRACE_INSTANT(...)                             \
+  do {                                                        \
+    if (auto* lx_tr_ = ::loadex::obs::traceRecorder()) {      \
+      lx_tr_->instant(__VA_ARGS__);                           \
+    }                                                         \
+  } while (0)
+
+#define LOADEX_TRACE_COUNTER(...)                             \
+  do {                                                        \
+    if (auto* lx_tr_ = ::loadex::obs::traceRecorder()) {      \
+      lx_tr_->counter(__VA_ARGS__);                           \
+    }                                                         \
+  } while (0)
+
+/// Run an arbitrary statement against the recorder (named `lx_tr_`), only
+/// when tracing is enabled — for multi-call sequences such as a wire slice
+/// plus its flow anchor.
+#define LOADEX_TRACE_WITH(stmt)                               \
+  do {                                                        \
+    if (auto* lx_tr_ = ::loadex::obs::traceRecorder()) {      \
+      stmt;                                                   \
+    }                                                         \
+  } while (0)

@@ -1,10 +1,21 @@
 #include "sim/event_queue.h"
 
+#include <bit>
 #include <cmath>
 
 #include "common/expect.h"
+#include "obs/metrics.h"
 
 namespace loadex::sim {
+
+namespace {
+
+inline void fnv1a(std::uint64_t& digest, std::uint64_t bits) {
+  digest ^= bits;
+  digest *= 0x100000001b3ULL;  // FNV-1a 64-bit prime
+}
+
+}  // namespace
 
 EventId EventQueue::scheduleAt(SimTime t, std::function<void()> fn) {
   LOADEX_EXPECT(t >= now_, "cannot schedule an event in the past");
@@ -47,6 +58,11 @@ bool EventQueue::runNext() {
   --live_;
   now_ = e.time;
   ++fired_;
+  fnv1a(digest_, std::bit_cast<std::uint64_t>(e.time));
+  fnv1a(digest_, e.seq);
+  // Gauge sampling piggybacks on event firing: it schedules nothing and
+  // draws no randomness, so the schedule digest is unaffected.
+  LOADEX_METRIC(maybeSample(now_));
   fn();
   return true;
 }

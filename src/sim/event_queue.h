@@ -50,6 +50,13 @@ class EventQueue {
   /// Time of the next pending event (kInfiniteTime if none).
   SimTime nextEventTime() const;
 
+  /// FNV-1a digest over every fired event's (time, seq). Two runs with
+  /// identical digests executed the exact same event schedule — this is the
+  /// replay-determinism fingerprint observation must not perturb. Always on
+  /// (a handful of integer ops per event), so trace-on and trace-off runs
+  /// are directly comparable.
+  std::uint64_t scheduleDigest() const { return digest_; }
+
  private:
   struct Entry {
     SimTime time;
@@ -67,6 +74,7 @@ class EventQueue {
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
   std::uint64_t fired_ = 0;
+  std::uint64_t digest_ = 0xcbf29ce484222325ULL;  ///< FNV-1a offset basis
   std::size_t live_ = 0;
   mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
   std::unordered_map<EventId, std::function<void()>> handlers_;

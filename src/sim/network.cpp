@@ -3,8 +3,19 @@
 #include <algorithm>
 
 #include "common/expect.h"
+#include "obs/trace.h"
 
 namespace loadex::sim {
+
+namespace {
+
+inline int netTrack(Rank rank, Channel channel) {
+  return obs::rankTrack(rank, channel == Channel::kState
+                                  ? obs::Lane::kNetState
+                                  : obs::Lane::kNetApp);
+}
+
+}  // namespace
 
 Network::Network(EventQueue& queue, NetworkConfig config, int nprocs)
     : queue_(queue),
@@ -47,8 +58,16 @@ double Network::transferTime(Bytes size) const {
          config_.bandwidth_bytes_per_s;
 }
 
-void Network::scheduleDelivery(const Message& msg, SimTime arrival) {
-  queue_.scheduleAt(arrival, [this, m = msg]() {
+void Network::scheduleDelivery(const Message& msg, SimTime arrival,
+                               std::uint64_t flow) {
+  queue_.scheduleAt(arrival, [this, m = msg, flow]() {
+    LOADEX_TRACE_WITH({
+      const int track = netTrack(m.dst, m.channel);
+      const std::string name =
+          "rcv " + lx_tr_->messageName(static_cast<int>(m.channel), m.tag);
+      lx_tr_->completeSpan(queue_.now(), queue_.now(), track, name);
+      if (flow != 0) lx_tr_->flowEnd(queue_.now(), track, name, flow);
+    });
     auto& recv = receivers_[static_cast<std::size_t>(m.dst)];
     LOADEX_EXPECT(static_cast<bool>(recv), "no receiver registered for rank");
     recv(m);
@@ -89,11 +108,19 @@ void Network::send(Message msg) {
     for (const auto& b : f.blackouts) {
       if (b.matches(msg.src, msg.dst, now)) {
         counts_.bump("fault_blackout");
+        LOADEX_TRACE_WITH(lx_tr_->instant(
+            now, netTrack(msg.src, msg.channel),
+            "blackout " +
+                lx_tr_->messageName(static_cast<int>(msg.channel), msg.tag)));
         return;
       }
     }
     if (f.drop_prob > 0.0 && fault_rng_.bernoulli(f.drop_prob)) {
       counts_.bump("fault_drop");
+      LOADEX_TRACE_WITH(lx_tr_->instant(
+          now, netTrack(msg.src, msg.channel),
+          "drop " +
+              lx_tr_->messageName(static_cast<int>(msg.channel), msg.tag)));
       return;
     }
     if (f.duplicate_prob > 0.0 && fault_rng_.bernoulli(f.duplicate_prob)) {
@@ -111,7 +138,19 @@ void Network::send(Message msg) {
   auto& last = pairLastArrival(msg.src, msg.dst);
   arrival = std::max(arrival, last);
   last = arrival;
-  scheduleDelivery(msg, arrival);
+
+  // Wire slice on the sender's net lane + the flow-arrow anchor that the
+  // delivery event will terminate at the receiver.
+  std::uint64_t flow = 0;
+  LOADEX_TRACE_WITH({
+    flow = lx_tr_->nextFlowId();
+    const int track = netTrack(msg.src, msg.channel);
+    const std::string name =
+        "snd " + lx_tr_->messageName(static_cast<int>(msg.channel), msg.tag);
+    lx_tr_->completeSpan(depart, depart + transfer, track, name);
+    lx_tr_->flowBegin(depart, track, name, flow);
+  });
+  scheduleDelivery(msg, arrival, flow);
 
   if (duplicate) {
     // The spurious copy trails one extra latency behind and occupies the
@@ -123,7 +162,18 @@ void Network::send(Message msg) {
     last = copy_arrival;
     bytes_sent_ += wire;
     channel_bytes_[static_cast<std::size_t>(msg.channel)] += wire;
-    scheduleDelivery(msg, copy_arrival);
+    // The spurious copy gets its own flow id so both arrows render.
+    std::uint64_t copy_flow = 0;
+    LOADEX_TRACE_WITH({
+      copy_flow = lx_tr_->nextFlowId();
+      const int track = netTrack(msg.src, msg.channel);
+      const std::string name =
+          "dup " +
+          lx_tr_->messageName(static_cast<int>(msg.channel), msg.tag);
+      lx_tr_->completeSpan(depart, depart + transfer, track, name);
+      lx_tr_->flowBegin(depart, track, name, copy_flow);
+    });
+    scheduleDelivery(msg, copy_arrival, copy_flow);
   }
 }
 

@@ -97,7 +97,10 @@ class Network {
                                   static_cast<std::size_t>(nprocs_) +
                               static_cast<std::size_t>(dst)];
   }
-  void scheduleDelivery(const Message& msg, SimTime arrival);
+  /// `flow` is the trace flow-arrow id tying this delivery back to its
+  /// send slice (0 when tracing was off at send time).
+  void scheduleDelivery(const Message& msg, SimTime arrival,
+                        std::uint64_t flow);
 
   EventQueue& queue_;
   NetworkConfig config_;

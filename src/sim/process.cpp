@@ -2,8 +2,17 @@
 
 #include "common/expect.h"
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace loadex::sim {
+
+namespace {
+
+inline int mainTrack(Rank rank) {
+  return obs::rankTrack(rank, obs::Lane::kMain);
+}
+
+}  // namespace
 
 Process::Process(EventQueue& queue, Network& network, Rank rank, int nprocs,
                  ProcessConfig config)
@@ -36,9 +45,12 @@ void Process::crash() {
     busy_time_ += now() - task_started_;
     queue_.cancel(end_event_);
     end_event_ = kNoEvent;
+    LOADEX_TRACE_SPAN_END(now(), mainTrack(rank_));
   } else if (state_ == State::kPaused) {
     paused_time_ += now() - paused_since_;
+    LOADEX_TRACE_SPAN_END(now(), mainTrack(rank_));
   }
+  LOADEX_TRACE_INSTANT(now(), mainTrack(rank_), "crash");
   if (poll_event_ != kNoEvent) {
     queue_.cancel(poll_event_);
     poll_event_ = kNoEvent;
@@ -56,6 +68,7 @@ void Process::restart() {
   if (!crashed_) return;
   crashed_ = false;
   ++restarts_;
+  LOADEX_TRACE_INSTANT(now(), mainTrack(rank_), "restart");
   // In-flight and queued messages were lost while down; local application
   // state is whatever survived the crash (the app/mechanism decide).
   pump();
@@ -122,6 +135,9 @@ void Process::pump() {
     state_q_.pop_front();
     ++state_handled_;
     msg_handle_time_ += config_.state_msg_handle_s;
+    LOADEX_TRACE_WITH(lx_tr_->completeSpan(
+        now(), now() + config_.state_msg_handle_s, mainTrack(rank_),
+        "rx " + lx_tr_->messageName(static_cast<int>(m.channel), m.tag)));
     if (state_handler_ != nullptr) state_handler_->onStateMessage(m);
     // Charge the handling cost, then continue pumping.
     schedulePumpAfter(config_.state_msg_handle_s);
@@ -144,6 +160,9 @@ void Process::pump() {
     app_q_.pop_front();
     ++app_handled_;
     msg_handle_time_ += config_.app_msg_handle_s;
+    LOADEX_TRACE_WITH(lx_tr_->completeSpan(
+        now(), now() + config_.app_msg_handle_s, mainTrack(rank_),
+        "rx " + lx_tr_->messageName(static_cast<int>(m.channel), m.tag)));
     if (app_ != nullptr) app_->onAppMessage(*this, m);
     schedulePumpAfter(config_.app_msg_handle_s);
     return;
@@ -170,6 +189,8 @@ void Process::startTask(ComputeTask task) {
   task_started_ = now();
   task_remaining_ = task_->work;
   ++tasks_run_;
+  LOADEX_TRACE_SPAN_BEGIN(now(), mainTrack(rank_),
+                          task_->label.empty() ? "task" : task_->label);
   end_event_ =
       queue_.scheduleAfter(task_remaining_ / config_.flops_per_s,
                            [this] { finishTask(); });
@@ -179,6 +200,7 @@ void Process::startTask(ComputeTask task) {
 void Process::finishTask() {
   LOADEX_EXPECT(state_ == State::kComputing, "finish of a non-running task");
   busy_time_ += now() - task_started_;
+  LOADEX_TRACE_SPAN_END(now(), mainTrack(rank_));
   state_ = State::kIdle;
   end_event_ = kNoEvent;
   if (poll_event_ != kNoEvent) {
@@ -205,11 +227,16 @@ void Process::pauseTask() {
   }
   state_ = State::kPaused;
   paused_since_ = now();
+  LOADEX_TRACE_SPAN_END(now(), mainTrack(rank_));
+  LOADEX_TRACE_SPAN_BEGIN(now(), mainTrack(rank_), "paused");
 }
 
 void Process::resumeTask() {
   LOADEX_EXPECT(state_ == State::kPaused, "resume of a non-paused task");
   paused_time_ += now() - paused_since_;
+  LOADEX_TRACE_SPAN_END(now(), mainTrack(rank_));
+  LOADEX_TRACE_SPAN_BEGIN(now(), mainTrack(rank_),
+                          task_->label.empty() ? "task" : task_->label);
   state_ = State::kComputing;
   task_started_ = now();
   end_event_ =

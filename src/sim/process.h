@@ -95,6 +95,9 @@ class Process {
   }
 
   // ---- metrics ---------------------------------------------------------
+  /// Pending messages per channel (gauge sources for loadex_obs).
+  std::size_t stateQueueDepth() const { return state_q_.size(); }
+  std::size_t appQueueDepth() const { return app_q_.size(); }
   double busyTime() const { return busy_time_; }
   double msgHandleTime() const { return msg_handle_time_; }
   std::int64_t stateMessagesHandled() const { return state_handled_; }

@@ -71,6 +71,7 @@ RunResult World::run(SimTime until, std::uint64_t max_events) {
   }
   result.end_time = queue_.now();
   result.events = fired;
+  result.schedule_digest = queue_.scheduleDigest();
   result.messages_dropped = network_.messagesDropped();
   result.messages_duplicated = network_.messagesDuplicated();
   result.latency_spikes = network_.latencySpikes();

@@ -29,6 +29,9 @@ struct RunResult {
   SimTime end_time = 0.0;        ///< simulated time of the last event
   std::uint64_t events = 0;      ///< number of events fired
   bool hit_limit = false;        ///< stopped by the time/event guard
+  /// Replay-determinism fingerprint (EventQueue::scheduleDigest): identical
+  /// across runs iff the exact same event schedule executed.
+  std::uint64_t schedule_digest = 0;
 
   // ---- fault statistics (all zero on a clean run) ----------------------
   std::int64_t messages_dropped = 0;     ///< random drops + blackouts

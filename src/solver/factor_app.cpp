@@ -4,10 +4,16 @@
 #include <cmath>
 
 #include "common/expect.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace loadex::solver {
 
 namespace {
+
+inline int protoTrack(Rank rank) {
+  return obs::rankTrack(rank, obs::Lane::kProto);
+}
 
 struct ContributionPayload final : sim::Payload {
   int node = -1;
@@ -81,9 +87,24 @@ void FactorApp::onStart(sim::Process& p) {
     mech.noMoreMaster();
 }
 
+const char* FactorApp::appTagName(int tag) {
+  switch (tag) {
+    case kTagContribution: return "contrib";
+    case kTagSlaveTask: return "slave_task";
+    case kTagSlavePart: return "slave_part";
+    case kTagRootChunk: return "root_chunk";
+  }
+  return "app";
+}
+
 void FactorApp::memDelta(sim::Process& p, Entries delta, bool delegated) {
   if (delta == 0) return;
   ps(p.rank()).active_mem.add(static_cast<double>(delta));
+  // Exact staircase of the Table 4 metric (the sampled gauge of the same
+  // name only sees it at the sampling period).
+  LOADEX_TRACE_COUNTER(p.now(),
+                       "P" + std::to_string(p.rank()) + " active_mem",
+                       ps(p.rank()).active_mem.current());
   mechs_.at(p.rank()).addLocalLoad({0.0, static_cast<double>(delta)},
                                    delegated);
 }
@@ -221,6 +242,8 @@ std::optional<sim::ComputeTask> FactorApp::nextTask(sim::Process& p) {
         // Dynamic decision: ask the mechanism for a view. Maintained-view
         // mechanisms answer synchronously; the snapshot mechanism freezes
         // this process and fires the callback when the snapshot is built.
+        LOADEX_TRACE_SPAN_BEGIN(p.now(), protoTrack(p.rank()),
+                                "decision#" + std::to_string(id));
         mechs_.at(p.rank()).requestView(
             [this, &p, id](const core::LoadView& view) {
               performSelection(p, id, view);
@@ -334,6 +357,19 @@ void FactorApp::performSelection(sim::Process& p, int id,
   req.now = p.now();
   req.staleness_limit_s = options_.staleness_limit_s;
 
+  // How stale is the information this decision is about to act on? One
+  // sample per decision: the oldest live entry in the view.
+  LOADEX_METRIC(histogram("decision/view_staleness_s",
+                          {1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0})
+                    .add([&] {
+                      double worst = 0.0;
+                      for (Rank r = 0; r < mech.nprocs(); ++r) {
+                        if (r == p.rank() || view.dead(r)) continue;
+                        worst = std::max(worst, view.staleness(r, req.now));
+                      }
+                      return worst;
+                    }()));
+
   const core::SlaveSelection sel = scheduler_.select(view, req);
   mech.commitSelection(sel);  // also with an empty selection: the snapshot
                               // mechanism finalizes (end_snp) here
@@ -354,6 +390,7 @@ void FactorApp::performSelection(sim::Process& p, int id,
         options_.announce_no_more_master)
       mech.noMoreMaster();
     pstate.ready.push_front(id);
+    LOADEX_TRACE_SPAN_END(p.now(), protoTrack(p.rank()));
     return;
   }
 
@@ -381,6 +418,7 @@ void FactorApp::performSelection(sim::Process& p, int id,
 
   // The master's own panel task runs next.
   pst.ready.push_front(id);
+  LOADEX_TRACE_SPAN_END(p.now(), protoTrack(p.rank()));
 }
 
 void FactorApp::masterPartDone(sim::Process& p, int id) {

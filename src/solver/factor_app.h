@@ -66,6 +66,10 @@ class FactorApp final : public sim::Application {
   /// Type-2 nodes the master executed alone (no usable slave candidate).
   int localFallbacks() const { return local_fallbacks_; }
 
+  /// Printable name of an application-channel message tag (used by the
+  /// trace recorder to label wire slices).
+  static const char* appTagName(int tag);
+
  private:
   // message tags on the application channel
   static constexpr int kTagContribution = 10;

@@ -5,6 +5,7 @@
 #include "common/expect.h"
 #include "common/log.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
 
 namespace loadex::solver {
 
@@ -58,6 +59,36 @@ SolverResult runSolver(const symbolic::Analysis& analysis, bool symmetric,
   for (Rank r = 0; r < cfg.nprocs; ++r)
     world.attach(r, &app, &mechs.at(r));
 
+  // ---- observability ----------------------------------------------------
+  // A metrics registry is always installed: the mechanisms publish their
+  // stall intervals into it and the result fields below read them back.
+  // The trace recorder comes from the config, or stays whatever an outer
+  // scope installed (e.g. a test tracing across several runs).
+  obs::MetricsRegistry metrics;
+  metrics.setSamplePeriod(cfg.metrics_sample_period_s);
+  if (cfg.metrics_sample_period_s > 0.0) {
+    for (Rank r = 0; r < cfg.nprocs; ++r) {
+      metrics.registerGauge("P" + std::to_string(r) + " active_mem sampled",
+                            [&app, r] { return app.currentActiveMemory(r); });
+      metrics.registerGauge(
+          "P" + std::to_string(r) + " state_queue_depth",
+          [&world, r] {
+            return static_cast<double>(world.process(r).stateQueueDepth());
+          });
+    }
+  }
+  if (cfg.trace != nullptr) {
+    cfg.trace->nameRankTracks(cfg.nprocs);
+    cfg.trace->setMessageNamer([](int channel, int tag) {
+      if (channel == static_cast<int>(sim::Channel::kState))
+        return std::string(
+            core::stateTagName(static_cast<core::StateTag>(tag)));
+      return std::string(FactorApp::appTagName(tag));
+    });
+  }
+  obs::ScopedObservation observe(
+      cfg.trace != nullptr ? cfg.trace : obs::traceRecorder(), &metrics);
+
   const sim::RunResult run = world.run();
 
   SolverResult res;
@@ -68,6 +99,7 @@ SolverResult runSolver(const symbolic::Analysis& analysis, bool symmetric,
   res.completed = app.allNodesDone() && !run.hit_limit;
   res.factor_time = run.end_time;
   res.sim_events = run.events;
+  res.schedule_digest = run.schedule_digest;
   res.tree_nodes = analysis.tree.size();
   res.total_flops = plan.total_flops;
   res.dynamic_decisions = plan.dynamic_decisions;
@@ -101,10 +133,18 @@ SolverResult runSolver(const symbolic::Analysis& analysis, bool symmetric,
   res.snapshot_timeouts = total.snapshot_timeouts;
   res.partial_snapshots = total.partial_snapshots;
   res.ranks_declared_dead = total.ranks_declared_dead;
-  double max_blocked = 0.0;
-  for (Rank r = 0; r < cfg.nprocs; ++r)
-    max_blocked = std::max(max_blocked, mechs.at(r).stats().time_blocked);
-  res.snapshot_time = max_blocked;
+  // Stall breakdown, read back from the metrics the instrumented code
+  // emitted during the run (mechanism stall accumulators, process timers).
+  res.snapshot_time = metrics.accumulatorFamilyMax("snapshot/stall",
+                                                   cfg.nprocs);
+  res.snapshot_stall_total =
+      metrics.accumulatorFamilySum("snapshot/stall", cfg.nprocs);
+  for (Rank r = 0; r < cfg.nprocs; ++r) {
+    const sim::Process& p = world.process(r);
+    res.busy_max = std::max(res.busy_max, p.busyTime());
+    res.paused_max = std::max(res.paused_max, p.pausedTime());
+    res.msg_handle_total += p.msgHandleTime();
+  }
 
   for (Rank r = 0; r < cfg.nprocs; ++r) {
     res.residual_active_mem = std::max(
@@ -130,6 +170,35 @@ SolverResult runProblem(const sparse::Problem& problem,
                         ordering::OrderingKind ordering) {
   const symbolic::Analysis analysis = analyzeProblem(problem, ordering);
   return runSolver(analysis, problem.symmetric, config, problem.name);
+}
+
+obs::BenchResultRecord toResultRecord(const SolverResult& res) {
+  obs::BenchResultRecord rec;
+  rec.problem = res.problem;
+  rec.mechanism = res.mechanism;
+  rec.strategy = res.strategy;
+  rec.nprocs = res.nprocs;
+  rec.completed = res.completed;
+  rec.makespan_s = res.factor_time;
+  rec.peak_active_mem = res.peak_active_mem;
+  rec.avg_peak_active_mem = res.avg_peak_active_mem;
+  rec.total_flops = res.total_flops;
+  rec.state_messages = res.state_messages;
+  rec.state_bytes = res.state_bytes;
+  rec.state_wire_bytes = res.state_wire_bytes;
+  rec.app_messages = res.app_messages;
+  rec.dynamic_decisions = res.dynamic_decisions;
+  rec.selections = res.selections_made;
+  rec.snapshots = res.snapshots;
+  rec.snapshot_rearms = res.rearms;
+  rec.sim_events = res.sim_events;
+  rec.stall_snapshot_max_s = res.snapshot_time;
+  rec.stall_snapshot_total_s = res.snapshot_stall_total;
+  rec.busy_max_s = res.busy_max;
+  rec.paused_max_s = res.paused_max;
+  rec.msg_handle_total_s = res.msg_handle_total;
+  rec.schedule_digest = res.schedule_digest;
+  return rec;
 }
 
 }  // namespace loadex::solver

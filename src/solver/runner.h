@@ -6,6 +6,8 @@
 #include <string>
 
 #include "core/mechanism.h"
+#include "obs/results.h"
+#include "obs/trace.h"
 #include "ordering/ordering.h"
 #include "sim/world.h"
 #include "solver/factor_app.h"
@@ -39,6 +41,17 @@ struct SolverConfig {
   /// Scripted process-level faults (crash/pause/resume/restart at given
   /// times). Network-level faults live in `network.faults`.
   std::vector<sim::ProcessFaultEvent> process_faults;
+
+  // ---- observability (loadex_obs) --------------------------------------
+  /// Trace recorder installed for the duration of the run (per-rank track
+  /// names and the message namer are set up automatically). Null: keep
+  /// whatever recorder an outer scope installed, or none. Tracing never
+  /// perturbs the event schedule (checked by the determinism test).
+  obs::TraceRecorder* trace = nullptr;
+  /// Gauge sampling period in simulated seconds (per-rank active memory and
+  /// state-queue depth); 0 disables sampling. Sampling piggybacks on the
+  /// event kernel and schedules nothing.
+  double metrics_sample_period_s = 0.0;
 };
 
 struct SolverResult {
@@ -60,14 +73,24 @@ struct SolverResult {
   int dynamic_decisions = 0;             ///< Table 3
   int selections_made = 0;
 
-  // Snapshot-specific
+  // Snapshot-specific. snapshot_time is sourced from the loadex_obs stall
+  // metrics the mechanism itself emits (accumulator family snapshot/stall).
   double snapshot_time = 0.0;            ///< max-over-procs frozen time
+  double snapshot_stall_total = 0.0;     ///< summed over procs
   std::int64_t snapshots = 0;
   std::int64_t rearms = 0;
+
+  // Stall/time breakdown of the run (where the simulated time went).
+  double busy_max = 0.0;                 ///< max-over-procs compute time
+  double paused_max = 0.0;               ///< max-over-procs task-paused time
+  double msg_handle_total = 0.0;         ///< summed message-treatment cost
 
   double total_flops = 0.0;
   std::uint64_t sim_events = 0;
   std::int64_t tree_nodes = 0;
+  /// Replay-determinism fingerprint of the event schedule (identical for
+  /// identical configs, with or without observation installed).
+  std::uint64_t schedule_digest = 0;
 
   // Conservation diagnostics (all ~0 for a correct run): leftover active
   // memory, leftover mechanism workload/memory metrics at quiescence, and
@@ -109,5 +132,9 @@ SolverResult runProblem(const sparse::Problem& problem,
 symbolic::Analysis analyzeProblem(const sparse::Problem& problem,
                                   ordering::OrderingKind ordering =
                                       ordering::OrderingKind::kNestedDissection);
+
+/// Flatten a SolverResult into the schema-versioned bench-result record
+/// (obs::ResultWriter emits the JSON document; see DESIGN.md §9).
+obs::BenchResultRecord toResultRecord(const SolverResult& res);
 
 }  // namespace loadex::solver

@@ -28,6 +28,11 @@ that protect them:
                          names all tags or ends in a rejecting default.
   mechanismkind-exhaustive  same for MechanismKind across mechanismKindName()
                          and the makeMechanism() factory.
+  trace-macro-guard      every LOADEX_TRACE_* / LOADEX_METRIC macro defined
+                         in src/obs must wrap its body in the
+                         `do { if (auto* x = ::loadex::obs::...()) {` null
+                         guard, so a disabled trace evaluates none of its
+                         arguments (the zero-overhead-when-off promise).
 
 A finding on one line can be silenced with a trailing
 `// loadex-lint: allow(<rule>)` comment; `allow(all)` silences every rule.
@@ -199,7 +204,8 @@ DIRECT_ITER_RE = re.compile(
 def check_unordered_iteration(rel: str, path: Path, raw_lines: list[str],
                               code_lines: list[str],
                               findings: list[Finding]) -> None:
-    if not (rel.startswith("src/core/") or rel.startswith("src/sim/")):
+    if not (rel.startswith("src/core/") or rel.startswith("src/sim/")
+            or rel.startswith("src/obs/")):
         return
     unordered_names: set[str] = set()
     for code in code_lines:
@@ -331,6 +337,64 @@ def check_enum_dispatch(root: Path, findings: list[Finding]) -> None:
 
 
 # ---------------------------------------------------------------------------
+# Instrumentation macro guards (src/obs)
+# ---------------------------------------------------------------------------
+
+MACRO_DEF_RE = re.compile(r"^[ \t]*#[ \t]*define[ \t]+"
+                          r"(LOADEX_TRACE_\w+|LOADEX_METRIC)\b",
+                          re.MULTILINE)
+GUARD_RE = re.compile(
+    r"^\s*do\s*\{\s*if\s*\(auto\*\s*\w+\s*=\s*"
+    r"::loadex::obs::(?:traceRecorder|metricsRegistry)\(\)\s*\)")
+
+
+def macro_body(text: str, start: int) -> str:
+    """The macro replacement text: lines joined across `\\` continuations."""
+    lines = []
+    pos = start
+    while True:
+        end = text.find("\n", pos)
+        if end < 0:
+            end = len(text)
+        line = text[pos:end]
+        cont = line.rstrip().endswith("\\")
+        lines.append(line.rstrip().rstrip("\\"))
+        pos = end + 1
+        if not cont or pos >= len(text):
+            return " ".join(lines)
+
+
+def check_trace_macro_guard(root: Path, findings: list[Finding]) -> None:
+    """Every instrumentation macro must evaluate no arguments when the
+    session is off: its body must start with the null-check guard, so that
+    call-site expressions (string concatenations, accessors, lambdas) cost
+    nothing on untraced runs."""
+    obs = root / "src/obs"
+    if not obs.is_dir():
+        return
+    for path in sorted(obs.glob("*.h")):
+        text = path.read_text(encoding="utf-8")
+        for m in MACRO_DEF_RE.finditer(text):
+            name = m.group(1)
+            lineno = text.count("\n", 0, m.start()) + 1
+            # Skip the macro's own name and parameter list.
+            body_start = text.find(")", m.end())
+            paren = text.find("(", m.end())
+            if paren < 0 or (body_start >= 0 and paren > body_start):
+                body_start = m.end()  # object-like macro (no parameters)
+            else:
+                body_start += 1
+            body = macro_body(text, body_start if body_start >= 0
+                              else m.end())
+            if not GUARD_RE.search(body):
+                findings.append(Finding(
+                    path, lineno, "trace-macro-guard",
+                    f"{name} must guard its body with `do {{ if (auto* x = "
+                    "::loadex::obs::traceRecorder()/metricsRegistry()) {` "
+                    "so disabled observation evaluates no arguments"))
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
@@ -375,6 +439,7 @@ def main(argv: list[str]) -> int:
         check_unordered_iteration(rel, path, raw_lines, code_lines, findings)
     if not args.files:
         check_enum_dispatch(root, findings)
+        check_trace_macro_guard(root, findings)
 
     for f in findings:
         print(f)

@@ -1,0 +1,405 @@
+#!/usr/bin/env python3
+"""trace_stats: analyze loadex observability artifacts (stdlib only).
+
+Works on the two JSON document kinds the repo emits:
+
+  * Chrome trace-event files written by obs::TraceRecorder
+    (``--trace out.json`` on examples, loadable at ui.perfetto.dev), and
+  * schema-versioned bench result files written by obs::ResultWriter
+    (``--json out.json`` on the table benches, schema
+    ``loadex.bench-result`` v1).
+
+The document kind is auto-detected, so every subcommand accepts either.
+
+Subcommands:
+
+  summary FILE          For a trace: per-track span totals, message and
+                        flow counts, snapshot/stall time, counter ranges.
+                        For bench results: one table row per record.
+  diff A B              Compare two bench-result files record-by-record
+                        (keyed on problem/mechanism/strategy/nprocs) and
+                        report makespan / memory / message deltas. Also
+                        flags schedule-digest changes, i.e. replay drift.
+  validate FILE...      Structural schema check for either kind; exits
+                        non-zero on the first invalid file. Used by CI.
+
+Usage: trace_stats.py summary out.json
+       trace_stats.py diff before.json after.json
+       trace_stats.py validate trace.json results.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+RESULT_SCHEMA = "loadex.bench-result"
+RESULT_SCHEMA_VERSION = 1
+
+# Required scalar fields of a v1 bench-result record, with their types.
+# ``bool`` is listed before ``int`` checks below because bool is an int
+# subclass in Python.
+RECORD_FIELDS = {
+    "problem": str,
+    "mechanism": str,
+    "strategy": str,
+    "nprocs": int,
+    "completed": bool,
+    "makespan_s": float,
+    "peak_active_mem": float,
+    "state_messages": int,
+    "state_bytes": int,
+    "app_messages": int,
+    "dynamic_decisions": int,
+    "snapshots": int,
+    "sim_events": int,
+    "schedule_digest": int,
+}
+
+STALL_FIELDS = ("snapshot_max_s", "snapshot_total_s", "busy_max_s",
+                "paused_max_s", "msg_handle_total_s")
+
+# Trace-event phases the recorder emits; anything else is a schema error.
+TRACE_PHASES = {"B", "E", "X", "i", "C", "s", "f", "M"}
+
+
+def load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        raise SystemExit(f"{path}: top level must be a JSON object")
+    return doc
+
+
+def kind_of(doc: dict) -> str:
+    """'trace', 'results', or raise."""
+    if "traceEvents" in doc:
+        return "trace"
+    if doc.get("schema") == RESULT_SCHEMA:
+        return "results"
+    raise SystemExit("unrecognized document: expected a Chrome trace "
+                     f"('traceEvents') or a {RESULT_SCHEMA} file ('schema')")
+
+
+def fmt_table(header: list[str], rows: list[list[str]]) -> str:
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip()]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# validate
+
+
+def validate_trace(path: str, doc: dict) -> list[str]:
+    errors: list[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return [f"{path}: 'traceEvents' must be an array"]
+    # Open B spans per (pid, tid); E must close a matching B.
+    open_spans: dict[tuple, int] = defaultdict(int)
+    flows: dict[str, int] = defaultdict(int)  # id -> starts - ends
+    last_ts: dict[tuple, float] = {}
+    for n, ev in enumerate(events):
+        where = f"{path}: traceEvents[{n}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: event must be an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in TRACE_PHASES:
+            errors.append(f"{where}: bad phase {ph!r}")
+            continue
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                errors.append(f"{where}: missing integer '{key}'")
+        if ph == "M":
+            continue  # metadata events carry no timestamp
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            errors.append(f"{where}: missing numeric 'ts'")
+            continue
+        track = (ev.get("pid"), ev.get("tid"))
+        if ts < last_ts.get(track, float("-inf")):
+            errors.append(f"{where}: ts goes backwards on track {track}")
+        last_ts[track] = ts
+        if ph == "B":
+            open_spans[track] += 1
+        elif ph == "E":
+            open_spans[track] -= 1
+            if open_spans[track] < 0:
+                errors.append(f"{where}: 'E' with no open 'B' on {track}")
+                open_spans[track] = 0
+        elif ph == "X":
+            if not isinstance(ev.get("dur"), (int, float)):
+                errors.append(f"{where}: 'X' event missing numeric 'dur'")
+        elif ph in ("s", "f"):
+            if not ev.get("id"):
+                errors.append(f"{where}: flow event missing 'id'")
+            else:
+                flows[ev["id"]] += 1 if ph == "s" else -1
+        elif ph == "C":
+            if "value" not in ev.get("args", {}):
+                errors.append(f"{where}: counter missing args.value")
+    for track, depth in sorted(open_spans.items()):
+        if depth != 0:
+            errors.append(f"{path}: track {track} ends with {depth} "
+                          "unclosed 'B' span(s)")
+    for fid, bal in sorted(flows.items()):
+        if bal != 0:
+            errors.append(f"{path}: flow id {fid} has unbalanced s/f "
+                          f"(balance {bal:+d})")
+    return errors
+
+
+def validate_results(path: str, doc: dict) -> list[str]:
+    errors: list[str] = []
+    if doc.get("schema_version") != RESULT_SCHEMA_VERSION:
+        errors.append(f"{path}: schema_version must be "
+                      f"{RESULT_SCHEMA_VERSION}, got "
+                      f"{doc.get('schema_version')!r}")
+    if not isinstance(doc.get("bench"), str) or not doc.get("bench"):
+        errors.append(f"{path}: missing non-empty 'bench' name")
+    if not isinstance(doc.get("meta"), dict):
+        errors.append(f"{path}: 'meta' must be an object")
+    records = doc.get("records")
+    if not isinstance(records, list):
+        return errors + [f"{path}: 'records' must be an array"]
+    for n, rec in enumerate(records):
+        where = f"{path}: records[{n}]"
+        if not isinstance(rec, dict):
+            errors.append(f"{where}: record must be an object")
+            continue
+        for field, want in RECORD_FIELDS.items():
+            val = rec.get(field)
+            if field not in rec:
+                errors.append(f"{where}: missing field '{field}'")
+            elif want is bool and not isinstance(val, bool):
+                errors.append(f"{where}: '{field}' must be a bool")
+            elif want is int and (isinstance(val, bool)
+                                  or not isinstance(val, int)):
+                errors.append(f"{where}: '{field}' must be an integer")
+            elif want is float and (isinstance(val, bool)
+                                    or not isinstance(val, (int, float))):
+                errors.append(f"{where}: '{field}' must be a number")
+            elif want is str and not isinstance(val, str):
+                errors.append(f"{where}: '{field}' must be a string")
+        stall = rec.get("stall")
+        if not isinstance(stall, dict):
+            errors.append(f"{where}: missing 'stall' object")
+        else:
+            for field in STALL_FIELDS:
+                if not isinstance(stall.get(field), (int, float)):
+                    errors.append(f"{where}: stall.{field} must be a number")
+        extra = rec.get("extra", {})
+        if not isinstance(extra, dict) or any(
+                not isinstance(v, (int, float)) for v in extra.values()):
+            errors.append(f"{where}: 'extra' must map names to numbers")
+    return errors
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    status = 0
+    for path in args.files:
+        doc = load(path)
+        kind = kind_of(doc)
+        errors = (validate_trace if kind == "trace" else
+                  validate_results)(path, doc)
+        if errors:
+            for e in errors[:args.max_errors]:
+                print(e, file=sys.stderr)
+            extra = len(errors) - args.max_errors
+            if extra > 0:
+                print(f"{path}: ... and {extra} more", file=sys.stderr)
+            status = 1
+        else:
+            n = len(doc.get("traceEvents" if kind == "trace" else "records"))
+            print(f"{path}: OK ({kind}, {n} "
+                  f"{'events' if kind == 'trace' else 'records'})")
+    return status
+
+
+# --------------------------------------------------------------------------
+# summary
+
+
+def summarize_trace(doc: dict) -> None:
+    events = doc["traceEvents"]
+    track_names: dict[tuple, str] = {}
+    span_time: dict[tuple, float] = defaultdict(float)   # (track, name) -> us
+    span_count: dict[tuple, int] = defaultdict(int)
+    open_b: dict[tuple, list] = defaultdict(list)        # track -> [(name, ts)]
+    counters: dict[str, list] = {}
+    instants = 0
+    flow_starts = 0
+    dropped = 0
+    for ev in events:
+        ph = ev["ph"]
+        track = (ev.get("pid"), ev.get("tid"))
+        if ph == "M":
+            if ev.get("name") == "thread_name":
+                track_names[track] = ev["args"]["name"]
+            continue
+        name = ev.get("name", "")
+        if ph == "B":
+            open_b[track].append((name, ev["ts"]))
+        elif ph == "E":
+            if open_b[track]:
+                bname, bts = open_b[track].pop()
+                span_time[(track, bname)] += ev["ts"] - bts
+                span_count[(track, bname)] += 1
+        elif ph == "X":
+            span_time[(track, name)] += ev.get("dur", 0.0)
+            span_count[(track, name)] += 1
+        elif ph == "i":
+            instants += 1
+            if name == "trace buffer wrapped":
+                dropped += 1
+        elif ph == "s":
+            flow_starts += 1
+        elif ph == "C":
+            for key, val in ev.get("args", {}).items():
+                counters.setdefault(f"{name}.{key}" if key != "value"
+                                    else name, []).append(val)
+
+    print(f"Chrome trace: {len(events)} events, {len(track_names)} named "
+          f"tracks, {flow_starts} message flows, {instants} instants")
+    rows = []
+    for (track, name), us in sorted(span_time.items(),
+                                    key=lambda kv: -kv[1]):
+        rows.append([track_names.get(track, str(track)), name,
+                     str(span_count[(track, name)]), f"{us / 1e6:.6f}"])
+    if rows:
+        print()
+        print(fmt_table(["track", "span", "count", "total (s)"], rows))
+    if counters:
+        print()
+        rows = [[name, str(len(vals)), f"{min(vals):g}", f"{max(vals):g}"]
+                for name, vals in sorted(counters.items())]
+        print(fmt_table(["counter", "samples", "min", "max"], rows))
+    # Stall roll-up: what bench tables report as "snapshot stall".
+    stall = sum(us for (t, name), us in span_time.items()
+                if name == "stalled")
+    snaps = sum(c for (t, name), c in span_count.items()
+                if name == "snapshot")
+    print(f"\nSnapshot spans: {snaps}, total stalled time: "
+          f"{stall / 1e6:.6f} s")
+    if dropped:
+        print(f"note: ring buffer wrapped — oldest events were dropped")
+
+
+def summarize_results(doc: dict) -> None:
+    meta = " ".join(f"{k}={v:g}" for k, v in sorted(doc["meta"].items()))
+    print(f"bench {doc['bench']} ({meta}): {len(doc['records'])} records")
+    rows = []
+    for rec in doc["records"]:
+        rows.append([
+            rec["problem"], rec["mechanism"], rec["strategy"],
+            str(rec["nprocs"]), "yes" if rec["completed"] else "NO",
+            f"{rec['makespan_s']:.3f}", f"{rec['peak_active_mem']:.3g}",
+            str(rec["state_messages"]),
+            f"{rec['stall']['snapshot_total_s']:.3f}",
+        ])
+    print()
+    print(fmt_table(["problem", "mechanism", "strategy", "np", "ok",
+                     "makespan", "peak mem", "state msgs", "stall tot"],
+                    rows))
+
+
+def cmd_summary(args: argparse.Namespace) -> int:
+    doc = load(args.file)
+    if kind_of(doc) == "trace":
+        summarize_trace(doc)
+    else:
+        summarize_results(doc)
+    return 0
+
+
+# --------------------------------------------------------------------------
+# diff
+
+
+def record_key(rec: dict) -> tuple:
+    return (rec["problem"], rec["mechanism"], rec["strategy"],
+            rec["nprocs"],
+            tuple(sorted(rec.get("extra", {}).items())))
+
+
+def pct(old: float, new: float) -> str:
+    if old == 0:
+        return "--" if new == 0 else "new"
+    return f"{100.0 * (new - old) / old:+.1f}%"
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    docs = [load(p) for p in (args.a, args.b)]
+    for p, d in zip((args.a, args.b), docs):
+        if kind_of(d) != "results":
+            raise SystemExit(f"{p}: diff requires bench-result files")
+    a_recs = {record_key(r): r for r in docs[0]["records"]}
+    b_recs = {record_key(r): r for r in docs[1]["records"]}
+    rows = []
+    digest_changes = 0
+    for key in sorted(a_recs.keys() | b_recs.keys()):
+        ra, rb = a_recs.get(key), b_recs.get(key)
+        label = f"{key[0]}/{key[1]}/{key[2]}/p{key[3]}"
+        if ra is None or rb is None:
+            rows.append([label, "only in " + (args.b if ra is None
+                                              else args.a), "", "", ""])
+            continue
+        digest_same = ra["schedule_digest"] == rb["schedule_digest"]
+        if not digest_same:
+            digest_changes += 1
+        rows.append([
+            label,
+            pct(ra["makespan_s"], rb["makespan_s"]),
+            pct(ra["peak_active_mem"], rb["peak_active_mem"]),
+            pct(ra["state_messages"], rb["state_messages"]),
+            "same" if digest_same else "CHANGED",
+        ])
+    print(fmt_table(["record", "makespan", "peak mem", "state msgs",
+                     "schedule"], rows))
+    print(f"\n{len(a_recs.keys() & b_recs.keys())} records compared, "
+          f"{digest_changes} schedule digest change(s)")
+    # Digest drift with no intended semantic change means replay broke;
+    # let CI gate on it explicitly.
+    return 1 if (args.fail_on_digest_change and digest_changes) else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("summary", help="summarize a trace or result file")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_summary)
+
+    p = sub.add_parser("diff", help="compare two bench-result files")
+    p.add_argument("a")
+    p.add_argument("b")
+    p.add_argument("--fail-on-digest-change", action="store_true",
+                   help="exit 1 if any matched record's schedule digest "
+                        "differs (replay drift)")
+    p.set_defaults(func=cmd_diff)
+
+    p = sub.add_parser("validate", help="schema-check trace/result files")
+    p.add_argument("files", nargs="+")
+    p.add_argument("--max-errors", type=int, default=20)
+    p.set_defaults(func=cmd_validate)
+
+    args = parser.parse_args()
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
