@@ -59,6 +59,15 @@ class JsonResults {
     writer_.add(std::move(rec));
   }
 
+  /// For drivers that build their records directly (no solver run, e.g.
+  /// the scale benches). Extra keys prefixed "host_" are volatile host
+  /// measurements: the diff tool keeps them out of the record identity.
+  void add(obs::BenchResultRecord rec,
+           std::map<std::string, double> extra = {}) {
+    rec.extra = std::move(extra);
+    writer_.add(std::move(rec));
+  }
+
   /// Write the document if --json was given; returns false on I/O error.
   bool write() const {
     if (path_.empty()) return true;

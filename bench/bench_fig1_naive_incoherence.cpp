@@ -8,8 +8,7 @@
 #include <iostream>
 
 #include "bench_common.h"
-#include "core/binding.h"
-#include "sim/world.h"
+#include "harness/world_harness.h"
 
 using namespace loadex;
 
@@ -19,31 +18,6 @@ struct Outcome {
   std::vector<Rank> chosen;
   std::vector<SimTime> decided;
   double p2_final_load = 0.0;
-};
-
-struct WorkPayload final : sim::Payload {
-  double load = 0.0;
-};
-constexpr int kWorkTag = 100;
-
-struct IdleApp final : sim::Application {
-  core::MechanismSet* mechs = nullptr;
-  std::deque<sim::ComputeTask>* p2_tasks = nullptr;
-  void onAppMessage(sim::Process& p, const sim::Message& m) override {
-    // Delegated work arrives: the slave accounts it (the naive mechanism
-    // broadcasts here — only once the slave gets to treat the message).
-    const auto& w = m.as<WorkPayload>();
-    mechs->at(p.rank()).addLocalLoad({w.load, 0.0},
-                                     /*is_slave_delegated=*/true);
-  }
-  std::optional<sim::ComputeTask> nextTask(sim::Process& p) override {
-    if (p.rank() == 2 && p2_tasks != nullptr && !p2_tasks->empty()) {
-      auto t = std::move(p2_tasks->front());
-      p2_tasks->pop_front();
-      return t;
-    }
-    return std::nullopt;
-  }
 };
 
 Rank leastLoaded(const core::LoadView& v, Rank self) {
@@ -58,58 +32,40 @@ Rank leastLoaded(const core::LoadView& v, Rank self) {
 
 Outcome run(core::MechanismKind kind) {
   sim::WorldConfig wcfg;
-  wcfg.nprocs = 3;
   wcfg.process.flops_per_s = 1e6;
-  sim::World world(wcfg);
   core::MechanismConfig mcfg;
   mcfg.threshold = {1.0, 1.0};
-  core::MechanismSet mechs(world, kind, mcfg);
-  std::deque<sim::ComputeTask> p2_tasks;
-  IdleApp app;
-  app.mechs = &mechs;
-  app.p2_tasks = &p2_tasks;
-  for (Rank r = 0; r < 3; ++r) world.attach(r, &app, &mechs.at(r));
+  harness::CoreHarness h(3, kind, mcfg, wcfg);
 
   Outcome out;
-  auto& q = world.queue();
-  q.scheduleAt(0.1, [&] {
-    mechs.at(0).addLocalLoad({50, 0});
-    mechs.at(1).addLocalLoad({50, 0});
-    mechs.at(2).addLocalLoad({10, 0});
+  h.at(0.1, [&] {
+    h.mechs.at(0).addLocalLoad({50, 0});
+    h.mechs.at(1).addLocalLoad({50, 0});
+    h.mechs.at(2).addLocalLoad({10, 0});
   });
-  q.scheduleAt(1.0, [&] {  // t1: P2 starts a long task (until t = 11)
-    p2_tasks.push_back(sim::ComputeTask{10e6, "long", {}});
-    world.process(2).notifyReadyWork();
+  h.at(1.0, [&] {  // t1: P2 starts a long task (until t = 11)
+    h.app.pushTask(2, 10e6);
+    h.world.process(2).notifyReadyWork();
   });
   auto selection = [&](Rank master) {
-    auto& m = mechs.at(master);
+    auto& m = h.mechs.at(master);
     m.requestView([&, master](const core::LoadView& v) {
       const Rank slave = leastLoaded(v, master);
       out.chosen.push_back(slave);
-      out.decided.push_back(world.now());
+      out.decided.push_back(h.world.now());
       m.commitSelection({{slave, {100.0, 0.0}}});
-      auto payload = std::make_shared<WorkPayload>();
-      payload->load = 100.0;
-      world.process(master).send(slave, sim::Channel::kApp, kWorkTag, 1024,
-                                 std::move(payload));
+      // The delegated work arrives as a message: the slave accounts it
+      // (the naive mechanism broadcasts here — only once the slave gets
+      // to treat the message).
+      harness::sendWork(h.world.process(master), slave, /*work=*/0.0,
+                        {100.0, 0.0}, /*is_slave_delegated=*/true);
     });
   };
   // A master blocked by a live snapshot defers its decision (Algorithm 1).
-  auto whenFree = [&](SimTime t, Rank master) {
-    auto task = std::make_shared<std::function<void()>>();
-    *task = [&, master, task] {
-      if (mechs.at(master).blocksComputation()) {
-        q.scheduleAfter(1e-4, *task);
-        return;
-      }
-      selection(master);
-    };
-    q.scheduleAt(t, *task);
-  };
-  whenFree(2.0, 0);  // t2
-  whenFree(3.0, 1);  // t3
-  world.run();
-  out.p2_final_load = mechs.at(2).localLoad().workload;
+  h.atWhenFree(2.0, 0, [&] { selection(0); }, 1e-4);  // t2
+  h.atWhenFree(3.0, 1, [&] { selection(1); }, 1e-4);  // t3
+  h.run();
+  out.p2_final_load = h.mechs.at(2).localLoad().workload;
   return out;
 }
 

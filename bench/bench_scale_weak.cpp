@@ -1,0 +1,204 @@
+// Weak-scaling benchmark of the simulation kernel itself.
+//
+// The paper's tables stop at 128 processes; this driver measures how the
+// *simulator* scales when the platform grows: N ∈ {32, 128, 512, 2048}
+// ranks, each receiving the same per-rank load churn (weak scaling), every
+// churn step crossing the mechanism threshold so the platform sustains a
+// broadcast storm — the worst case for the O(N) eager fan-out the pooled
+// kernel replaces.
+//
+// Every configuration runs twice, once per kernel:
+//   lazy    — logical broadcast events, slab-pooled queue (the default)
+//   legacy  — NetworkConfig::legacy_kernel, one event per destination
+// Both produce bit-identical schedules (asserted here via the digest);
+// what differs is the cost: wall time, events/sec and — the headline —
+// pool allocations on the broadcast path (lazy ≈ 1 node per broadcast,
+// legacy ≈ 1 per delivery, a ≥fan-out× reduction).
+//
+// --json emits one record per (N, mechanism, kernel) with the allocation
+// counters as deterministic extras and the host measurements (wall time,
+// events/sec, peak RSS) as volatile "host_" extras, which the diff tool
+// excludes from record identity.
+#include <algorithm>
+#include <chrono>  // loadex-lint: allow(banned-wallclock) host-side timing of the simulator itself
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "harness/world_harness.h"
+
+using namespace loadex;
+
+namespace {
+
+/// Current peak resident set size in KiB (0 where unavailable).
+double peakRssKib() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // bytes on macOS
+#else
+  return static_cast<double>(ru.ru_maxrss);  // KiB on Linux
+#endif
+#else
+  return 0.0;
+#endif
+}
+
+struct RunStats {
+  sim::RunResult result;
+  double wall_s = 0.0;
+  std::int64_t state_messages = 0;
+  Bytes state_payload_bytes = 0;
+  Bytes state_wire_bytes = 0;
+  sim::PoolStats pool;
+  sim::BroadcastPathStats bcast;
+};
+
+/// One weak-scaled broadcast-storm run: `churn` threshold-crossing load
+/// variations per rank, at seeded pseudo-random instants in [0, 1).
+RunStats runOne(int nprocs, core::MechanismKind kind, bool legacy_kernel,
+                int churn, std::uint64_t seed) {
+  sim::WorldConfig wcfg;
+  wcfg.network.legacy_kernel = legacy_kernel;
+  core::MechanismConfig mcfg;
+  mcfg.threshold = {1.0, 1.0};
+  harness::CoreHarness h(nprocs, kind, mcfg, wcfg);
+
+  Rng rng(seed);
+  for (int step = 0; step < churn; ++step)
+    for (Rank r = 0; r < nprocs; ++r) {
+      const SimTime t = rng.uniformReal(0.0, 1.0);
+      h.at(t, [&h, r] { h.mechs.at(r).addLocalLoad({2.0, 1.0}); });
+    }
+
+  RunStats s;
+  const auto t0 = std::chrono::steady_clock::now();  // loadex-lint: allow(banned-wallclock) measures the simulator, never feeds the simulation
+  s.result = h.run();
+  const auto t1 = std::chrono::steady_clock::now();  // loadex-lint: allow(banned-wallclock) measures the simulator, never feeds the simulation
+  s.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  s.state_messages = h.world.network().messageCounts().get("state");
+  s.state_wire_bytes = h.world.network().bytesSent(sim::Channel::kState);
+  for (Rank r = 0; r < nprocs; ++r)
+    s.state_payload_bytes += h.mechs.at(r).stats().bytes_sent;
+  s.pool = h.world.queue().poolStats();
+  s.bcast = h.world.network().broadcastStats();
+  return s;
+}
+
+obs::BenchResultRecord toRecord(int nprocs, core::MechanismKind kind,
+                                const char* kernel, const RunStats& s) {
+  obs::BenchResultRecord rec;
+  rec.problem = "weak_scale_storm";
+  rec.mechanism = core::mechanismKindName(kind);
+  rec.strategy = kernel;  ///< record identity: which kernel ran
+  rec.nprocs = nprocs;
+  rec.completed = true;
+  rec.makespan_s = s.result.end_time;
+  rec.sim_events = s.result.events;
+  rec.state_messages = s.state_messages;
+  rec.state_bytes = s.state_payload_bytes;
+  rec.state_wire_bytes = s.state_wire_bytes;
+  rec.schedule_digest = s.result.schedule_digest;
+  return rec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchEnv env = bench::BenchEnv::parse(argc, argv);
+  const CliFlags flags(argc, argv);
+  // --n <world size>: run a single point (CI smoke); 0 = full sweep.
+  const int only_n = static_cast<int>(flags.getInt("n", 0));
+  const int churn =
+      std::max(1, static_cast<int>(std::lround(4.0 * env.effectiveScale())));
+
+  std::vector<int> sizes{32, 128, 512, 2048};
+  if (only_n > 0) sizes.assign(1, only_n);
+
+  std::cout << "Weak scaling of the simulation kernel — " << churn
+            << " threshold-crossing load variations per rank, every one a "
+               "full broadcast\n\n";
+
+  bench::JsonResults json("scale_weak", env);
+  Table t("Broadcast-storm weak scaling, lazy vs legacy kernel");
+  t.setHeader({"N", "mechanism", "kernel", "wall s", "events/s", "msgs",
+               "pool allocs", "alloc ratio"});
+
+  bool digests_agree = true;
+  for (const int n : sizes) {
+    for (const auto kind :
+         {core::MechanismKind::kNaive, core::MechanismKind::kIncrement}) {
+      const RunStats lazy = runOne(n, kind, /*legacy_kernel=*/false, churn,
+                                   env.seed);
+      const RunStats legacy = runOne(n, kind, /*legacy_kernel=*/true, churn,
+                                     env.seed);
+      if (lazy.result.schedule_digest != legacy.result.schedule_digest) {
+        digests_agree = false;
+        std::cerr << "ERROR: kernel schedule digests diverge at N=" << n
+                  << " kind=" << core::mechanismKindName(kind) << "\n";
+      }
+      // Broadcast-path allocation ratio. The schedules are digest-checked
+      // identical, so the legacy kernel pays exactly one pool node per
+      // fan-out delivery where the lazy kernel pays one per logical
+      // broadcast: fanout_deliveries / logical_broadcasts is the saving
+      // on the broadcast path (receiver-side treatment events are the
+      // same in both kernels and excluded).
+      const double ratio =
+          lazy.bcast.logical_broadcasts == 0
+              ? 1.0
+              : static_cast<double>(lazy.bcast.fanout_deliveries) /
+                    static_cast<double>(lazy.bcast.logical_broadcasts);
+      const std::pair<const char*, const RunStats*> sides[] = {
+          {"lazy", &lazy}, {"legacy", &legacy}};
+      for (const auto& [side, sp] : sides) {
+        const RunStats& s = *sp;
+        const bool is_lazy = sp == &lazy;
+        t.addRow({std::to_string(n), core::mechanismKindName(kind), side,
+                  Table::fmt(s.wall_s, 3),
+                  Table::fmt(static_cast<double>(s.result.events) /
+                                 std::max(s.wall_s, 1e-12),
+                             0),
+                  std::to_string(s.state_messages),
+                  std::to_string(s.pool.node_allocations),
+                  is_lazy ? Table::fmt(ratio, 1) + "x" : "1.0x"});
+        json.add(
+            toRecord(n, kind, side, s),
+            {{"churn_per_rank", static_cast<double>(churn)},
+             {"pool_node_allocations",
+              static_cast<double>(s.pool.node_allocations)},
+             {"pool_free_list_reuses",
+              static_cast<double>(s.pool.free_list_reuses)},
+             {"pool_chunks", static_cast<double>(s.pool.pool_chunks)},
+             {"broadcasts_logical",
+              static_cast<double>(s.bcast.logical_broadcasts)},
+             {"broadcast_deliveries",
+              static_cast<double>(s.bcast.fanout_deliveries)},
+             {"bcast_alloc_ratio_vs_legacy", is_lazy ? ratio : 1.0},
+             {"host_wall_s", s.wall_s},
+             {"host_events_per_s", static_cast<double>(s.result.events) /
+                                       std::max(s.wall_s, 1e-12)},
+             {"host_peak_rss_kib", peakRssKib()}});
+      }
+    }
+  }
+  t.setFootnote(
+      "alloc ratio = broadcast-path pool allocations, legacy / lazy, for "
+      "the identical (digest-checked) schedule: the lazy kernel pays one "
+      "node per logical broadcast where the legacy kernel pays one per "
+      "fan-out delivery. Total pool allocs include the receiver-side "
+      "message-treatment events, identical in both kernels.");
+  t.print(std::cout);
+  if (!json.write()) return 1;
+  return digests_agree ? 0 : 1;
+}

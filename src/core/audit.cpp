@@ -38,7 +38,6 @@ void ProtocolAuditor::attach(MechanismSet& mechs, sim::World* world) {
   pairs_.assign(n * n, {});
   outstanding_reservation_.assign(n, {});
   last_absolute_broadcast_.assign(n, {});
-  absolute_broadcast_seen_.assign(n, false);
   snap_.assign(n, {});
   last_start_request_.assign(n * n, 0);
   for (Rank r = 0; r < nprocs_; ++r) mechs.at(r).setAuditObserver(this);
@@ -124,9 +123,10 @@ void ProtocolAuditor::onStateSend(const Mechanism& m, Rank dst, StateTag tag,
 
   switch (tag) {
     case StateTag::kUpdateAbsolute: {
-      const auto& up = dynamic_cast<const UpdateAbsolutePayload&>(*payload);
-      last_absolute_broadcast_[static_cast<std::size_t>(src)] = up.load;
-      absolute_broadcast_seen_[static_cast<std::size_t>(src)] = true;
+      const auto& up = payloadCast<UpdateAbsolutePayload>(*payload);
+      auto& nb = last_absolute_broadcast_[static_cast<std::size_t>(src)];
+      nb.load = up.load;
+      nb.seen = true;
       break;
     }
     case StateTag::kNoMoreMaster:
@@ -134,7 +134,7 @@ void ProtocolAuditor::onStateSend(const Mechanism& m, Rank dst, StateTag tag,
       break;
     case StateTag::kStartSnp: {
       if (!config_.check_snapshot) break;
-      const auto& sp = dynamic_cast<const StartSnpPayload&>(*payload);
+      const auto& sp = payloadCast<StartSnpPayload>(*payload);
       auto& st = snap_[static_cast<std::size_t>(src)];
       // A broadcast is one send per destination: repeats of the current id
       // while the snapshot is open are the same fan-out, not a new request.
@@ -156,7 +156,7 @@ void ProtocolAuditor::onStateSend(const Mechanism& m, Rank dst, StateTag tag,
       break;
     case StateTag::kSnp: {
       if (!config_.check_snapshot) break;
-      const auto& sp = dynamic_cast<const SnpPayload&>(*payload);
+      const auto& sp = payloadCast<SnpPayload>(*payload);
       // Channel-recording consistency: the answer must carry the
       // responder's load at recording time...
       if (!nearlyEqual(sp.state, m.localLoad(), config_.tolerance)) {
@@ -227,7 +227,7 @@ void ProtocolAuditor::onStateDeliver(const Mechanism& m, Rank src,
   }
 
   if (config_.check_snapshot && tag == StateTag::kStartSnp) {
-    const auto& sp = dynamic_cast<const StartSnpPayload&>(*payload);
+    const auto& sp = payloadCast<StartSnpPayload>(*payload);
     last_start_request_[static_cast<std::size_t>(dst) *
                             static_cast<std::size_t>(nprocs_) +
                         static_cast<std::size_t>(src)] = sp.request;
@@ -287,10 +287,8 @@ void ProtocolAuditor::checkConservationAtFinish() {
     // Algorithm 2: a view entry is exactly the last absolute value its
     // owner broadcast (zero if it never crossed the threshold).
     for (Rank r = 0; r < nprocs_; ++r) {
-      const LoadMetrics expected =
-          absolute_broadcast_seen_[static_cast<std::size_t>(r)]
-              ? last_absolute_broadcast_[static_cast<std::size_t>(r)]
-              : LoadMetrics{};
+      const auto& nb = last_absolute_broadcast_[static_cast<std::size_t>(r)];
+      const LoadMetrics expected = nb.seen ? nb.load : LoadMetrics{};
       for (Rank o = 0; o < nprocs_; ++o) {
         if (o == r) continue;
         const LoadMetrics seen = mechs_->at(o).view().load(r);

@@ -149,8 +149,13 @@ class ProtocolAuditor final : public AuditObserver {
   std::vector<LoadMetrics> outstanding_reservation_;
 
   // ---- naive conservation -----------------------------------------------
-  std::vector<LoadMetrics> last_absolute_broadcast_;
-  std::vector<bool> absolute_broadcast_seen_;
+  /// Last absolute value each rank broadcast (flat, sized once from the
+  /// world size; `seen` distinguishes "never broadcast" from zero load).
+  struct NaiveBroadcast {
+    LoadMetrics load;
+    bool seen = false;
+  };
+  std::vector<NaiveBroadcast> last_absolute_broadcast_;
   bool no_more_master_seen_ = false;
 
   // ---- snapshot tracking ------------------------------------------------

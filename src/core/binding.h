@@ -26,6 +26,12 @@ class SimTransport final : public Transport {
     process_.send(dst, sim::Channel::kState, static_cast<int>(tag), size,
                   std::move(payload));
   }
+  void sendStateBroadcast(
+      const std::vector<Rank>& dsts, StateTag tag, Bytes size,
+      std::shared_ptr<const sim::Payload> payload) override {
+    process_.broadcast(dsts, sim::Channel::kState, static_cast<int>(tag),
+                       size, std::move(payload));
+  }
   void schedule(SimTime delay, std::function<void()> fn) override {
     // A mechanism timer can unfreeze the process or make local work ready
     // (snapshot answer timeout firing the view callback, a foreign guard

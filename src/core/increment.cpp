@@ -14,10 +14,7 @@ constexpr Bytes kSeqBytes = 8;
 IncrementMechanism::IncrementMechanism(Transport& transport,
                                        MechanismConfig config)
     : Mechanism(transport, config),
-      last_seq_out_(static_cast<std::size_t>(transport.nprocs()), 0),
-      resend_buf_(static_cast<std::size_t>(transport.nprocs())),
-      flushed_seq_(static_cast<std::size_t>(transport.nprocs()), 0),
-      idle_rounds_(static_cast<std::size_t>(transport.nprocs()), 0),
+      out_(static_cast<std::size_t>(transport.nprocs())),
       in_(static_cast<std::size_t>(transport.nprocs())) {
   LOADEX_EXPECT(config_.reliability.resend_window > 0,
                 "resend window must be positive");
@@ -73,27 +70,31 @@ void IncrementMechanism::doCommitSelection(const SlaveSelection& selection) {
   // learns its own reservation from this very message (Alg. 3 line 21),
   // and its self-accounting (hence the Updates everyone else relies on)
   // would diverge without it.
+  const auto skipRank = [&](Rank r) {
+    if (!config_.no_more_master ||
+        !stop_sending_to_[static_cast<std::size_t>(r)])
+      return false;
+    for (const auto& a : selection)
+      if (a.slave == r) return false;
+    return true;
+  };
   const Bytes size = MasterToAllPayload::sizeBytes(selection.size()) +
                      (hardened() ? kSeqBytes : 0);
-  auto shared = hardened()
-                    ? nullptr
-                    : std::make_shared<MasterToAllPayload>(proto);
-  for (Rank r = 0; r < nprocs(); ++r) {
-    if (r == self()) continue;
-    bool skip = config_.no_more_master &&
-                stop_sending_to_[static_cast<std::size_t>(r)];
-    if (skip) {
-      for (const auto& a : selection)
-        if (a.slave == r) {
-          skip = false;
-          break;
-        }
-    }
-    if (skip) continue;
-    if (hardened())
+  if (hardened()) {
+    // Each destination carries its own stream sequence number, so the
+    // hardened reservation stays an eager per-destination send.
+    for (Rank r = 0; r < nprocs(); ++r) {
+      if (r == self() || skipRank(r)) continue;
       sequencedSend(r, StateTag::kMasterToAll, size, proto);
-    else
-      sendState(r, StateTag::kMasterToAll, size, shared);
+    }
+  } else {
+    std::vector<Rank>& dsts = broadcastScratch();
+    for (Rank r = 0; r < nprocs(); ++r) {
+      if (r == self() || skipRank(r)) continue;
+      dsts.push_back(r);
+    }
+    broadcastStateTo(dsts, StateTag::kMasterToAll, size,
+                     std::make_shared<MasterToAllPayload>(proto));
   }
   // Apply the reservation locally too: this master will not receive its
   // own broadcast, yet its next decision must see this one.
@@ -112,11 +113,11 @@ void IncrementMechanism::doCommitSelection(const SlaveSelection& selection) {
 void IncrementMechanism::applyLoadBearing(Rank src, StateTag tag,
                                           const sim::Payload& p) {
   if (tag == StateTag::kUpdateDelta) {
-    const auto& up = dynamic_cast<const UpdateDeltaPayload&>(p);
+    const auto& up = payloadCast<UpdateDeltaPayload>(p);
     view_.add(src, up.delta);
     return;
   }
-  const auto& mta = dynamic_cast<const MasterToAllPayload&>(p);
+  const auto& mta = payloadCast<MasterToAllPayload>(p);
   for (const auto& a : mta.assignments) {
     if (a.slave == self()) {
       // Algorithm 3 line 21: the slave learns its reservation here.
@@ -141,10 +142,10 @@ void IncrementMechanism::handleState(Rank src, StateTag tag,
         applyLoadBearing(src, tag, p);
       return;
     case StateTag::kNack:
-      onNack(src, dynamic_cast<const NackPayload&>(p));
+      onNack(src, payloadCast<NackPayload>(p));
       return;
     case StateTag::kHeartbeat:
-      onHeartbeat(src, dynamic_cast<const HeartbeatPayload&>(p));
+      onHeartbeat(src, payloadCast<HeartbeatPayload>(p));
       return;
     case StateTag::kNoMoreMaster:
       markNoMoreMaster(src);
@@ -160,21 +161,20 @@ void IncrementMechanism::handleState(Rank src, StateTag tag,
 template <typename P>
 void IncrementMechanism::sequencedSend(Rank dst, StateTag tag, Bytes size,
                                        const P& proto) {
-  const auto d = static_cast<std::size_t>(dst);
+  OutStream& out = out_[static_cast<std::size_t>(dst)];
   auto copy = std::make_shared<P>(proto);
-  copy->seq = ++last_seq_out_[d];
-  auto& buf = resend_buf_[d];
-  buf.push_back({copy->seq, tag, size, copy});
-  if (static_cast<int>(buf.size()) > config_.reliability.resend_window)
-    buf.pop_front();
-  idle_rounds_[d] = 0;
+  copy->seq = ++out.last_seq;
+  out.resend.push_back({copy->seq, tag, size, copy});
+  if (static_cast<int>(out.resend.size()) > config_.reliability.resend_window)
+    out.resend.pop_front();
+  out.idle_rounds = 0;
   sendState(dst, tag, size, std::move(copy));
   armFlushTimer();
 }
 
 void IncrementMechanism::onNack(Rank src, const NackPayload& p) {
   LOADEX_EXPECT(hardened(), "NACK received with reliability disabled");
-  for (const auto& rec : resend_buf_[static_cast<std::size_t>(src)]) {
+  for (const auto& rec : out_[static_cast<std::size_t>(src)].resend) {
     if (rec.seq < p.from || rec.seq > p.to) continue;
     ++stats_.retransmissions;
     sendState(src, rec.tag, rec.size, rec.payload);
@@ -198,18 +198,18 @@ void IncrementMechanism::sendHeartbeats() {
   bool any_active = false;
   for (Rank r = 0; r < nprocs(); ++r) {
     if (r == self()) continue;
-    const auto d = static_cast<std::size_t>(r);
-    if (last_seq_out_[d] == 0) continue;  // stream never used
-    if (last_seq_out_[d] > flushed_seq_[d])
-      idle_rounds_[d] = 0;
+    OutStream& out = out_[static_cast<std::size_t>(r)];
+    if (out.last_seq == 0) continue;  // stream never used
+    if (out.last_seq > out.flushed)
+      out.idle_rounds = 0;
     else
-      ++idle_rounds_[d];
+      ++out.idle_rounds;
     // Streams stay on heartbeat duty for `tail_heartbeats` quiet rounds:
     // each beacon is an independent chance to detect a lost stream tail.
-    if (idle_rounds_[d] > config_.reliability.tail_heartbeats) continue;
+    if (out.idle_rounds > config_.reliability.tail_heartbeats) continue;
     auto hb = std::make_shared<HeartbeatPayload>();
-    hb->last_seq = last_seq_out_[d];
-    flushed_seq_[d] = last_seq_out_[d];
+    hb->last_seq = out.last_seq;
+    out.flushed = out.last_seq;
     sendState(r, StateTag::kHeartbeat, HeartbeatPayload::sizeBytes(),
               std::move(hb));
     any_active = true;
@@ -226,10 +226,9 @@ bool IncrementMechanism::gapOpen(Rank src) const {
 
 void IncrementMechanism::onSequenced(Rank src, StateTag tag,
                                      const sim::Payload& p) {
-  const SeqNo seq =
-      tag == StateTag::kUpdateDelta
-          ? dynamic_cast<const UpdateDeltaPayload&>(p).seq
-          : dynamic_cast<const MasterToAllPayload&>(p).seq;
+  const SeqNo seq = tag == StateTag::kUpdateDelta
+                        ? payloadCast<UpdateDeltaPayload>(p).seq
+                        : payloadCast<MasterToAllPayload>(p).seq;
   LOADEX_EXPECT(seq > 0, "hardened receiver got an unsequenced message");
   auto& s = in_[static_cast<std::size_t>(src)];
 
@@ -251,10 +250,10 @@ void IncrementMechanism::onSequenced(Rank src, StateTag tag,
   st.tag = tag;
   if (tag == StateTag::kUpdateDelta)
     st.payload = std::make_shared<UpdateDeltaPayload>(
-        dynamic_cast<const UpdateDeltaPayload&>(p));
+        payloadCast<UpdateDeltaPayload>(p));
   else
     st.payload = std::make_shared<MasterToAllPayload>(
-        dynamic_cast<const MasterToAllPayload&>(p));
+        payloadCast<MasterToAllPayload>(p));
   s.stash.emplace(seq, std::move(st));
   if (!was_open) {
     ++stats_.gaps_detected;

@@ -79,10 +79,16 @@ class IncrementMechanism final : public Mechanism {
     Bytes size = 0;
     std::shared_ptr<const sim::Payload> payload;
   };
-  std::vector<SeqNo> last_seq_out_;               ///< per destination
-  std::vector<std::deque<SentRecord>> resend_buf_;  ///< per destination
-  std::vector<SeqNo> flushed_seq_;  ///< last seq covered by a heartbeat
-  std::vector<int> idle_rounds_;    ///< quiet flush rounds per destination
+  /// Per-destination outgoing stream, one flat array sized once from the
+  /// world size (replaces four parallel vectors: one cache line per
+  /// destination instead of four scattered loads on the heartbeat sweep).
+  struct OutStream {
+    SeqNo last_seq = 0;   ///< last sequence number sent
+    SeqNo flushed = 0;    ///< last seq covered by a heartbeat
+    int idle_rounds = 0;  ///< quiet flush rounds
+    std::deque<SentRecord> resend;  ///< bounded retransmission buffer
+  };
+  std::vector<OutStream> out_;  ///< per destination
   bool flush_timer_armed_ = false;
 
   // ---- hardened receiver state -----------------------------------------

@@ -36,6 +36,12 @@ void Transport::schedule(SimTime /*delay*/, std::function<void()> /*fn*/) {
                 "reliability/hardening options)");
 }
 
+void Transport::sendStateBroadcast(
+    const std::vector<Rank>& dsts, StateTag tag, Bytes size,
+    std::shared_ptr<const sim::Payload> payload) {
+  for (const Rank r : dsts) sendState(r, tag, size, payload);
+}
+
 void MechanismStats::mergeInto(MechanismStats& out) const {
   out.sent_by_tag.merge(sent_by_tag);
   out.bytes_sent += bytes_sent;
@@ -98,28 +104,42 @@ void Mechanism::onStateMessage(const sim::Message& msg) {
   handleState(msg.src, static_cast<StateTag>(msg.tag), *msg.payload);
 }
 
-void Mechanism::sendState(Rank dst, StateTag tag, Bytes size,
-                          std::shared_ptr<const sim::Payload> payload) {
-  if (audit_ != nullptr)
-    audit_->onStateSend(*this, dst, tag, size, payload.get());
+void Mechanism::noteStateSend(Rank dst, StateTag tag, Bytes size,
+                              const sim::Payload* payload) {
+  if (audit_ != nullptr) audit_->onStateSend(*this, dst, tag, size, payload);
   stats_.sent_by_tag.bump(stateTagName(tag));
   stats_.bytes_sent += size;
   LOADEX_TRACE_INSTANT(transport_.now(), protoTrack(transport_.self()),
                        std::string("tx ") + stateTagName(tag));
+}
+
+void Mechanism::sendState(Rank dst, StateTag tag, Bytes size,
+                          std::shared_ptr<const sim::Payload> payload) {
+  noteStateSend(dst, tag, size, payload.get());
   transport_.sendState(dst, tag, size, std::move(payload));
+}
+
+void Mechanism::broadcastStateTo(const std::vector<Rank>& dsts, StateTag tag,
+                                 Bytes size,
+                                 std::shared_ptr<const sim::Payload> payload) {
+  if (dsts.empty()) return;
+  for (const Rank r : dsts) noteStateSend(r, tag, size, payload.get());
+  transport_.sendStateBroadcast(dsts, tag, size, std::move(payload));
 }
 
 void Mechanism::broadcastState(StateTag tag, Bytes size,
                                std::shared_ptr<const sim::Payload> payload,
                                bool respect_no_more_master) {
   const Rank me = transport_.self();
+  std::vector<Rank>& dsts = broadcastScratch();
   for (Rank r = 0; r < transport_.nprocs(); ++r) {
     if (r == me) continue;
     if (respect_no_more_master && config_.no_more_master &&
         stop_sending_to_[static_cast<std::size_t>(r)])
       continue;
-    sendState(r, tag, size, payload);
+    dsts.push_back(r);
   }
+  broadcastStateTo(dsts, tag, size, std::move(payload));
 }
 
 void Mechanism::markNoMoreMaster(Rank src) {

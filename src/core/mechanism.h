@@ -41,6 +41,14 @@ class Transport {
   virtual void sendState(Rank dst, StateTag tag, Bytes size,
                          std::shared_ptr<const sim::Payload> payload) = 0;
 
+  /// Send one shared payload to every rank in `dsts`, in order. The
+  /// default expands into per-destination sendState calls; transports
+  /// over the simulator override it with the kernel's O(1) logical
+  /// broadcast (identical observable behaviour, fewer allocations).
+  virtual void sendStateBroadcast(const std::vector<Rank>& dsts, StateTag tag,
+                                  Bytes size,
+                                  std::shared_ptr<const sim::Payload> payload);
+
   /// Arm a one-shot timer `delay` seconds from now. Only the hardened
   /// (reliability-enabled) protocol paths use timers; the default
   /// implementation hard-fails so that a transport without timer support
@@ -221,6 +229,26 @@ class Mechanism : public sim::StateHandler {
                       std::shared_ptr<const sim::Payload> payload,
                       bool respect_no_more_master);
 
+  /// Send one shared payload to an explicit destination list through the
+  /// transport's broadcast path, with per-destination audit / stats /
+  /// trace accounting identical to a sendState loop.
+  void broadcastStateTo(const std::vector<Rank>& dsts, StateTag tag,
+                        Bytes size,
+                        std::shared_ptr<const sim::Payload> payload);
+
+  /// Sender-side accounting of one outgoing state message (audit hook,
+  /// per-tag counters, wire bytes, trace instant) — everything sendState
+  /// does except the transport call itself.
+  void noteStateSend(Rank dst, StateTag tag, Bytes size,
+                     const sim::Payload* payload);
+
+  /// Reusable destination-list scratch for broadcastState (sized once,
+  /// avoids a per-broadcast allocation on the hot path).
+  std::vector<Rank>& broadcastScratch() {
+    bcast_dsts_.clear();
+    return bcast_dsts_;
+  }
+
   /// Record a No_more_master received from `src`.
   void markNoMoreMaster(Rank src);
 
@@ -241,6 +269,9 @@ class Mechanism : public sim::StateHandler {
   /// stop_sending_to_[r]: r announced No_more_master.
   std::vector<bool> stop_sending_to_;
   bool no_more_master_sent_ = false;
+
+ private:
+  std::vector<Rank> bcast_dsts_;  ///< broadcastState destination scratch
 };
 
 }  // namespace loadex::core

@@ -43,7 +43,9 @@ void NaiveMechanism::handleState(Rank src, StateTag tag,
                                  const sim::Payload& p) {
   switch (tag) {
     case StateTag::kUpdateAbsolute: {
-      const auto& up = dynamic_cast<const UpdateAbsolutePayload&>(p);
+      // Hot path at scale: every rank receives every broadcast, so the
+      // dispatch avoids RTTI (see payloadCast).
+      const auto& up = payloadCast<UpdateAbsolutePayload>(p);
       view_.set(src, up.load);
       return;
     }

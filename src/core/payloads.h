@@ -102,6 +102,20 @@ struct MasterToSlavePayload final : sim::Payload {
   static Bytes sizeBytes() { return 24; }
 };
 
+/// Typed payload access on the hot dispatch paths. State tags map 1:1 to
+/// concrete payload types by construction (every send site pairs them),
+/// so the RTTI lookup of dynamic_cast is redundant there — at large N it
+/// is paid once per rank per broadcast. Debug builds keep the checked
+/// cast; a tag/type mismatch is a programming error either way.
+template <typename T>
+inline const T& payloadCast(const sim::Payload& p) {
+#ifndef NDEBUG
+  return dynamic_cast<const T&>(p);
+#else
+  return static_cast<const T&>(p);
+#endif
+}
+
 inline const char* stateTagName(StateTag tag) {
   switch (tag) {
     case StateTag::kUpdateAbsolute: return "update_abs";

@@ -1,7 +1,9 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
+#include <utility>
 
 #include "common/expect.h"
 #include "obs/metrics.h"
@@ -17,12 +19,86 @@ inline void fnv1a(std::uint64_t& digest, std::uint64_t bits) {
 
 }  // namespace
 
+// ---- slab pool ------------------------------------------------------------
+
+std::uint32_t EventQueue::allocSlot() {
+  ++pool_stats_.node_allocations;
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    ++pool_stats_.free_list_reuses;
+    return slot;
+  }
+  if (total_slots_ == chunks_.size() * kChunkSize) {
+    chunks_.push_back(std::make_unique<Node[]>(kChunkSize));
+    ++pool_stats_.pool_chunks;
+  }
+  return total_slots_++;
+}
+
+void EventQueue::freeSlot(std::uint32_t slot) {
+  Node& n = node(slot);
+  ++n.gen;
+  if (n.gen == 0) n.gen = 1;  // slot 0 + gen 0 would collide with kNoEvent
+  n.broadcast = false;
+  n.next_target = 0;
+  n.fn = nullptr;
+  n.fire = nullptr;
+  n.targets.clear();  // keeps capacity for the slot's next broadcast
+  free_slots_.push_back(slot);
+}
+
+// ---- 4-ary heap -----------------------------------------------------------
+
+void EventQueue::heapPush(const Entry& e) const {
+  heap_.push_back(e);
+  siftUp(heap_.size() - 1);
+}
+
+void EventQueue::heapPopTop() const {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) siftDown(0);
+}
+
+void EventQueue::siftUp(std::size_t i) const {
+  const Entry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!entryBefore(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::siftDown(std::size_t i) const {
+  const Entry e = heap_[i];
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < last; ++c)
+      if (entryBefore(heap_[c], heap_[best])) best = c;
+    if (!entryBefore(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+// ---- scheduling -----------------------------------------------------------
+
 EventId EventQueue::scheduleAt(SimTime t, std::function<void()> fn) {
   LOADEX_EXPECT(t >= now_, "cannot schedule an event in the past");
   LOADEX_EXPECT(!std::isnan(t), "event time must not be NaN");
-  const EventId id = next_id_++;
-  heap_.push(Entry{t, next_seq_++, id});
-  handlers_.emplace(id, std::move(fn));
+  const std::uint32_t slot = allocSlot();
+  Node& n = node(slot);
+  n.fn = std::move(fn);
+  const EventId id = makeId(n.gen, slot);
+  heapPush(Entry{t, next_seq_++, id});
   ++live_;
   return id;
 }
@@ -32,38 +108,99 @@ EventId EventQueue::scheduleAfter(SimTime delay, std::function<void()> fn) {
   return scheduleAt(now_ + delay, std::move(fn));
 }
 
+void EventQueue::scheduleBroadcast(
+    std::vector<BroadcastTarget> targets,
+    std::function<void(const BroadcastTarget&)> fire) {
+  if (targets.empty()) return;
+  for (auto& t : targets) {
+    LOADEX_EXPECT(t.time >= now_, "cannot schedule an event in the past");
+    LOADEX_EXPECT(!std::isnan(t.time), "event time must not be NaN");
+    t.seq = next_seq_++;
+  }
+  // The heap entry must always key the earliest remaining target; with
+  // jitter / fault delays the input (= seq) order need not be the time
+  // order, so sort once. Keys are unique: (time, seq) is a total order.
+  std::sort(targets.begin(), targets.end(),
+            [](const BroadcastTarget& a, const BroadcastTarget& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.seq < b.seq;
+            });
+  const std::uint32_t slot = allocSlot();
+  Node& n = node(slot);
+  n.broadcast = true;
+  n.next_target = 0;
+  n.fire = std::move(fire);
+  n.targets = std::move(targets);
+  heapPush(Entry{n.targets[0].time, n.targets[0].seq, makeId(n.gen, slot)});
+  live_ += n.targets.size();
+  ++pool_stats_.broadcasts;
+}
+
 bool EventQueue::cancel(EventId id) {
-  const auto it = handlers_.find(id);
-  if (it == handlers_.end()) return false;
-  handlers_.erase(it);
+  const std::uint32_t slot = idSlot(id);
+  if (slot >= total_slots_) return false;
+  Node& n = node(slot);
+  if (n.gen != idGen(id)) return false;  // already fired, freed or reused
+  if (n.broadcast) return false;         // broadcasts are not cancellable
+  freeSlot(slot);
   --live_;
-  // The heap entry stays; runNext() skips entries without handlers.
+  // The heap entry stays; it is skipped (stale gen) when it surfaces.
   return true;
 }
 
+// ---- execution ------------------------------------------------------------
+
 void EventQueue::popDead() const {
-  while (!heap_.empty() && handlers_.find(heap_.top().id) == handlers_.end())
-    heap_.pop();
+  while (!heap_.empty() && !liveEntry(heap_.front())) heapPopTop();
+}
+
+void EventQueue::noteFired(SimTime t, std::uint64_t seq) {
+  now_ = t;
+  ++fired_;
+  fnv1a(digest_, std::bit_cast<std::uint64_t>(t));
+  fnv1a(digest_, seq);
+  // Gauge sampling piggybacks on event firing: it schedules nothing and
+  // draws no randomness, so the schedule digest is unaffected.
+  LOADEX_METRIC(maybeSample(now_));
 }
 
 bool EventQueue::runNext() {
   popDead();
   if (heap_.empty()) return false;
-  const Entry e = heap_.top();
-  heap_.pop();
-  auto it = handlers_.find(e.id);
-  LOADEX_CHECK(it != handlers_.end());
-  auto fn = std::move(it->second);
-  handlers_.erase(it);
+  const Entry e = heap_.front();
+  heapPopTop();
+  const std::uint32_t slot = idSlot(e.id);
+  Node& n = node(slot);
+
+  if (!n.broadcast) {
+    // Free the slot before invoking: the handler may schedule (reusing
+    // this very slot under a fresh generation) without confusion.
+    auto fn = std::move(n.fn);
+    freeSlot(slot);
+    --live_;
+    noteFired(e.time, e.seq);
+    fn();
+    return true;
+  }
+
+  // Logical broadcast: fire exactly one target per pop, then re-key the
+  // node's single heap entry to the next remaining target. The copy below
+  // keeps the target valid even if the callback grows the pool.
+  const BroadcastTarget target = n.targets[n.next_target];
+  ++n.next_target;
+  ++pool_stats_.broadcast_deliveries;
   --live_;
-  now_ = e.time;
-  ++fired_;
-  fnv1a(digest_, std::bit_cast<std::uint64_t>(e.time));
-  fnv1a(digest_, e.seq);
-  // Gauge sampling piggybacks on event firing: it schedules nothing and
-  // draws no randomness, so the schedule digest is unaffected.
-  LOADEX_METRIC(maybeSample(now_));
-  fn();
+  if (n.next_target < n.targets.size()) {
+    const BroadcastTarget& next = n.targets[n.next_target];
+    heapPush(Entry{next.time, next.seq, e.id});
+    noteFired(e.time, e.seq);
+    n.fire(target);  // node address is stable across reentrant scheduling
+  } else {
+    auto fire = std::move(n.fire);
+    freeSlot(slot);
+    noteFired(e.time, e.seq);
+    fire(target);
+  }
   return true;
 }
 
@@ -71,7 +208,7 @@ std::uint64_t EventQueue::runUntil(SimTime until) {
   std::uint64_t n = 0;
   while (true) {
     popDead();
-    if (heap_.empty() || heap_.top().time > until) break;
+    if (heap_.empty() || heap_.front().time > until) break;
     runNext();
     ++n;
   }
@@ -80,7 +217,7 @@ std::uint64_t EventQueue::runUntil(SimTime until) {
 
 SimTime EventQueue::nextEventTime() const {
   popDead();
-  return heap_.empty() ? kInfiniteTime : heap_.top().time;
+  return heap_.empty() ? kInfiniteTime : heap_.front().time;
 }
 
 }  // namespace loadex::sim

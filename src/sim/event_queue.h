@@ -4,13 +4,26 @@
 // fire in the order they were scheduled — this makes every simulation run
 // bit-for-bit reproducible. Events can be cancelled (needed to pause a
 // running compute task in the "threaded" process mode).
+//
+// Storage is a slab pool: event nodes live in fixed-size chunks with a
+// free list, so the steady state allocates nothing, and node addresses are
+// stable (a handler may schedule further events — growing the pool — while
+// it runs). Ordering is an index-based 4-ary implicit heap of (time, seq)
+// keys; cancellation is lazy (the heap entry stays and is skipped when it
+// surfaces, recognised by a generation tag in the event id).
+//
+// A *logical broadcast* (scheduleBroadcast) stores one pooled node for a
+// whole fan-out: the node carries the shared fire callback plus the
+// per-destination (time, seq) targets, keeps exactly one heap entry keyed
+// on its earliest remaining target, and re-keys itself after each pop.
+// Every delivery still fires at its own (time, seq) — the schedule digest
+// is bit-identical to scheduling each destination individually.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <queue>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "common/types.h"
@@ -23,13 +36,47 @@ inline constexpr SimTime kInfiniteTime = std::numeric_limits<SimTime>::infinity(
 using EventId = std::uint64_t;
 inline constexpr EventId kNoEvent = 0;
 
+/// One destination of a logical broadcast. The caller fills `time`, `dst`
+/// and `cookie` (an opaque value handed back at fire time, e.g. a trace
+/// flow id); the queue assigns `seq` — in input order, exactly as if each
+/// target had been scheduled with its own scheduleAt call.
+struct BroadcastTarget {
+  SimTime time = 0.0;
+  std::int32_t dst = -1;
+  std::uint64_t cookie = 0;
+  std::uint64_t seq = 0;  ///< insertion sequence, assigned by the queue
+};
+
+/// Allocation counters of the pooled kernel (bench_scale_weak reports the
+/// broadcast-path savings from these).
+struct PoolStats {
+  std::uint64_t node_allocations = 0;   ///< pool slots handed out
+  std::uint64_t free_list_reuses = 0;   ///< slots served from the free list
+  std::uint64_t pool_chunks = 0;        ///< slab chunks ever carved
+  std::uint64_t broadcasts = 0;         ///< logical broadcast nodes
+  std::uint64_t broadcast_deliveries = 0;  ///< fan-out events fired lazily
+};
+
 class EventQueue {
  public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
   /// Schedule `fn` to fire at absolute time `t` (must be >= now()).
   EventId scheduleAt(SimTime t, std::function<void()> fn);
 
   /// Schedule `fn` to fire `delay` seconds from now (delay >= 0).
   EventId scheduleAfter(SimTime delay, std::function<void()> fn);
+
+  /// Schedule one logical broadcast: `fire` is invoked once per target, at
+  /// that target's (time, seq). Sequence numbers are assigned in `targets`
+  /// input order, so the global event order (and the schedule digest) is
+  /// identical to scheduling each target individually — but only one pool
+  /// node and one heap entry exist at any time. Broadcasts cannot be
+  /// cancelled.
+  void scheduleBroadcast(std::vector<BroadcastTarget> targets,
+                         std::function<void(const BroadcastTarget&)> fire);
 
   /// Cancel a pending event. Cancelling an already-fired or unknown id is a
   /// no-op (returns false).
@@ -57,27 +104,84 @@ class EventQueue {
   /// are directly comparable.
   std::uint64_t scheduleDigest() const { return digest_; }
 
+  const PoolStats& poolStats() const { return pool_stats_; }
+
  private:
+  /// Pool node. Addresses are stable for the node's lifetime (chunked
+  /// storage); `gen` invalidates outstanding ids/heap entries on free.
+  /// `fn`/`fire`/`targets` keep their buffers across reuse, so a churning
+  /// slot stops allocating once warm.
+  struct Node {
+    std::uint32_t gen = 1;
+    bool broadcast = false;
+    std::uint32_t next_target = 0;
+    std::function<void()> fn;
+    std::function<void(const BroadcastTarget&)> fire;
+    std::vector<BroadcastTarget> targets;
+  };
+
   struct Entry {
     SimTime time;
     std::uint64_t seq;
     EventId id;
-    bool operator>(const Entry& other) const {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
-    }
   };
 
+  static bool entryBefore(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  static constexpr std::size_t kChunkSize = 256;
+  static std::uint32_t idSlot(EventId id) {
+    return static_cast<std::uint32_t>(id & 0xffffffffULL);
+  }
+  static std::uint32_t idGen(EventId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+  static EventId makeId(std::uint32_t gen, std::uint32_t slot) {
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
+
+  Node& node(std::uint32_t slot) const {
+    return chunks_[slot / kChunkSize][slot % kChunkSize];
+  }
+  bool liveEntry(const Entry& e) const {
+    return node(idSlot(e.id)).gen == idGen(e.id);
+  }
+
+  std::uint32_t allocSlot();
+  void freeSlot(std::uint32_t slot);
+
+  // 4-ary implicit min-heap on (time, seq): parent (i-1)/4, children
+  // 4i+1..4i+4. Shallower than a binary heap, so pops touch fewer cache
+  // lines on the large queues of the scale benches.
+  void heapPush(const Entry& e) const;
+  void heapPopTop() const;
+  void siftUp(std::size_t i) const;
+  void siftDown(std::size_t i) const;
+
+  /// Drop surfaced heap entries whose event was cancelled (stale gen).
   void popDead() const;
+
+  /// Common accounting of one fired event (digest fold + gauge sampling).
+  void noteFired(SimTime t, std::uint64_t seq);
 
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   std::uint64_t fired_ = 0;
   std::uint64_t digest_ = 0xcbf29ce484222325ULL;  ///< FNV-1a offset basis
   std::size_t live_ = 0;
-  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unordered_map<EventId, std::function<void()>> handlers_;
+
+  /// Slab storage: chunk pointers never move, so node addresses survive
+  /// pool growth triggered from inside a running handler.
+  std::vector<std::unique_ptr<Node[]>> chunks_;
+  std::uint32_t total_slots_ = 0;
+  std::vector<std::uint32_t> free_slots_;
+  /// Heap of pending keys; mutable so the const nextEventTime() can shed
+  /// lazily-cancelled entries, same contract as the map-based kernel.
+  mutable std::vector<Entry> heap_;
+
+  PoolStats pool_stats_;
 };
 
 }  // namespace loadex::sim

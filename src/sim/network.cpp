@@ -58,23 +58,26 @@ double Network::transferTime(Bytes size) const {
          config_.bandwidth_bytes_per_s;
 }
 
-void Network::scheduleDelivery(const Message& msg, SimTime arrival,
-                               std::uint64_t flow) {
-  queue_.scheduleAt(arrival, [this, m = msg, flow]() {
-    LOADEX_TRACE_WITH({
-      const int track = netTrack(m.dst, m.channel);
-      const std::string name =
-          "rcv " + lx_tr_->messageName(static_cast<int>(m.channel), m.tag);
-      lx_tr_->completeSpan(queue_.now(), queue_.now(), track, name);
-      if (flow != 0) lx_tr_->flowEnd(queue_.now(), track, name, flow);
-    });
-    auto& recv = receivers_[static_cast<std::size_t>(m.dst)];
-    LOADEX_EXPECT(static_cast<bool>(recv), "no receiver registered for rank");
-    recv(m);
+void Network::deliverNow(const Message& msg, std::uint64_t flow) {
+  LOADEX_TRACE_WITH({
+    const int track = netTrack(msg.dst, msg.channel);
+    const std::string name =
+        "rcv " + lx_tr_->messageName(static_cast<int>(msg.channel), msg.tag);
+    lx_tr_->completeSpan(queue_.now(), queue_.now(), track, name);
+    if (flow != 0) lx_tr_->flowEnd(queue_.now(), track, name, flow);
   });
+  auto& recv = receivers_[static_cast<std::size_t>(msg.dst)];
+  LOADEX_EXPECT(static_cast<bool>(recv), "no receiver registered for rank");
+  recv(msg);
 }
 
-void Network::send(Message msg) {
+void Network::scheduleDelivery(const Message& msg, SimTime arrival,
+                               std::uint64_t flow) {
+  queue_.scheduleAt(arrival,
+                    [this, m = msg, flow]() { deliverNow(m, flow); });
+}
+
+Network::TxPlan Network::planTx(const Message& msg) {
   LOADEX_EXPECT(msg.src >= 0 && msg.src < static_cast<Rank>(receivers_.size()),
                 "message src out of range");
   LOADEX_EXPECT(msg.dst >= 0 && msg.dst < static_cast<Rank>(receivers_.size()),
@@ -83,18 +86,19 @@ void Network::send(Message msg) {
   LOADEX_EXPECT(msg.size >= 0, "message size must be non-negative");
 
   const SimTime now = queue_.now();
-  const double transfer = transferTime(msg.size);
   const Bytes wire = msg.size + config_.per_message_overhead_bytes;
 
-  SimTime depart = now;
+  TxPlan plan;
+  plan.transfer = transferTime(msg.size);
+  plan.depart = now;
   if (config_.serialize_sender) {
     auto& free_at = sender_free_at_[static_cast<std::size_t>(msg.src)];
-    depart = std::max(now, free_at);
-    free_at = depart + transfer;
+    plan.depart = std::max(now, free_at);
+    free_at = plan.depart + plan.transfer;
   }
-  SimTime arrival = depart + transfer + config_.latency_s;
+  plan.arrival = plan.depart + plan.transfer + config_.latency_s;
   if (config_.jitter_s > 0.0)
-    arrival += jitter_rng_.uniformReal(0.0, config_.jitter_s);
+    plan.arrival += jitter_rng_.uniformReal(0.0, config_.jitter_s);
 
   // The sender transmitted in every case: count the message and its wire
   // bytes (payload + header overhead) before any fault is applied.
@@ -102,7 +106,6 @@ void Network::send(Message msg) {
   bytes_sent_ += wire;
   channel_bytes_[static_cast<std::size_t>(msg.channel)] += wire;
 
-  bool duplicate = false;
   if (faults_enabled_ && faultsApplyTo(msg.channel)) {
     const auto& f = config_.faults;
     for (const auto& b : f.blackouts) {
@@ -112,7 +115,7 @@ void Network::send(Message msg) {
             now, netTrack(msg.src, msg.channel),
             "blackout " +
                 lx_tr_->messageName(static_cast<int>(msg.channel), msg.tag)));
-        return;
+        return plan;
       }
     }
     if (f.drop_prob > 0.0 && fault_rng_.bernoulli(f.drop_prob)) {
@@ -121,60 +124,104 @@ void Network::send(Message msg) {
           now, netTrack(msg.src, msg.channel),
           "drop " +
               lx_tr_->messageName(static_cast<int>(msg.channel), msg.tag)));
-      return;
+      return plan;
     }
     if (f.duplicate_prob > 0.0 && fault_rng_.bernoulli(f.duplicate_prob)) {
-      duplicate = true;
+      plan.duplicate = true;
       counts_.bump("fault_duplicate");
     }
     if (f.latency_spike_prob > 0.0 &&
         fault_rng_.bernoulli(f.latency_spike_prob)) {
-      arrival += f.latency_spike_s;
+      plan.arrival += f.latency_spike_s;
       counts_.bump("fault_latency_spike");
     }
   }
+  plan.delivered = true;
 
   // FIFO per ordered (src,dst) pair: never deliver before an earlier send.
   auto& last = pairLastArrival(msg.src, msg.dst);
-  arrival = std::max(arrival, last);
-  last = arrival;
+  plan.arrival = std::max(plan.arrival, last);
+  last = plan.arrival;
 
-  // Wire slice on the sender's net lane + the flow-arrow anchor that the
-  // delivery event will terminate at the receiver.
+  if (plan.duplicate) {
+    // The spurious copy trails one extra latency behind and occupies the
+    // wire a second time.
+    plan.copy_arrival = plan.arrival + config_.latency_s;
+    if (config_.jitter_s > 0.0)
+      plan.copy_arrival += fault_rng_.uniformReal(0.0, config_.jitter_s);
+    plan.copy_arrival = std::max(plan.copy_arrival, last);
+    last = plan.copy_arrival;
+    bytes_sent_ += wire;
+    channel_bytes_[static_cast<std::size_t>(msg.channel)] += wire;
+  }
+  return plan;
+}
+
+/// Emit the wire slice on the sender's net lane plus the flow-arrow anchor
+/// that the delivery event terminates at the receiver; returns the flow id
+/// (0 when tracing is off). `label` is "snd" or "dup".
+std::uint64_t Network::traceSendSpan(const Message& msg, const TxPlan& plan,
+                                     const char* label) {
   std::uint64_t flow = 0;
   LOADEX_TRACE_WITH({
     flow = lx_tr_->nextFlowId();
     const int track = netTrack(msg.src, msg.channel);
     const std::string name =
-        "snd " + lx_tr_->messageName(static_cast<int>(msg.channel), msg.tag);
-    lx_tr_->completeSpan(depart, depart + transfer, track, name);
-    lx_tr_->flowBegin(depart, track, name, flow);
+        std::string(label) + " " +
+        lx_tr_->messageName(static_cast<int>(msg.channel), msg.tag);
+    lx_tr_->completeSpan(plan.depart, plan.depart + plan.transfer, track,
+                         name);
+    lx_tr_->flowBegin(plan.depart, track, name, flow);
   });
-  scheduleDelivery(msg, arrival, flow);
+  return flow;
+}
 
-  if (duplicate) {
-    // The spurious copy trails one extra latency behind and occupies the
-    // wire a second time.
-    SimTime copy_arrival = arrival + config_.latency_s;
-    if (config_.jitter_s > 0.0)
-      copy_arrival += fault_rng_.uniformReal(0.0, config_.jitter_s);
-    copy_arrival = std::max(copy_arrival, last);
-    last = copy_arrival;
-    bytes_sent_ += wire;
-    channel_bytes_[static_cast<std::size_t>(msg.channel)] += wire;
+void Network::send(Message msg) {
+  const TxPlan plan = planTx(msg);
+  if (!plan.delivered) return;
+  scheduleDelivery(msg, plan.arrival, traceSendSpan(msg, plan, "snd"));
+  if (plan.duplicate) {
     // The spurious copy gets its own flow id so both arrows render.
-    std::uint64_t copy_flow = 0;
-    LOADEX_TRACE_WITH({
-      copy_flow = lx_tr_->nextFlowId();
-      const int track = netTrack(msg.src, msg.channel);
-      const std::string name =
-          "dup " +
-          lx_tr_->messageName(static_cast<int>(msg.channel), msg.tag);
-      lx_tr_->completeSpan(depart, depart + transfer, track, name);
-      lx_tr_->flowBegin(depart, track, name, copy_flow);
-    });
-    scheduleDelivery(msg, copy_arrival, copy_flow);
+    scheduleDelivery(msg, plan.copy_arrival, traceSendSpan(msg, plan, "dup"));
   }
+}
+
+void Network::broadcast(Message msg, const std::vector<Rank>& dsts) {
+  if (dsts.empty()) return;
+  if (config_.legacy_kernel) {
+    for (const Rank r : dsts) {
+      msg.dst = r;
+      send(msg);
+    }
+    return;
+  }
+
+  // Plan every destination in order — identical RNG draws, NIC and FIFO
+  // bookkeeping as N individual sends — then register the surviving
+  // deliveries as one logical broadcast event. The queue assigns their
+  // sequence numbers in this exact order, so the schedule digest matches
+  // the eager expansion bit for bit.
+  std::vector<BroadcastTarget> targets;
+  targets.reserve(dsts.size());
+  for (const Rank r : dsts) {
+    msg.dst = r;
+    const TxPlan plan = planTx(msg);
+    if (!plan.delivered) continue;
+    targets.push_back(BroadcastTarget{plan.arrival, r,
+                                      traceSendSpan(msg, plan, "snd"), 0});
+    if (plan.duplicate)
+      targets.push_back(BroadcastTarget{plan.copy_arrival, r,
+                                        traceSendSpan(msg, plan, "dup"), 0});
+  }
+  ++bcast_stats_.logical_broadcasts;
+  bcast_stats_.fanout_deliveries +=
+      static_cast<std::int64_t>(targets.size());
+  queue_.scheduleBroadcast(
+      std::move(targets),
+      [this, m = std::move(msg)](const BroadcastTarget& t) mutable {
+        m.dst = static_cast<Rank>(t.dst);
+        deliverNow(m, t.cookie);
+      });
 }
 
 }  // namespace loadex::sim

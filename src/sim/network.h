@@ -41,6 +41,21 @@ struct NetworkConfig {
 
   /// Message-level fault injection; inert by default (see sim/faults.h).
   FaultPlan faults;
+
+  /// Escape hatch for the differential test harness: expand broadcast()
+  /// into one independent send() per destination (the pre-pool kernel's
+  /// behaviour) instead of coalescing the fan-out into one logical
+  /// broadcast event. Both paths are bit-identical in schedule digest,
+  /// message counts and delivered bytes — the lazy path just allocates
+  /// O(1) instead of O(N) per broadcast.
+  bool legacy_kernel = false;
+};
+
+/// Counters of the lazy broadcast fast path (not part of messageCounts():
+/// the per-channel message statistics are identical in both kernels).
+struct BroadcastPathStats {
+  std::int64_t logical_broadcasts = 0;  ///< coalesced broadcast() calls
+  std::int64_t fanout_deliveries = 0;   ///< deliveries those fan out into
 };
 
 /// Delivery callback: invoked at the destination's arrival time.
@@ -58,7 +73,17 @@ class Network {
   /// drops the message).
   void send(Message msg);
 
+  /// Transmit one payload to every rank in `dsts` (in order). Per-link
+  /// bookkeeping — NIC serialization, jitter and fault draws, per-pair
+  /// FIFO clamps, counters — is applied per destination exactly as N
+  /// individual send() calls would, but the surviving deliveries share a
+  /// single lazily-expanded queue event (unless config().legacy_kernel).
+  /// `msg.dst` is ignored and overwritten per destination.
+  void broadcast(Message msg, const std::vector<Rank>& dsts);
+
   const NetworkConfig& config() const { return config_; }
+
+  const BroadcastPathStats& broadcastStats() const { return bcast_stats_; }
 
   /// Global message statistics, keyed by channel name; fault events are
   /// counted under "fault_*" keys.
@@ -97,10 +122,30 @@ class Network {
                                   static_cast<std::size_t>(nprocs_) +
                               static_cast<std::size_t>(dst)];
   }
+  /// Per-transmission plan: departure/arrival times and fault outcome.
+  /// Computing it performs all sender-side bookkeeping (NIC free time,
+  /// RNG draws, FIFO clamps, counters, wire bytes) in the exact order of
+  /// the historical send() body, so the point-to-point and the broadcast
+  /// paths stay replay-identical.
+  struct TxPlan {
+    SimTime depart = 0.0;
+    double transfer = 0.0;
+    SimTime arrival = 0.0;
+    bool delivered = false;   ///< false: blackout or random drop ate it
+    bool duplicate = false;
+    SimTime copy_arrival = 0.0;  ///< valid when duplicate
+  };
+  TxPlan planTx(const Message& msg);
+  std::uint64_t traceSendSpan(const Message& msg, const TxPlan& plan,
+                              const char* label);
+
   /// `flow` is the trace flow-arrow id tying this delivery back to its
   /// send slice (0 when tracing was off at send time).
   void scheduleDelivery(const Message& msg, SimTime arrival,
                         std::uint64_t flow);
+  /// Hand `msg` to its receiver at the current time (delivery event body,
+  /// shared by the eager and the lazy-broadcast paths).
+  void deliverNow(const Message& msg, std::uint64_t flow);
 
   EventQueue& queue_;
   NetworkConfig config_;
@@ -112,6 +157,7 @@ class Network {
   /// flat, indexed src * nprocs + dst (hot path: no map lookups).
   std::vector<SimTime> pair_last_arrival_;
   CounterSet counts_;
+  BroadcastPathStats bcast_stats_;
   Bytes bytes_sent_ = 0;
   Bytes channel_bytes_[2] = {0, 0};
   Rng jitter_rng_;

@@ -113,6 +113,19 @@ void Process::send(Rank dst, Channel channel, int tag, Bytes size,
   network_.send(std::move(m));
 }
 
+void Process::broadcast(const std::vector<Rank>& dsts, Channel channel,
+                        int tag, Bytes size,
+                        std::shared_ptr<const Payload> payload) {
+  if (crashed_) return;  // a dead process transmits nothing
+  Message m;
+  m.src = rank_;
+  m.channel = channel;
+  m.tag = tag;
+  m.size = size;
+  m.payload = std::move(payload);
+  network_.broadcast(std::move(m), dsts);
+}
+
 void Process::notifyReadyWork() { pump(); }
 
 void Process::schedulePumpAfter(SimTime delay) {

@@ -72,6 +72,11 @@ class Process {
   void send(Rank dst, Channel channel, int tag, Bytes size,
             std::shared_ptr<const Payload> payload);
 
+  /// Send one payload to every rank in `dsts` (in order) as a single
+  /// logical broadcast (see Network::broadcast).
+  void broadcast(const std::vector<Rank>& dsts, Channel channel, int tag,
+                 Bytes size, std::shared_ptr<const Payload> payload);
+
   /// The application calls this when new local work became ready outside
   /// of the normal message flow (e.g. from a mechanism view callback).
   void notifyReadyWork();

@@ -1,0 +1,261 @@
+// Unit tests of the pooled event-queue kernel: slab allocator behaviour
+// (free-list reuse, chunk growth, generation tags) and the digest /
+// ordering contract of logical broadcasts. The scenario-level guarantees
+// are covered by test_sim_event_queue.cpp; this file pins down the pool
+// mechanics the scale benches rely on.
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace loadex::sim {
+namespace {
+
+// Reference FNV-1a fold, mirroring the queue's digest definition.
+std::uint64_t foldFnv(std::uint64_t digest, std::uint64_t bits) {
+  digest ^= bits;
+  digest *= 0x100000001b3ULL;
+  return digest;
+}
+
+std::uint64_t referenceDigest(
+    const std::vector<std::pair<SimTime, std::uint64_t>>& fired) {
+  std::uint64_t d = 0xcbf29ce484222325ULL;
+  for (const auto& [t, seq] : fired) {
+    d = foldFnv(d, std::bit_cast<std::uint64_t>(t));
+    d = foldFnv(d, seq);
+  }
+  return d;
+}
+
+TEST(EventQueuePool, FifoTieBreakMatchesInsertionOrderAcrossKinds) {
+  // Single events and broadcast targets at the same instant interleave by
+  // insertion sequence, exactly as if every target were its own event.
+  EventQueue q;
+  std::vector<int> order;
+  q.scheduleAt(1.0, [&] { order.push_back(0); });               // seq 0
+  q.scheduleBroadcast({{1.0, 7, 0, 0}, {1.0, 8, 0, 0}},         // seq 1, 2
+                      [&](const BroadcastTarget& t) {
+                        order.push_back(t.dst);
+                      });
+  q.scheduleAt(1.0, [&] { order.push_back(3); });               // seq 3
+  q.runUntil();
+  EXPECT_EQ(order, (std::vector<int>{0, 7, 8, 3}));
+}
+
+TEST(EventQueuePool, FreeListReusesSlotsUnderChurn) {
+  EventQueue q;
+  int fired = 0;
+  constexpr int kRounds = 10'000;
+  for (int i = 0; i < kRounds; ++i) {
+    q.scheduleAt(static_cast<SimTime>(i), [&] { ++fired; });
+    ASSERT_TRUE(q.runNext());
+  }
+  EXPECT_EQ(fired, kRounds);
+  const PoolStats& ps = q.poolStats();
+  EXPECT_EQ(ps.node_allocations, static_cast<std::uint64_t>(kRounds));
+  // Only one event is ever pending: one chunk suffices and every slot
+  // after the first comes from the free list.
+  EXPECT_EQ(ps.pool_chunks, 1u);
+  EXPECT_EQ(ps.free_list_reuses, static_cast<std::uint64_t>(kRounds - 1));
+}
+
+TEST(EventQueuePool, CancelChurnReusesSlotsWithoutGrowth) {
+  EventQueue q;
+  for (int round = 0; round < 100; ++round) {
+    std::vector<EventId> ids;
+    for (int i = 0; i < 64; ++i)
+      ids.push_back(q.scheduleAt(1.0, [] {}));
+    for (const EventId id : ids) EXPECT_TRUE(q.cancel(id));
+  }
+  EXPECT_TRUE(q.empty());
+  // 64 live slots peak -> a single chunk, everything else reused.
+  EXPECT_EQ(q.poolStats().pool_chunks, 1u);
+  EXPECT_EQ(q.poolStats().free_list_reuses, 100u * 64u - 64u);
+}
+
+TEST(EventQueuePool, DigestMatchesReferenceAcrossPoolGrowth) {
+  // Schedule enough simultaneous pending events to carve several chunks;
+  // the digest must be exactly the FNV-1a fold of the fired (time, seq)
+  // stream, independent of slab layout.
+  EventQueue q;
+  std::vector<std::pair<SimTime, std::uint64_t>> expected;
+  constexpr int kEvents = 1500;  // > 5 chunks of 256
+  for (int i = 0; i < kEvents; ++i) {
+    // Deterministic scatter; fire order is by time then insertion seq.
+    const SimTime t = static_cast<SimTime>((i * 7919) % 1000);
+    q.scheduleAt(t, [] {});
+    expected.emplace_back(t, static_cast<std::uint64_t>(i));
+  }
+  std::sort(expected.begin(), expected.end());
+  EXPECT_GE(q.poolStats().pool_chunks, 5u);
+  q.runUntil();
+  EXPECT_EQ(q.scheduleDigest(), referenceDigest(expected));
+}
+
+TEST(EventQueuePool, DigestUnaffectedBySlotReuse) {
+  // Same logical (time, seq) stream, radically different pool histories:
+  // one queue holds everything pending at once, the other recycles a
+  // single slot. The digest depends only on the fired stream.
+  EventQueue all_pending;
+  for (int i = 0; i < 300; ++i)
+    all_pending.scheduleAt(static_cast<SimTime>(i), [] {});
+  all_pending.runUntil();
+
+  EventQueue recycled;
+  for (int i = 0; i < 300; ++i) {
+    recycled.scheduleAt(static_cast<SimTime>(i), [] {});
+    recycled.runNext();
+  }
+
+  EXPECT_EQ(all_pending.scheduleDigest(), recycled.scheduleDigest());
+  EXPECT_GT(all_pending.poolStats().pool_chunks,
+            recycled.poolStats().pool_chunks);
+}
+
+TEST(EventQueuePool, BroadcastDigestEqualsIndividualSchedules) {
+  constexpr int kFanout = 37;
+  EventQueue individual;
+  for (int i = 0; i < kFanout; ++i)
+    individual.scheduleAt(2.0 + 0.1 * i, [] {});
+  individual.runUntil();
+
+  EventQueue broadcast;
+  std::vector<BroadcastTarget> targets;
+  for (int i = 0; i < kFanout; ++i)
+    targets.push_back({2.0 + 0.1 * i, i, 0, 0});
+  int fired = 0;
+  broadcast.scheduleBroadcast(std::move(targets),
+                              [&](const BroadcastTarget&) { ++fired; });
+  broadcast.runUntil();
+
+  EXPECT_EQ(fired, kFanout);
+  EXPECT_EQ(broadcast.scheduleDigest(), individual.scheduleDigest());
+  // The whole fan-out costs one pool node vs one per destination.
+  EXPECT_EQ(broadcast.poolStats().node_allocations, 1u);
+  EXPECT_EQ(individual.poolStats().node_allocations,
+            static_cast<std::uint64_t>(kFanout));
+  EXPECT_EQ(broadcast.poolStats().broadcast_deliveries,
+            static_cast<std::uint64_t>(kFanout));
+}
+
+TEST(EventQueuePool, BroadcastWithUnsortedTimesFiresInTimeOrder) {
+  // Per-link jitter can hand the broadcast non-monotone arrival times;
+  // deliveries must still fire in global (time, seq) order, interleaved
+  // with independent events.
+  EventQueue q;
+  std::vector<int> order;
+  q.scheduleBroadcast({{5.0, 50, 0, 0}, {1.0, 10, 0, 0}, {3.0, 30, 0, 0}},
+                      [&](const BroadcastTarget& t) {
+                        order.push_back(t.dst);
+                        EXPECT_DOUBLE_EQ(q.now(), static_cast<SimTime>(t.dst) / 10.0);
+                      });
+  q.scheduleAt(2.0, [&] { order.push_back(20); });
+  q.scheduleAt(4.0, [&] { order.push_back(40); });
+  q.runUntil();
+  EXPECT_EQ(order, (std::vector<int>{10, 20, 30, 40, 50}));
+}
+
+TEST(EventQueuePool, BroadcastCookieRoundTrips) {
+  EventQueue q;
+  std::vector<std::uint64_t> cookies;
+  q.scheduleBroadcast({{1.0, 0, 0xdead, 0}, {2.0, 1, 0xbeef, 0}},
+                      [&](const BroadcastTarget& t) {
+                        cookies.push_back(t.cookie);
+                      });
+  q.runUntil();
+  EXPECT_EQ(cookies, (std::vector<std::uint64_t>{0xdead, 0xbeef}));
+}
+
+TEST(EventQueuePool, DrainWhilePushGrowsPoolUnderRunningHandlers) {
+  // Handlers schedule further events while firing — the pool grows and
+  // recycles mid-drain. Under ASan this checks node-address stability
+  // across reentrant growth.
+  EventQueue q;
+  int fired = 0;
+  constexpr int kGenerations = 6;
+  std::function<void(int)> cascade = [&](int depth) {
+    ++fired;
+    if (depth >= kGenerations) return;
+    for (int i = 0; i < 4; ++i)
+      q.scheduleAfter(0.5, [&cascade, depth] { cascade(depth + 1); });
+  };
+  for (int i = 0; i < 100; ++i)
+    q.scheduleAt(0.0, [&cascade] { cascade(1); });
+  q.runUntil();
+  EXPECT_TRUE(q.empty());
+  // 100 roots, each a 4-ary cascade of depth 6.
+  int expected = 0;
+  for (int d = 0, layer = 100; d < kGenerations; ++d, layer *= 4)
+    expected += layer;
+  EXPECT_EQ(fired, expected);
+  EXPECT_GT(q.poolStats().pool_chunks, 1u);
+}
+
+TEST(EventQueuePool, BroadcastCallbackMaySchedule) {
+  // The fire callback runs while its own node is still live (more targets
+  // pending) — scheduling from inside it must not disturb the fan-out.
+  EventQueue q;
+  std::vector<int> order;
+  q.scheduleBroadcast({{1.0, 1, 0, 0}, {2.0, 2, 0, 0}, {3.0, 3, 0, 0}},
+                      [&](const BroadcastTarget& t) {
+                        order.push_back(t.dst);
+                        q.scheduleAfter(0.25, [&order, d = t.dst] {
+                          order.push_back(100 + d);
+                        });
+                      });
+  q.runUntil();
+  EXPECT_EQ(order, (std::vector<int>{1, 101, 2, 102, 3, 103}));
+}
+
+TEST(EventQueuePool, BroadcastsAreNotCancellable) {
+  EventQueue q;
+  q.scheduleBroadcast({{1.0, 0, 0, 0}}, [](const BroadcastTarget&) {});
+  // Broadcasts return no id; forging one against the live slot must fail.
+  // Slot 0 gen 1 is the broadcast node.
+  const EventId forged = (static_cast<EventId>(1) << 32) | 0;
+  EXPECT_FALSE(q.cancel(forged));
+  EXPECT_EQ(q.runUntil(), 1u);
+}
+
+TEST(EventQueuePool, GenerationTagRejectsStaleIds) {
+  EventQueue q;
+  const EventId first = q.scheduleAt(1.0, [] {});
+  q.runNext();
+  // The slot is recycled under a fresh generation; the stale id must not
+  // cancel the new occupant.
+  const EventId second = q.scheduleAt(2.0, [] {});
+  EXPECT_FALSE(q.cancel(first));
+  EXPECT_EQ(q.pendingCount(), 1u);
+  EXPECT_TRUE(q.cancel(second));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueuePool, EmptyBroadcastIsANoOp) {
+  EventQueue q;
+  q.scheduleBroadcast({}, [](const BroadcastTarget&) { FAIL(); });
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.poolStats().broadcasts, 0u);
+  EXPECT_EQ(q.poolStats().node_allocations, 0u);
+}
+
+TEST(EventQueuePool, PendingCountTracksBroadcastFanout) {
+  EventQueue q;
+  q.scheduleBroadcast({{1.0, 0, 0, 0}, {2.0, 1, 0, 0}, {3.0, 2, 0, 0}},
+                      [](const BroadcastTarget&) {});
+  EXPECT_EQ(q.pendingCount(), 3u);
+  q.runNext();
+  EXPECT_EQ(q.pendingCount(), 2u);
+  q.runUntil();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.firedCount(), 3u);
+}
+
+}  // namespace
+}  // namespace loadex::sim

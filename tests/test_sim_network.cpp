@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/expect.h"
@@ -148,6 +150,161 @@ TEST(Network, RejectsBadEndpoints) {
   EXPECT_THROW(f.net.send(f.mk(0, 0, 1)), ContractViolation);
   EXPECT_THROW(f.net.send(f.mk(-1, 1, 1)), ContractViolation);
   EXPECT_THROW(f.net.send(f.mk(0, 9, 1)), ContractViolation);
+}
+
+// ---- logical broadcast ----------------------------------------------------
+
+// Run the same broadcast under both kernels and return the fixtures for
+// side-by-side inspection.
+struct BroadcastPair {
+  NetFixture lazy;
+  NetFixture legacy;
+
+  BroadcastPair(NetworkConfig cfg, int nprocs,
+                const std::function<void(NetFixture&)>& scenario)
+      : lazy(cfg, nprocs), legacy([&] {
+          cfg.legacy_kernel = true;
+          return cfg;
+        }(), nprocs) {
+    scenario(lazy);
+    scenario(legacy);
+  }
+
+  void expectIdentical() {
+    ASSERT_EQ(lazy.deliveries.size(), legacy.deliveries.size());
+    for (std::size_t i = 0; i < lazy.deliveries.size(); ++i) {
+      EXPECT_DOUBLE_EQ(lazy.deliveries[i].time, legacy.deliveries[i].time);
+      EXPECT_EQ(lazy.deliveries[i].msg.dst, legacy.deliveries[i].msg.dst);
+    }
+    EXPECT_EQ(lazy.queue.scheduleDigest(), legacy.queue.scheduleDigest());
+    EXPECT_EQ(lazy.net.messageCounts().all(), legacy.net.messageCounts().all());
+    EXPECT_EQ(lazy.net.bytesSent(), legacy.net.bytesSent());
+  }
+};
+
+TEST(Network, BroadcastDeliversToEveryDestinationInOrder) {
+  NetworkConfig cfg;
+  cfg.latency_s = 1e-3;
+  cfg.bandwidth_bytes_per_s = 1e9;
+  BroadcastPair p(cfg, 8, [](NetFixture& f) {
+    f.net.broadcast(f.mk(2, kNoRank, 100, Channel::kState),
+                    {0, 1, 3, 4, 5, 6, 7});
+    f.queue.runUntil();
+  });
+  ASSERT_EQ(p.lazy.deliveries.size(), 7u);
+  for (std::size_t i = 0; i < 7; ++i) {
+    const Rank expected = static_cast<Rank>(i < 2 ? i : i + 1);
+    EXPECT_EQ(p.lazy.deliveries[i].msg.dst, expected);
+    EXPECT_EQ(p.lazy.deliveries[i].msg.src, 2);
+  }
+  p.expectIdentical();
+  // One logical event for the whole fan-out on the lazy path.
+  EXPECT_EQ(p.lazy.net.broadcastStats().logical_broadcasts, 1);
+  EXPECT_EQ(p.lazy.net.broadcastStats().fanout_deliveries, 7);
+  EXPECT_EQ(p.legacy.net.broadcastStats().logical_broadcasts, 0);
+}
+
+TEST(Network, BroadcastAcrossBlackoutWindowSkipsDarkLink) {
+  // A blackout on one directed link while the broadcast departs: that
+  // destination's delivery is eaten (counted as a drop), all others land.
+  NetworkConfig cfg;
+  cfg.latency_s = 1e-3;
+  cfg.faults.blackouts.push_back({/*src=*/0, /*dst=*/2, 0.0, 1.0});
+  BroadcastPair p(cfg, 4, [](NetFixture& f) {
+    f.net.broadcast(f.mk(0, kNoRank, 64, Channel::kState), {1, 2, 3});
+    f.queue.runUntil();
+  });
+  ASSERT_EQ(p.lazy.deliveries.size(), 2u);
+  EXPECT_EQ(p.lazy.deliveries[0].msg.dst, 1);
+  EXPECT_EQ(p.lazy.deliveries[1].msg.dst, 3);
+  EXPECT_EQ(p.lazy.net.messagesDropped(), 1);
+  p.expectIdentical();
+  // The dark destination never becomes a pending delivery.
+  EXPECT_EQ(p.lazy.net.broadcastStats().fanout_deliveries, 2);
+}
+
+TEST(Network, BroadcastAfterBlackoutWindowReachesEveryone) {
+  NetworkConfig cfg;
+  cfg.latency_s = 1e-3;
+  cfg.faults.blackouts.push_back({0, 2, 0.0, 1.0});
+  BroadcastPair p(cfg, 4, [](NetFixture& f) {
+    f.queue.scheduleAt(2.0, [&f] {  // window closed
+      f.net.broadcast(f.mk(0, kNoRank, 64, Channel::kState), {1, 2, 3});
+    });
+    f.queue.runUntil();
+  });
+  EXPECT_EQ(p.lazy.deliveries.size(), 3u);
+  EXPECT_EQ(p.lazy.net.messagesDropped(), 0);
+  p.expectIdentical();
+}
+
+TEST(Network, BroadcastPerDestinationDropAndDuplicate) {
+  // Random per-link faults hit individual destinations of one broadcast;
+  // both kernels must take identical RNG draws and produce the identical
+  // delivery schedule, drop/duplicate counts included.
+  NetworkConfig cfg;
+  cfg.latency_s = 1e-3;
+  cfg.faults.drop_prob = 0.3;
+  cfg.faults.duplicate_prob = 0.3;
+  cfg.faults.seed = 99;
+  constexpr int kProcs = 16;
+  std::vector<Rank> dsts;
+  for (Rank r = 1; r < kProcs; ++r) dsts.push_back(r);
+  BroadcastPair p(cfg, kProcs, [&dsts](NetFixture& f) {
+    for (int round = 0; round < 8; ++round)
+      f.net.broadcast(f.mk(0, kNoRank, 64, Channel::kState), dsts);
+    f.queue.runUntil();
+  });
+  p.expectIdentical();
+  // With 120 link transmissions at p=0.3 each, both fault kinds occurred.
+  EXPECT_GT(p.lazy.net.messagesDropped(), 0);
+  EXPECT_GT(p.lazy.net.messagesDuplicated(), 0);
+  // Deliveries = transmissions - drops + duplicate copies.
+  const auto expected = static_cast<std::int64_t>(8 * dsts.size()) -
+                        p.lazy.net.messagesDropped() +
+                        p.lazy.net.messagesDuplicated();
+  EXPECT_EQ(static_cast<std::int64_t>(p.lazy.deliveries.size()), expected);
+}
+
+TEST(Network, BroadcastWithJitterKeepsKernelsIdentical) {
+  NetworkConfig cfg;
+  cfg.latency_s = 1e-3;
+  cfg.jitter_s = 5e-4;  // non-monotone per-destination arrival times
+  cfg.seed = 7;
+  BroadcastPair p(cfg, 12, [](NetFixture& f) {
+    std::vector<Rank> dsts;
+    for (Rank r = 1; r < 12; ++r) dsts.push_back(r);
+    f.net.broadcast(f.mk(0, kNoRank, 256, Channel::kState), dsts);
+    f.queue.runUntil();
+  });
+  EXPECT_EQ(p.lazy.deliveries.size(), 11u);
+  p.expectIdentical();
+}
+
+TEST(Network, BroadcastSkippedRankIsNeverExpanded) {
+  // The dst list is built by the caller (e.g. broadcastState skipping
+  // No_more_master ranks): a rank absent from the list must see nothing
+  // and cost nothing — no counter bump, no wire bytes, no delivery.
+  NetworkConfig cfg;
+  NetFixture f(cfg, 4);
+  f.net.broadcast(f.mk(0, kNoRank, 64, Channel::kState), {1, 3});  // skip 2
+  f.queue.runUntil();
+  ASSERT_EQ(f.deliveries.size(), 2u);
+  EXPECT_EQ(f.deliveries[0].msg.dst, 1);
+  EXPECT_EQ(f.deliveries[1].msg.dst, 3);
+  EXPECT_EQ(f.net.messageCounts().get("state"), 2);
+  EXPECT_EQ(f.net.bytesSent(),
+            2 * (64 + f.cfg.per_message_overhead_bytes));
+}
+
+TEST(Network, EmptyBroadcastIsFree) {
+  NetworkConfig cfg;
+  NetFixture f(cfg, 4);
+  f.net.broadcast(f.mk(0, kNoRank, 64, Channel::kState), {});
+  f.queue.runUntil();
+  EXPECT_TRUE(f.deliveries.empty());
+  EXPECT_EQ(f.net.broadcastStats().logical_broadcasts, 0);
+  EXPECT_EQ(f.net.bytesSent(), 0);
 }
 
 }  // namespace

@@ -329,9 +329,13 @@ def cmd_summary(args: argparse.Namespace) -> int:
 
 
 def record_key(rec: dict) -> tuple:
+    # Extras prefixed "host_" are volatile host-side measurements (wall
+    # time, RSS, throughput): they vary run to run and must not break the
+    # pairing of otherwise-identical records in a baseline diff.
     return (rec["problem"], rec["mechanism"], rec["strategy"],
             rec["nprocs"],
-            tuple(sorted(rec.get("extra", {}).items())))
+            tuple(sorted((k, v) for k, v in rec.get("extra", {}).items()
+                         if not k.startswith("host_"))))
 
 
 def pct(old: float, new: float) -> str:
@@ -355,6 +359,10 @@ def cmd_diff(args: argparse.Namespace) -> int:
         if ra is None or rb is None:
             rows.append([label, "only in " + (args.b if ra is None
                                               else args.a), "", "", ""])
+            # An unpaired record means the run's identity changed (new or
+            # vanished configuration, or a deterministic extra drifted);
+            # for gating purposes that is as bad as a digest change.
+            digest_changes += 1
             continue
         digest_same = ra["schedule_digest"] == rb["schedule_digest"]
         if not digest_same:
