@@ -1,0 +1,95 @@
+// Shared main() for the google-benchmark micro benches, adding the repo's
+// `--json <path>` convention on top of the usual benchmark flags: every
+// run is captured and written as a schema-versioned loadex.bench-result
+// record, so trace_stats.py can validate and diff micro numbers exactly
+// like the table/scale drivers. Console output is unchanged (the capture
+// reporter extends ConsoleReporter).
+//
+// Record mapping: problem = benchmark name, strategy = "micro",
+// completed = !error. All timing fields are host measurements, so they
+// go under "host_"-prefixed extras, which the diff tool keeps out of the
+// record identity (micro timings are never stable across machines).
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+/// ConsoleReporter that also captures each per-iteration run (aggregates
+/// such as mean/stddev rows are skipped: they repeat the iteration data).
+class CaptureReporter final : public benchmark::ConsoleReporter {
+ public:
+  explicit CaptureReporter(loadex::bench::JsonResults& json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      loadex::obs::BenchResultRecord rec;
+      rec.problem = run.benchmark_name();
+      rec.strategy = "micro";
+      rec.nprocs = 1;
+      rec.completed = !run.error_occurred;
+      std::map<std::string, double> extra;
+      // The micro benches use the default time unit (nanoseconds) and
+      // never set ->Unit(), so the adjusted times are ns per iteration.
+      extra["host_real_ns_per_iter"] = run.GetAdjustedRealTime();
+      extra["host_cpu_ns_per_iter"] = run.GetAdjustedCPUTime();
+      extra["host_iterations"] = static_cast<double>(run.iterations);
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end())
+        extra["host_items_per_second"] = items->second.value;
+      json_.add(std::move(rec), std::move(extra));
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  loadex::bench::JsonResults& json_;
+};
+
+/// Peel `--json <path>` / `--json=<path>` off argv before the benchmark
+/// library sees it (it rejects flags it does not know).
+std::string extractJsonPath(int& argc, char** argv) {
+  std::string path;
+  int w = 1;
+  for (int r = 1; r < argc; ++r) {
+    if (std::strcmp(argv[r], "--json") == 0 && r + 1 < argc) {
+      path = argv[++r];
+    } else if (std::strncmp(argv[r], "--json=", 7) == 0) {
+      path = argv[r] + 7;
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  argc = w;
+  return path;
+}
+
+std::string benchName(const char* argv0) {
+  std::string name(argv0);
+  const std::size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  return name;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  loadex::bench::BenchEnv env;
+  env.json_path = extractJsonPath(argc, argv);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  loadex::bench::JsonResults json(benchName(argv[0]), env);
+  CaptureReporter reporter(json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  return json.write() ? 0 : 1;
+}

@@ -33,6 +33,17 @@ MechanismSet::MechanismSet(sim::World& world, MechanismKind kind,
   }
 }
 
+MechanismSet::MechanismSet(const std::vector<Transport*>& transports,
+                           MechanismKind kind, const MechanismConfig& config)
+    : kind_(kind) {
+  LOADEX_EXPECT(!transports.empty(), "MechanismSet needs at least one rank");
+  mechanisms_.reserve(transports.size());
+  for (Transport* t : transports) {
+    LOADEX_EXPECT(t != nullptr, "null transport");
+    mechanisms_.push_back(makeMechanism(kind, *t, config));
+  }
+}
+
 Mechanism& MechanismSet::at(Rank rank) {
   LOADEX_EXPECT(rank >= 0 && rank < size(), "rank out of range");
   return *mechanisms_[static_cast<std::size_t>(rank)];

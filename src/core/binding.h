@@ -60,6 +60,14 @@ class MechanismSet {
   MechanismSet(sim::World& world, MechanismKind kind,
                const MechanismConfig& config);
 
+  /// Over externally-owned transports, one per rank in rank order. This is
+  /// the seam the real-threads runtime uses: rt::RtWorld owns one
+  /// RtTransport per node thread and binds the same mechanism code to them;
+  /// the ProtocolAuditor and the obs layer attach exactly as they do over a
+  /// sim::World. The transports must outlive the set.
+  MechanismSet(const std::vector<Transport*>& transports, MechanismKind kind,
+               const MechanismConfig& config);
+
   Mechanism& at(Rank rank);
   const Mechanism& at(Rank rank) const;
   int size() const { return static_cast<int>(mechanisms_.size()); }

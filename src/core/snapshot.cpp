@@ -210,16 +210,16 @@ void SnapshotMechanism::handleState(Rank src, StateTag tag,
                                     const sim::Payload& p) {
   switch (tag) {
     case StateTag::kStartSnp:
-      onStartSnp(src, dynamic_cast<const StartSnpPayload&>(p));
+      onStartSnp(src, payloadCast<StartSnpPayload>(p));
       return;
     case StateTag::kSnp:
-      onSnp(src, dynamic_cast<const SnpPayload&>(p));
+      onSnp(src, payloadCast<SnpPayload>(p));
       return;
     case StateTag::kEndSnp:
       onEndSnp(src);
       return;
     case StateTag::kMasterToSlave: {
-      const auto& mts = dynamic_cast<const MasterToSlavePayload&>(p);
+      const auto& mts = payloadCast<MasterToSlavePayload>(p);
       my_load_ += mts.share;
       view_.set(self(), my_load_);
       return;

@@ -1,0 +1,120 @@
+// Seeded workload scripts shared by the simulator and the rt runtime.
+//
+// A Script is a runtime-agnostic plan: timed local-load changes, timed
+// master selections (each delegating `share` workload to the least-loaded
+// slave in the master's view), and optionally one No_more_master
+// announcement. The sim differential suites replay it on simulated time,
+// rt::WorkloadDriver replays it on real threads — and because the plan
+// (not the execution) fixes the injected load and the number of
+// selections, both runtimes must agree on the conservation-style
+// quantities in ScriptExpectations no matter how their timings differ.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "core/load.h"
+#include "core/mechanism.h"
+
+namespace loadex::harness {
+
+struct ScriptLoadOp {
+  SimTime time = 0.0;
+  Rank rank = 0;
+  core::LoadMetrics delta;
+};
+
+struct ScriptSelectOp {
+  SimTime time = 0.0;
+  Rank master = 0;
+  double share = 0.0;  ///< workload delegated to the chosen slave
+};
+
+struct Script {
+  std::uint64_t seed = 0;
+  int nprocs = 4;
+  core::MechanismKind kind = core::MechanismKind::kNaive;
+  bool hardened = false;  ///< increment only: reliable_updates
+  double threshold = 5.0;
+  std::vector<ScriptLoadOp> loads;
+  std::vector<ScriptSelectOp> selections;
+  Rank no_more_master = kNoRank;
+  SimTime no_more_master_at = 0.0;
+};
+
+/// What any faithful replay must observe at quiescence, independent of
+/// message timing: every selection commits exactly once, and the total
+/// load in the system is the scripted injections plus the delegated
+/// shares (a share moves *new* work onto one slave; which slave is
+/// timing-dependent, the amount is not).
+struct ScriptExpectations {
+  std::int64_t selections = 0;
+  core::LoadMetrics total_load;
+};
+
+inline ScriptExpectations expectationsOf(const Script& s) {
+  ScriptExpectations e;
+  e.selections = static_cast<std::int64_t>(s.selections.size());
+  for (const auto& op : s.loads) e.total_load += op.delta;
+  for (const auto& op : s.selections) e.total_load += {op.share, 0.0};
+  return e;
+}
+
+/// The scripted scheduling policy, shared verbatim by every replay:
+/// delegate to the rank (other than the master) with the least viewed
+/// workload, lowest rank winning ties.
+inline Rank leastLoadedSlave(const core::LoadView& v, Rank self) {
+  Rank best = kNoRank;
+  for (Rank r = 0; r < v.nprocs(); ++r) {
+    if (r == self) continue;
+    if (best == kNoRank || v.load(r).workload < v.load(best).workload)
+      best = r;
+  }
+  return best;
+}
+
+/// Draw a script from a seed: world size, mechanism, threshold, a few
+/// dozen load changes, a handful of selections, sometimes No_more_master.
+inline Script drawScript(std::uint64_t seed, int min_procs = 4,
+                         int max_procs = 16) {
+  Rng rng(seed);
+  Script s;
+  s.seed = seed;
+  s.nprocs = min_procs + static_cast<int>(rng.uniformInt(
+                             static_cast<std::uint64_t>(
+                                 max_procs - min_procs + 1)));
+  switch (rng.uniformInt(3)) {
+    case 0: s.kind = core::MechanismKind::kNaive; break;
+    case 1: s.kind = core::MechanismKind::kIncrement; break;
+    default: s.kind = core::MechanismKind::kSnapshot; break;
+  }
+  if (s.kind == core::MechanismKind::kIncrement)
+    s.hardened = rng.uniformInt(2) == 0;
+  s.threshold = rng.uniformReal(0.5, 15.0);
+
+  const auto randRank = [&] {
+    return static_cast<Rank>(
+        rng.uniformInt(static_cast<std::uint64_t>(s.nprocs)));
+  };
+
+  const int nloads = s.nprocs * 4 + static_cast<int>(rng.uniformInt(20));
+  for (int i = 0; i < nloads; ++i)
+    s.loads.push_back({rng.uniformReal(0.01, 1.0), randRank(),
+                       {rng.uniformReal(-4.0, 24.0),
+                        rng.uniformReal(0.0, 8.0)}});
+
+  const int nsel = 1 + static_cast<int>(rng.uniformInt(4));
+  for (int i = 0; i < nsel; ++i)
+    s.selections.push_back({0.3 + 0.25 * i + rng.uniformReal(0.0, 0.1),
+                            randRank(), rng.uniformReal(5.0, 40.0)});
+
+  if (rng.uniformInt(4) == 0) {
+    s.no_more_master = randRank();
+    s.no_more_master_at = rng.uniformReal(0.6, 0.9);
+  }
+  return s;
+}
+
+}  // namespace loadex::harness

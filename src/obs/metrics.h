@@ -16,6 +16,7 @@
 #include <functional>
 #include <iosfwd>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,16 @@ class Histogram {
 
 class MetricsRegistry {
  public:
+  /// Serialises instrument lookup + mutation when rt rank threads record
+  /// concurrently: the LOADEX_METRIC macro holds this lock across its
+  /// whole statement, so `counter("x").add(1)` stays atomic. The
+  /// simulator pays one uncontended lock per macro hit. Direct read-side
+  /// calls (find*, writeJson callers, tests) run after recording threads
+  /// quiesce and need no lock.
+  std::unique_lock<std::mutex> scopedLock() const {  // loadex-lint: allow(banned-threading) obs is shared with the rt runtime
+    return std::unique_lock<std::mutex>(mu_);  // loadex-lint: allow(banned-threading) obs is shared with the rt runtime
+  }
+
   // ---- named instruments (created on first use) ------------------------
   Counter& counter(const std::string& name);
   Accumulator& accumulator(const std::string& name);
@@ -76,6 +87,9 @@ class MetricsRegistry {
   double samplePeriod() const { return period_s_; }
   /// Called by the event kernel with the current simulated time; samples
   /// every registered gauge if the period elapsed. Cheap no-op otherwise.
+  /// Gauge sampling is simulator-only (the rt runtime has no event kernel
+  /// to drive it) and reaches here through LOADEX_METRIC, which already
+  /// holds scopedLock() — so neither method takes the lock itself.
   void maybeSample(double now) {
     if (period_s_ <= 0.0 || now < next_sample_) return;
     sampleNow(now);
@@ -99,6 +113,7 @@ class MetricsRegistry {
     Accumulator samples;
   };
 
+  mutable std::mutex mu_;  // loadex-lint: allow(banned-threading) obs is shared with the rt runtime
   std::map<std::string, Counter> counters_;
   std::map<std::string, Accumulator> accums_;
   std::map<std::string, Histogram> hists_;
@@ -111,10 +126,13 @@ class MetricsRegistry {
 }  // namespace loadex::obs
 
 /// Run `stmt` against the installed registry (named `lx_mx_`), only when
-/// metrics are enabled; the statement is not evaluated otherwise.
+/// metrics are enabled; the statement is not evaluated otherwise. The
+/// whole statement runs under the registry lock so rt rank threads can
+/// record concurrently (lookup + mutation stay one atomic step).
 #define LOADEX_METRIC(stmt)                                   \
   do {                                                        \
     if (auto* lx_mx_ = ::loadex::obs::metricsRegistry()) {    \
+      const auto lx_lk_ = lx_mx_->scopedLock();               \
       lx_mx_->stmt;                                           \
     }                                                         \
   } while (0)

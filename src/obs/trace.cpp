@@ -4,6 +4,8 @@
 #include <fstream>
 #include <ostream>
 
+#include <mutex>  // loadex-lint: allow(banned-threading) rt threads record concurrently
+
 #include "common/expect.h"
 #include "common/log.h"
 #include "obs/json.h"
@@ -34,6 +36,7 @@ TraceRecorder::TraceRecorder(TraceConfig config) : config_(std::move(config)) {
 }
 
 void TraceRecorder::setTrackName(int track, std::string name) {
+  const std::lock_guard<std::mutex> lk(mu_);  // loadex-lint: allow(banned-threading) rt threads record concurrently
   track_names_[track] = std::move(name);
 }
 
@@ -48,6 +51,7 @@ void TraceRecorder::nameRankTracks(int nprocs) {
 }
 
 std::string TraceRecorder::messageName(int channel, int tag) const {
+  const std::lock_guard<std::mutex> lk(mu_);  // loadex-lint: allow(banned-threading) rt threads record concurrently
   if (message_namer_) return message_namer_(channel, tag);
   return (channel == 0 ? "state/" : "app/") + std::to_string(tag);
 }
@@ -73,37 +77,45 @@ void TraceRecorder::push(const Event& ev) {
 }
 
 void TraceRecorder::beginSpan(double t, int track, std::string_view name) {
+  const std::lock_guard<std::mutex> lk(mu_);  // loadex-lint: allow(banned-threading) rt threads record concurrently
   push({t, 0.0, 0.0, 0, track, intern(name), Phase::kBegin});
 }
 
 void TraceRecorder::endSpan(double t, int track) {
+  const std::lock_guard<std::mutex> lk(mu_);  // loadex-lint: allow(banned-threading) rt threads record concurrently
   push({t, 0.0, 0.0, 0, track, -1, Phase::kEnd});
 }
 
 void TraceRecorder::completeSpan(double t0, double t1, int track,
                                  std::string_view name) {
+  const std::lock_guard<std::mutex> lk(mu_);  // loadex-lint: allow(banned-threading) rt threads record concurrently
   push({t0, t1 - t0, 0.0, 0, track, intern(name), Phase::kComplete});
 }
 
 void TraceRecorder::instant(double t, int track, std::string_view name) {
+  const std::lock_guard<std::mutex> lk(mu_);  // loadex-lint: allow(banned-threading) rt threads record concurrently
   push({t, 0.0, 0.0, 0, track, intern(name), Phase::kInstant});
 }
 
 void TraceRecorder::counter(double t, std::string_view name, double value) {
+  const std::lock_guard<std::mutex> lk(mu_);  // loadex-lint: allow(banned-threading) rt threads record concurrently
   push({t, 0.0, value, 0, kGlobalTrack, intern(name), Phase::kCounter});
 }
 
 void TraceRecorder::flowBegin(double t, int track, std::string_view name,
                               std::uint64_t flow) {
+  const std::lock_guard<std::mutex> lk(mu_);  // loadex-lint: allow(banned-threading) rt threads record concurrently
   push({t, 0.0, 0.0, flow, track, intern(name), Phase::kFlowBegin});
 }
 
 void TraceRecorder::flowEnd(double t, int track, std::string_view name,
                             std::uint64_t flow) {
+  const std::lock_guard<std::mutex> lk(mu_);  // loadex-lint: allow(banned-threading) rt threads record concurrently
   push({t, 0.0, 0.0, flow, track, intern(name), Phase::kFlowEnd});
 }
 
 void TraceRecorder::writeChromeTrace(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lk(mu_);  // loadex-lint: allow(banned-threading) rt threads record concurrently
   os << "{\n";
   os << "\"displayTimeUnit\": \"ms\",\n";
   os << "\"otherData\": {\"generator\": \"loadex_obs\", \"recorded\": "

@@ -12,6 +12,11 @@
 //    run cannot exhaust memory;
 //  * deterministic export — interned names, insertion-ordered ring,
 //    fixed-precision timestamps: the same run produces the same bytes.
+//  * recording is thread-safe — the rt runtime (src/rt) stamps events
+//    from every rank thread with real timestamps, so each recording call
+//    is one short critical section (a single mutex; the simulator pays
+//    one uncontended lock per event). The introspection accessors and the
+//    exporters assume the recording threads have quiesced.
 //
 // Track model: one Perfetto "thread" per (rank, lane). Lane kMain carries
 // compute/pause/message-handling slices, kProto the mechanism protocol
@@ -20,10 +25,12 @@
 // send→deliver flow arrows.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -80,8 +87,10 @@ class TraceRecorder {
                  std::uint64_t flow);
   void flowEnd(double t, int track, std::string_view name,
                std::uint64_t flow);
-  /// Fresh id for a send→deliver flow arrow.
-  std::uint64_t nextFlowId() { return ++last_flow_; }
+  /// Fresh id for a send→deliver flow arrow (any thread).
+  std::uint64_t nextFlowId() {
+    return last_flow_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
 
   // ---- introspection ---------------------------------------------------
   std::size_t size() const { return events_.size(); }
@@ -121,11 +130,14 @@ class TraceRecorder {
   void push(const Event& ev);
 
   TraceConfig config_;
+  /// Serialises concurrent recording from rt rank threads (see file
+  /// comment); every public recording method is one critical section.
+  mutable std::mutex mu_;  // loadex-lint: allow(banned-threading) obs is shared with the rt runtime
   std::vector<Event> events_;  ///< grows to capacity, then wraps
   std::size_t head_ = 0;       ///< next write slot once the ring is full
   std::uint64_t recorded_ = 0;
   std::uint64_t dropped_ = 0;
-  std::uint64_t last_flow_ = 0;
+  std::atomic<std::uint64_t> last_flow_{0};
   std::vector<std::string> names_;
   std::map<std::string, int> name_ids_;
   std::map<int, std::string> track_names_;

@@ -1,0 +1,26 @@
+#include "rt/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace loadex::rt {
+
+std::uint64_t MonotonicClock::nowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+MonotonicClock::MonotonicClock() : origin_ns_(nowNs()) {}
+
+SimTime MonotonicClock::now() const {
+  return static_cast<double>(nowNs() - origin_ns_) * 1e-9;
+}
+
+void MonotonicClock::sleepFor(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace loadex::rt

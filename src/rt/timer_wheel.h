@@ -1,0 +1,100 @@
+// Per-thread hashed timer wheel for RtTransport::schedule.
+//
+// Thread-confined by design: a node's wheel is only ever touched from that
+// node's own thread (mechanisms arm timers from inside message handlers,
+// which the node loop runs), so the wheel needs no locks — cross-thread
+// timer arming would be a bug, not a feature. The node loop interleaves
+// fireDue() with mailbox pops and uses nextDeadline() to bound its mailbox
+// wait so a due timer is never slept through.
+//
+// Deadlines hash into a fixed ring of slots (deadline / slot_width mod
+// nslots); a slot holds every timer of every future "lap", so fireDue
+// filters by deadline and keeps not-yet-due entries in place. Due timers
+// fire in (deadline, arm-order) order, which keeps re-arm chains (NACK
+// retries, heartbeat tails, snapshot timeouts) deterministic relative to
+// each other on one node.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/expect.h"
+#include "common/types.h"
+
+namespace loadex::rt {
+
+class TimerWheel {
+ public:
+  explicit TimerWheel(double slot_width_s = 1e-4, std::size_t nslots = 256)
+      : slot_width_s_(slot_width_s), slots_(nslots) {
+    LOADEX_EXPECT(slot_width_s > 0.0 && nslots > 0, "bad timer wheel shape");
+  }
+
+  /// Arm a one-shot timer at absolute time `now + delay`.
+  void schedule(SimTime now, SimTime delay, std::function<void()> fn) {
+    const SimTime deadline = now + std::max(delay, 0.0);
+    slots_[slotOf(deadline)].push_back(
+        Timer{deadline, next_seq_++, std::move(fn)});
+    ++pending_;
+  }
+
+  /// Fire every timer with deadline <= now, in (deadline, arm-order)
+  /// order. Callbacks may re-arm (they run after the wheel state is
+  /// consistent again). Returns the number fired.
+  int fireDue(SimTime now) {
+    if (pending_ == 0) return 0;
+    std::vector<Timer> due;
+    for (auto& slot : slots_) {
+      auto split = std::partition(
+          slot.begin(), slot.end(),
+          [now](const Timer& t) { return t.deadline > now; });
+      std::move(split, slot.end(), std::back_inserter(due));
+      slot.erase(split, slot.end());
+    }
+    if (due.empty()) return 0;
+    pending_ -= due.size();
+    std::sort(due.begin(), due.end(), [](const Timer& a, const Timer& b) {
+      return a.deadline != b.deadline ? a.deadline < b.deadline
+                                      : a.seq < b.seq;
+    });
+    for (auto& t : due) t.fn();
+    return static_cast<int>(due.size());
+  }
+
+  /// Earliest pending deadline, +inf when no timer is armed.
+  SimTime nextDeadline() const {
+    if (pending_ == 0) return std::numeric_limits<double>::infinity();
+    SimTime best = std::numeric_limits<double>::infinity();
+    for (const auto& slot : slots_)
+      for (const auto& t : slot) best = std::min(best, t.deadline);
+    return best;
+  }
+
+  std::size_t pending() const { return pending_; }
+  std::uint64_t firedTotal() const { return next_seq_ - pending_; }
+
+ private:
+  struct Timer {
+    SimTime deadline = 0.0;
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+  };
+
+  std::size_t slotOf(SimTime deadline) const {
+    const auto ticks = static_cast<std::uint64_t>(
+        std::max(deadline, 0.0) / slot_width_s_);
+    return static_cast<std::size_t>(ticks % slots_.size());
+  }
+
+  double slot_width_s_;
+  std::vector<std::vector<Timer>> slots_;
+  std::size_t pending_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace loadex::rt

@@ -1,0 +1,123 @@
+#include "rt/workload.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/expect.h"
+#include "rt/clock.h"
+
+namespace loadex::rt {
+
+namespace {
+
+/// Uniform view of the script's timed operations for the merge-replay.
+struct TimedOp {
+  SimTime time = 0.0;
+  int order = 0;  ///< stable tie-break: script declaration order
+  enum class What : std::uint8_t { kLoad, kSelect, kNoMoreMaster } what =
+      What::kLoad;
+  std::size_t index = 0;
+};
+
+}  // namespace
+
+void WorkloadDriver::postLoad(const harness::ScriptLoadOp& op) {
+  world_.post(op.rank, [this, op] {
+    mechs_.at(op.rank).addLocalLoad(op.delta);
+  });
+}
+
+void WorkloadDriver::postSelection(const harness::ScriptSelectOp& op) {
+  world_.postWhenFree(op.master, [this, op] {
+    auto& m = mechs_.at(op.master);
+    const SimTime t0 = world_.now();
+    m.requestView([this, op, &m, t0](const core::LoadView& v) {
+      const Rank slave = harness::leastLoadedSlave(v, op.master);
+      const double latency = world_.now() - t0;
+      if (slave == kNoRank) {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++skipped_;
+        latencies_.push_back(latency);
+        return;
+      }
+      m.commitSelection({{slave, {op.share, 0.0}}});
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++committed_;
+        latencies_.push_back(latency);
+      }
+      // The delegated work travels to the slave as a task envelope; its
+      // load lands with is_slave_delegated so the slave does not
+      // self-report what the master's reservation already announced.
+      world_.postTask(op.master, slave, [this, slave, share = op.share] {
+        mechs_.at(slave).addLocalLoad({share, 0.0},
+                                      /*is_slave_delegated=*/true);
+      });
+    });
+  });
+}
+
+WorkloadResult WorkloadDriver::run(const harness::Script& script,
+                                   double time_scale,
+                                   double drain_timeout_s) {
+  LOADEX_EXPECT(world_.running(), "WorkloadDriver needs a started world");
+  LOADEX_EXPECT(world_.nprocs() == script.nprocs &&
+                    mechs_.size() == script.nprocs,
+                "script/world size mismatch");
+
+  std::vector<TimedOp> ops;
+  ops.reserve(script.loads.size() + script.selections.size() + 1);
+  int order = 0;
+  for (std::size_t i = 0; i < script.loads.size(); ++i)
+    ops.push_back({script.loads[i].time, order++, TimedOp::What::kLoad, i});
+  for (std::size_t i = 0; i < script.selections.size(); ++i)
+    ops.push_back(
+        {script.selections[i].time, order++, TimedOp::What::kSelect, i});
+  if (script.no_more_master != kNoRank)
+    ops.push_back({script.no_more_master_at, order++,
+                   TimedOp::What::kNoMoreMaster, 0});
+  std::sort(ops.begin(), ops.end(), [](const TimedOp& a, const TimedOp& b) {
+    return a.time != b.time ? a.time < b.time : a.order < b.order;
+  });
+
+  const SimTime t_start = world_.now();
+  SimTime prev = ops.empty() ? 0.0 : ops.front().time;
+  for (const TimedOp& op : ops) {
+    if (time_scale > 0.0 && op.time > prev)
+      MonotonicClock::sleepFor((op.time - prev) * time_scale);
+    prev = op.time;
+    switch (op.what) {
+      case TimedOp::What::kLoad:
+        postLoad(script.loads[op.index]);
+        break;
+      case TimedOp::What::kSelect:
+        postSelection(script.selections[op.index]);
+        break;
+      case TimedOp::What::kNoMoreMaster:
+        world_.postWhenFree(script.no_more_master,
+                            [this, r = script.no_more_master] {
+                              mechs_.at(r).noMoreMaster();
+                            });
+        break;
+    }
+  }
+
+  WorkloadResult res;
+  res.drained = world_.drain(drain_timeout_s);
+  res.wall_s = world_.now() - t_start;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    res.selections_committed = committed_;
+    res.selections_skipped = skipped_;
+    res.selection_latency_s = latencies_;
+  }
+  if (res.drained) {
+    // Quiescent (pending == 0 read with acquire ordering): every node's
+    // final state is visible to this thread.
+    for (Rank r = 0; r < mechs_.size(); ++r)
+      res.total_load += mechs_.at(r).localLoad();
+  }
+  return res;
+}
+
+}  // namespace loadex::rt

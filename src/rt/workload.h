@@ -1,0 +1,56 @@
+// rt::WorkloadDriver — replays harness::Script plans on a running RtWorld.
+//
+// The driver thread walks the script in time order (optionally pacing the
+// gaps by `time_scale` real seconds per script second; 0 floods the world
+// as fast as backpressure allows) and posts every op onto the owning
+// rank's thread: load changes as plain closures, selections deferred
+// while a live snapshot blocks the master, delegated work as a task
+// envelope to the chosen slave. The scheduling policy is the shared
+// harness::leastLoadedSlave, so a sim replay of the same script commits
+// the same number of selections and injects the same total load — the
+// invariants tests/test_rt_differential.cpp checks.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/binding.h"
+#include "harness/script.h"
+#include "rt/world.h"
+
+namespace loadex::rt {
+
+struct WorkloadResult {
+  bool drained = false;               ///< reached quiescence in time
+  std::int64_t selections_committed = 0;
+  std::int64_t selections_skipped = 0;  ///< no eligible slave in the view
+  core::LoadMetrics total_load;       ///< Σ final localLoad() (if drained)
+  double wall_s = 0.0;                ///< replay + drain, world-clock
+  std::vector<double> selection_latency_s;  ///< requestView → view cb
+};
+
+class WorkloadDriver {
+ public:
+  WorkloadDriver(RtWorld& world, core::MechanismSet& mechs)
+      : world_(world), mechs_(mechs) {}
+
+  /// Replay the script and drain. Call between world.start() and
+  /// world.stop(), from a driver (non-node) thread.
+  WorkloadResult run(const harness::Script& script, double time_scale = 0.0,
+                     double drain_timeout_s = 30.0);
+
+ private:
+  void postLoad(const harness::ScriptLoadOp& op);
+  void postSelection(const harness::ScriptSelectOp& op);
+
+  RtWorld& world_;
+  core::MechanismSet& mechs_;
+
+  std::mutex mu_;  ///< guards the tallies below (node threads report in)
+  std::int64_t committed_ = 0;
+  std::int64_t skipped_ = 0;
+  std::vector<double> latencies_;
+};
+
+}  // namespace loadex::rt

@@ -1,0 +1,258 @@
+#include "rt/world.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/expect.h"
+
+namespace loadex::rt {
+
+// ---- RtTransport ----------------------------------------------------------
+
+int RtTransport::nprocs() const { return world_.nprocs(); }
+
+SimTime RtTransport::now() const { return world_.now(); }
+
+void RtTransport::sendState(Rank dst, core::StateTag tag, Bytes size,
+                            std::shared_ptr<const sim::Payload> payload) {
+  world_.postState(self_, dst, tag, size, std::move(payload));
+}
+
+void RtTransport::schedule(SimTime delay, std::function<void()> fn) {
+  world_.scheduleOnCallingNode(delay, std::move(fn));
+}
+
+// ---- RtWorld lifecycle ----------------------------------------------------
+
+RtWorld::RtWorld(RtConfig cfg) : cfg_(cfg) {
+  LOADEX_EXPECT(cfg_.nprocs >= 1, "RtWorld needs at least one rank");
+  nodes_.reserve(static_cast<std::size_t>(cfg_.nprocs));
+  for (Rank r = 0; r < cfg_.nprocs; ++r) {
+    nodes_.push_back(std::make_unique<Node>(cfg_, r));
+    nodes_.back()->transport = std::make_unique<RtTransport>(*this, r);
+  }
+}
+
+RtWorld::~RtWorld() { stop(); }
+
+std::vector<core::Transport*> RtWorld::transports() {
+  std::vector<core::Transport*> out;
+  out.reserve(nodes_.size());
+  for (auto& n : nodes_) out.push_back(n->transport.get());
+  return out;
+}
+
+void RtWorld::attach(Rank r, sim::StateHandler* handler) {
+  LOADEX_EXPECT(!started_, "attach() must precede start()");
+  node(r).handler = handler;
+}
+
+void RtWorld::start() {
+  LOADEX_EXPECT(!started_, "RtWorld can only start once");
+  started_ = true;
+  for (auto& n : nodes_)
+    n->thread = std::thread(&RtWorld::nodeLoop, this, std::ref(*n));
+}
+
+void RtWorld::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  for (auto& n : nodes_) {
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    Envelope e;
+    e.kind = Envelope::Kind::kStop;
+    n->mailbox.push(std::move(e));
+  }
+  for (auto& n : nodes_)
+    if (n->thread.joinable()) n->thread.join();
+}
+
+bool RtWorld::drain(double timeout_s) {
+  const SimTime deadline = clock_.now() + timeout_s;
+  for (;;) {
+    if (pending_.load(std::memory_order_acquire) == 0) return true;
+    if (clock_.now() >= deadline) break;
+    MonotonicClock::sleepFor(50e-6);
+  }
+  return pending_.load(std::memory_order_acquire) == 0;
+}
+
+// ---- node access ----------------------------------------------------------
+
+RtWorld::Node& RtWorld::node(Rank r) {
+  LOADEX_EXPECT(r >= 0 && r < nprocs(), "rank out of range");
+  return *nodes_[static_cast<std::size_t>(r)];
+}
+
+const RtWorld::Node& RtWorld::node(Rank r) const {
+  LOADEX_EXPECT(r >= 0 && r < nprocs(), "rank out of range");
+  return *nodes_[static_cast<std::size_t>(r)];
+}
+
+thread_local RtWorld::Node* RtWorld::t_current_node = nullptr;
+
+RtWorld::Node& RtWorld::callingNode() {
+  LOADEX_EXPECT(t_current_node != nullptr, "not on a node thread");
+  return *t_current_node;
+}
+
+// ---- posting --------------------------------------------------------------
+
+void RtWorld::postState(Rank src, Rank dst, core::StateTag tag, Bytes size,
+                        std::shared_ptr<const sim::Payload> payload) {
+  state_posted_.fetch_add(1, std::memory_order_relaxed);
+  state_bytes_.fetch_add(size, std::memory_order_relaxed);
+  Envelope e;
+  e.kind = Envelope::Kind::kState;
+  e.msg = sim::Message{src, dst, sim::Channel::kState, static_cast<int>(tag),
+                       size, std::move(payload)};
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  // Mechanisms send only from their own node thread; route through that
+  // node's spill queue so a full peer mailbox never blocks the sender.
+  Node& sender = node(src);
+  LOADEX_EXPECT(&callingNode() == &sender,
+                "mechanism API driven off its node thread (post a closure "
+                "with RtWorld::post instead)");
+  sendFromNode(sender, dst, std::move(e));
+}
+
+void RtWorld::scheduleOnCallingNode(double delay, std::function<void()> fn) {
+  Node& n = callingNode();
+  timers_armed_.fetch_add(1, std::memory_order_relaxed);
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  n.wheel.schedule(clock_.now(), delay, std::move(fn));
+}
+
+void RtWorld::post(Rank r, std::function<void()> fn) {
+  LOADEX_EXPECT(started_ && !stopped_, "post() needs a running world");
+  task_posted_.fetch_add(1, std::memory_order_relaxed);
+  Envelope e;
+  e.kind = Envelope::Kind::kTask;
+  e.fn = std::move(fn);
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  node(r).mailbox.push(std::move(e));  // blocking backpressure: driver only
+}
+
+void RtWorld::postWhenFree(Rank r, std::function<void()> fn, double retry_s) {
+  post(r, [this, r, fn = std::move(fn), retry_s]() mutable {
+    runWhenFree(node(r), std::move(fn), retry_s);
+  });
+}
+
+void RtWorld::postTask(Rank from, Rank to, std::function<void()> fn) {
+  task_posted_.fetch_add(1, std::memory_order_relaxed);
+  Envelope e;
+  e.kind = Envelope::Kind::kTask;
+  e.fn = std::move(fn);
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  Node& src = node(from);
+  LOADEX_EXPECT(&callingNode() == &src,
+                "postTask must run on the `from` node's thread");
+  sendFromNode(src, to, std::move(e));
+}
+
+void RtWorld::sendFromNode(Node& src, Rank dst, Envelope&& e) {
+  auto& q = src.spill[static_cast<std::size_t>(dst)];
+  // Once a destination has spilled, later envelopes to it must queue
+  // behind the spill or per-pair FIFO breaks.
+  if (q.empty() && node(dst).mailbox.tryPush(std::move(e))) return;
+  q.push_back(std::move(e));
+  ++src.spill_size;
+  spill_enqueues_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RtWorld::flushSpill(Node& n) {
+  if (n.spill_size == 0) return;
+  for (Rank d = 0; d < nprocs(); ++d) {
+    auto& q = n.spill[static_cast<std::size_t>(d)];
+    while (!q.empty()) {
+      // tryPush only consumes its argument on success, so a failed
+      // attempt leaves q.front() intact for the next loop turn.
+      if (!node(d).mailbox.tryPush(std::move(q.front()))) break;
+      q.pop_front();
+      --n.spill_size;
+    }
+  }
+}
+
+void RtWorld::runWhenFree(Node& n, std::function<void()>&& fn,
+                          double retry_s) {
+  if (n.handler != nullptr && n.handler->blocksComputation()) {
+    // Defer: arm a retry timer carrying the closure forward. No
+    // self-referencing callback — each deferral builds a fresh one.
+    timers_armed_.fetch_add(1, std::memory_order_relaxed);
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    n.wheel.schedule(clock_.now(), retry_s,
+                     [this, &n, fn = std::move(fn), retry_s]() mutable {
+                       runWhenFree(n, std::move(fn), retry_s);
+                     });
+    return;
+  }
+  fn();
+}
+
+// ---- node main loop -------------------------------------------------------
+
+void RtWorld::nodeLoop(Node& n) {
+  t_current_node = &n;
+  for (;;) {
+    const int fired = n.wheel.fireDue(clock_.now());
+    if (fired > 0) {
+      n.timers_fired += fired;
+      pending_.fetch_sub(fired, std::memory_order_release);
+    }
+    flushSpill(n);
+
+    double wait = cfg_.max_idle_wait_s;
+    const SimTime next = n.wheel.nextDeadline();
+    if (std::isfinite(next)) {
+      const double until = next - clock_.now();
+      if (until <= 0.0) continue;  // due already: fire before sleeping
+      wait = std::min(wait, until);
+    }
+    if (n.spill_size != 0) wait = std::min(wait, 1e-4);  // retry spill soon
+
+    Envelope e;
+    if (!n.mailbox.pop(e, wait)) continue;
+    switch (e.kind) {
+      case Envelope::Kind::kState:
+        ++n.delivered_state;
+        LOADEX_EXPECT(n.handler != nullptr, "state message with no handler");
+        n.handler->onStateMessage(e.msg);
+        break;
+      case Envelope::Kind::kTask:
+        ++n.delivered_task;
+        e.fn();
+        break;
+      case Envelope::Kind::kStop:
+        pending_.fetch_sub(1, std::memory_order_release);
+        return;
+    }
+    // Decrement only after the handler ran: anything it posted is already
+    // counted, so pending can never dip to a false zero mid-chain.
+    pending_.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+// ---- stats ----------------------------------------------------------------
+
+RtRunStats RtWorld::runStats() const {
+  RtRunStats s;
+  s.state_posted = state_posted_.load(std::memory_order_relaxed);
+  s.state_bytes = state_bytes_.load(std::memory_order_relaxed);
+  s.task_posted = task_posted_.load(std::memory_order_relaxed);
+  s.timers_armed = timers_armed_.load(std::memory_order_relaxed);
+  s.spill_enqueues = spill_enqueues_.load(std::memory_order_relaxed);
+  for (const auto& n : nodes_) {
+    s.state_delivered += n->delivered_state;
+    s.task_delivered += n->delivered_task;
+    s.timers_fired += n->timers_fired;
+    const MailboxStats ms = n->mailbox.stats();
+    s.mailbox_pushes += ms.pushes;
+    s.mailbox_full_rejections += ms.full_rejections;
+    s.mailbox_blocking_waits += ms.blocking_waits;
+  }
+  return s;
+}
+
+}  // namespace loadex::rt

@@ -1,0 +1,182 @@
+// RtWorld: one OS thread per rank, mirroring sim::World's lifecycle.
+//
+//   RtWorld world(cfg);                         // build nodes + transports
+//   core::MechanismSet mechs(world.transports(), kind, mcfg);
+//   world.attach(r, &mechs.at(r));              // per rank, before start
+//   world.start();                              // spawn node threads
+//   world.post(...); world.drain(timeout);      // drive + quiesce
+//   world.stop();                               // join; stats now stable
+//
+// Each node owns a bounded MPSC mailbox (rt/mailbox.h) and a timer wheel
+// (rt/timer_wheel.h); its loop alternates firing due timers, flushing
+// spill queues and popping envelopes, waking at least every
+// max_idle_wait_s. Two rules make the system deadlock-free and drainable:
+//
+//   no node blocks  — a node thread only ever tryPushes to a peer; when
+//     the peer's mailbox is full the envelope goes to a per-destination
+//     spill queue on the sender, flushed on every loop turn (per-pair FIFO
+//     preserved: once a destination spills, later sends to it spill too).
+//     Only external driver threads may use the blocking post().
+//   conservation of pending work — a global counter is incremented before
+//     any envelope/timer is enqueued and decremented only after its
+//     handler completes, so work a handler spawns is counted before its
+//     own count drops: pending == 0 is a stable quiescent state, which is
+//     exactly what drain() polls for.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+#include "rt/clock.h"
+#include "rt/mailbox.h"
+#include "rt/timer_wheel.h"
+#include "rt/transport.h"
+#include "sim/application.h"
+
+namespace loadex::rt {
+
+struct RtConfig {
+  int nprocs = 4;
+  MailboxConfig mailbox;
+  /// Timer wheel shape (per node).
+  double timer_slot_s = 1e-4;
+  std::size_t timer_slots = 256;
+  /// Longest a node loop sleeps with nothing due: bounds spill-flush and
+  /// stop latency, and caps the cost of any missed wakeup.
+  double max_idle_wait_s = 1e-3;
+};
+
+/// Aggregated run counters; exact once stop() has joined the threads.
+struct RtRunStats {
+  std::int64_t state_posted = 0;     ///< sendState calls (one per dst)
+  std::int64_t state_delivered = 0;  ///< onStateMessage invocations
+  Bytes state_bytes = 0;             ///< payload bytes posted on kState
+  std::int64_t task_posted = 0;      ///< closures posted (driver + nodes)
+  std::int64_t task_delivered = 0;
+  std::int64_t timers_armed = 0;
+  std::int64_t timers_fired = 0;
+  std::int64_t spill_enqueues = 0;   ///< sends deferred by a full mailbox
+  std::uint64_t mailbox_pushes = 0;
+  std::uint64_t mailbox_full_rejections = 0;
+  std::uint64_t mailbox_blocking_waits = 0;
+};
+
+class RtWorld {
+ public:
+  explicit RtWorld(RtConfig cfg = {});
+  ~RtWorld();  ///< stops (joins) if still running
+
+  RtWorld(const RtWorld&) = delete;
+  RtWorld& operator=(const RtWorld&) = delete;
+
+  int nprocs() const { return cfg_.nprocs; }
+  SimTime now() const { return clock_.now(); }
+
+  /// Per-rank transports, in rank order — feed to MechanismSet.
+  std::vector<core::Transport*> transports();
+
+  /// Bind the state-channel handler of rank r (normally &mechs.at(r)).
+  /// Must be called before start().
+  void attach(Rank r, sim::StateHandler* handler);
+
+  void start();
+  bool running() const { return started_ && !stopped_; }
+
+  /// Run a closure on rank r's thread. Blocking backpressure — driver
+  /// threads only, never from a node thread (use postTask there).
+  void post(Rank r, std::function<void()> fn);
+
+  /// Like post(), but the closure is deferred (re-armed every `retry_s`)
+  /// while the rank's handler blocks computation — a live snapshot freeze.
+  /// Mirrors harness::CoreHarness::atWhenFree.
+  void postWhenFree(Rank r, std::function<void()> fn, double retry_s = 1e-4);
+
+  /// Node-to-node closure post (application work delegation). Must be
+  /// called on `from`'s thread; never blocks (spills when `to` is full).
+  void postTask(Rank from, Rank to, std::function<void()> fn);
+
+  /// Wait until the pending-work counter reaches its stable zero, i.e. no
+  /// envelope is queued or executing and no timer is armed anywhere.
+  /// False on timeout (something still in flight).
+  bool drain(double timeout_s);
+
+  /// Post a stop envelope to every node and join the threads. Idempotent.
+  void stop();
+
+  /// Snapshot of the run counters (exact after stop()).
+  RtRunStats runStats() const;
+
+  /// Current pending-work count (diagnostics; racy while running).
+  std::int64_t pendingWork() const {
+    return pending_.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class RtTransport;
+
+  struct Node {
+    Rank rank = kNoRank;
+    Mailbox mailbox;
+    TimerWheel wheel;
+    std::unique_ptr<RtTransport> transport;
+    sim::StateHandler* handler = nullptr;
+    std::thread thread;
+    /// Per-destination spill queues (sender side), only touched by the
+    /// owning thread.
+    std::vector<std::deque<Envelope>> spill;
+    std::size_t spill_size = 0;
+    // Counters written only by the owning thread, read after join.
+    std::int64_t delivered_state = 0;
+    std::int64_t delivered_task = 0;
+    std::int64_t timers_fired = 0;
+
+    Node(const RtConfig& cfg, Rank r)
+        : rank(r),
+          mailbox(cfg.mailbox),
+          wheel(cfg.timer_slot_s, cfg.timer_slots),
+          spill(static_cast<std::size_t>(cfg.nprocs)) {}
+  };
+
+  Node& node(Rank r);
+  const Node& node(Rank r) const;
+  Node& callingNode();  ///< hard-fails unless called on a node thread
+
+  /// The node whose loop runs on the current thread (null on driver
+  /// threads). Thread-confined by definition: no synchronisation needed.
+  static thread_local Node* t_current_node;
+
+  // RtTransport backends.
+  void postState(Rank src, Rank dst, core::StateTag tag, Bytes size,
+                 std::shared_ptr<const sim::Payload> payload);
+  void scheduleOnCallingNode(double delay, std::function<void()> fn);
+
+  /// Enqueue from a node thread: direct tryPush, spill on full.
+  void sendFromNode(Node& src, Rank dst, Envelope&& e);
+  void flushSpill(Node& n);
+  void runWhenFree(Node& n, std::function<void()>&& fn, double retry_s);
+  void nodeLoop(Node& n);
+
+  RtConfig cfg_;
+  MonotonicClock clock_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  /// The conservation counter drain() polls (see file comment).
+  std::atomic<std::int64_t> pending_{0};
+
+  // World-level posting counters (any thread).
+  std::atomic<std::int64_t> state_posted_{0};
+  std::atomic<std::int64_t> state_bytes_{0};
+  std::atomic<std::int64_t> task_posted_{0};
+  std::atomic<std::int64_t> timers_armed_{0};
+  std::atomic<std::int64_t> spill_enqueues_{0};
+};
+
+}  // namespace loadex::rt

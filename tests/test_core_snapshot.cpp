@@ -77,7 +77,7 @@ TEST(SnapshotProtocol, AnswersFirstStartSnpImmediately) {
   m.addLocalLoad({42.0, 0.0});
   inject(m, 1, StateTag::kStartSnp, start(1));
   ASSERT_EQ(t.count(StateTag::kSnp, 1), 1);
-  const auto& snp = dynamic_cast<const SnpPayload&>(*t.sent.back().payload);
+  const auto& snp = payloadCast<SnpPayload>(*t.sent.back().payload);
   EXPECT_EQ(snp.request, 1u);
   EXPECT_DOUBLE_EQ(snp.state.workload, 42.0);
   EXPECT_TRUE(m.blocksComputation());
@@ -116,7 +116,7 @@ TEST(SnapshotProtocol, EndSnpFlushesDelayedAnswerToNewLeader) {
   EXPECT_EQ(t.count(StateTag::kSnp, 2), 0);
   inject(m, 1, StateTag::kEndSnp, EndSnpPayload{});
   ASSERT_EQ(t.count(StateTag::kSnp, 2), 1);
-  const auto& snp = dynamic_cast<const SnpPayload&>(*t.sent.back().payload);
+  const auto& snp = payloadCast<SnpPayload>(*t.sent.back().payload);
   EXPECT_EQ(snp.request, 7u);  // answered with the request id 2 sent
   EXPECT_TRUE(m.blocksComputation());  // snapshot of 2 still open
   inject(m, 2, StateTag::kEndSnp, EndSnpPayload{});

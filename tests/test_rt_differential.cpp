@@ -1,0 +1,228 @@
+// Differential harness: the real-threads runtime vs the discrete-event
+// simulator, replaying the same seeded harness::Script on both.
+//
+// The two runtimes cannot agree on timing — the simulator's clock is a
+// fiction the event queue advances, the rt world's is the host's — so the
+// comparison is restricted to conservation-style invariants any faithful
+// replay must satisfy (see harness/script.h):
+//
+//   * every scripted selection commits exactly once (nprocs >= 2 means the
+//     least-loaded policy always finds a slave);
+//   * the total load at quiescence equals the scripted injections plus the
+//     delegated shares, on both runtimes, to FP-accumulation tolerance;
+//   * per-channel message conservation inside the rt world: every state
+//     post is delivered, every task post is delivered, and the mechanisms'
+//     own sender-side counts match what the transports posted;
+//   * a ProtocolAuditor attached to BOTH runs (over the serialising
+//     LockedAuditObserver on the rt side) finishes clean — reservation
+//     bookkeeping closes, snapshot lifecycles are well-formed.
+//
+// What this deliberately does NOT claim: identical message counts (an rt
+// flood coalesces threshold crossings differently), identical slave
+// choices (view timing differs), or any latency property.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "core/audit.h"
+#include "harness/script.h"
+#include "harness/world_harness.h"
+#include "rt/audit_lock.h"
+#include "rt/workload.h"
+#include "rt/world.h"
+
+namespace loadex {
+namespace {
+
+using core::MechanismConfig;
+using core::MechanismKind;
+using harness::Script;
+using harness::ScriptExpectations;
+
+core::MechanismConfig mechanismConfigOf(const Script& s) {
+  MechanismConfig mcfg;
+  mcfg.threshold = {s.threshold, s.threshold};
+  mcfg.reliability.reliable_updates = s.hardened;
+  return mcfg;
+}
+
+core::AuditorConfig auditorConfigOf(const Script& s) {
+  core::AuditorConfig acfg;
+  // A rank that announced No_more_master stops receiving updates, so its
+  // view goes legitimately stale; mirror the sim differential suite.
+  acfg.check_conservation = s.no_more_master == kNoRank;
+  return acfg;
+}
+
+struct Replay {
+  std::int64_t committed = 0;
+  std::int64_t skipped = 0;
+  core::LoadMetrics total_load;
+  std::int64_t mech_messages_sent = 0;
+};
+
+// ---- simulator replay -----------------------------------------------------
+
+Replay runOnSimulator(const Script& s) {
+  harness::CoreHarness h(s.nprocs, s.kind, mechanismConfigOf(s));
+  h.attachAuditor(auditorConfigOf(s));
+
+  Replay rep;
+  for (const auto& op : s.loads)
+    h.at(op.time, [&h, op] { h.mechs.at(op.rank).addLocalLoad(op.delta); });
+  for (const auto& op : s.selections)
+    h.atWhenFree(op.time, op.master, [&h, &rep, op] {
+      auto& m = h.mechs.at(op.master);
+      m.requestView([&h, &rep, op, &m](const core::LoadView& v) {
+        const Rank slave = harness::leastLoadedSlave(v, op.master);
+        if (slave == kNoRank) {
+          ++rep.skipped;
+          return;
+        }
+        m.commitSelection({{slave, {op.share, 0.0}}});
+        ++rep.committed;
+        harness::sendWork(h.world.process(op.master), slave,
+                          /*work=*/op.share * 1e3, {op.share, 0.0},
+                          /*is_slave_delegated=*/true);
+      });
+    });
+  if (s.no_more_master != kNoRank)
+    h.at(s.no_more_master_at,
+         [&h, r = s.no_more_master] { h.mechs.at(r).noMoreMaster(); });
+
+  h.run();
+  h.finishAudit();
+
+  for (Rank r = 0; r < s.nprocs; ++r)
+    rep.total_load += h.mechs.at(r).localLoad();
+  rep.mech_messages_sent = h.mechs.aggregateStats().messagesSent();
+  return rep;
+}
+
+// ---- rt replay ------------------------------------------------------------
+
+Replay runOnRt(const Script& s, bool lock_free_ring) {
+  rt::RtConfig rcfg;
+  rcfg.nprocs = s.nprocs;
+  rcfg.mailbox.lock_free_ring = lock_free_ring;
+  rt::RtWorld world(rcfg);
+  core::MechanismSet mechs(world.transports(), s.kind, mechanismConfigOf(s));
+
+  core::ProtocolAuditor auditor(auditorConfigOf(s));
+  rt::RtAuditBinding audit_binding(auditor, mechs);
+
+  for (Rank r = 0; r < s.nprocs; ++r) world.attach(r, &mechs.at(r));
+  world.start();
+
+  rt::WorkloadDriver driver(world, mechs);
+  const rt::WorkloadResult res = driver.run(s, /*time_scale=*/0.0,
+                                            /*drain_timeout_s=*/60.0);
+  EXPECT_TRUE(res.drained) << "rt world failed to quiesce";
+  world.stop();
+
+  auditor.finish();
+  auditor.expectClean();
+
+  // Message conservation per channel inside the rt world.
+  const rt::RtRunStats st = world.runStats();
+  EXPECT_EQ(st.state_posted, st.state_delivered)
+      << "state envelopes lost or double-delivered";
+  EXPECT_EQ(st.task_posted, st.task_delivered)
+      << "task envelopes lost or double-delivered";
+  EXPECT_EQ(st.timers_armed, st.timers_fired);
+  EXPECT_EQ(st.mailbox_pushes,
+            static_cast<std::uint64_t>(st.state_posted + st.task_posted +
+                                       s.nprocs))  // + one kStop per node
+      << "mailbox traffic does not reconcile with the posting counters";
+
+  Replay rep;
+  rep.committed = res.selections_committed;
+  rep.skipped = res.selections_skipped;
+  rep.total_load = res.total_load;
+  rep.mech_messages_sent = mechs.aggregateStats().messagesSent();
+  // What the mechanisms sent is exactly what the transports posted.
+  EXPECT_EQ(rep.mech_messages_sent, st.state_posted);
+  return rep;
+}
+
+// ---- the differential property --------------------------------------------
+
+void expectLoadNear(const core::LoadMetrics& got,
+                    const core::LoadMetrics& want) {
+  const double tol_w = 1e-9 * (1.0 + std::abs(want.workload));
+  const double tol_m = 1e-9 * (1.0 + std::abs(want.memory));
+  EXPECT_NEAR(got.workload, want.workload, tol_w);
+  EXPECT_NEAR(got.memory, want.memory, tol_m);
+}
+
+void checkScript(const Script& s) {
+  SCOPED_TRACE("seed=" + std::to_string(s.seed) +
+               " nprocs=" + std::to_string(s.nprocs) +
+               " kind=" + core::mechanismKindName(s.kind) +
+               (s.hardened ? " hardened" : "") +
+               (s.no_more_master != kNoRank ? " no_more_master" : ""));
+  const ScriptExpectations want = harness::expectationsOf(s);
+
+  const Replay sim = runOnSimulator(s);
+  const Replay rtr = runOnRt(s, /*lock_free_ring=*/true);
+
+  // Selection conservation: both runtimes commit every scripted selection.
+  EXPECT_EQ(sim.committed, want.selections);
+  EXPECT_EQ(rtr.committed, want.selections);
+  EXPECT_EQ(sim.skipped, 0);
+  EXPECT_EQ(rtr.skipped, 0);
+
+  // Load conservation: same final bookkeeping on both runtimes.
+  expectLoadNear(sim.total_load, want.total_load);
+  expectLoadNear(rtr.total_load, want.total_load);
+}
+
+class RtDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RtDifferential, RtAndSimAgreeOnConservationInvariants) {
+  checkScript(harness::drawScript(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RtDifferential,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// drawScript picks the mechanism from the seed; pin each kind explicitly
+// so all three are exercised no matter how the draws fall.
+class RtDifferentialPerKind
+    : public ::testing::TestWithParam<core::MechanismKind> {};
+
+TEST_P(RtDifferentialPerKind, EveryMechanismSurvivesTheDifferential) {
+  for (std::uint64_t seed = 101; seed < 104; ++seed) {
+    Script s = harness::drawScript(seed);
+    s.kind = GetParam();
+    if (s.kind != MechanismKind::kIncrement) s.hardened = false;
+    checkScript(s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, RtDifferentialPerKind,
+                         ::testing::Values(MechanismKind::kNaive,
+                                           MechanismKind::kIncrement,
+                                           MechanismKind::kSnapshot),
+                         [](const ::testing::TestParamInfo<MechanismKind>& i) {
+                           return std::string(
+                               core::mechanismKindName(i.param));
+                         });
+
+// The mutex-baseline mailbox must satisfy the same invariants as the ring
+// (the differential above always runs the ring fast path).
+TEST(RtDifferential, MutexMailboxBaselineAgreesToo) {
+  for (std::uint64_t seed = 201; seed < 204; ++seed) {
+    const Script s = harness::drawScript(seed);
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const ScriptExpectations want = harness::expectationsOf(s);
+    const Replay rtr = runOnRt(s, /*lock_free_ring=*/false);
+    EXPECT_EQ(rtr.committed, want.selections);
+    expectLoadNear(rtr.total_load, want.total_load);
+  }
+}
+
+}  // namespace
+}  // namespace loadex

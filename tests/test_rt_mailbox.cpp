@@ -1,0 +1,241 @@
+// Unit tests of the rt building blocks: the bounded MPSC mailbox (both the
+// Vyukov ring and the mutex baseline), the thread-confined timer wheel and
+// the monotonic clock. The cross-thread cases run on real std::threads —
+// they are small enough to be deterministic in what they assert (counts
+// and per-producer FIFO), never in timing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "rt/clock.h"
+#include "rt/mailbox.h"
+#include "rt/timer_wheel.h"
+
+namespace loadex::rt {
+namespace {
+
+Envelope taskEnvelope(std::function<void()> fn = {}) {
+  Envelope e;
+  e.kind = Envelope::Kind::kTask;
+  e.fn = std::move(fn);
+  return e;
+}
+
+/// Envelope carrying (producer, sequence) in the message header so the
+/// consumer can check per-producer FIFO.
+Envelope tagged(int producer, int seq) {
+  Envelope e;
+  e.kind = Envelope::Kind::kState;
+  e.msg.src = producer;
+  e.msg.tag = seq;
+  return e;
+}
+
+class MailboxBothModes : public ::testing::TestWithParam<bool> {
+ protected:
+  MailboxConfig config(std::size_t capacity) const {
+    MailboxConfig cfg;
+    cfg.capacity = capacity;
+    cfg.lock_free_ring = GetParam();
+    return cfg;
+  }
+};
+
+TEST_P(MailboxBothModes, CapacityRoundsUpToPowerOfTwo) {
+  Mailbox mb(config(100));
+  EXPECT_EQ(mb.capacity(), 128u);
+  EXPECT_EQ(mb.lockFreeRing(), GetParam());
+}
+
+TEST_P(MailboxBothModes, SingleProducerFifo) {
+  Mailbox mb(config(64));
+  for (int i = 0; i < 40; ++i) ASSERT_TRUE(mb.tryPush(tagged(0, i)));
+  Envelope e;
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(mb.tryPop(e));
+    EXPECT_EQ(e.msg.tag, i);
+  }
+  EXPECT_FALSE(mb.tryPop(e));
+  const MailboxStats s = mb.stats();
+  EXPECT_EQ(s.pushes, 40u);
+  EXPECT_EQ(s.pops, 40u);
+  EXPECT_EQ(s.full_rejections, 0u);
+}
+
+TEST_P(MailboxBothModes, TryPushRejectsWhenFull) {
+  Mailbox mb(config(4));
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(mb.tryPush(tagged(0, i)));
+  EXPECT_FALSE(mb.tryPush(tagged(0, 99)));
+  EXPECT_EQ(mb.stats().full_rejections, 1u);
+
+  // Popping one frees one slot, and FIFO order survives the full episode.
+  Envelope e;
+  ASSERT_TRUE(mb.tryPop(e));
+  EXPECT_EQ(e.msg.tag, 0);
+  ASSERT_TRUE(mb.tryPush(tagged(0, 4)));
+  for (int want = 1; want <= 4; ++want) {
+    ASSERT_TRUE(mb.tryPop(e));
+    EXPECT_EQ(e.msg.tag, want);
+  }
+}
+
+TEST_P(MailboxBothModes, PopTimesOutOnEmpty) {
+  Mailbox mb(config(8));
+  Envelope e;
+  EXPECT_FALSE(mb.pop(e, 0.01));
+  EXPECT_FALSE(mb.pop(e, 0.0));
+}
+
+TEST_P(MailboxBothModes, MultiProducerPreservesPerProducerFifo) {
+  constexpr int kProducers = 4;
+  constexpr int kEach = 5000;
+  Mailbox mb(config(256));  // much smaller than the traffic: forces retries
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&mb, p] {
+      for (int i = 0; i < kEach; ++i) mb.push(tagged(p, i));
+    });
+  }
+
+  std::map<int, int> next_seq;
+  int received = 0;
+  Envelope e;
+  while (received < kProducers * kEach) {
+    if (!mb.pop(e, 1.0)) break;
+    const int p = e.msg.src;
+    EXPECT_EQ(e.msg.tag, next_seq[p]) << "producer " << p << " reordered";
+    ++next_seq[p];
+    ++received;
+  }
+  for (auto& t : producers) t.join();
+
+  EXPECT_EQ(received, kProducers * kEach);
+  const MailboxStats s = mb.stats();
+  EXPECT_EQ(s.pushes, static_cast<std::uint64_t>(kProducers * kEach));
+  EXPECT_EQ(s.pops, static_cast<std::uint64_t>(kProducers * kEach));
+}
+
+TEST_P(MailboxBothModes, BlockingPushCompletesOnceConsumerDrains) {
+  Mailbox mb(config(2));
+  ASSERT_TRUE(mb.tryPush(tagged(0, 0)));
+  ASSERT_TRUE(mb.tryPush(tagged(0, 1)));
+
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    mb.push(tagged(0, 2));  // blocks: mailbox is full
+    pushed.store(true);
+  });
+
+  Envelope e;
+  ASSERT_TRUE(mb.pop(e, 1.0));
+  EXPECT_EQ(e.msg.tag, 0);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  ASSERT_TRUE(mb.pop(e, 1.0));
+  EXPECT_EQ(e.msg.tag, 1);
+  ASSERT_TRUE(mb.pop(e, 1.0));
+  EXPECT_EQ(e.msg.tag, 2);
+}
+
+TEST_P(MailboxBothModes, TaskEnvelopesCarryTheirClosure) {
+  Mailbox mb(config(8));
+  int ran = 0;
+  ASSERT_TRUE(mb.tryPush(taskEnvelope([&ran] { ++ran; })));
+  Envelope e;
+  ASSERT_TRUE(mb.tryPop(e));
+  ASSERT_EQ(e.kind, Envelope::Kind::kTask);
+  e.fn();
+  EXPECT_EQ(ran, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(RingAndMutex, MailboxBothModes, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "ring" : "mutex";
+                         });
+
+// ---- timer wheel ----------------------------------------------------------
+
+TEST(TimerWheel, FiresInDeadlineOrderAcrossLaps) {
+  // Narrow wheel (4 slots) so deadlines wrap laps and collide in slots.
+  TimerWheel wheel(/*slot_width_s=*/0.1, /*nslots=*/4);
+  std::vector<int> fired;
+  wheel.schedule(0.0, 1.25, [&] { fired.push_back(3); });  // lap 3, slot 0
+  wheel.schedule(0.0, 0.05, [&] { fired.push_back(1); });
+  wheel.schedule(0.0, 0.45, [&] { fired.push_back(2); });  // lap 1
+  EXPECT_EQ(wheel.pending(), 3u);
+  EXPECT_DOUBLE_EQ(wheel.nextDeadline(), 0.05);
+
+  EXPECT_EQ(wheel.fireDue(0.5), 2);  // only the first two are due
+  EXPECT_EQ(wheel.pending(), 1u);
+  EXPECT_EQ(wheel.fireDue(2.0), 1);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(wheel.nextDeadline(),
+                   std::numeric_limits<double>::infinity());
+}
+
+TEST(TimerWheel, EqualDeadlinesFireInArmOrder) {
+  TimerWheel wheel;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i)
+    wheel.schedule(0.0, 0.25, [&fired, i] { fired.push_back(i); });
+  EXPECT_EQ(wheel.fireDue(0.25), 5);
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(TimerWheel, CallbacksMayRearm) {
+  TimerWheel wheel;
+  int hops = 0;
+  std::function<void()> hop = [&] {
+    if (++hops < 3) wheel.schedule(static_cast<double>(hops), 1.0, hop);
+  };
+  wheel.schedule(0.0, 1.0, hop);
+  // Each fireDue fires one hop, which re-arms the next.
+  EXPECT_EQ(wheel.fireDue(10.0), 1);
+  EXPECT_EQ(wheel.fireDue(10.0), 1);
+  EXPECT_EQ(wheel.fireDue(10.0), 1);
+  EXPECT_EQ(wheel.fireDue(10.0), 0);
+  EXPECT_EQ(hops, 3);
+  EXPECT_EQ(wheel.firedTotal(), 3u);
+}
+
+TEST(TimerWheel, ZeroAndNegativeDelaysFireImmediately) {
+  TimerWheel wheel;
+  int fired = 0;
+  wheel.schedule(5.0, 0.0, [&] { ++fired; });
+  wheel.schedule(5.0, -1.0, [&] { ++fired; });  // clamped to now
+  EXPECT_EQ(wheel.fireDue(5.0), 2);
+  EXPECT_EQ(fired, 2);
+}
+
+// ---- monotonic clock ------------------------------------------------------
+
+TEST(MonotonicClock, StartsNearZeroAndNeverGoesBack) {
+  MonotonicClock clock;
+  const SimTime t0 = clock.now();
+  EXPECT_GE(t0, 0.0);
+  EXPECT_LT(t0, 1.0);  // origin is captured at construction
+  SimTime prev = t0;
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime t = clock.now();
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(MonotonicClock, SleepForAdvancesAtLeastThatLong) {
+  MonotonicClock clock;
+  const SimTime t0 = clock.now();
+  MonotonicClock::sleepFor(0.01);
+  EXPECT_GE(clock.now() - t0, 0.009);  // scheduler may round, never down
+}
+
+}  // namespace
+}  // namespace loadex::rt

@@ -13,6 +13,18 @@ that protect them:
   banned-wallclock       std::chrono::{system,steady,high_resolution}_clock,
                          time(), clock(), gettimeofday — simulated time is
                          the only clock; wall time makes runs unreproducible.
+                         The real-threads runtime's clock wrapper
+                         (src/rt/clock.{h,cpp}) is the single exemption:
+                         everything else in src/rt reads time through it.
+  banned-threading       std::thread / mutexes / condition variables /
+                         this_thread in src/ outside src/rt — the simulator
+                         is single-threaded by construction, and real
+                         concurrency lives only in the rt runtime. (Tests,
+                         benches and examples may use threads freely.)
+  payload-cast           dynamic_cast to a *Payload type outside the
+                         payloadCast<T> helper (src/core/payloads.h) — the
+                         helper is what makes the debug-checked/release-
+                         static downcast policy a single point of truth.
   unordered-iteration    iterating an unordered_{map,set} in src/core or
                          src/sim — iteration order is implementation-defined,
                          so any protocol or scheduling decision derived from
@@ -153,12 +165,29 @@ WALLCLOCK_RE = re.compile(
 )
 NEW_RE = re.compile(r"(?<![\w:.])new\s+(?:\(|[A-Za-z_(])")
 DELETE_RE = re.compile(r"(?<![\w:.])delete(?:\s*\[\s*\])?\s+[A-Za-z_(*]")
+THREADING_RE = re.compile(
+    r"std::(?:jthread\b|thread\b|mutex\b|recursive_mutex\b|timed_mutex\b"
+    r"|shared_mutex\b|shared_timed_mutex\b|condition_variable\w*"
+    r"|this_thread\b|lock_guard\b|unique_lock\b|scoped_lock\b|shared_lock\b"
+    r"|promise\b|future\b|async\b|barrier\b|latch\b)"
+)
+PAYLOAD_CAST_RE = re.compile(r"dynamic_cast\s*<[^>]*Payload")
 
 RANDOMNESS_ALLOWED = ("src/common/rng.h", "src/common/rng.cpp")
+# The rt runtime's clock wrapper is the one legal window onto host time.
+WALLCLOCK_ALLOWED = ("src/rt/clock.h", "src/rt/clock.cpp")
+# payloadCast<T> itself must spell the dynamic_cast it encapsulates.
+PAYLOAD_CAST_ALLOWED = ("src/core/payloads.h",)
 
 
 def rng_exempt(rel: str) -> bool:
     return rel in RANDOMNESS_ALLOWED
+
+
+def threading_banned(rel: str) -> bool:
+    """Real concurrency is confined to the rt runtime: everywhere else in
+    src/ a thread or a lock is either nondeterminism or dead weight."""
+    return rel.startswith("src/") and not rel.startswith("src/rt/")
 
 
 def check_lines(rel: str, path: Path, raw_lines: list[str],
@@ -171,12 +200,27 @@ def check_lines(rel: str, path: Path, raw_lines: list[str],
                     path, lineno, "banned-randomness",
                     "unseeded/raw randomness; draw from a loadex::Rng "
                     "stream (src/common/rng.h) so runs stay replayable"))
-        if WALLCLOCK_RE.search(code):
+        if rel not in WALLCLOCK_ALLOWED and WALLCLOCK_RE.search(code):
             if not is_allowed("banned-wallclock", raw):
                 findings.append(Finding(
                     path, lineno, "banned-wallclock",
                     "wall-clock time source; simulated time "
-                    "(sim::World::now) is the only clock"))
+                    "(sim::World::now) is the only clock — the rt runtime "
+                    "reads time via rt::MonotonicClock (src/rt/clock.h)"))
+        if threading_banned(rel) and THREADING_RE.search(code):
+            if not is_allowed("banned-threading", raw):
+                findings.append(Finding(
+                    path, lineno, "banned-threading",
+                    "threading primitive outside src/rt; the simulator is "
+                    "single-threaded by construction — real concurrency "
+                    "belongs in the rt runtime"))
+        if rel not in PAYLOAD_CAST_ALLOWED and PAYLOAD_CAST_RE.search(code):
+            if not is_allowed("payload-cast", raw):
+                findings.append(Finding(
+                    path, lineno, "payload-cast",
+                    "dynamic_cast to a payload type; use payloadCast<T> "
+                    "(src/core/payloads.h) so the checked-downcast policy "
+                    "stays in one place"))
         if NEW_RE.search(code) and not is_allowed("naked-new-delete", raw):
             findings.append(Finding(
                 path, lineno, "naked-new-delete",
