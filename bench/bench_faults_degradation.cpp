@@ -139,6 +139,7 @@ CrashOutcome runCrashChurn(core::MechanismKind kind, double drop,
 
 int main(int argc, char** argv) {
   const auto env = bench::BenchEnv::parse(argc, argv);
+  bench::JsonResults json("faults_degradation", env);
   sparse::Problem p;
   p.name = "grid3d";
   p.symmetric = true;
@@ -164,6 +165,9 @@ int main(int argc, char** argv) {
                 << "\n";
       const auto res = solver::runSolver(analysis, p.symmetric,
                                          faultyConfig(kind, drop), p.name);
+      // Identity-bearing extras (no host_ prefix): the sim is seeded and
+      // deterministic, so the whole trajectory is diffable run-to-run.
+      json.add(res, {{"drop_prob", drop}, {"imbalance", imbalance(res)}});
       t.addRow({Table::fmt(drop * 100, 1) + "%",
                 res.completed ? "yes" : "NO", Table::fmt(res.factor_time, 4),
                 Table::fmt(imbalance(res), 2),
@@ -186,6 +190,19 @@ int main(int argc, char** argv) {
                             core::MechanismKind::kSnapshot}) {
       std::cerr << "  [run] crash churn " << mechanismKindName(kind) << "\n";
       const auto out = runCrashChurn(kind, 0.05, 16, 5, 0.2);
+      obs::BenchResultRecord rec;
+      rec.problem = "crash_churn";
+      rec.mechanism = mechanismKindName(kind);
+      rec.strategy = "hardened";
+      rec.nprocs = 16;
+      rec.completed = out.quiesced && out.views_converged;
+      json.add(std::move(rec),
+               {{"drop_prob", 0.05},
+                {"dropped", static_cast<double>(out.dropped)},
+                {"retransmissions",
+                 static_cast<double>(out.retransmissions)},
+                {"ranks_declared_dead",
+                 static_cast<double>(out.declared_dead)}});
       t.addRow({mechanismKindName(kind), out.quiesced ? "yes" : "NO",
                 out.views_converged ? "yes" : "NO",
                 Table::fmtInt(out.dropped), Table::fmtInt(out.retransmissions),
@@ -196,5 +213,5 @@ int main(int argc, char** argv) {
         "ranks' views match the true loads (no permanent divergence).");
     t.print(std::cout);
   }
-  return 0;
+  return json.write() ? 0 : 1;
 }

@@ -319,12 +319,29 @@ void ProtocolAuditor::checkReservationsAtFinish() {
   }
 }
 
+bool ProtocolAuditor::crashedAtFinish(Rank r) const {
+  if (world_ != nullptr && world_->process(r).crashed()) return true;
+  return static_cast<std::size_t>(r) < ext_crashed_.size() &&
+         ext_crashed_[static_cast<std::size_t>(r)];
+}
+
+void ProtocolAuditor::noteCrashed(Rank r) {
+  LOADEX_EXPECT(r >= 0, "noteCrashed: negative rank");
+  if (static_cast<std::size_t>(r) >= ext_crashed_.size())
+    ext_crashed_.resize(static_cast<std::size_t>(r) + 1, false);
+  ext_crashed_[static_cast<std::size_t>(r)] = true;
+}
+
+void ProtocolAuditor::noteRestarted(Rank r) {
+  if (static_cast<std::size_t>(r) < ext_crashed_.size())
+    ext_crashed_[static_cast<std::size_t>(r)] = false;
+}
+
 void ProtocolAuditor::checkSnapshotAtFinish() {
   if (mechs_->kind() != MechanismKind::kSnapshot) return;
   for (Rank r = 0; r < nprocs_; ++r) {
     const auto& sm = dynamic_cast<const SnapshotMechanism&>(mechs_->at(r));
-    const bool crashed =
-        world_ != nullptr && world_->process(r).crashed();
+    const bool crashed = crashedAtFinish(r);
     if (config_.allow_crashes && crashed) continue;
     if (snap_[static_cast<std::size_t>(r)].open && !crashed) {
       std::ostringstream os;

@@ -87,6 +87,15 @@ class ProtocolAuditor final : public AuditObserver {
   /// simulation has drained; online violations recorded so far are kept.
   void finish();
 
+  /// Out-of-band crash annotations for runtimes without a sim::World (the
+  /// rt world, where crashes are thread lifecycle events the auditor
+  /// cannot observe). finish()-time checks then treat `r` as crashed
+  /// under `allow_crashes`, exactly as a sim crash would be. Call from
+  /// one thread only, after the run has drained and before finish() —
+  /// these are not serialised by the observer lock.
+  void noteCrashed(Rank r);
+  void noteRestarted(Rank r);
+
   /// All violations recorded so far, in detection order.
   const std::vector<std::string>& violations() const { return violations_; }
   bool clean() const { return violations_.empty(); }
@@ -127,6 +136,7 @@ class ProtocolAuditor final : public AuditObserver {
                   static_cast<std::size_t>(dst)];
   }
   void record(std::string violation);
+  bool crashedAtFinish(Rank r) const;
   void checkConservationAtFinish();
   void checkReservationsAtFinish();
   void checkSnapshotAtFinish();
@@ -139,6 +149,9 @@ class ProtocolAuditor final : public AuditObserver {
 
   std::vector<std::string> violations_;
   std::int64_t events_observed_ = 0;
+
+  /// Ranks flagged crashed via noteCrashed (world-less runtimes).
+  std::vector<bool> ext_crashed_;
 
   // ---- FIFO tracking ----------------------------------------------------
   std::vector<PairState> pairs_;  ///< indexed src * nprocs + dst

@@ -64,7 +64,8 @@ class LoadView {
   explicit LoadView(int nprocs)
       : load_(static_cast<std::size_t>(nprocs)),
         last_heard_(static_cast<std::size_t>(nprocs), 0.0),
-        dead_(static_cast<std::size_t>(nprocs), false) {}
+        dead_(static_cast<std::size_t>(nprocs), false),
+        suspect_(static_cast<std::size_t>(nprocs), false) {}
 
   int nprocs() const { return static_cast<int>(load_.size()); }
 
@@ -112,10 +113,29 @@ class LoadView {
     return n;
   }
 
+  // ---- suspicion (failure-detector hints) ------------------------------
+  // A suspect entry is still usable — the owner missed heartbeats but was
+  // not declared dead — so schedulers treat it as a last resort rather
+  // than skipping it outright. Reversible, unlike markDead.
+
+  bool suspect(Rank r) const {
+    return suspect_[static_cast<std::size_t>(r)];
+  }
+  void markSuspect(Rank r) { suspect_[static_cast<std::size_t>(r)] = true; }
+  void clearSuspect(Rank r) {
+    suspect_[static_cast<std::size_t>(r)] = false;
+  }
+  int suspectCount() const {
+    int n = 0;
+    for (const bool s : suspect_) n += s ? 1 : 0;
+    return n;
+  }
+
  private:
   std::vector<LoadMetrics> load_;
   std::vector<SimTime> last_heard_;
   std::vector<bool> dead_;
+  std::vector<bool> suspect_;
 };
 
 /// One slave chosen by a master, with the load (work + memory) assigned.

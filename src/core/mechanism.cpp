@@ -60,6 +60,8 @@ void MechanismStats::mergeInto(MechanismStats& out) const {
   out.partial_snapshots += partial_snapshots;
   out.snapshot_aborts += snapshot_aborts;
   out.ranks_declared_dead += ranks_declared_dead;
+  out.ranks_suspected += ranks_suspected;
+  out.resyncs_applied += resyncs_applied;
 }
 
 Mechanism::Mechanism(Transport& transport, MechanismConfig config)
@@ -146,6 +148,40 @@ void Mechanism::markNoMoreMaster(Rank src) {
   LOADEX_EXPECT(src >= 0 && src < transport_.nprocs(),
                 "No_more_master from unknown rank");
   stop_sending_to_[static_cast<std::size_t>(src)] = true;
+}
+
+void Mechanism::notePeerSuspect(Rank peer) {
+  if (peer == transport_.self() || view_.suspect(peer)) return;
+  view_.markSuspect(peer);
+  ++stats_.ranks_suspected;
+}
+
+void Mechanism::notePeerAlive(Rank peer) {
+  if (peer == transport_.self()) return;
+  view_.clearSuspect(peer);
+  if (view_.dead(peer)) view_.revive(peer);
+}
+
+void Mechanism::notePeerDead(Rank peer) {
+  if (peer == transport_.self()) return;
+  view_.clearSuspect(peer);
+  declareDead(peer);
+}
+
+void Mechanism::applyPeerResync(Rank peer, const LoadMetrics& load) {
+  if (peer == transport_.self()) return;
+  view_.set(peer, load);
+  view_.touch(peer, transport_.now());
+  view_.clearSuspect(peer);
+  if (view_.dead(peer)) view_.revive(peer);
+  ++stats_.resyncs_applied;
+}
+
+void Mechanism::onRestart() {
+  // Suspicion marks predate the crash; the rejoin resync and subsequent
+  // traffic re-learn who is actually reachable. Dead marks stay — a
+  // genuinely dead peer must not be trusted just because *we* restarted.
+  for (Rank r = 0; r < transport_.nprocs(); ++r) view_.clearSuspect(r);
 }
 
 void Mechanism::noMoreMaster() {

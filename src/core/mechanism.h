@@ -135,6 +135,11 @@ struct MechanismStats {
   std::int64_t snapshot_aborts = 0;      ///< foreign snapshots force-closed
   std::int64_t ranks_declared_dead = 0;
 
+  // Supervision statistics (rt failure detector + rejoin resync; zero
+  // whenever no supervisor is attached):
+  std::int64_t ranks_suspected = 0;      ///< notePeerSuspect transitions
+  std::int64_t resyncs_applied = 0;      ///< applyPeerResync entries taken
+
   std::int64_t messagesSent() const { return sent_by_tag.total(); }
   void mergeInto(MechanismStats& out) const;
 };
@@ -193,6 +198,33 @@ class Mechanism : public sim::StateHandler {
 
   /// This process will never again be a master (§2.3).
   virtual void noMoreMaster();
+
+  // ---- failure detection / crash recovery (rt supervision layer) -------
+  // Called on this process's own execution context (its node thread in
+  // the rt world); the simulator never calls them, so with no supervisor
+  // attached they are dead code and the clean path is untouched.
+
+  /// Advisory: the failure detector missed heartbeats from `peer`.
+  /// Reversible — notePeerAlive clears it.
+  void notePeerSuspect(Rank peer);
+  /// The detector heard from `peer` again (or it was restarted).
+  void notePeerAlive(Rank peer);
+  /// The detector declared `peer` dead (crashed or silent past the dead
+  /// threshold). Marks the view like any protocol-level death.
+  void notePeerDead(Rank peer);
+
+  /// Rejoin resync: overwrite the maintained entry for `peer` with its
+  /// authoritative load and clear the staleness/suspicion marks. Driven
+  /// by the supervisor after a restart (rt/supervisor.h).
+  void applyPeerResync(Rank peer, const LoadMetrics& load);
+
+  /// Called on a restarted process before it rejoins: shed in-flight
+  /// protocol state that died with the crash (a snapshot mid-flight, a
+  /// pending view callback). The base clears suspicion marks only; the
+  /// maintained seq streams survive a crash untouched (the mechanism
+  /// object persists — only the thread, its timers and in-flight
+  /// messages are lost).
+  virtual void onRestart();
 
   /// Attach (or detach, with nullptr) a passive audit observer. The
   /// observer must outlive the mechanism or be detached before it dies.

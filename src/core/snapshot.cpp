@@ -1,5 +1,7 @@
 #include "core/snapshot.h"
 
+#include <algorithm>
+
 #include "common/expect.h"
 #include "common/log.h"
 #include "obs/metrics.h"
@@ -59,6 +61,25 @@ void SnapshotMechanism::doRequestView(ViewCallback cb) {
   arm();
   updateBlockAccounting();
   maybeComplete();  // nprocs == 1: the view is just my own load
+}
+
+void SnapshotMechanism::onRestart() {
+  Mechanism::onRestart();
+  // Back to the Initialization block of §3. my_request_ is deliberately
+  // NOT reset: ids stay monotonic across the restart, so a pre-crash
+  // answer straggling in can never satisfy a post-restart request.
+  leader_ = kNoRank;
+  nb_snp_ = 0;
+  during_snp_ = false;
+  snapshot_ = false;
+  std::fill(snp_.begin(), snp_.end(), false);
+  std::fill(delayed_.begin(), delayed_.end(), false);
+  nb_msgs_ = 0;
+  std::fill(answered_.begin(), answered_.end(), false);
+  view_cb_ = nullptr;
+  selection_open_ = false;
+  timeout_retries_ = 0;
+  updateBlockAccounting();  // closes a stall interval left open pre-crash
 }
 
 void SnapshotMechanism::arm() {

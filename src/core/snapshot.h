@@ -45,6 +45,13 @@ class SnapshotMechanism final : public Mechanism {
   /// Frozen while any snapshot (mine or another's) is live.
   bool blocksComputation() const override { return snapshot_ || during_snp_; }
 
+  /// Crash recovery: the crash erased every armed timer and in-flight
+  /// message, so any snapshot this process led or answered is gone.
+  /// Reset to the §3 initialisation block (request ids stay monotonic so
+  /// stale answers cannot match a post-restart request); peers force-close
+  /// our orphaned snapshot through their foreign guard.
+  void onRestart() override;
+
   // ---- protocol introspection (tests) ---------------------------------
   Rank currentLeader() const { return leader_; }
   int concurrentSnapshots() const { return nb_snp_; }

@@ -66,13 +66,19 @@ inline ScriptExpectations expectationsOf(const Script& s) {
 /// delegate to the rank (other than the master) with the least viewed
 /// workload, lowest rank winning ties.
 inline Rank leastLoadedSlave(const core::LoadView& v, Rank self) {
+  // Degradation-aware: never pick a rank declared dead, and fall back to
+  // a suspect (missed heartbeats, not declared dead) only when no
+  // healthy candidate exists. On a fault-free run every rank is healthy
+  // and this reduces to the plain least-loaded scan.
   Rank best = kNoRank;
+  Rank best_suspect = kNoRank;
   for (Rank r = 0; r < v.nprocs(); ++r) {
-    if (r == self) continue;
-    if (best == kNoRank || v.load(r).workload < v.load(best).workload)
-      best = r;
+    if (r == self || v.dead(r)) continue;
+    Rank& slot = v.suspect(r) ? best_suspect : best;
+    if (slot == kNoRank || v.load(r).workload < v.load(slot).workload)
+      slot = r;
   }
-  return best;
+  return best != kNoRank ? best : best_suspect;
 }
 
 /// Draw a script from a seed: world size, mechanism, threshold, a few

@@ -1,0 +1,160 @@
+#include "rt/supervisor.h"
+
+#include <algorithm>
+
+#include "core/binding.h"
+#include "rt/clock.h"
+#include "rt/world.h"
+
+namespace loadex::rt {
+
+void postRejoinResync(RtWorld& world, core::MechanismSet& mechs,
+                      Rank restarted) {
+  const int n = world.nprocs();
+  for (Rank p = 0; p < n; ++p) {
+    if (p == restarted || world.rankLife(p) != RankLife::kAlive) continue;
+    world.post(p, [&world, &mechs, p, restarted] {
+      const core::LoadMetrics mine = mechs.at(p).localLoad();
+      world.postTask(p, restarted, [&mechs, p, restarted, mine] {
+        mechs.at(restarted).applyPeerResync(p, mine);
+      });
+    });
+  }
+  world.post(restarted, [&world, &mechs, restarted] {
+    const core::LoadMetrics mine = mechs.at(restarted).localLoad();
+    for (Rank p = 0; p < world.nprocs(); ++p) {
+      if (p == restarted || world.rankLife(p) != RankLife::kAlive) continue;
+      world.postTask(restarted, p, [&mechs, p, restarted, mine] {
+        mechs.at(p).applyPeerResync(restarted, mine);
+      });
+    }
+  });
+}
+
+Supervisor::Supervisor(RtWorld& world, core::MechanismSet* mechs)
+    : world_(world),
+      mechs_(mechs),
+      schedule_(world.faultPlan().process),
+      suspicion_(static_cast<std::size_t>(world.nprocs()),
+                 Suspicion::kAlive) {
+  std::stable_sort(schedule_.begin(), schedule_.end(),
+                   [](const loadex::ProcessFaultEvent& a,
+                      const loadex::ProcessFaultEvent& b) {
+                     return a.time < b.time;
+                   });
+}
+
+Supervisor::~Supervisor() { stop(); }
+
+void Supervisor::start() {
+  thread_ = std::thread(&Supervisor::loop, this);
+}
+
+void Supervisor::stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+void Supervisor::loop() {
+  const FaultPlan& plan = world_.faultPlan();
+  const double sweep_s =
+      plan.suspicion.enabled ? plan.suspicion.sweep_period_s : 1e-3;
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    const SimTime now = world_.now();
+    while (next_event_ < schedule_.size() &&
+           schedule_[next_event_].time <= now)
+      applyEvent(schedule_[next_event_++]);
+    world_.sweepCrashedMailboxes();
+    if (plan.suspicion.enabled) runDetector(world_.now());
+    double wait = sweep_s;
+    if (next_event_ < schedule_.size())
+      wait = std::min(wait, schedule_[next_event_].time - world_.now());
+    MonotonicClock::sleepFor(std::clamp(wait, 50e-6, 1e-3));
+  }
+}
+
+void Supervisor::applyEvent(const loadex::ProcessFaultEvent& ev) {
+  using Kind = loadex::ProcessFaultEvent::Kind;
+  switch (ev.kind) {
+    case Kind::kCrash:
+      world_.crashRank(ev.rank);
+      break;
+    case Kind::kPause:
+      world_.pauseRank(ev.rank);
+      break;
+    case Kind::kResume:
+      world_.resumeRank(ev.rank);
+      break;
+    case Kind::kRestart:
+      restartWithResync(ev.rank);
+      break;
+  }
+}
+
+void Supervisor::restartWithResync(Rank r) {
+  if (world_.rankLife(r) != RankLife::kCrashed) return;
+  world_.restartRank(r);
+  if (mechs_ == nullptr) return;
+  // First thing the fresh thread runs: shed the protocol state that died
+  // with the crash. The resync closures queue behind it (per-mailbox
+  // FIFO), so the rejoiner's view is rebuilt on a clean slate.
+  auto* mechs = mechs_;
+  world_.post(r, [mechs, r] { mechs->at(r).onRestart(); });
+  if (world_.faultPlan().resync_on_restart) {
+    postRejoinResync(world_, *mechs_, r);
+    world_.resyncs_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Supervisor::runDetector(SimTime now) {
+  const SuspicionConfig& sc = world_.faultPlan().suspicion;
+  for (Rank r = 0; r < world_.nprocs(); ++r) {
+    Suspicion next = Suspicion::kAlive;
+    if (world_.rankLife(r) == RankLife::kCrashed) {
+      next = Suspicion::kDead;
+    } else {
+      const double age =
+          now - world_.node(r).heartbeat.load(std::memory_order_relaxed);
+      if (age >= sc.dead_after_s) {
+        next = Suspicion::kDead;
+      } else if (age >= sc.suspect_after_s) {
+        next = Suspicion::kSuspect;
+      }
+    }
+    setSuspicion(r, next);
+  }
+}
+
+void Supervisor::setSuspicion(Rank r, Suspicion next) {
+  Suspicion& cur = suspicion_[static_cast<std::size_t>(r)];
+  if (cur == next) return;
+  if (next == Suspicion::kSuspect)
+    world_.suspects_flagged_.fetch_add(1, std::memory_order_relaxed);
+  if (next == Suspicion::kDead)
+    world_.deaths_declared_.fetch_add(1, std::memory_order_relaxed);
+  if (next == Suspicion::kAlive)
+    world_.revives_.fetch_add(1, std::memory_order_relaxed);
+  cur = next;
+  if (mechs_ == nullptr) return;
+  // Advisory broadcast to every live peer; a full mailbox just misses
+  // this edge (the next transition is another chance to converge).
+  auto* mechs = mechs_;
+  for (Rank p = 0; p < world_.nprocs(); ++p) {
+    if (p == r || world_.rankLife(p) != RankLife::kAlive) continue;
+    world_.tryPost(p, [mechs, p, r, next] {
+      switch (next) {
+        case Suspicion::kAlive:
+          mechs->at(p).notePeerAlive(r);
+          break;
+        case Suspicion::kSuspect:
+          mechs->at(p).notePeerSuspect(r);
+          break;
+        case Suspicion::kDead:
+          mechs->at(p).notePeerDead(r);
+          break;
+      }
+    });
+  }
+}
+
+}  // namespace loadex::rt

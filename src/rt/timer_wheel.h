@@ -75,8 +75,19 @@ class TimerWheel {
     return best;
   }
 
+  /// Drop every armed timer without firing it (crash teardown: the
+  /// owning thread is about to exit). Returns how many were cancelled so
+  /// the caller can settle the pending-work accounting.
+  std::size_t cancelAll() {
+    const std::size_t n = pending_;
+    for (auto& slot : slots_) slot.clear();
+    pending_ = 0;
+    cancelled_ += n;
+    return n;
+  }
+
   std::size_t pending() const { return pending_; }
-  std::uint64_t firedTotal() const { return next_seq_ - pending_; }
+  std::uint64_t firedTotal() const { return next_seq_ - pending_ - cancelled_; }
 
  private:
   struct Timer {
@@ -95,6 +106,7 @@ class TimerWheel {
   std::vector<std::vector<Timer>> slots_;
   std::size_t pending_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t cancelled_ = 0;
 };
 
 }  // namespace loadex::rt

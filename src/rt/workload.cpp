@@ -35,6 +35,11 @@ void WorkloadDriver::postSelection(const harness::ScriptSelectOp& op) {
       const Rank slave = harness::leastLoadedSlave(v, op.master);
       const double latency = world_.now() - t0;
       if (slave == kNoRank) {
+        // Degraded decision: every peer is dead or untrusted in this
+        // view, so the work stays local. The snapshot mechanism still
+        // requires the decision to be committed inside the callback —
+        // an empty selection closes it without delegating anything.
+        m.commitSelection({});
         std::lock_guard<std::mutex> lk(mu_);
         ++skipped_;
         latencies_.push_back(latency);

@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "common/expect.h"
+#include "common/log.h"
+#include "rt/supervisor.h"
 
 namespace loadex::rt {
 
@@ -26,10 +28,15 @@ void RtTransport::schedule(SimTime delay, std::function<void()> fn) {
 
 RtWorld::RtWorld(RtConfig cfg) : cfg_(cfg) {
   LOADEX_EXPECT(cfg_.nprocs >= 1, "RtWorld needs at least one rank");
+  fault_hooks_ = cfg_.faults.enabled();
   nodes_.reserve(static_cast<std::size_t>(cfg_.nprocs));
   for (Rank r = 0; r < cfg_.nprocs; ++r) {
     nodes_.push_back(std::make_unique<Node>(cfg_, r));
     nodes_.back()->transport = std::make_unique<RtTransport>(*this, r);
+    if (cfg_.faults.messages.enabled())
+      nodes_.back()->fault_rng = std::make_unique<Rng>(
+          cfg_.faults.messages.seed ^
+          (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(r + 1)));
   }
 }
 
@@ -47,17 +54,35 @@ void RtWorld::attach(Rank r, sim::StateHandler* handler) {
   node(r).handler = handler;
 }
 
+void RtWorld::superviseMechanisms(core::MechanismSet* mechs) {
+  LOADEX_EXPECT(!started_, "superviseMechanisms() must precede start()");
+  mechs_ = mechs;
+}
+
 void RtWorld::start() {
   LOADEX_EXPECT(!started_, "RtWorld can only start once");
   started_ = true;
-  for (auto& n : nodes_)
+  const SimTime t0 = clock_.now();
+  for (auto& n : nodes_) {
+    n->heartbeat.store(t0, std::memory_order_relaxed);
     n->thread = std::thread(&RtWorld::nodeLoop, this, std::ref(*n));
+  }
+  if (cfg_.faults.needsSupervisor()) {
+    supervisor_ = std::make_unique<Supervisor>(*this, mechs_);
+    supervisor_->start();
+  }
 }
 
 void RtWorld::stop() {
   if (!started_ || stopped_) return;
   stopped_ = true;
+  // Join the supervisor first: once it is gone the lifecycle states are
+  // frozen, so the per-node checks below cannot race a scripted crash.
+  if (supervisor_) supervisor_->stop();
+  stopping_.store(true, std::memory_order_release);
   for (auto& n : nodes_) {
+    if (fault_hooks_ && lifeOf(*n) == RankLife::kCrashed)
+      continue;  // sealed: the thread already exited, nothing to stop
     pending_.fetch_add(1, std::memory_order_relaxed);
     Envelope e;
     e.kind = Envelope::Kind::kStop;
@@ -65,16 +90,42 @@ void RtWorld::stop() {
   }
   for (auto& n : nodes_)
     if (n->thread.joinable()) n->thread.join();
+  // Last sealed-mailbox sweep: racing senders may have landed envelopes
+  // after the supervisor's final sweep.
+  if (fault_hooks_) sweepCrashedMailboxes();
 }
 
 bool RtWorld::drain(double timeout_s) {
   const SimTime deadline = clock_.now() + timeout_s;
-  for (;;) {
+  for (int iter = 0;; ++iter) {
     if (pending_.load(std::memory_order_acquire) == 0) return true;
+    // Crashed mailboxes have no consumer: collect what racing senders
+    // landed after the seal, or pending never reaches zero.
+    if (fault_hooks_ && iter % 20 == 0) sweepCrashedMailboxes();
     if (clock_.now() >= deadline) break;
     MonotonicClock::sleepFor(50e-6);
   }
-  return pending_.load(std::memory_order_acquire) == 0;
+  if (fault_hooks_) sweepCrashedMailboxes();
+  if (pending_.load(std::memory_order_acquire) == 0) return true;
+  logDrainDiagnostics();
+  return false;
+}
+
+void RtWorld::logDrainDiagnostics() const {
+  LOG_WARN("rt drain timed out with "
+           << pending_.load(std::memory_order_acquire)
+           << " pending work item(s); per-rank depths:");
+  for (const auto& n : nodes_) {
+    const std::size_t mb = n->mailbox.approxSize();
+    const std::size_t sp = n->pub_spill.load(std::memory_order_relaxed);
+    const std::size_t tw =
+        n->pub_wheel_pending.load(std::memory_order_relaxed);
+    const RankLife life = lifeOf(*n);
+    if (mb == 0 && sp == 0 && tw == 0 && life == RankLife::kAlive) continue;
+    LOG_WARN("  rank " << n->rank << " [" << rankLifeName(life)
+                       << "]: mailbox=" << mb << " spill=" << sp
+                       << " armed_timers=" << tw);
+  }
 }
 
 // ---- node access ----------------------------------------------------------
@@ -130,7 +181,38 @@ void RtWorld::post(Rank r, std::function<void()> fn) {
   e.kind = Envelope::Kind::kTask;
   e.fn = std::move(fn);
   pending_.fetch_add(1, std::memory_order_relaxed);
-  node(r).mailbox.push(std::move(e));  // blocking backpressure: driver only
+  Node& d = node(r);
+  if (!fault_hooks_) {
+    d.mailbox.push(std::move(e));  // blocking backpressure: driver only
+    return;
+  }
+  // Under a fault plan the destination can crash at any moment; a
+  // blocking push would then wait forever on a consumer that is gone.
+  // Bounded-slice retries re-checking the seal keep the driver safe.
+  for (;;) {
+    if (lifeOf(d) == RankLife::kCrashed) {
+      noteDropped(e, dropped_at_sealed_mailbox_);
+      return;
+    }
+    if (d.mailbox.tryPush(std::move(e))) return;
+    MonotonicClock::sleepFor(20e-6);
+  }
+}
+
+bool RtWorld::tryPost(Rank r, std::function<void()> fn) {
+  LOADEX_EXPECT(started_, "tryPost() needs a started world");
+  Node& d = node(r);
+  if (fault_hooks_ && lifeOf(d) == RankLife::kCrashed) return false;
+  Envelope e;
+  e.kind = Envelope::Kind::kTask;
+  e.fn = std::move(fn);
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  if (!d.mailbox.tryPush(std::move(e))) {
+    pending_.fetch_sub(1, std::memory_order_release);
+    return false;
+  }
+  task_posted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 void RtWorld::postWhenFree(Rank r, std::function<void()> fn, double retry_s) {
@@ -151,24 +233,103 @@ void RtWorld::postTask(Rank from, Rank to, std::function<void()> fn) {
   sendFromNode(src, to, std::move(e));
 }
 
+// ---- sending + fault injection --------------------------------------------
+
+void RtWorld::noteDropped(const Envelope& e,
+                          std::atomic<std::int64_t>& reason) {
+  reason.fetch_add(1, std::memory_order_relaxed);
+  (e.kind == Envelope::Kind::kState ? state_dropped_ : task_dropped_)
+      .fetch_add(1, std::memory_order_relaxed);
+  pending_.fetch_sub(1, std::memory_order_release);
+}
+
 void RtWorld::sendFromNode(Node& src, Rank dst, Envelope&& e) {
+  if (fault_hooks_) {
+    sendFromNodeFaulty(src, dst, std::move(e));
+    return;
+  }
+  enqueueFromNode(src, dst, std::move(e), 0.0);
+}
+
+void RtWorld::sendFromNodeFaulty(Node& src, Rank dst, Envelope&& e) {
+  const bool is_state = e.kind == Envelope::Kind::kState;
+  const auto& fp = cfg_.faults.messages;
+  SimTime hold = 0.0;
+  bool duplicate = false;
+  if (fp.enabled() && (is_state ? fp.affects_state : fp.affects_app)) {
+    const SimTime t = clock_.now();
+    for (const auto& b : fp.blackouts) {
+      if (!b.matches(src.rank, dst, t)) continue;
+      noteDropped(e, fault_drops_);
+      return;
+    }
+    // Draw order is fixed (drop, duplicate, spike) so a sender's fault
+    // stream depends only on its seed and send sequence.
+    Rng& rng = *src.fault_rng;
+    if (fp.drop_prob > 0.0 && rng.uniformReal() < fp.drop_prob) {
+      noteDropped(e, fault_drops_);
+      return;
+    }
+    if (fp.duplicate_prob > 0.0 && rng.uniformReal() < fp.duplicate_prob)
+      duplicate = true;
+    if (fp.latency_spike_prob > 0.0 &&
+        rng.uniformReal() < fp.latency_spike_prob) {
+      hold = t + fp.latency_spike_s;
+      latency_spikes_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (duplicate) {
+    // The copy rides right behind the original: per-pair FIFO holds, the
+    // receiver just sees the payload twice.
+    (is_state ? state_duplicated_ : task_duplicated_)
+        .fetch_add(1, std::memory_order_relaxed);
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    Envelope copy = e;
+    enqueueFromNode(src, dst, std::move(e), hold);
+    enqueueFromNode(src, dst, std::move(copy), hold);
+    return;
+  }
+  enqueueFromNode(src, dst, std::move(e), hold);
+}
+
+void RtWorld::enqueueFromNode(Node& src, Rank dst, Envelope&& e,
+                              SimTime not_before) {
+  Node& d = node(dst);
+  if (fault_hooks_ && lifeOf(d) == RankLife::kCrashed) {
+    noteDropped(e, dropped_at_sealed_mailbox_);
+    return;
+  }
   auto& q = src.spill[static_cast<std::size_t>(dst)];
-  // Once a destination has spilled, later envelopes to it must queue
-  // behind the spill or per-pair FIFO breaks.
-  if (q.empty() && node(dst).mailbox.tryPush(std::move(e))) return;
-  q.push_back(std::move(e));
+  // Once a destination has spilled (or holds a delayed envelope), later
+  // envelopes to it must queue behind the spill or per-pair FIFO breaks.
+  if (not_before <= 0.0 && q.empty() && d.mailbox.tryPush(std::move(e)))
+    return;
+  if (not_before <= 0.0)
+    spill_enqueues_.fetch_add(1, std::memory_order_relaxed);
+  q.push_back({std::move(e), not_before});
   ++src.spill_size;
-  spill_enqueues_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void RtWorld::flushSpill(Node& n) {
   if (n.spill_size == 0) return;
+  SimTime now = -1.0;  // read lazily: only held entries need the clock
   for (Rank d = 0; d < nprocs(); ++d) {
     auto& q = n.spill[static_cast<std::size_t>(d)];
     while (!q.empty()) {
+      SpillEntry& front = q.front();
+      if (front.not_before > 0.0) {
+        if (now < 0.0) now = clock_.now();
+        if (front.not_before > now) break;  // held: successors wait too
+      }
+      if (fault_hooks_ && lifeOf(node(d)) == RankLife::kCrashed) {
+        noteDropped(front.e, dropped_at_sealed_mailbox_);
+        q.pop_front();
+        --n.spill_size;
+        continue;
+      }
       // tryPush only consumes its argument on success, so a failed
-      // attempt leaves q.front() intact for the next loop turn.
-      if (!node(d).mailbox.tryPush(std::move(q.front()))) break;
+      // attempt leaves the entry intact for the next loop turn.
+      if (!node(d).mailbox.tryPush(std::move(front.e))) break;
       q.pop_front();
       --n.spill_size;
     }
@@ -191,11 +352,132 @@ void RtWorld::runWhenFree(Node& n, std::function<void()>&& fn,
   fn();
 }
 
+// ---- rank lifecycle -------------------------------------------------------
+
+RankLife RtWorld::rankLife(Rank r) const { return lifeOf(node(r)); }
+
+void RtWorld::crashRank(Rank r) {
+  LOADEX_EXPECT(fault_hooks_, "crashRank needs an enabled fault plan");
+  LOADEX_EXPECT(t_current_node == nullptr,
+                "lifecycle transitions must come from a driver/supervisor "
+                "thread, not a node thread");
+  std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  Node& n = node(r);
+  if (lifeOf(n) == RankLife::kCrashed) return;
+  // Seal first: every sender's next life check starts dropping. Then ask
+  // the thread to exit and join it — the join orders its teardown
+  // (cancelled timers, discarded spill) before the sweep below, and
+  // makes this thread the mailbox's unique consumer.
+  n.life.store(static_cast<int>(RankLife::kCrashed),
+               std::memory_order_release);
+  n.crash_requested.store(true, std::memory_order_release);
+  if (n.thread.joinable()) n.thread.join();
+  crashes_.fetch_add(1, std::memory_order_relaxed);
+  sweepMailboxLocked(n);
+}
+
+void RtWorld::pauseRank(Rank r) {
+  LOADEX_EXPECT(fault_hooks_, "pauseRank needs an enabled fault plan");
+  std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  Node& n = node(r);
+  if (lifeOf(n) != RankLife::kAlive) return;
+  n.life.store(static_cast<int>(RankLife::kPaused),
+               std::memory_order_release);
+}
+
+void RtWorld::resumeRank(Rank r) {
+  LOADEX_EXPECT(fault_hooks_, "resumeRank needs an enabled fault plan");
+  std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  Node& n = node(r);
+  if (lifeOf(n) != RankLife::kPaused) return;
+  // Refresh the heartbeat before unparking so the failure detector sees
+  // the rank alive as soon as it is.
+  n.heartbeat.store(clock_.now(), std::memory_order_relaxed);
+  n.life.store(static_cast<int>(RankLife::kAlive),
+               std::memory_order_release);
+}
+
+void RtWorld::restartRank(Rank r) {
+  LOADEX_EXPECT(fault_hooks_, "restartRank needs an enabled fault plan");
+  LOADEX_EXPECT(t_current_node == nullptr,
+                "lifecycle transitions must come from a driver/supervisor "
+                "thread, not a node thread");
+  std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  Node& n = node(r);
+  if (lifeOf(n) != RankLife::kCrashed) return;
+  sweepMailboxLocked(n);  // envelopes landed while sealed die with the crash
+  n.crash_requested.store(false, std::memory_order_relaxed);
+  n.heartbeat.store(clock_.now(), std::memory_order_relaxed);
+  n.life.store(static_cast<int>(RankLife::kAlive),
+               std::memory_order_release);
+  n.thread = std::thread(&RtWorld::nodeLoop, this, std::ref(n));
+  restarts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RtWorld::sweepCrashedMailboxes() {
+  if (!fault_hooks_) return;
+  LOADEX_EXPECT(t_current_node == nullptr,
+                "sweeps must come from a driver/supervisor thread");
+  std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  for (auto& n : nodes_)
+    if (lifeOf(*n) == RankLife::kCrashed) sweepMailboxLocked(*n);
+}
+
+void RtWorld::sweepMailboxLocked(Node& n) {
+  Envelope e;
+  while (n.mailbox.tryPop(e)) {
+    if (e.kind == Envelope::Kind::kStop) {
+      pending_.fetch_sub(1, std::memory_order_release);
+      continue;
+    }
+    noteDropped(e, crash_discards_);
+  }
+}
+
+void RtWorld::crashOnNodeThread(Node& n) {
+  // Armed timers die with the thread: their closures never run.
+  const std::size_t cancelled = n.wheel.cancelAll();
+  if (cancelled != 0) {
+    timers_cancelled_.fetch_add(static_cast<std::int64_t>(cancelled),
+                                std::memory_order_relaxed);
+    pending_.fetch_sub(static_cast<std::int64_t>(cancelled),
+                       std::memory_order_release);
+  }
+  // The outbound backlog dies too; the inbound mailbox is swept by
+  // whoever drove the crash, after joining this thread.
+  for (auto& q : n.spill) {
+    for (auto& entry : q) noteDropped(entry.e, crash_discards_);
+    q.clear();
+  }
+  n.spill_size = 0;
+  n.pub_wheel_pending.store(0, std::memory_order_relaxed);
+  n.pub_spill.store(0, std::memory_order_relaxed);
+}
+
 // ---- node main loop -------------------------------------------------------
 
 void RtWorld::nodeLoop(Node& n) {
   t_current_node = &n;
   for (;;) {
+    if (fault_hooks_) {
+      if (n.crash_requested.load(std::memory_order_acquire)) {
+        crashOnNodeThread(n);
+        return;
+      }
+      if (lifeOf(n) == RankLife::kPaused) {
+        // Parked: consume nothing, publish nothing — the failure
+        // detector watches the heartbeat age out.
+        while (lifeOf(n) == RankLife::kPaused &&
+               !stopping_.load(std::memory_order_acquire) &&
+               !n.crash_requested.load(std::memory_order_acquire))
+          MonotonicClock::sleepFor(100e-6);
+        continue;
+      }
+      n.heartbeat.store(clock_.now(), std::memory_order_relaxed);
+    }
+    n.pub_wheel_pending.store(n.wheel.pending(), std::memory_order_relaxed);
+    n.pub_spill.store(n.spill_size, std::memory_order_relaxed);
+
     const int fired = n.wheel.fireDue(clock_.now());
     if (fired > 0) {
       n.timers_fired += fired;
@@ -236,6 +518,16 @@ void RtWorld::nodeLoop(Node& n) {
 
 // ---- stats ----------------------------------------------------------------
 
+RtWorld::LifecycleCounts RtWorld::lifecycleCounts() const {
+  LifecycleCounts c;
+  c.crashes = crashes_.load(std::memory_order_relaxed);
+  c.restarts = restarts_.load(std::memory_order_relaxed);
+  c.suspects_flagged = suspects_flagged_.load(std::memory_order_relaxed);
+  c.deaths_declared = deaths_declared_.load(std::memory_order_relaxed);
+  c.revives = revives_.load(std::memory_order_relaxed);
+  return c;
+}
+
 RtRunStats RtWorld::runStats() const {
   RtRunStats s;
   s.state_posted = state_posted_.load(std::memory_order_relaxed);
@@ -243,12 +535,29 @@ RtRunStats RtWorld::runStats() const {
   s.task_posted = task_posted_.load(std::memory_order_relaxed);
   s.timers_armed = timers_armed_.load(std::memory_order_relaxed);
   s.spill_enqueues = spill_enqueues_.load(std::memory_order_relaxed);
+  s.state_dropped = state_dropped_.load(std::memory_order_relaxed);
+  s.task_dropped = task_dropped_.load(std::memory_order_relaxed);
+  s.state_duplicated = state_duplicated_.load(std::memory_order_relaxed);
+  s.task_duplicated = task_duplicated_.load(std::memory_order_relaxed);
+  s.fault_drops = fault_drops_.load(std::memory_order_relaxed);
+  s.latency_spikes = latency_spikes_.load(std::memory_order_relaxed);
+  s.dropped_at_sealed_mailbox =
+      dropped_at_sealed_mailbox_.load(std::memory_order_relaxed);
+  s.crash_discards = crash_discards_.load(std::memory_order_relaxed);
+  s.timers_cancelled = timers_cancelled_.load(std::memory_order_relaxed);
+  s.crashes = crashes_.load(std::memory_order_relaxed);
+  s.restarts = restarts_.load(std::memory_order_relaxed);
+  s.resyncs = resyncs_.load(std::memory_order_relaxed);
+  s.suspects_flagged = suspects_flagged_.load(std::memory_order_relaxed);
+  s.deaths_declared = deaths_declared_.load(std::memory_order_relaxed);
+  s.revives = revives_.load(std::memory_order_relaxed);
   for (const auto& n : nodes_) {
     s.state_delivered += n->delivered_state;
     s.task_delivered += n->delivered_task;
     s.timers_fired += n->timers_fired;
     const MailboxStats ms = n->mailbox.stats();
     s.mailbox_pushes += ms.pushes;
+    s.mailbox_pops += ms.pops;
     s.mailbox_full_rejections += ms.full_rejections;
     s.mailbox_blocking_waits += ms.blocking_waits;
   }

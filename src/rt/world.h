@@ -22,6 +22,27 @@
 //     handler completes, so work a handler spawns is counted before its
 //     own count drops: pending == 0 is a stable quiescent state, which is
 //     exactly what drain() polls for.
+//
+// Fault injection (rt/faults.h) extends both rules to an unreliable
+// platform while keeping them true. With cfg.faults enabled:
+//
+//   message faults — every node-thread send may be dropped (random or
+//     blackout), duplicated (the copy rides right behind the original,
+//     per-pair FIFO intact) or held back by a latency spike. A held
+//     envelope waits in the sender's spill queue with a release time, so
+//     it still cannot overtake later sends — spikes delay the whole pair
+//     stream, exactly like the simulator's FIFO-preserving spike.
+//   thread lifecycle — crashRank seals the victim's mailbox (senders
+//     drop, counted) and makes its thread exit after cancelling armed
+//     timers and discarding its outbound spill; pauseRank parks the loop
+//     without consuming anything; restartRank sweeps the sealed backlog
+//     and spawns a fresh thread. Every discarded envelope and cancelled
+//     timer settles the pending-work counter, so drain() still reaches a
+//     true quiescent zero under any crash schedule.
+//
+// With the default (inert) plan none of this code runs: no per-send
+// branch, no supervisor thread, and RtRunStats is bit-identical to the
+// pre-fault-layer runtime.
 #pragma once
 
 #include <atomic>
@@ -29,17 +50,26 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/types.h"
 #include "rt/clock.h"
+#include "rt/faults.h"
 #include "rt/mailbox.h"
 #include "rt/timer_wheel.h"
 #include "rt/transport.h"
 #include "sim/application.h"
 
+namespace loadex::core {
+class MechanismSet;
+}  // namespace loadex::core
+
 namespace loadex::rt {
+
+class Supervisor;
 
 struct RtConfig {
   int nprocs = 4;
@@ -50,6 +80,8 @@ struct RtConfig {
   /// Longest a node loop sleeps with nothing due: bounds spill-flush and
   /// stop latency, and caps the cost of any missed wakeup.
   double max_idle_wait_s = 1e-3;
+  /// Fault injection + supervision plan; inert by default.
+  FaultPlan faults;
 };
 
 /// Aggregated run counters; exact once stop() has joined the threads.
@@ -63,8 +95,33 @@ struct RtRunStats {
   std::int64_t timers_fired = 0;
   std::int64_t spill_enqueues = 0;   ///< sends deferred by a full mailbox
   std::uint64_t mailbox_pushes = 0;
+  std::uint64_t mailbox_pops = 0;
   std::uint64_t mailbox_full_rejections = 0;
   std::uint64_t mailbox_blocking_waits = 0;
+
+  // ---- fault & lifecycle counters (all zero on a clean run) ------------
+  // Conservation under faults: every posted envelope is either delivered
+  // or counted in exactly one drop bucket, and injected copies are
+  // counted too, so
+  //   state_posted + state_duplicated == state_delivered + state_dropped
+  //   task_posted  + task_duplicated  == task_delivered  + task_dropped
+  //   timers_armed == timers_fired + timers_cancelled
+  // hold at stop() under any fault schedule.
+  std::int64_t state_dropped = 0;     ///< state envelopes lost to any fault
+  std::int64_t task_dropped = 0;      ///< task envelopes lost to any fault
+  std::int64_t state_duplicated = 0;  ///< injected copies on the state channel
+  std::int64_t task_duplicated = 0;
+  std::int64_t fault_drops = 0;       ///< random drops + blackout hits
+  std::int64_t latency_spikes = 0;    ///< sends held back by a spike
+  std::int64_t dropped_at_sealed_mailbox = 0;  ///< sends to a crashed rank
+  std::int64_t crash_discards = 0;    ///< a crashed rank's swept backlog
+  std::int64_t timers_cancelled = 0;  ///< wheel entries dropped at crash
+  std::int64_t crashes = 0;
+  std::int64_t restarts = 0;
+  std::int64_t resyncs = 0;           ///< rejoin resync rounds driven
+  std::int64_t suspects_flagged = 0;  ///< detector alive -> suspect edges
+  std::int64_t deaths_declared = 0;   ///< detector dead declarations
+  std::int64_t revives = 0;           ///< detector suspect/dead -> alive edges
 };
 
 class RtWorld {
@@ -77,6 +134,7 @@ class RtWorld {
 
   int nprocs() const { return cfg_.nprocs; }
   SimTime now() const { return clock_.now(); }
+  const FaultPlan& faultPlan() const { return cfg_.faults; }
 
   /// Per-rank transports, in rank order — feed to MechanismSet.
   std::vector<core::Transport*> transports();
@@ -85,12 +143,24 @@ class RtWorld {
   /// Must be called before start().
   void attach(Rank r, sim::StateHandler* handler);
 
+  /// Hand the mechanism set to the supervision layer (suspicion
+  /// broadcasts, onRestart + rejoin resync after a scripted restart).
+  /// Optional, but must precede start(); without it the supervisor still
+  /// runs the crash schedule, it just cannot resync anyone.
+  void superviseMechanisms(core::MechanismSet* mechs);
+
   void start();
   bool running() const { return started_ && !stopped_; }
 
   /// Run a closure on rank r's thread. Blocking backpressure — driver
-  /// threads only, never from a node thread (use postTask there).
+  /// threads only, never from a node thread (use postTask there). With
+  /// fault hooks enabled a post to a crashed rank is dropped (counted),
+  /// not blocked on.
   void post(Rank r, std::function<void()> fn);
+
+  /// Non-blocking post: false if the destination is sealed or its mailbox
+  /// is full (nothing is counted as posted then). Supervisor + tests.
+  bool tryPost(Rank r, std::function<void()> fn);
 
   /// Like post(), but the closure is deferred (re-armed every `retry_s`)
   /// while the rank's handler blocks computation — a live snapshot freeze.
@@ -103,14 +173,47 @@ class RtWorld {
 
   /// Wait until the pending-work counter reaches its stable zero, i.e. no
   /// envelope is queued or executing and no timer is armed anywhere.
-  /// False on timeout (something still in flight).
+  /// False on timeout (something still in flight) — the per-rank pending
+  /// depths (mailbox, spill, armed timers) are then logged at warn level.
   bool drain(double timeout_s);
 
   /// Post a stop envelope to every node and join the threads. Idempotent.
   void stop();
 
-  /// Snapshot of the run counters (exact after stop()).
+  // ---- rank lifecycle (fault hooks enabled only) -----------------------
+  // Callable from driver or supervisor threads, never from a node thread.
+  // crashRank seals the mailbox, joins the victim's thread and sweeps the
+  // backlog; restartRank spawns a fresh thread for a crashed rank.
+  // Concurrent use against stop() is not supported: scripted plans are
+  // executed by the supervisor, which stop() joins first.
+
+  void crashRank(Rank r);
+  void pauseRank(Rank r);
+  void resumeRank(Rank r);
+  void restartRank(Rank r);
+  RankLife rankLife(Rank r) const;
+
+  /// Drain sealed mailboxes of crashed ranks (racing senders can land a
+  /// push between the seal and their next life check; the sweep settles
+  /// the pending-work counter). drain() and the supervisor call this
+  /// periodically; safe from any non-node thread.
+  void sweepCrashedMailboxes();
+
+  /// Snapshot of the run counters (exact after stop()). Not safe to call
+  /// while node threads run: it folds in thread-confined per-node
+  /// counters. To poll progress mid-run use lifecycleCounts().
   RtRunStats runStats() const;
+
+  /// Detector / lifecycle counters only, read from atomics — safe to
+  /// poll from any thread while the world is running.
+  struct LifecycleCounts {
+    std::int64_t crashes = 0;
+    std::int64_t restarts = 0;
+    std::int64_t suspects_flagged = 0;
+    std::int64_t deaths_declared = 0;
+    std::int64_t revives = 0;
+  };
+  LifecycleCounts lifecycleCounts() const;
 
   /// Current pending-work count (diagnostics; racy while running).
   std::int64_t pendingWork() const {
@@ -119,6 +222,17 @@ class RtWorld {
 
  private:
   friend class RtTransport;
+  friend class Supervisor;
+
+  /// Sender-side spill entry: an envelope waiting for mailbox space, or —
+  /// under a latency-spike fault — for its release time. Keeping held
+  /// envelopes in the same per-destination queue preserves per-pair FIFO:
+  /// a spike delays the whole (src,dst) stream, never one message past
+  /// its successors.
+  struct SpillEntry {
+    Envelope e;
+    SimTime not_before = 0.0;  ///< 0: send as soon as the mailbox has room
+  };
 
   struct Node {
     Rank rank = kNoRank;
@@ -129,12 +243,26 @@ class RtWorld {
     std::thread thread;
     /// Per-destination spill queues (sender side), only touched by the
     /// owning thread.
-    std::vector<std::deque<Envelope>> spill;
+    std::vector<std::deque<SpillEntry>> spill;
     std::size_t spill_size = 0;
     // Counters written only by the owning thread, read after join.
+    // Cumulative across restarts (the join in crashRank orders the old
+    // incarnation's writes before the new thread's).
     std::int64_t delivered_state = 0;
     std::int64_t delivered_task = 0;
     std::int64_t timers_fired = 0;
+
+    // ---- lifecycle + published diagnostics -----------------------------
+    std::atomic<int> life{static_cast<int>(RankLife::kAlive)};
+    std::atomic<bool> crash_requested{false};
+    /// Wall-clock of the last loop turn (failure-detector heartbeat).
+    std::atomic<double> heartbeat{0.0};
+    /// Loop-turn snapshots of thread-confined depths, so drain timeout
+    /// diagnostics can read them without racing the owner.
+    std::atomic<std::size_t> pub_wheel_pending{0};
+    std::atomic<std::size_t> pub_spill{0};
+    /// Per-sender fault RNG stream (owning thread only).
+    std::unique_ptr<Rng> fault_rng;
 
     Node(const RtConfig& cfg, Rank r)
         : rank(r),
@@ -156,17 +284,45 @@ class RtWorld {
                  std::shared_ptr<const sim::Payload> payload);
   void scheduleOnCallingNode(double delay, std::function<void()> fn);
 
-  /// Enqueue from a node thread: direct tryPush, spill on full.
+  /// Enqueue from a node thread: fault draws (when enabled), then direct
+  /// tryPush, spill on full / on hold.
   void sendFromNode(Node& src, Rank dst, Envelope&& e);
+  void sendFromNodeFaulty(Node& src, Rank dst, Envelope&& e);
+  void enqueueFromNode(Node& src, Rank dst, Envelope&& e, SimTime not_before);
   void flushSpill(Node& n);
   void runWhenFree(Node& n, std::function<void()>&& fn, double retry_s);
   void nodeLoop(Node& n);
+
+  // Fault accounting: every path that loses an envelope must settle the
+  // pending-work counter and hit exactly one drop bucket + the channel
+  // counter, or the conservation identities above break.
+  void noteDropped(const Envelope& e, std::atomic<std::int64_t>& reason);
+  RankLife lifeOf(const Node& n) const {
+    return static_cast<RankLife>(n.life.load(std::memory_order_acquire));
+  }
+
+  /// Crash teardown run by the dying thread itself: cancel timers,
+  /// discard the outbound spill, clear published depths.
+  void crashOnNodeThread(Node& n);
+  /// Drain a sealed mailbox. Caller holds lifecycle_mu_ and the node's
+  /// thread has been joined (the sweeper is then the unique consumer).
+  void sweepMailboxLocked(Node& n);
+  void logDrainDiagnostics() const;
 
   RtConfig cfg_;
   MonotonicClock clock_;
   std::vector<std::unique_ptr<Node>> nodes_;
   bool started_ = false;
   bool stopped_ = false;
+  /// True once any fault machinery is configured; every fault branch in
+  /// the hot paths is gated on this single bool.
+  bool fault_hooks_ = false;
+  core::MechanismSet* mechs_ = nullptr;
+  std::unique_ptr<Supervisor> supervisor_;
+  /// Serialises crash/restart/sweep transitions (cold paths).
+  mutable std::mutex lifecycle_mu_;
+  /// Raised by stop(): paused loops unpark so the kStop can drain.
+  std::atomic<bool> stopping_{false};
 
   /// The conservation counter drain() polls (see file comment).
   std::atomic<std::int64_t> pending_{0};
@@ -177,6 +333,23 @@ class RtWorld {
   std::atomic<std::int64_t> task_posted_{0};
   std::atomic<std::int64_t> timers_armed_{0};
   std::atomic<std::int64_t> spill_enqueues_{0};
+
+  // Fault counters (any thread; all stay zero on the clean path).
+  std::atomic<std::int64_t> state_dropped_{0};
+  std::atomic<std::int64_t> task_dropped_{0};
+  std::atomic<std::int64_t> state_duplicated_{0};
+  std::atomic<std::int64_t> task_duplicated_{0};
+  std::atomic<std::int64_t> fault_drops_{0};
+  std::atomic<std::int64_t> latency_spikes_{0};
+  std::atomic<std::int64_t> dropped_at_sealed_mailbox_{0};
+  std::atomic<std::int64_t> crash_discards_{0};
+  std::atomic<std::int64_t> timers_cancelled_{0};
+  std::atomic<std::int64_t> crashes_{0};
+  std::atomic<std::int64_t> restarts_{0};
+  std::atomic<std::int64_t> resyncs_{0};
+  std::atomic<std::int64_t> suspects_flagged_{0};
+  std::atomic<std::int64_t> deaths_declared_{0};
+  std::atomic<std::int64_t> revives_{0};
 };
 
 }  // namespace loadex::rt

@@ -96,6 +96,7 @@ core::SlaveSelection SlaveScheduler::select(const core::LoadView& view,
                                             const SelectionRequest& req) const {
   LOADEX_EXPECT(req.rows > 0, "type-2 node without border rows");
   std::vector<std::pair<double, Rank>> cand;
+  std::vector<std::pair<double, Rank>> suspects;
   cand.reserve(static_cast<std::size_t>(view.nprocs()));
   for (Rank r = 0; r < view.nprocs(); ++r) {
     if (r == req.master) continue;
@@ -103,8 +104,11 @@ core::SlaveSelection SlaveScheduler::select(const core::LoadView& view,
     if (req.staleness_limit_s > 0.0 &&
         view.staleness(r, req.now) > req.staleness_limit_s)
       continue;  // entry too old to trust
-    cand.emplace_back(metric(view, r), r);
+    // Failure-detector suspects (missed heartbeats, not declared dead)
+    // are a last resort: used only when no healthy candidate exists.
+    (view.suspect(r) ? suspects : cand).emplace_back(metric(view, r), r);
   }
+  if (cand.empty()) cand = std::move(suspects);
   if (cand.empty()) return {};  // caller degrades to local execution
   std::stable_sort(cand.begin(), cand.end());
 

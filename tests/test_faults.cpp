@@ -47,6 +47,53 @@ struct NetFixture {
   }
 };
 
+// ---- LinkBlackout::matches edge cases -------------------------------------
+// The predicate is shared by the simulator and the rt runtime
+// (common/faults.h), so its edge semantics must be pinned down once:
+// kNoRank wildcards, a half-open [start, end) window, and the zero-width
+// degenerate case that matches nothing.
+
+TEST(LinkBlackoutMatches, ExactLinkAndWindow) {
+  const LinkBlackout b{1, 2, 1.0, 2.0};
+  EXPECT_TRUE(b.matches(1, 2, 1.5));
+  EXPECT_FALSE(b.matches(2, 1, 1.5));  // direction matters
+  EXPECT_FALSE(b.matches(1, 3, 1.5));
+  EXPECT_FALSE(b.matches(0, 2, 1.5));
+}
+
+TEST(LinkBlackoutMatches, WindowIsHalfOpen) {
+  const LinkBlackout b{1, 2, 1.0, 2.0};
+  EXPECT_TRUE(b.matches(1, 2, 1.0));   // start is inclusive
+  EXPECT_FALSE(b.matches(1, 2, 2.0));  // end is exclusive
+  EXPECT_FALSE(b.matches(1, 2, 0.999999));
+  EXPECT_TRUE(b.matches(1, 2, 1.999999));
+}
+
+TEST(LinkBlackoutMatches, WildcardsMatchAnyRank) {
+  const LinkBlackout any_src{kNoRank, 2, 0.0, 1.0};
+  EXPECT_TRUE(any_src.matches(0, 2, 0.5));
+  EXPECT_TRUE(any_src.matches(7, 2, 0.5));
+  EXPECT_FALSE(any_src.matches(0, 3, 0.5));
+
+  const LinkBlackout any_dst{2, kNoRank, 0.0, 1.0};
+  EXPECT_TRUE(any_dst.matches(2, 0, 0.5));
+  EXPECT_TRUE(any_dst.matches(2, 7, 0.5));
+  EXPECT_FALSE(any_dst.matches(3, 0, 0.5));
+
+  const LinkBlackout total{kNoRank, kNoRank, 0.0, 1.0};
+  EXPECT_TRUE(total.matches(0, 1, 0.5));
+  EXPECT_TRUE(total.matches(5, 6, 0.0));
+  EXPECT_FALSE(total.matches(5, 6, 1.0));  // window still half-open
+}
+
+TEST(LinkBlackoutMatches, ZeroWidthWindowMatchesNothing) {
+  // [t, t) is empty by the half-open convention — even at t itself.
+  const LinkBlackout b{kNoRank, kNoRank, 1.0, 1.0};
+  EXPECT_FALSE(b.matches(0, 1, 1.0));
+  EXPECT_FALSE(b.matches(0, 1, 1.0 - 1e-12));
+  EXPECT_FALSE(b.matches(0, 1, 1.0 + 1e-12));
+}
+
 TEST(NetworkFaults, CertainDropLosesEveryMessage) {
   NetworkConfig cfg;
   cfg.faults.drop_prob = 1.0;

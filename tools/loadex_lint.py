@@ -21,6 +21,14 @@ that protect them:
                          is single-threaded by construction, and real
                          concurrency lives only in the rt runtime. (Tests,
                          benches and examples may use threads freely.)
+  thread-lifecycle       .detach() and std::terminate() anywhere in src/,
+                         and .join() in src/ outside RtWorld/Supervisor
+                         (src/rt/world.cpp, src/rt/supervisor.cpp) — every
+                         rt thread must retire through the audited join
+                         paths so drain()/stop() can guarantee quiescence;
+                         a detached thread or a mid-run terminate breaks
+                         the accounting invariants. (Tests, benches and
+                         examples may join their own helper threads.)
   payload-cast           dynamic_cast to a *Payload type outside the
                          payloadCast<T> helper (src/core/payloads.h) — the
                          helper is what makes the debug-checked/release-
@@ -172,12 +180,23 @@ THREADING_RE = re.compile(
     r"|promise\b|future\b|async\b|barrier\b|latch\b)"
 )
 PAYLOAD_CAST_RE = re.compile(r"dynamic_cast\s*<[^>]*Payload")
+# Thread lifecycle: node threads are retired only by RtWorld/Supervisor
+# joins. A detached thread escapes drain()/stop()'s join guarantees (its
+# writes are never ordered before stats reads), and std::terminate tears
+# the process down mid-invariant; neither has a legitimate call site.
+THREAD_DETACH_RE = re.compile(r"\.\s*detach\s*\(")
+TERMINATE_RE = re.compile(r"(?<![\w:])std::terminate\s*\(")
+THREAD_JOIN_RE = re.compile(r"\.\s*join\s*\(")
 
 RANDOMNESS_ALLOWED = ("src/common/rng.h", "src/common/rng.cpp")
 # The rt runtime's clock wrapper is the one legal window onto host time.
 WALLCLOCK_ALLOWED = ("src/rt/clock.h", "src/rt/clock.cpp")
 # payloadCast<T> itself must spell the dynamic_cast it encapsulates.
 PAYLOAD_CAST_ALLOWED = ("src/core/payloads.h",)
+# The only two files allowed to join a node/supervisor thread. (Tests and
+# benches may join their own helper threads; the src-side restriction is
+# what keeps every rt thread's retirement on the audited paths.)
+THREAD_JOIN_ALLOWED = ("src/rt/world.cpp", "src/rt/supervisor.cpp")
 
 
 def rng_exempt(rel: str) -> bool:
@@ -214,6 +233,29 @@ def check_lines(rel: str, path: Path, raw_lines: list[str],
                     "threading primitive outside src/rt; the simulator is "
                     "single-threaded by construction — real concurrency "
                     "belongs in the rt runtime"))
+        if rel.startswith("src/"):
+            if THREAD_DETACH_RE.search(code) and \
+                    not is_allowed("thread-lifecycle", raw):
+                findings.append(Finding(
+                    path, lineno, "thread-lifecycle",
+                    "detach() in src/; a detached thread escapes the "
+                    "join paths drain()/stop() rely on — let RtWorld or "
+                    "the Supervisor own the thread's retirement"))
+            if TERMINATE_RE.search(code) and \
+                    not is_allowed("thread-lifecycle", raw):
+                findings.append(Finding(
+                    path, lineno, "thread-lifecycle",
+                    "std::terminate() in src/; tearing the process down "
+                    "mid-run voids every accounting invariant — fail via "
+                    "LOADEX_EXPECT or propagate an error instead"))
+            if rel not in THREAD_JOIN_ALLOWED and \
+                    THREAD_JOIN_RE.search(code) and \
+                    not is_allowed("thread-lifecycle", raw):
+                findings.append(Finding(
+                    path, lineno, "thread-lifecycle",
+                    "join() outside RtWorld/Supervisor; thread retirement "
+                    "in src/ is confined to src/rt/world.cpp and "
+                    "src/rt/supervisor.cpp so quiescence stays auditable"))
         if rel not in PAYLOAD_CAST_ALLOWED and PAYLOAD_CAST_RE.search(code):
             if not is_allowed("payload-cast", raw):
                 findings.append(Finding(
