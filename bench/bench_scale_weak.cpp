@@ -20,7 +20,7 @@
 // events/sec, peak RSS) as volatile "host_" extras, which the diff tool
 // excludes from record identity.
 #include <algorithm>
-#include <chrono>  // loadex-lint: allow(banned-wallclock) host-side timing of the simulator itself
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <iostream>

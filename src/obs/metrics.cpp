@@ -24,33 +24,45 @@ void Histogram::add(double x) {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
+  LOADEX_ASSERT_HELD(mu_);
   return counters_[name];
 }
 
 Accumulator& MetricsRegistry::accumulator(const std::string& name) {
+  LOADEX_ASSERT_HELD(mu_);
   return accums_[name];
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds) {
+  LOADEX_ASSERT_HELD(mu_);
   const auto it = hists_.find(name);
   if (it != hists_.end()) return it->second;
   return hists_.emplace(name, Histogram(std::move(bounds))).first->second;
 }
 
 const Counter* MetricsRegistry::findCounter(const std::string& name) const {
+  const sync::MutexLock lk(mu_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : &it->second;
 }
 
 const Accumulator* MetricsRegistry::findAccumulator(
     const std::string& name) const {
+  const sync::MutexLock lk(mu_);
+  return findAccumulatorLocked(name);
+}
+
+const Accumulator* MetricsRegistry::findAccumulatorLocked(
+    const std::string& name) const {
+  LOADEX_ASSERT_HELD(mu_);
   const auto it = accums_.find(name);
   return it == accums_.end() ? nullptr : &it->second;
 }
 
 const Histogram* MetricsRegistry::findHistogram(
     const std::string& name) const {
+  const sync::MutexLock lk(mu_);
   const auto it = hists_.find(name);
   return it == hists_.end() ? nullptr : &it->second;
 }
@@ -58,16 +70,19 @@ const Histogram* MetricsRegistry::findHistogram(
 void MetricsRegistry::registerGauge(const std::string& name,
                                     std::function<double()> fn) {
   LOADEX_EXPECT(static_cast<bool>(fn), "gauge needs a callback");
+  const sync::MutexLock lk(mu_);
   gauges_.push_back({name, std::move(fn), {}});
 }
 
 void MetricsRegistry::setSamplePeriod(double period_s) {
   LOADEX_EXPECT(period_s >= 0.0, "sample period must be non-negative");
+  const sync::MutexLock lk(mu_);
   period_s_ = period_s;
   next_sample_ = period_s;
 }
 
 void MetricsRegistry::sampleNow(double now) {
+  LOADEX_ASSERT_HELD(mu_);
   ++samples_taken_;
   for (auto& g : gauges_) {
     const double v = g.fn();
@@ -79,6 +94,7 @@ void MetricsRegistry::sampleNow(double now) {
 
 const Accumulator* MetricsRegistry::findGaugeStats(
     const std::string& name) const {
+  const sync::MutexLock lk(mu_);
   for (const auto& g : gauges_)
     if (g.name == name) return &g.samples;
   return nullptr;
@@ -86,23 +102,26 @@ const Accumulator* MetricsRegistry::findGaugeStats(
 
 double MetricsRegistry::accumulatorFamilySum(const std::string& prefix,
                                              int nprocs) const {
+  const sync::MutexLock lk(mu_);
   double total = 0.0;
   for (int r = 0; r < nprocs; ++r)
-    if (const auto* a = findAccumulator(prefix + "/P" + std::to_string(r)))
+    if (const auto* a = findAccumulatorLocked(prefix + "/P" + std::to_string(r)))
       total += a->sum();
   return total;
 }
 
 double MetricsRegistry::accumulatorFamilyMax(const std::string& prefix,
                                              int nprocs) const {
+  const sync::MutexLock lk(mu_);
   double best = 0.0;
   for (int r = 0; r < nprocs; ++r)
-    if (const auto* a = findAccumulator(prefix + "/P" + std::to_string(r)))
+    if (const auto* a = findAccumulatorLocked(prefix + "/P" + std::to_string(r)))
       best = std::max(best, a->sum());
   return best;
 }
 
 void MetricsRegistry::writeJson(std::ostream& os) const {
+  const sync::MutexLock lk(mu_);
   JsonWriter w(os);
   w.beginObject();
   w.field("schema", "loadex.metrics");

@@ -16,11 +16,11 @@
 #include <functional>
 #include <iosfwd>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/stats.h"
+#include "common/sync.h"
 #include "obs/obs.h"
 
 namespace loadex::obs {
@@ -57,54 +57,68 @@ class Histogram {
 
 class MetricsRegistry {
  public:
-  /// Serialises instrument lookup + mutation when rt rank threads record
-  /// concurrently: the LOADEX_METRIC macro holds this lock across its
-  /// whole statement, so `counter("x").add(1)` stays atomic. The
-  /// simulator pays one uncontended lock per macro hit. Direct read-side
-  /// calls (find*, writeJson callers, tests) run after recording threads
-  /// quiesce and need no lock.
-  std::unique_lock<std::mutex> scopedLock() const {  // loadex-lint: allow(banned-threading) obs is shared with the rt runtime
-    return std::unique_lock<std::mutex>(mu_);  // loadex-lint: allow(banned-threading) obs is shared with the rt runtime
-  }
+  /// The registry lock. The LOADEX_METRIC macro holds it across its whole
+  /// statement, so `counter("x").add(1)` stays atomic when rt rank
+  /// threads record concurrently (the simulator pays one uncontended lock
+  /// per macro hit). Exposed so callers making several instrument calls
+  /// can hold one critical section; the write-side instrument getters
+  /// below require it.
+  sync::Mutex& mu() const LOADEX_RETURN_CAPABILITY(mu_) { return mu_; }
 
-  // ---- named instruments (created on first use) ------------------------
-  Counter& counter(const std::string& name);
-  Accumulator& accumulator(const std::string& name);
-  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+  // ---- named instruments (created on first use; caller holds mu()) -----
+  Counter& counter(const std::string& name) LOADEX_REQUIRES(mu_);
+  Accumulator& accumulator(const std::string& name) LOADEX_REQUIRES(mu_);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds)
+      LOADEX_REQUIRES(mu_);
 
-  // ---- read-side lookups (null if never touched) -----------------------
-  const Counter* findCounter(const std::string& name) const;
-  const Accumulator* findAccumulator(const std::string& name) const;
-  const Histogram* findHistogram(const std::string& name) const;
+  // ---- read-side lookups (null if never touched; lock internally, but
+  // the returned pointers are only stable reads once the recording
+  // threads have quiesced) ----------------------------------------------
+  const Counter* findCounter(const std::string& name) const
+      LOADEX_EXCLUDES(mu_);
+  const Accumulator* findAccumulator(const std::string& name) const
+      LOADEX_EXCLUDES(mu_);
+  const Histogram* findHistogram(const std::string& name) const
+      LOADEX_EXCLUDES(mu_);
 
   // ---- gauges ----------------------------------------------------------
   /// Register a gauge; `fn` is evaluated at every sample point. Samples
   /// accumulate into an Accumulator (mean/min/max) and, when a trace
   /// recorder is also installed, are emitted as trace counter events.
-  void registerGauge(const std::string& name, std::function<double()> fn);
+  void registerGauge(const std::string& name, std::function<double()> fn)
+      LOADEX_EXCLUDES(mu_);
   /// Sampling period in simulated seconds; 0 (default) disables sampling.
-  void setSamplePeriod(double period_s);
-  double samplePeriod() const { return period_s_; }
+  void setSamplePeriod(double period_s) LOADEX_EXCLUDES(mu_);
+  double samplePeriod() const LOADEX_EXCLUDES(mu_) {
+    const sync::MutexLock lk(mu_);
+    return period_s_;
+  }
   /// Called by the event kernel with the current simulated time; samples
   /// every registered gauge if the period elapsed. Cheap no-op otherwise.
   /// Gauge sampling is simulator-only (the rt runtime has no event kernel
   /// to drive it) and reaches here through LOADEX_METRIC, which already
-  /// holds scopedLock() — so neither method takes the lock itself.
-  void maybeSample(double now) {
+  /// holds mu() — so neither method takes the lock itself.
+  void maybeSample(double now) LOADEX_REQUIRES(mu_) {
     if (period_s_ <= 0.0 || now < next_sample_) return;
     sampleNow(now);
   }
-  void sampleNow(double now);
-  std::int64_t samplesTaken() const { return samples_taken_; }
-  const Accumulator* findGaugeStats(const std::string& name) const;
+  void sampleNow(double now) LOADEX_REQUIRES(mu_);
+  std::int64_t samplesTaken() const LOADEX_EXCLUDES(mu_) {
+    const sync::MutexLock lk(mu_);
+    return samples_taken_;
+  }
+  const Accumulator* findGaugeStats(const std::string& name) const
+      LOADEX_EXCLUDES(mu_);
 
   /// Sum of per-rank instrument values "<prefix>/P0".."<prefix>/P<n-1>"
   /// (absent ranks contribute 0); used for per-rank accumulator families.
-  double accumulatorFamilySum(const std::string& prefix, int nprocs) const;
-  double accumulatorFamilyMax(const std::string& prefix, int nprocs) const;
+  double accumulatorFamilySum(const std::string& prefix, int nprocs) const
+      LOADEX_EXCLUDES(mu_);
+  double accumulatorFamilyMax(const std::string& prefix, int nprocs) const
+      LOADEX_EXCLUDES(mu_);
 
   /// Deterministic JSON dump (ordered by instrument name).
-  void writeJson(std::ostream& os) const;
+  void writeJson(std::ostream& os) const LOADEX_EXCLUDES(mu_);
 
  private:
   struct Gauge {
@@ -113,14 +127,23 @@ class MetricsRegistry {
     Accumulator samples;
   };
 
-  mutable std::mutex mu_;  // loadex-lint: allow(banned-threading) obs is shared with the rt runtime
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, Accumulator> accums_;
-  std::map<std::string, Histogram> hists_;
-  std::vector<Gauge> gauges_;  ///< sampled in registration order
-  double period_s_ = 0.0;
-  double next_sample_ = 0.0;
-  std::int64_t samples_taken_ = 0;
+  /// Lookup core running under an already-held mu(): shared by
+  /// findAccumulator and the family aggregations, which hold the lock
+  /// across their whole scan.
+  const Accumulator* findAccumulatorLocked(const std::string& name) const
+      LOADEX_REQUIRES(mu_);
+
+  /// Ranked below the trace ring: sampleNow emits trace counter events
+  /// while holding this lock.
+  mutable sync::Mutex mu_{sync::LockRank::kMetricsRegistry};
+  std::map<std::string, Counter> counters_ LOADEX_GUARDED_BY(mu_);
+  std::map<std::string, Accumulator> accums_ LOADEX_GUARDED_BY(mu_);
+  std::map<std::string, Histogram> hists_ LOADEX_GUARDED_BY(mu_);
+  /// Sampled in registration order.
+  std::vector<Gauge> gauges_ LOADEX_GUARDED_BY(mu_);
+  double period_s_ LOADEX_GUARDED_BY(mu_) = 0.0;
+  double next_sample_ LOADEX_GUARDED_BY(mu_) = 0.0;
+  std::int64_t samples_taken_ LOADEX_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace loadex::obs
@@ -132,7 +155,7 @@ class MetricsRegistry {
 #define LOADEX_METRIC(stmt)                                   \
   do {                                                        \
     if (auto* lx_mx_ = ::loadex::obs::metricsRegistry()) {    \
-      const auto lx_lk_ = lx_mx_->scopedLock();               \
+      const ::loadex::sync::MutexLock lx_lk_(lx_mx_->mu());   \
       lx_mx_->stmt;                                           \
     }                                                         \
   } while (0)

@@ -4,8 +4,6 @@
 #include <fstream>
 #include <ostream>
 
-#include <mutex>  // loadex-lint: allow(banned-threading) rt threads record concurrently
-
 #include "common/expect.h"
 #include "common/log.h"
 #include "obs/json.h"
@@ -36,7 +34,7 @@ TraceRecorder::TraceRecorder(TraceConfig config) : config_(std::move(config)) {
 }
 
 void TraceRecorder::setTrackName(int track, std::string name) {
-  const std::lock_guard<std::mutex> lk(mu_);  // loadex-lint: allow(banned-threading) rt threads record concurrently
+  const sync::MutexLock lk(mu_);
   track_names_[track] = std::move(name);
 }
 
@@ -51,12 +49,13 @@ void TraceRecorder::nameRankTracks(int nprocs) {
 }
 
 std::string TraceRecorder::messageName(int channel, int tag) const {
-  const std::lock_guard<std::mutex> lk(mu_);  // loadex-lint: allow(banned-threading) rt threads record concurrently
+  const sync::MutexLock lk(mu_);
   if (message_namer_) return message_namer_(channel, tag);
   return (channel == 0 ? "state/" : "app/") + std::to_string(tag);
 }
 
 int TraceRecorder::intern(std::string_view name) {
+  LOADEX_ASSERT_HELD(mu_);
   const auto it = name_ids_.find(std::string(name));
   if (it != name_ids_.end()) return it->second;
   const int id = static_cast<int>(names_.size());
@@ -66,6 +65,7 @@ int TraceRecorder::intern(std::string_view name) {
 }
 
 void TraceRecorder::push(const Event& ev) {
+  LOADEX_ASSERT_HELD(mu_);
   ++recorded_;
   if (events_.size() < config_.capacity) {
     events_.push_back(ev);
@@ -77,45 +77,45 @@ void TraceRecorder::push(const Event& ev) {
 }
 
 void TraceRecorder::beginSpan(double t, int track, std::string_view name) {
-  const std::lock_guard<std::mutex> lk(mu_);  // loadex-lint: allow(banned-threading) rt threads record concurrently
+  const sync::MutexLock lk(mu_);
   push({t, 0.0, 0.0, 0, track, intern(name), Phase::kBegin});
 }
 
 void TraceRecorder::endSpan(double t, int track) {
-  const std::lock_guard<std::mutex> lk(mu_);  // loadex-lint: allow(banned-threading) rt threads record concurrently
+  const sync::MutexLock lk(mu_);
   push({t, 0.0, 0.0, 0, track, -1, Phase::kEnd});
 }
 
 void TraceRecorder::completeSpan(double t0, double t1, int track,
                                  std::string_view name) {
-  const std::lock_guard<std::mutex> lk(mu_);  // loadex-lint: allow(banned-threading) rt threads record concurrently
+  const sync::MutexLock lk(mu_);
   push({t0, t1 - t0, 0.0, 0, track, intern(name), Phase::kComplete});
 }
 
 void TraceRecorder::instant(double t, int track, std::string_view name) {
-  const std::lock_guard<std::mutex> lk(mu_);  // loadex-lint: allow(banned-threading) rt threads record concurrently
+  const sync::MutexLock lk(mu_);
   push({t, 0.0, 0.0, 0, track, intern(name), Phase::kInstant});
 }
 
 void TraceRecorder::counter(double t, std::string_view name, double value) {
-  const std::lock_guard<std::mutex> lk(mu_);  // loadex-lint: allow(banned-threading) rt threads record concurrently
+  const sync::MutexLock lk(mu_);
   push({t, 0.0, value, 0, kGlobalTrack, intern(name), Phase::kCounter});
 }
 
 void TraceRecorder::flowBegin(double t, int track, std::string_view name,
                               std::uint64_t flow) {
-  const std::lock_guard<std::mutex> lk(mu_);  // loadex-lint: allow(banned-threading) rt threads record concurrently
+  const sync::MutexLock lk(mu_);
   push({t, 0.0, 0.0, flow, track, intern(name), Phase::kFlowBegin});
 }
 
 void TraceRecorder::flowEnd(double t, int track, std::string_view name,
                             std::uint64_t flow) {
-  const std::lock_guard<std::mutex> lk(mu_);  // loadex-lint: allow(banned-threading) rt threads record concurrently
+  const sync::MutexLock lk(mu_);
   push({t, 0.0, 0.0, flow, track, intern(name), Phase::kFlowEnd});
 }
 
 void TraceRecorder::writeChromeTrace(std::ostream& os) const {
-  const std::lock_guard<std::mutex> lk(mu_);  // loadex-lint: allow(banned-threading) rt threads record concurrently
+  const sync::MutexLock lk(mu_);
   os << "{\n";
   os << "\"displayTimeUnit\": \"ms\",\n";
   os << "\"otherData\": {\"generator\": \"loadex_obs\", \"recorded\": "
@@ -157,11 +157,15 @@ void TraceRecorder::writeChromeTrace(std::ostream& os) const {
   const std::size_t n = events_.size();
   const bool wrapped = dropped_ > 0;
   for (std::size_t i = 0; i < n; ++i) {
-    const Event& ev = events_[wrapped ? (head_ + i) % n : i];
+    // Copy the event and resolve its interned name before building the
+    // emit closure: the thread-safety analysis does not carry the held
+    // lock into lambda bodies, so guarded reads stay out of them.
+    const Event ev = events_[wrapped ? (head_ + i) % n : i];
+    const std::string* ev_name =
+        ev.name >= 0 ? &names_[static_cast<std::size_t>(ev.name)] : nullptr;
     emit([&](JsonWriter& w) {
       const char ph[2] = {static_cast<char>(ev.phase), '\0'};
-      if (ev.name >= 0)
-        w.field("name", names_[static_cast<std::size_t>(ev.name)]);
+      if (ev_name != nullptr) w.field("name", *ev_name);
       w.field("ph", ph);
       switch (ev.phase) {
         case Phase::kFlowBegin:

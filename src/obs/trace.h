@@ -30,11 +30,11 @@
 #include <functional>
 #include <iosfwd>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/sync.h"
 #include "common/types.h"
 #include "obs/obs.h"
 
@@ -66,42 +66,58 @@ class TraceRecorder {
 
   // ---- naming ----------------------------------------------------------
   /// Label a track (exported as Perfetto thread_name metadata).
-  void setTrackName(int track, std::string name);
+  void setTrackName(int track, std::string name) LOADEX_EXCLUDES(mu_);
   /// Standard per-rank lane names ("P3 main", "P3 proto", ...).
   void nameRankTracks(int nprocs);
   /// Optional message namer used by the network instrumentation to label
   /// wire slices ("start_snp" instead of "state/5"). Must be a pure
   /// function of (channel, tag).
-  void setMessageNamer(std::function<std::string(int channel, int tag)> fn) {
+  void setMessageNamer(std::function<std::string(int channel, int tag)> fn)
+      LOADEX_EXCLUDES(mu_) {
+    const sync::MutexLock lk(mu_);
     message_namer_ = std::move(fn);
   }
-  std::string messageName(int channel, int tag) const;
+  std::string messageName(int channel, int tag) const LOADEX_EXCLUDES(mu_);
 
   // ---- event recording (call through the LOADEX_TRACE_* macros) --------
-  void beginSpan(double t, int track, std::string_view name);
-  void endSpan(double t, int track);
-  void completeSpan(double t0, double t1, int track, std::string_view name);
-  void instant(double t, int track, std::string_view name);
-  void counter(double t, std::string_view name, double value);
+  void beginSpan(double t, int track, std::string_view name)
+      LOADEX_EXCLUDES(mu_);
+  void endSpan(double t, int track) LOADEX_EXCLUDES(mu_);
+  void completeSpan(double t0, double t1, int track, std::string_view name)
+      LOADEX_EXCLUDES(mu_);
+  void instant(double t, int track, std::string_view name)
+      LOADEX_EXCLUDES(mu_);
+  void counter(double t, std::string_view name, double value)
+      LOADEX_EXCLUDES(mu_);
   void flowBegin(double t, int track, std::string_view name,
-                 std::uint64_t flow);
+                 std::uint64_t flow) LOADEX_EXCLUDES(mu_);
   void flowEnd(double t, int track, std::string_view name,
-               std::uint64_t flow);
+               std::uint64_t flow) LOADEX_EXCLUDES(mu_);
   /// Fresh id for a send→deliver flow arrow (any thread).
   std::uint64_t nextFlowId() {
     return last_flow_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
 
-  // ---- introspection ---------------------------------------------------
-  std::size_t size() const { return events_.size(); }
-  std::uint64_t recorded() const { return recorded_; }
-  std::uint64_t dropped() const { return dropped_; }
+  // ---- introspection (each takes the lock: callable mid-run, exact
+  // once the recording threads have quiesced) ----------------------------
+  std::size_t size() const LOADEX_EXCLUDES(mu_) {
+    const sync::MutexLock lk(mu_);
+    return events_.size();
+  }
+  std::uint64_t recorded() const LOADEX_EXCLUDES(mu_) {
+    const sync::MutexLock lk(mu_);
+    return recorded_;
+  }
+  std::uint64_t dropped() const LOADEX_EXCLUDES(mu_) {
+    const sync::MutexLock lk(mu_);
+    return dropped_;
+  }
   const TraceConfig& config() const { return config_; }
 
   // ---- export ----------------------------------------------------------
   /// Chrome trace-event JSON ("traceEvents" array + metadata), ts in
   /// microseconds with fixed 3-decimal precision.
-  void writeChromeTrace(std::ostream& os) const;
+  void writeChromeTrace(std::ostream& os) const LOADEX_EXCLUDES(mu_);
   /// Returns false (and logs) if the file cannot be written.
   bool writeChromeTraceFile(const std::string& path) const;
 
@@ -126,22 +142,24 @@ class TraceRecorder {
     Phase phase = Phase::kInstant;
   };
 
-  int intern(std::string_view name);
-  void push(const Event& ev);
+  int intern(std::string_view name) LOADEX_REQUIRES(mu_);
+  void push(const Event& ev) LOADEX_REQUIRES(mu_);
 
   TraceConfig config_;
   /// Serialises concurrent recording from rt rank threads (see file
   /// comment); every public recording method is one critical section.
-  mutable std::mutex mu_;  // loadex-lint: allow(banned-threading) obs is shared with the rt runtime
-  std::vector<Event> events_;  ///< grows to capacity, then wraps
-  std::size_t head_ = 0;       ///< next write slot once the ring is full
-  std::uint64_t recorded_ = 0;
-  std::uint64_t dropped_ = 0;
+  /// Leaf of the lock hierarchy: trace calls appear under every other
+  /// lock (e.g. metrics sampling emits counters), never the reverse.
+  mutable sync::Mutex mu_{sync::LockRank::kTraceRing};
+  std::vector<Event> events_ LOADEX_GUARDED_BY(mu_);  ///< grows, then wraps
+  std::size_t head_ LOADEX_GUARDED_BY(mu_) = 0;  ///< next slot once full
+  std::uint64_t recorded_ LOADEX_GUARDED_BY(mu_) = 0;
+  std::uint64_t dropped_ LOADEX_GUARDED_BY(mu_) = 0;
   std::atomic<std::uint64_t> last_flow_{0};
-  std::vector<std::string> names_;
-  std::map<std::string, int> name_ids_;
-  std::map<int, std::string> track_names_;
-  std::function<std::string(int, int)> message_namer_;
+  std::vector<std::string> names_ LOADEX_GUARDED_BY(mu_);
+  std::map<std::string, int> name_ids_ LOADEX_GUARDED_BY(mu_);
+  std::map<int, std::string> track_names_ LOADEX_GUARDED_BY(mu_);
+  std::function<std::string(int, int)> message_namer_ LOADEX_GUARDED_BY(mu_);
 };
 
 }  // namespace loadex::obs

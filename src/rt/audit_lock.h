@@ -13,8 +13,7 @@
 // RtWorld::stop() has joined every node thread.
 #pragma once
 
-#include <mutex>
-
+#include "common/sync.h"
 #include "core/audit.h"
 #include "core/binding.h"
 #include "core/mechanism.h"
@@ -23,36 +22,39 @@ namespace loadex::rt {
 
 class LockedAuditObserver final : public core::AuditObserver {
  public:
-  explicit LockedAuditObserver(core::AuditObserver& inner) : inner_(inner) {}
+  explicit LockedAuditObserver(core::AuditObserver& inner) : inner_(&inner) {}
 
   void onLocalLoad(const core::Mechanism& m, const core::LoadMetrics& delta,
                    bool is_slave_delegated) override {
-    std::lock_guard<std::mutex> lk(mu_);
-    inner_.onLocalLoad(m, delta, is_slave_delegated);
+    const sync::MutexLock lk(mu_);
+    inner_->onLocalLoad(m, delta, is_slave_delegated);
   }
   void onViewRequest(const core::Mechanism& m) override {
-    std::lock_guard<std::mutex> lk(mu_);
-    inner_.onViewRequest(m);
+    const sync::MutexLock lk(mu_);
+    inner_->onViewRequest(m);
   }
   void onSelection(const core::Mechanism& m,
                    const core::SlaveSelection& selection) override {
-    std::lock_guard<std::mutex> lk(mu_);
-    inner_.onSelection(m, selection);
+    const sync::MutexLock lk(mu_);
+    inner_->onSelection(m, selection);
   }
   void onStateSend(const core::Mechanism& m, Rank dst, core::StateTag tag,
                    Bytes size, const sim::Payload* payload) override {
-    std::lock_guard<std::mutex> lk(mu_);
-    inner_.onStateSend(m, dst, tag, size, payload);
+    const sync::MutexLock lk(mu_);
+    inner_->onStateSend(m, dst, tag, size, payload);
   }
   void onStateDeliver(const core::Mechanism& m, Rank src, core::StateTag tag,
                       const sim::Payload* p) override {
-    std::lock_guard<std::mutex> lk(mu_);
-    inner_.onStateDeliver(m, src, tag, p);
+    const sync::MutexLock lk(mu_);
+    inner_->onStateDeliver(m, src, tag, p);
   }
 
  private:
-  std::mutex mu_;
-  core::AuditObserver& inner_;
+  sync::Mutex mu_{sync::LockRank::kAuditSerial};
+  /// The wrapped auditor: the pointer is set once at construction, but
+  /// every call through it must hold mu_ — the auditor's online hooks
+  /// assume a single caller at a time.
+  core::AuditObserver* const inner_ LOADEX_PT_GUARDED_BY(mu_);
 };
 
 /// Attach `auditor` to a mechanism set bound to rt transports: size its

@@ -27,16 +27,14 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <vector>
 
 #include "common/expect.h"
+#include "common/sync.h"
 #include "sim/message.h"
 
 namespace loadex::rt {
@@ -85,7 +83,7 @@ class Mailbox {
   bool lockFreeRing() const { return cfg_.lock_free_ring; }
 
   /// Non-blocking post from any thread; false if the mailbox is full.
-  bool tryPush(Envelope&& e) {
+  bool tryPush(Envelope&& e) LOADEX_EXCLUDES(mu_, deque_mu_) {
     const bool ok = cfg_.lock_free_ring ? ringPush(e) : lockedPush(e);
     if (ok) {
       pushes_.fetch_add(1, std::memory_order_relaxed);
@@ -97,13 +95,13 @@ class Mailbox {
   }
 
   /// Blocking post (driver threads only — never call from a node thread).
-  void push(Envelope&& e) {
+  void push(Envelope&& e) LOADEX_EXCLUDES(mu_, deque_mu_) {
     if (tryPush(std::move(e))) return;
     blocking_waits_.fetch_add(1, std::memory_order_relaxed);
-    std::unique_lock<std::mutex> lk(mu_);
+    sync::MutexLock lk(mu_);
     for (;;) {
       // Bounded wait slices: a missed not-full notify only costs a slice.
-      cv_not_full_.wait_for(lk, std::chrono::duration<double>(kWaitSliceS));
+      cv_not_full_.waitFor(mu_, kWaitSliceS);
       lk.unlock();
       const bool ok = tryPush(std::move(e));
       lk.lock();
@@ -113,10 +111,10 @@ class Mailbox {
 
   /// Pop one envelope, waiting up to `timeout_s`. Only the owning node
   /// thread may call this. Returns false on timeout.
-  bool pop(Envelope& out, double timeout_s) {
+  bool pop(Envelope& out, double timeout_s) LOADEX_EXCLUDES(mu_) {
     if (tryPop(out)) return true;
     if (timeout_s <= 0.0) return false;
-    std::unique_lock<std::mutex> lk(mu_);
+    sync::MutexLock lk(mu_);
     consumer_waiting_.store(true, std::memory_order_seq_cst);
     // Re-check after raising the flag: a producer that pushed before
     // seeing the flag is caught here; one that pushed after will notify.
@@ -127,7 +125,7 @@ class Mailbox {
     double remaining = timeout_s;
     while (remaining > 0.0) {
       const double slice = std::min(remaining, kWaitSliceS);
-      cv_not_empty_.wait_for(lk, std::chrono::duration<double>(slice));
+      cv_not_empty_.waitFor(mu_, slice);
       if (tryPop(out)) {
         consumer_waiting_.store(false, std::memory_order_relaxed);
         return true;
@@ -139,7 +137,7 @@ class Mailbox {
   }
 
   /// Non-blocking pop (owning node thread only).
-  bool tryPop(Envelope& out) {
+  bool tryPop(Envelope& out) LOADEX_EXCLUDES(deque_mu_) {
     const bool ok = cfg_.lock_free_ring ? ringPop(out) : lockedPop(out);
     if (ok) {
       pops_.fetch_add(1, std::memory_order_relaxed);
@@ -214,15 +212,15 @@ class Mailbox {
     return true;
   }
 
-  bool lockedPush(Envelope& e) {
-    std::lock_guard<std::mutex> lk(deque_mu_);
+  bool lockedPush(Envelope& e) LOADEX_EXCLUDES(deque_mu_) {
+    const sync::MutexLock lk(deque_mu_);
     if (deque_.size() >= cfg_.capacity) return false;
     deque_.push_back(std::move(e));
     return true;
   }
 
-  bool lockedPop(Envelope& out) {
-    std::lock_guard<std::mutex> lk(deque_mu_);
+  bool lockedPop(Envelope& out) LOADEX_EXCLUDES(deque_mu_) {
+    const sync::MutexLock lk(deque_mu_);
     if (deque_.empty()) return false;
     out = std::move(deque_.front());
     deque_.pop_front();
@@ -235,7 +233,7 @@ class Mailbox {
   // delays it by one bounded wait slice.
   void wakeConsumer() {
     if (consumer_waiting_.load(std::memory_order_seq_cst))
-      cv_not_empty_.notify_one();
+      cv_not_empty_.notifyOne();
   }
 
   void wakeProducers() {
@@ -243,7 +241,7 @@ class Mailbox {
         blocking_wakes_.load(std::memory_order_relaxed)) {
       blocking_wakes_.store(blocking_waits_.load(std::memory_order_relaxed),
                             std::memory_order_relaxed);
-      cv_not_full_.notify_all();
+      cv_not_full_.notifyAll();
     }
   }
 
@@ -254,14 +252,17 @@ class Mailbox {
   alignas(64) std::atomic<std::size_t> tail_{0};
   alignas(64) std::size_t head_ = 0;
 
-  // Mutex-mode state.
-  std::mutex deque_mu_;
-  std::deque<Envelope> deque_;
+  // Mutex-mode state. Innermost rt lock: pop() holds the park mutex while
+  // tryPop descends here, hence the higher rank.
+  sync::Mutex deque_mu_{sync::LockRank::kMailboxDeque};
+  std::deque<Envelope> deque_ LOADEX_GUARDED_BY(deque_mu_);
 
-  // Consumer/producer parking (shared by both modes).
-  std::mutex mu_;
-  std::condition_variable cv_not_empty_;
-  std::condition_variable cv_not_full_;
+  // Consumer/producer parking (shared by both modes). mu_ guards no data —
+  // it only carries the condvar waits; the flags stay atomic because the
+  // wake helpers read them without the lock.
+  sync::Mutex mu_{sync::LockRank::kMailboxPark};
+  sync::CondVar cv_not_empty_;
+  sync::CondVar cv_not_full_;
   std::atomic<bool> consumer_waiting_{false};
 
   std::atomic<std::uint64_t> pushes_{0};

@@ -56,6 +56,9 @@ void Supervisor::stop() {
 }
 
 void Supervisor::loop() {
+  // The schedule cursor and suspicion table belong to this thread from
+  // here on (the constructor built them before start() spawned us).
+  confined_.bindToCurrentThread();
   const FaultPlan& plan = world_.faultPlan();
   const double sweep_s =
       plan.suspicion.enabled ? plan.suspicion.sweep_period_s : 1e-3;
@@ -126,6 +129,7 @@ void Supervisor::runDetector(SimTime now) {
 }
 
 void Supervisor::setSuspicion(Rank r, Suspicion next) {
+  LOADEX_ASSERT_CONFINED(confined_);
   Suspicion& cur = suspicion_[static_cast<std::size_t>(r)];
   if (cur == next) return;
   if (next == Suspicion::kSuspect)

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/faults.h"
+#include "common/sync.h"
 #include "common/types.h"
 #include "rt/faults.h"
 
@@ -67,6 +68,9 @@ class Supervisor {
 
   RtWorld& world_;
   core::MechanismSet* mechs_;
+  /// Confines the detector/schedule state below to the supervisor thread
+  /// (constructed on the starting thread, then owned by loop()).
+  LOADEX_THREAD_CONFINED(confined_);
   std::vector<loadex::ProcessFaultEvent> schedule_;  ///< time-sorted
   std::size_t next_event_ = 0;
   std::vector<Suspicion> suspicion_;

@@ -3,9 +3,12 @@
 // Thread-confined by design: a node's wheel is only ever touched from that
 // node's own thread (mechanisms arm timers from inside message handlers,
 // which the node loop runs), so the wheel needs no locks — cross-thread
-// timer arming would be a bug, not a feature. The node loop interleaves
-// fireDue() with mailbox pops and uses nextDeadline() to bound its mailbox
-// wait so a due timer is never slept through.
+// timer arming would be a bug, not a feature, and the LOADEX_THREAD_CONFINED
+// marker turns that bug into a debug-build abort. The node loop rebinds the
+// wheel on entry (bindToCurrentThread) so a restarted rank's fresh thread
+// takes ownership cleanly. The node loop interleaves fireDue() with mailbox
+// pops and uses nextDeadline() to bound its mailbox wait so a due timer is
+// never slept through.
 //
 // Deadlines hash into a fixed ring of slots (deadline / slot_width mod
 // nslots); a slot holds every timer of every future "lap", so fireDue
@@ -24,6 +27,7 @@
 #include <vector>
 
 #include "common/expect.h"
+#include "common/sync.h"
 #include "common/types.h"
 
 namespace loadex::rt {
@@ -35,8 +39,14 @@ class TimerWheel {
     LOADEX_EXPECT(slot_width_s > 0.0 && nslots > 0, "bad timer wheel shape");
   }
 
+  /// Take (or hand over) ownership of the wheel for the calling thread.
+  /// The node loop calls this on entry, which is what lets restartRank
+  /// move a rank's wheel onto the replacement thread.
+  void bindToCurrentThread() { confined_.bindToCurrentThread(); }
+
   /// Arm a one-shot timer at absolute time `now + delay`.
   void schedule(SimTime now, SimTime delay, std::function<void()> fn) {
+    LOADEX_ASSERT_CONFINED(confined_);
     const SimTime deadline = now + std::max(delay, 0.0);
     slots_[slotOf(deadline)].push_back(
         Timer{deadline, next_seq_++, std::move(fn)});
@@ -47,6 +57,7 @@ class TimerWheel {
   /// order. Callbacks may re-arm (they run after the wheel state is
   /// consistent again). Returns the number fired.
   int fireDue(SimTime now) {
+    LOADEX_ASSERT_CONFINED(confined_);
     if (pending_ == 0) return 0;
     std::vector<Timer> due;
     for (auto& slot : slots_) {
@@ -68,6 +79,7 @@ class TimerWheel {
 
   /// Earliest pending deadline, +inf when no timer is armed.
   SimTime nextDeadline() const {
+    LOADEX_ASSERT_CONFINED(confined_);
     if (pending_ == 0) return std::numeric_limits<double>::infinity();
     SimTime best = std::numeric_limits<double>::infinity();
     for (const auto& slot : slots_)
@@ -79,6 +91,7 @@ class TimerWheel {
   /// owning thread is about to exit). Returns how many were cancelled so
   /// the caller can settle the pending-work accounting.
   std::size_t cancelAll() {
+    LOADEX_ASSERT_CONFINED(confined_);
     const std::size_t n = pending_;
     for (auto& slot : slots_) slot.clear();
     pending_ = 0;
@@ -103,6 +116,7 @@ class TimerWheel {
   }
 
   double slot_width_s_;
+  LOADEX_THREAD_CONFINED(confined_);  ///< one owning thread at a time
   std::vector<std::vector<Timer>> slots_;
   std::size_t pending_ = 0;
   std::uint64_t next_seq_ = 0;

@@ -40,14 +40,14 @@ void WorkloadDriver::postSelection(const harness::ScriptSelectOp& op) {
         // requires the decision to be committed inside the callback —
         // an empty selection closes it without delegating anything.
         m.commitSelection({});
-        std::lock_guard<std::mutex> lk(mu_);
+        const sync::MutexLock lk(mu_);
         ++skipped_;
         latencies_.push_back(latency);
         return;
       }
       m.commitSelection({{slave, {op.share, 0.0}}});
       {
-        std::lock_guard<std::mutex> lk(mu_);
+        const sync::MutexLock lk(mu_);
         ++committed_;
         latencies_.push_back(latency);
       }
@@ -111,7 +111,7 @@ WorkloadResult WorkloadDriver::run(const harness::Script& script,
   res.drained = world_.drain(drain_timeout_s);
   res.wall_s = world_.now() - t_start;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    const sync::MutexLock lk(mu_);
     res.selections_committed = committed_;
     res.selections_skipped = skipped_;
     res.selection_latency_s = latencies_;

@@ -12,9 +12,9 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "common/sync.h"
 #include "core/binding.h"
 #include "harness/script.h"
 #include "rt/world.h"
@@ -47,10 +47,12 @@ class WorkloadDriver {
   RtWorld& world_;
   core::MechanismSet& mechs_;
 
-  std::mutex mu_;  ///< guards the tallies below (node threads report in)
-  std::int64_t committed_ = 0;
-  std::int64_t skipped_ = 0;
-  std::vector<double> latencies_;
+  /// Tally lock: node threads report selection outcomes in from their
+  /// view callbacks. A leaf of the hierarchy — nothing nests inside it.
+  sync::Mutex mu_{sync::LockRank::kWorkloadTally};
+  std::int64_t committed_ LOADEX_GUARDED_BY(mu_) = 0;
+  std::int64_t skipped_ LOADEX_GUARDED_BY(mu_) = 0;
+  std::vector<double> latencies_ LOADEX_GUARDED_BY(mu_);
 };
 
 }  // namespace loadex::rt

@@ -294,6 +294,7 @@ void RtWorld::sendFromNodeFaulty(Node& src, Rank dst, Envelope&& e) {
 
 void RtWorld::enqueueFromNode(Node& src, Rank dst, Envelope&& e,
                               SimTime not_before) {
+  LOADEX_ASSERT_CONFINED(src.confined);
   Node& d = node(dst);
   if (fault_hooks_ && lifeOf(d) == RankLife::kCrashed) {
     noteDropped(e, dropped_at_sealed_mailbox_);
@@ -311,6 +312,7 @@ void RtWorld::enqueueFromNode(Node& src, Rank dst, Envelope&& e,
 }
 
 void RtWorld::flushSpill(Node& n) {
+  LOADEX_ASSERT_CONFINED(n.confined);
   if (n.spill_size == 0) return;
   SimTime now = -1.0;  // read lazily: only held entries need the clock
   for (Rank d = 0; d < nprocs(); ++d) {
@@ -361,7 +363,7 @@ void RtWorld::crashRank(Rank r) {
   LOADEX_EXPECT(t_current_node == nullptr,
                 "lifecycle transitions must come from a driver/supervisor "
                 "thread, not a node thread");
-  std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  const sync::MutexLock lk(lifecycle_mu_);
   Node& n = node(r);
   if (lifeOf(n) == RankLife::kCrashed) return;
   // Seal first: every sender's next life check starts dropping. Then ask
@@ -378,7 +380,7 @@ void RtWorld::crashRank(Rank r) {
 
 void RtWorld::pauseRank(Rank r) {
   LOADEX_EXPECT(fault_hooks_, "pauseRank needs an enabled fault plan");
-  std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  const sync::MutexLock lk(lifecycle_mu_);
   Node& n = node(r);
   if (lifeOf(n) != RankLife::kAlive) return;
   n.life.store(static_cast<int>(RankLife::kPaused),
@@ -387,7 +389,7 @@ void RtWorld::pauseRank(Rank r) {
 
 void RtWorld::resumeRank(Rank r) {
   LOADEX_EXPECT(fault_hooks_, "resumeRank needs an enabled fault plan");
-  std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  const sync::MutexLock lk(lifecycle_mu_);
   Node& n = node(r);
   if (lifeOf(n) != RankLife::kPaused) return;
   // Refresh the heartbeat before unparking so the failure detector sees
@@ -402,7 +404,7 @@ void RtWorld::restartRank(Rank r) {
   LOADEX_EXPECT(t_current_node == nullptr,
                 "lifecycle transitions must come from a driver/supervisor "
                 "thread, not a node thread");
-  std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  const sync::MutexLock lk(lifecycle_mu_);
   Node& n = node(r);
   if (lifeOf(n) != RankLife::kCrashed) return;
   sweepMailboxLocked(n);  // envelopes landed while sealed die with the crash
@@ -418,12 +420,13 @@ void RtWorld::sweepCrashedMailboxes() {
   if (!fault_hooks_) return;
   LOADEX_EXPECT(t_current_node == nullptr,
                 "sweeps must come from a driver/supervisor thread");
-  std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  const sync::MutexLock lk(lifecycle_mu_);
   for (auto& n : nodes_)
     if (lifeOf(*n) == RankLife::kCrashed) sweepMailboxLocked(*n);
 }
 
 void RtWorld::sweepMailboxLocked(Node& n) {
+  LOADEX_ASSERT_HELD(lifecycle_mu_);
   Envelope e;
   while (n.mailbox.tryPop(e)) {
     if (e.kind == Envelope::Kind::kStop) {
@@ -458,6 +461,11 @@ void RtWorld::crashOnNodeThread(Node& n) {
 
 void RtWorld::nodeLoop(Node& n) {
   t_current_node = &n;
+  // Claim the node's thread-confined state (spill queues, timer wheel):
+  // after a restart this hands ownership from the dead incarnation's
+  // thread to this one.
+  n.confined.bindToCurrentThread();
+  n.wheel.bindToCurrentThread();
   for (;;) {
     if (fault_hooks_) {
       if (n.crash_requested.load(std::memory_order_acquire)) {

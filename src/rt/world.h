@@ -50,11 +50,11 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/sync.h"
 #include "common/types.h"
 #include "rt/clock.h"
 #include "rt/faults.h"
@@ -187,17 +187,17 @@ class RtWorld {
   // Concurrent use against stop() is not supported: scripted plans are
   // executed by the supervisor, which stop() joins first.
 
-  void crashRank(Rank r);
-  void pauseRank(Rank r);
-  void resumeRank(Rank r);
-  void restartRank(Rank r);
+  void crashRank(Rank r) LOADEX_EXCLUDES(lifecycle_mu_);
+  void pauseRank(Rank r) LOADEX_EXCLUDES(lifecycle_mu_);
+  void resumeRank(Rank r) LOADEX_EXCLUDES(lifecycle_mu_);
+  void restartRank(Rank r) LOADEX_EXCLUDES(lifecycle_mu_);
   RankLife rankLife(Rank r) const;
 
   /// Drain sealed mailboxes of crashed ranks (racing senders can land a
   /// push between the seal and their next life check; the sweep settles
   /// the pending-work counter). drain() and the supervisor call this
   /// periodically; safe from any non-node thread.
-  void sweepCrashedMailboxes();
+  void sweepCrashedMailboxes() LOADEX_EXCLUDES(lifecycle_mu_);
 
   /// Snapshot of the run counters (exact after stop()). Not safe to call
   /// while node threads run: it folds in thread-confined per-node
@@ -241,6 +241,9 @@ class RtWorld {
     std::unique_ptr<RtTransport> transport;
     sim::StateHandler* handler = nullptr;
     std::thread thread;
+    /// Confinement marker for the sender-side state below; the loop
+    /// rebinds it on entry so restarts hand ownership to the new thread.
+    LOADEX_THREAD_CONFINED(confined);
     /// Per-destination spill queues (sender side), only touched by the
     /// owning thread.
     std::vector<std::deque<SpillEntry>> spill;
@@ -306,7 +309,7 @@ class RtWorld {
   void crashOnNodeThread(Node& n);
   /// Drain a sealed mailbox. Caller holds lifecycle_mu_ and the node's
   /// thread has been joined (the sweeper is then the unique consumer).
-  void sweepMailboxLocked(Node& n);
+  void sweepMailboxLocked(Node& n) LOADEX_REQUIRES(lifecycle_mu_);
   void logDrainDiagnostics() const;
 
   RtConfig cfg_;
@@ -319,8 +322,11 @@ class RtWorld {
   bool fault_hooks_ = false;
   core::MechanismSet* mechs_ = nullptr;
   std::unique_ptr<Supervisor> supervisor_;
-  /// Serialises crash/restart/sweep transitions (cold paths).
-  mutable std::mutex lifecycle_mu_;
+  /// Serialises crash/restart/sweep transitions (cold paths). Guards no
+  /// member directly — the lifecycle states are per-node atomics — but
+  /// mutual exclusion makes each transition's seal/join/sweep atomic.
+  /// Ranked below the mailbox locks: sweeps pop sealed mailboxes.
+  mutable sync::Mutex lifecycle_mu_{sync::LockRank::kLifecycle};
   /// Raised by stop(): paused loops unpark so the kStop can drain.
   std::atomic<bool> stopping_{false};
 

@@ -10,6 +10,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/sync.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
@@ -124,13 +125,21 @@ TEST(TraceRecorder, MessageNamerDefaultAndOverride) {
 TEST(Metrics, CounterAndAccumulatorCreateOnFirstUse) {
   MetricsRegistry m;
   EXPECT_EQ(m.findCounter("msgs"), nullptr);
-  m.counter("msgs").add(3);
-  m.counter("msgs").add();
+  // The write-side instrument getters require the registry lock (the
+  // LOADEX_METRIC macro holds it for normal call sites).
+  {
+    const sync::MutexLock lk(m.mu());
+    m.counter("msgs").add(3);
+    m.counter("msgs").add();
+  }
   ASSERT_NE(m.findCounter("msgs"), nullptr);
   EXPECT_EQ(m.findCounter("msgs")->get(), 4);
 
-  m.accumulator("stall").add(2.0);
-  m.accumulator("stall").add(4.0);
+  {
+    const sync::MutexLock lk(m.mu());
+    m.accumulator("stall").add(2.0);
+    m.accumulator("stall").add(4.0);
+  }
   ASSERT_NE(m.findAccumulator("stall"), nullptr);
   EXPECT_DOUBLE_EQ(m.findAccumulator("stall")->sum(), 6.0);
   EXPECT_DOUBLE_EQ(m.findAccumulator("stall")->mean(), 3.0);
@@ -138,6 +147,7 @@ TEST(Metrics, CounterAndAccumulatorCreateOnFirstUse) {
 
 TEST(Metrics, HistogramBucketsUpperEdgeInclusive) {
   MetricsRegistry m;
+  const sync::MutexLock lk(m.mu());
   auto& h = m.histogram("lat", {1.0, 10.0, 100.0});
   // Same name returns the same instrument (bounds of later calls ignored).
   EXPECT_EQ(&m.histogram("lat", {}), &h);
@@ -158,9 +168,12 @@ TEST(Metrics, HistogramBucketsUpperEdgeInclusive) {
 
 TEST(Metrics, AccumulatorFamilySumAndMax) {
   MetricsRegistry m;
-  m.accumulator("snapshot/stall/P0").add(1.5);
-  m.accumulator("snapshot/stall/P2").add(4.0);
-  m.accumulator("snapshot/stall/P2").add(0.5);
+  {
+    const sync::MutexLock lk(m.mu());
+    m.accumulator("snapshot/stall/P0").add(1.5);
+    m.accumulator("snapshot/stall/P2").add(4.0);
+    m.accumulator("snapshot/stall/P2").add(0.5);
+  }
   // P1 and P3 never stalled: absent instruments contribute zero.
   EXPECT_DOUBLE_EQ(m.accumulatorFamilySum("snapshot/stall", 4), 6.0);
   EXPECT_DOUBLE_EQ(m.accumulatorFamilyMax("snapshot/stall", 4), 4.5);
@@ -176,13 +189,16 @@ TEST(Metrics, GaugeSamplingHonoursPeriod) {
 
   // The first sample fires once a full period has elapsed (never at t=0,
   // before the run has done anything).
-  m.maybeSample(0.0);
-  level = 20.0;
-  m.maybeSample(0.5);   // still within the first period: no sample
-  m.maybeSample(1.25);  // period elapsed: first sample
-  level = 30.0;
-  m.maybeSample(1.5);   // next sample due at 2.25: no
-  m.maybeSample(7.0);   // second sample
+  {
+    const sync::MutexLock lk(m.mu());
+    m.maybeSample(0.0);
+    level = 20.0;
+    m.maybeSample(0.5);   // still within the first period: no sample
+    m.maybeSample(1.25);  // period elapsed: first sample
+    level = 30.0;
+    m.maybeSample(1.5);   // next sample due at 2.25: no
+    m.maybeSample(7.0);   // second sample
+  }
   EXPECT_EQ(m.samplesTaken(), 2);
 
   const auto* stats = m.findGaugeStats("depth");
@@ -196,7 +212,10 @@ TEST(Metrics, DisabledSamplingIsInert) {
   MetricsRegistry m;
   int calls = 0;
   m.registerGauge("g", [&] { ++calls; return 0.0; });
-  for (double t = 0.0; t < 10.0; t += 0.1) m.maybeSample(t);
+  {
+    const sync::MutexLock lk(m.mu());
+    for (double t = 0.0; t < 10.0; t += 0.1) m.maybeSample(t);
+  }
   EXPECT_EQ(m.samplesTaken(), 0);
   EXPECT_EQ(calls, 0);
 }
@@ -212,6 +231,7 @@ TEST(Metrics, MacroEvaluatesNothingWhenDisabled) {
   ScopedObservation session(nullptr, &m);
   LOADEX_METRIC(counter([&] { ++evaluations; return "x"; }()).add());
   EXPECT_EQ(evaluations, 1);
+  const sync::MutexLock lk(m.mu());
   EXPECT_EQ(m.counter("x").get(), 1);
 }
 

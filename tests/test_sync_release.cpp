@@ -1,0 +1,78 @@
+// Release-mode twin of test_sync.cpp: compiled with
+// LOADEX_SYNC_FORCE_DEBUG=0, so every owner/rank/confinement check in
+// src/common/sync.h must compile away — no extra state in the wrappers
+// and no aborts on the misuse patterns the debug build traps.
+
+#include "common/sync.h"
+
+#include <mutex>  // size-parity check against the raw primitive
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using loadex::sync::CondVar;
+using loadex::sync::LockRank;
+using loadex::sync::Mutex;
+using loadex::sync::MutexLock;
+using loadex::sync::ThreadConfined;
+
+static_assert(!loadex::sync::kDebugChecksEnabled,
+              "this target forces the debug checks off");
+// The layout guarantee from the sync.h file comment: with the checks
+// compiled out, the wrapper adds nothing to the raw primitive.
+static_assert(sizeof(Mutex) == sizeof(std::mutex),
+              "release Mutex must carry no debug state");
+static_assert(sizeof(ThreadConfined) == 1,
+              "release ThreadConfined must be an empty marker");
+
+TEST(SyncRelease, AssertHeldIsInertWithoutTheLock) {
+  Mutex mu{LockRank::kLifecycle};
+  mu.assertHeld();  // debug build would abort; release is a no-op
+}
+
+TEST(SyncRelease, HierarchyInversionIsNotChecked) {
+  // Distinct mutexes, so no real deadlock — only the debug rank check
+  // would object, and it is compiled out.
+  Mutex hi{LockRank::kTraceRing};
+  Mutex lo{LockRank::kLifecycle};
+  MutexLock a(hi);
+  MutexLock b(lo);
+}
+
+TEST(SyncRelease, ThreadConfinedChecksAreInert) {
+  ThreadConfined tc;
+  tc.assertConfined();
+  std::thread t([&tc] { tc.assertConfined(); });  // debug would abort
+  t.join();
+  tc.bindToCurrentThread();
+}
+
+TEST(SyncRelease, LockingAndCondVarStillWork) {
+  Mutex mu{LockRank::kMailboxPark};
+  CondVar cv;
+  bool ready = false;
+  std::thread producer([&] {
+    MutexLock lk(mu);
+    ready = true;
+    cv.notifyOne();
+  });
+  {
+    MutexLock lk(mu);
+    for (int i = 0; i < 2000 && !ready; ++i) cv.waitFor(mu, 0.005);
+    EXPECT_TRUE(ready);
+  }
+  producer.join();
+}
+
+TEST(SyncRelease, MutexExcludesOtherThreadsWhileHeld) {
+  Mutex mu{LockRank::kAuditSerial};
+  MutexLock lk(mu);
+  bool acquired = true;
+  std::thread t([&] { acquired = mu.try_lock(); });
+  t.join();
+  EXPECT_FALSE(acquired);
+}
+
+}  // namespace
