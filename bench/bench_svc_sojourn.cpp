@@ -1,0 +1,279 @@
+// Sojourn-time benchmark of the open-loop service workload (loadex_svc):
+// every dispatch policy — four references plus the paper's three
+// mechanisms behind the same decision rule — under four conditions:
+//
+//   sim_clean   discrete-event run, reliable network
+//   sim_faulty  4% state-channel loss + one server crash/restart
+//   rt_clean    real threads, flood injection
+//   rt_faulty   4% loss + choreographed crash/restart + failure detector
+//
+// Not a paper table: the paper measures mechanism cost inside a solver;
+// this driver measures the same mechanisms as a *service* — what a
+// request feels (mean/p50/p99 sojourn), what the decision knew (mean
+// info age) and what the exchange cost (state messages). The arrival
+// stream is a seeded two-phase MMPP at 70% of aggregate capacity, so
+// burst periods push the servers near saturation where stale views
+// actually hurt.
+//
+// Record identity: problem=svc_open_loop, mechanism=<policy>,
+// strategy=<condition>. Sim records carry the schedule digest and fully
+// deterministic extras. The rt records use the injected-arrival digest
+// as their schedule digest (the only replayable identity a threaded run
+// has) and keep every timing-dependent measurement under host_ keys so
+// baseline diffs still pair them up.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "svc/arrivals.h"
+#include "svc/rt_driver.h"
+#include "svc/service_app.h"
+
+using namespace loadex;
+
+namespace {
+
+struct Condition {
+  const char* name;
+  bool rt = false;
+  bool faulty = false;
+};
+
+constexpr Condition kConditions[] = {
+    {"sim_clean", false, false},
+    {"sim_faulty", false, true},
+    {"rt_clean", true, false},
+    {"rt_faulty", true, true},
+};
+
+struct BenchShape {
+  int nprocs = 8;
+  int requests = 100000;
+  std::uint64_t seed = 1;
+  double mean_work = 1e6;           ///< flops per request
+  std::vector<double> speeds;       ///< heterogeneous server speeds
+  double capacity_hz = 0.0;         ///< aggregate service rate
+  double expected_makespan_s = 0.0;
+  svc::ArrivalConfig arrivals;
+};
+
+BenchShape makeShape(int nprocs, int requests, std::uint64_t seed) {
+  BenchShape s;
+  s.nprocs = nprocs;
+  s.requests = requests;
+  s.seed = seed;
+  // Alternating 0.75x / 1.25x servers: heterogeneous, same aggregate as
+  // a homogeneous fleet (pairs sum to 2.0).
+  s.speeds.assign(static_cast<std::size_t>(nprocs), 1.0);
+  for (Rank r = 1; r < nprocs; ++r)
+    s.speeds[static_cast<std::size_t>(r)] = (r % 2 == 1) ? 0.75 : 1.25;
+  double agg = 0.0;
+  for (Rank r = 1; r < nprocs; ++r)
+    agg += s.speeds[static_cast<std::size_t>(r)] * 1e9;
+  s.capacity_hz = agg / s.mean_work;
+
+  s.arrivals.seed = seed * 0x9e3779b9u + 0x5ecc1u;
+  s.arrivals.n_requests = requests;
+  s.arrivals.mean_work = s.mean_work;
+  // Two-phase MMPP averaging 0.7x capacity: bursts at 0.98x (queues
+  // build, stale decisions cost), lulls at 0.42x (queues drain).
+  s.arrivals.phases = {{0.98 * s.capacity_hz, 25e-3},
+                       {0.42 * s.capacity_hz, 25e-3}};
+  s.expected_makespan_s =
+      static_cast<double>(requests) / (0.7 * s.capacity_hz);
+  return s;
+}
+
+core::MechanismConfig mechConfigOf(const BenchShape& s, bool faulty) {
+  core::MechanismConfig m;
+  // Half the mean request: most load changes broadcast, the maintained
+  // views stay maintained.
+  m.threshold = {0.5 * s.mean_work, 1e18};
+  if (faulty) {
+    m.reliability.reliable_updates = true;
+    m.reliability.snapshot_timeout_s = 5e-3;
+  }
+  return m;
+}
+
+struct RunRow {
+  svc::LedgerTotals totals;
+  double sojourn_mean = 0.0, p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  double queue_mean = 0.0;
+  double mean_info_age = 0.0;
+  std::int64_t state_messages = 0;
+  std::uint64_t digest = 0;
+  double sim_makespan_s = 0.0;  ///< 0 for rt rows
+  std::uint64_t sim_events = 0;
+  double host_wall_s = 0.0;
+};
+
+RunRow rowOf(const svc::LedgerTotals& totals, const obs::Histogram& sojourn,
+             const obs::Histogram& queue_wait, double info_age,
+             const core::MechanismStats& ms) {
+  RunRow r;
+  r.totals = totals;
+  r.sojourn_mean = sojourn.mean();
+  r.p50 = sojourn.p50();
+  r.p95 = sojourn.p95();
+  r.p99 = sojourn.p99();
+  r.queue_mean = queue_wait.mean();
+  r.mean_info_age = info_age;
+  r.state_messages = ms.messagesSent();
+  return r;
+}
+
+RunRow runSim(const BenchShape& s, svc::PolicyKind policy, bool faulty,
+              const svc::ArrivalScript& script) {
+  svc::SvcSimConfig cfg;
+  cfg.nprocs = s.nprocs;
+  cfg.policy = policy;
+  cfg.mech = mechConfigOf(s, faulty);
+  cfg.speed_factors = s.speeds;
+  cfg.audit = svc::svcAuditorConfig(faulty);
+  if (faulty) {
+    cfg.network.faults.drop_prob = 0.04;
+    cfg.network.faults.affects_app = false;  // state channel only
+    cfg.network.faults.seed = s.seed * 1069 + 11;
+    using Kind = loadex::ProcessFaultEvent::Kind;
+    const Rank victim = s.nprocs - 1;
+    cfg.process_faults.push_back(
+        {victim, 0.30 * s.expected_makespan_s, Kind::kCrash});
+    cfg.process_faults.push_back(
+        {victim, 0.45 * s.expected_makespan_s, Kind::kRestart});
+  }
+  const svc::SvcSimResult res = svc::runSvcSim(cfg, script);
+  RunRow r = rowOf(res.totals, res.sojourn, res.queue_wait,
+                   res.mean_info_age, res.mech_stats);
+  r.digest = res.run.schedule_digest;
+  r.sim_makespan_s = res.run.end_time;
+  r.sim_events = res.run.events;
+  return r;
+}
+
+RunRow runRt(const BenchShape& s, svc::PolicyKind policy, bool faulty,
+             const svc::ArrivalScript& script) {
+  svc::SvcRtConfig cfg;
+  cfg.nprocs = s.nprocs;
+  cfg.policy = policy;
+  cfg.mech = mechConfigOf(s, faulty);
+  cfg.audit = svc::svcAuditorConfig(faulty);
+  cfg.drain_timeout_s = 120.0;
+  if (faulty) {
+    cfg.rt.faults.messages.drop_prob = 0.04;
+    cfg.rt.faults.messages.affects_app = false;
+    cfg.rt.faults.messages.seed = s.seed * 1069 + 13;
+    cfg.rt.faults.manual_control = true;
+    cfg.rt.faults.suspicion.enabled = true;
+    cfg.rt.faults.suspicion.suspect_after_s = 20e-3;
+    cfg.rt.faults.suspicion.dead_after_s = 60e-3;
+    cfg.crash_rank = s.nprocs - 1;
+    cfg.crash_at_frac = 0.30;
+    cfg.restart_at_frac = 0.45;
+    cfg.down_wait_s = 0.1;
+  }
+  const svc::SvcRtResult res = svc::runSvcRt(cfg, script);
+  RunRow r = rowOf(res.totals, res.sojourn, res.queue_wait,
+                   res.mean_info_age, res.mech_stats);
+  r.digest = res.arrivals_digest;
+  r.host_wall_s = res.wall_s;
+  return r;
+}
+
+std::string us(double seconds) { return Table::fmt(seconds * 1e6, 1); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchEnv env = bench::BenchEnv::parse(argc, argv);
+  const CliFlags flags(argc, argv);
+  const int nprocs = static_cast<int>(flags.getInt("n", 8));
+  const int requests = static_cast<int>(flags.getInt(
+      "requests",
+      std::max<std::int64_t>(
+          500, std::llround(100000.0 * env.effectiveScale()))));
+  // Triage filters: run one policy and/or one condition cell in isolation.
+  const std::string only_policy = flags.getString("policy", "");
+  const std::string only_condition = flags.getString("condition", "");
+  const BenchShape shape = makeShape(nprocs, requests, env.seed);
+  const svc::ArrivalScript script = svc::generateArrivals(shape.arrivals);
+
+  std::cout << "Open-loop service sojourn — " << requests << " requests, "
+            << nprocs - 1 << " heterogeneous servers + 1 dispatcher, MMPP "
+            << "at 70% capacity (" << Table::fmt(shape.capacity_hz, 0)
+            << " req/s aggregate)\n\n";
+
+  bench::JsonResults json("svc_sojourn", env);
+  Table t("Sojourn time by dispatch policy and condition");
+  t.setHeader({"policy", "condition", "done", "dropped", "mean us",
+               "p50 us", "p99 us", "info age us", "state msgs"});
+
+  for (const svc::PolicyKind policy : svc::allPolicyKinds()) {
+    if (!only_policy.empty() && only_policy != svc::policyKindName(policy))
+      continue;
+    for (const Condition& c : kConditions) {
+      if (!only_condition.empty() && only_condition != c.name) continue;
+      std::cerr << "[cell] " << svc::policyKindName(policy) << " / "
+                << c.name << " ..." << std::endl;
+      const RunRow r = c.rt ? runRt(shape, policy, c.faulty, script)
+                            : runSim(shape, policy, c.faulty, script);
+      t.addRow({svc::policyKindName(policy), c.name,
+                std::to_string(r.totals.completed),
+                std::to_string(r.totals.dropped()), us(r.sojourn_mean),
+                us(r.p50), us(r.p99), us(r.mean_info_age),
+                std::to_string(r.state_messages)});
+
+      obs::BenchResultRecord rec;
+      rec.problem = "svc_open_loop";
+      rec.mechanism = svc::policyKindName(policy);
+      rec.strategy = c.name;
+      rec.nprocs = nprocs;
+      rec.completed = true;
+      rec.schedule_digest = r.digest;
+      std::map<std::string, double> extra{
+          {"requests", static_cast<double>(requests)}};
+      if (c.rt) {
+        // Threaded runs: everything timing-dependent is host-volatile.
+        extra["host_completed"] = static_cast<double>(r.totals.completed);
+        extra["host_dropped"] = static_cast<double>(r.totals.dropped());
+        extra["host_sojourn_mean_s"] = r.sojourn_mean;
+        extra["host_sojourn_p50_s"] = r.p50;
+        extra["host_sojourn_p95_s"] = r.p95;
+        extra["host_sojourn_p99_s"] = r.p99;
+        extra["host_queue_mean_s"] = r.queue_mean;
+        extra["host_info_age_s"] = r.mean_info_age;
+        extra["host_state_messages"] =
+            static_cast<double>(r.state_messages);
+        extra["host_wall_s"] = r.host_wall_s;
+      } else {
+        rec.makespan_s = r.sim_makespan_s;
+        rec.sim_events = r.sim_events;
+        rec.state_messages = r.state_messages;
+        extra["completed"] = static_cast<double>(r.totals.completed);
+        extra["dropped_no_candidate"] =
+            static_cast<double>(r.totals.dropped_no_candidate);
+        extra["dropped_server_crash"] =
+            static_cast<double>(r.totals.dropped_server_crash);
+        extra["dropped_lost"] = static_cast<double>(r.totals.dropped_lost);
+        extra["sojourn_mean_s"] = r.sojourn_mean;
+        extra["sojourn_p50_s"] = r.p50;
+        extra["sojourn_p95_s"] = r.p95;
+        extra["sojourn_p99_s"] = r.p99;
+        extra["queue_mean_s"] = r.queue_mean;
+        extra["info_age_s"] = r.mean_info_age;
+      }
+      json.add(std::move(rec), std::move(extra));
+    }
+  }
+
+  t.setFootnote(
+      "References: shortest_queue reads the live board (oracle), "
+      "stale_shortest_queue a periodic snapshot of it; the mechanism rows "
+      "route through requestView/commitSelection. rt sojourns measure "
+      "dispatch + transport only (no simulated service burn).");
+  t.print(std::cout);
+  return json.write() ? 0 : 1;
+}

@@ -26,6 +26,8 @@
 // full rationale):
 //
 //   kWorkloadTally   (10)  WorkloadDriver tallies — leaf from driver side
+//   kSvcLedger       (15)  svc request ledger; tight scopes only, never
+//                          held across a mechanism or transport call
 //   kLifecycle       (20)  RtWorld crash/restart/sweep transitions; sweeps
 //                          pop sealed mailboxes, so it ranks below them
 //   kMailboxPark     (30)  Mailbox consumer/producer parking; pop() holds
@@ -123,6 +125,7 @@ namespace loadex::sync {
 /// loadex-lint parses this enum to drive the `lock-hierarchy` rule.
 enum class LockRank : int {
   kWorkloadTally = 10,
+  kSvcLedger = 15,
   kLifecycle = 20,
   kMailboxPark = 30,
   kMailboxDeque = 40,

@@ -1,0 +1,88 @@
+// Replay plumbing shared by every driver that executes a seeded plan
+// against the mechanisms: the sim differential suites, rt::WorkloadDriver
+// (harness::Script) and the svc dispatchers (svc::ArrivalScript).
+//
+// Two pieces live here so the runtimes cannot drift apart:
+//
+//   orderedScriptOps  — the one time-ordering of a Script's mixed op
+//     streams (loads / selections / No_more_master), with declaration
+//     order as the stable tie-break. Both replays must walk the same
+//     sequence or "same plan" stops meaning anything.
+//
+//   selectAndCommit   — the one master-side decision step: requestView,
+//     pick with the shared leastLoadedSlave policy, and commit *exactly
+//     once inside the view callback* — including the degraded skip path,
+//     which must still close the view with an empty selection (the
+//     snapshot mechanism keeps the system frozen until the decision is
+//     committed). The skip-path commit is the PR 6 WorkloadDriver fix;
+//     hoisting it here keeps it in one place.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/mechanism.h"
+#include "harness/script.h"
+
+namespace loadex::harness {
+
+/// Uniform, time-ordered view of a Script's operations. `index` points
+/// into the script vector selected by `what`.
+struct ScriptOpRef {
+  SimTime time = 0.0;
+  int order = 0;  ///< stable tie-break: script declaration order
+  enum class What : std::uint8_t { kLoad, kSelect, kNoMoreMaster } what =
+      What::kLoad;
+  std::size_t index = 0;
+};
+
+inline std::vector<ScriptOpRef> orderedScriptOps(const Script& s) {
+  std::vector<ScriptOpRef> ops;
+  ops.reserve(s.loads.size() + s.selections.size() + 1);
+  int order = 0;
+  for (std::size_t i = 0; i < s.loads.size(); ++i)
+    ops.push_back({s.loads[i].time, order++, ScriptOpRef::What::kLoad, i});
+  for (std::size_t i = 0; i < s.selections.size(); ++i)
+    ops.push_back(
+        {s.selections[i].time, order++, ScriptOpRef::What::kSelect, i});
+  if (s.no_more_master != kNoRank)
+    ops.push_back({s.no_more_master_at, order++,
+                   ScriptOpRef::What::kNoMoreMaster, 0});
+  std::sort(ops.begin(), ops.end(),
+            [](const ScriptOpRef& a, const ScriptOpRef& b) {
+              return a.time != b.time ? a.time < b.time : a.order < b.order;
+            });
+  return ops;
+}
+
+/// One dynamic scheduling decision through a mechanism: request a view,
+/// delegate `share` to the least-loaded healthy slave, and commit exactly
+/// once before returning from the view callback.
+///
+/// on_chosen(view, slave) runs after the commit, on the mechanism's
+/// execution context (synchronously for the maintained-view mechanisms,
+/// from the snapshot-completion callback otherwise) — send the work
+/// envelope there. on_skip(view) runs after the empty commit when every
+/// peer is dead or untrusted; the work stays local.
+template <typename OnChosen, typename OnSkip>
+void selectAndCommit(core::Mechanism& m, const core::LoadMetrics& share,
+                     OnChosen on_chosen, OnSkip on_skip) {
+  m.requestView([&m, share, on_chosen = std::move(on_chosen),
+                 on_skip = std::move(on_skip)](const core::LoadView& v) {
+    const Rank slave = leastLoadedSlave(v, m.self());
+    if (slave == kNoRank) {
+      // Degraded decision: the snapshot mechanism still requires the
+      // decision to be committed inside the callback — an empty
+      // selection closes it without delegating anything.
+      m.commitSelection({});
+      on_skip(v);
+      return;
+    }
+    m.commitSelection({{slave, share}});
+    on_chosen(v, slave);
+  });
+}
+
+}  // namespace loadex::harness

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <ostream>
 
 #include "common/expect.h"
@@ -21,6 +22,43 @@ void Histogram::add(double x) {
   ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
   ++count_;
   sum_ += x;
+}
+
+double Histogram::quantile(double q) const {
+  LOADEX_EXPECT(q >= 0.0 && q <= 1.0, "quantile q must be in [0, 1]");
+  if (count_ == 0) return 0.0;
+  const double target = q * static_cast<double>(count_);
+  std::int64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::int64_t b = buckets_[i];
+    cum += b;
+    if (b == 0 || static_cast<double>(cum) < target) continue;
+    if (i >= bounds_.size()) return bounds_.back();  // overflow: clamp
+    const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+    const double upper = bounds_[i];
+    double pos = (target - static_cast<double>(cum - b)) /
+                 static_cast<double>(b);
+    if (pos < 0.0) pos = 0.0;
+    if (pos > 1.0) pos = 1.0;
+    return lower + (upper - lower) * pos;
+  }
+  // count_ > 0 guarantees some bucket is non-empty; q == 1 exits above.
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+std::vector<double> Histogram::logBounds(double lo, double hi,
+                                         int per_decade) {
+  LOADEX_EXPECT(lo > 0.0 && hi > lo, "logBounds needs 0 < lo < hi");
+  LOADEX_EXPECT(per_decade > 0, "logBounds needs per_decade > 0");
+  const double step = std::pow(10.0, 1.0 / per_decade);
+  std::vector<double> bounds;
+  double edge = lo;
+  while (true) {
+    bounds.push_back(edge);
+    if (edge >= hi) break;
+    edge *= step;
+  }
+  return bounds;
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {

@@ -44,9 +44,35 @@ class Histogram {
   void add(double x);
   std::int64_t count() const { return count_; }
   double sum() const { return sum_; }
+  double mean() const { return count_ > 0 ? sum_ / double(count_) : 0.0; }
   const std::vector<double>& bounds() const { return bounds_; }
   /// bounds().size() + 1 entries; the last one is the overflow bucket.
   const std::vector<std::int64_t>& buckets() const { return buckets_; }
+
+  /// Quantile estimate for q in [0, 1] with linear interpolation inside
+  /// the containing bucket. Contract, precisely:
+  ///   * the target rank is q * count(); the containing bucket is the
+  ///     first whose cumulative count reaches it;
+  ///   * within bucket i the samples are assumed uniform over
+  ///     (lower, bounds()[i]], where `lower` is bounds()[i-1], or 0.0 for
+  ///     the first bucket (all histograms in this repo record
+  ///     non-negative quantities);
+  ///   * the overflow bucket has no upper edge, so any quantile landing
+  ///     there is clamped to the last bound — a *lower* bound on the true
+  ///     value. Size the bounds past the expected tail (see logBounds)
+  ///     when p99-style readings matter.
+  /// An empty histogram returns 0.0.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+  /// Log-spaced bounds for latency/sojourn-style histograms: per_decade
+  /// evenly log-spaced edges per factor of 10, from `lo` up to and
+  /// including the first edge >= hi. Gives constant *relative* quantile
+  /// resolution across the whole tail, unlike the linear stall-tuned
+  /// bucket sets used elsewhere.
+  static std::vector<double> logBounds(double lo, double hi, int per_decade);
 
  private:
   std::vector<double> bounds_;

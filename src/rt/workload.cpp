@@ -1,25 +1,12 @@
 #include "rt/workload.h"
 
-#include <algorithm>
 #include <utility>
 
 #include "common/expect.h"
+#include "harness/replay.h"
 #include "rt/clock.h"
 
 namespace loadex::rt {
-
-namespace {
-
-/// Uniform view of the script's timed operations for the merge-replay.
-struct TimedOp {
-  SimTime time = 0.0;
-  int order = 0;  ///< stable tie-break: script declaration order
-  enum class What : std::uint8_t { kLoad, kSelect, kNoMoreMaster } what =
-      What::kLoad;
-  std::size_t index = 0;
-};
-
-}  // namespace
 
 void WorkloadDriver::postLoad(const harness::ScriptLoadOp& op) {
   world_.post(op.rank, [this, op] {
@@ -31,34 +18,33 @@ void WorkloadDriver::postSelection(const harness::ScriptSelectOp& op) {
   world_.postWhenFree(op.master, [this, op] {
     auto& m = mechs_.at(op.master);
     const SimTime t0 = world_.now();
-    m.requestView([this, op, &m, t0](const core::LoadView& v) {
-      const Rank slave = harness::leastLoadedSlave(v, op.master);
-      const double latency = world_.now() - t0;
-      if (slave == kNoRank) {
-        // Degraded decision: every peer is dead or untrusted in this
-        // view, so the work stays local. The snapshot mechanism still
-        // requires the decision to be committed inside the callback —
-        // an empty selection closes it without delegating anything.
-        m.commitSelection({});
-        const sync::MutexLock lk(mu_);
-        ++skipped_;
-        latencies_.push_back(latency);
-        return;
-      }
-      m.commitSelection({{slave, {op.share, 0.0}}});
-      {
-        const sync::MutexLock lk(mu_);
-        ++committed_;
-        latencies_.push_back(latency);
-      }
-      // The delegated work travels to the slave as a task envelope; its
-      // load lands with is_slave_delegated so the slave does not
-      // self-report what the master's reservation already announced.
-      world_.postTask(op.master, slave, [this, slave, share = op.share] {
-        mechs_.at(slave).addLocalLoad({share, 0.0},
-                                      /*is_slave_delegated=*/true);
-      });
-    });
+    harness::selectAndCommit(
+        m, {op.share, 0.0},
+        [this, op, t0](const core::LoadView&, Rank slave) {
+          const double latency = world_.now() - t0;
+          {
+            const sync::MutexLock lk(mu_);
+            ++committed_;
+            latencies_.push_back(latency);
+          }
+          // The delegated work travels to the slave as a task envelope;
+          // its load lands with is_slave_delegated so the slave does not
+          // self-report what the master's reservation already announced.
+          world_.postTask(op.master, slave,
+                          [this, slave, share = op.share] {
+                            mechs_.at(slave).addLocalLoad(
+                                {share, 0.0}, /*is_slave_delegated=*/true);
+                          });
+        },
+        [this, t0](const core::LoadView&) {
+          // Degraded decision: every peer is dead or untrusted in this
+          // view, so the work stays local (the empty commit already
+          // closed the view — see harness::selectAndCommit).
+          const double latency = world_.now() - t0;
+          const sync::MutexLock lk(mu_);
+          ++skipped_;
+          latencies_.push_back(latency);
+        });
   });
 }
 
@@ -70,35 +56,23 @@ WorkloadResult WorkloadDriver::run(const harness::Script& script,
                     mechs_.size() == script.nprocs,
                 "script/world size mismatch");
 
-  std::vector<TimedOp> ops;
-  ops.reserve(script.loads.size() + script.selections.size() + 1);
-  int order = 0;
-  for (std::size_t i = 0; i < script.loads.size(); ++i)
-    ops.push_back({script.loads[i].time, order++, TimedOp::What::kLoad, i});
-  for (std::size_t i = 0; i < script.selections.size(); ++i)
-    ops.push_back(
-        {script.selections[i].time, order++, TimedOp::What::kSelect, i});
-  if (script.no_more_master != kNoRank)
-    ops.push_back({script.no_more_master_at, order++,
-                   TimedOp::What::kNoMoreMaster, 0});
-  std::sort(ops.begin(), ops.end(), [](const TimedOp& a, const TimedOp& b) {
-    return a.time != b.time ? a.time < b.time : a.order < b.order;
-  });
+  const std::vector<harness::ScriptOpRef> ops =
+      harness::orderedScriptOps(script);
 
   const SimTime t_start = world_.now();
   SimTime prev = ops.empty() ? 0.0 : ops.front().time;
-  for (const TimedOp& op : ops) {
+  for (const harness::ScriptOpRef& op : ops) {
     if (time_scale > 0.0 && op.time > prev)
       MonotonicClock::sleepFor((op.time - prev) * time_scale);
     prev = op.time;
     switch (op.what) {
-      case TimedOp::What::kLoad:
+      case harness::ScriptOpRef::What::kLoad:
         postLoad(script.loads[op.index]);
         break;
-      case TimedOp::What::kSelect:
+      case harness::ScriptOpRef::What::kSelect:
         postSelection(script.selections[op.index]);
         break;
-      case TimedOp::What::kNoMoreMaster:
+      case harness::ScriptOpRef::What::kNoMoreMaster:
         world_.postWhenFree(script.no_more_master,
                             [this, r = script.no_more_master] {
                               mechs_.at(r).noMoreMaster();

@@ -95,7 +95,7 @@ void RtWorld::stop() {
   if (fault_hooks_) sweepCrashedMailboxes();
 }
 
-bool RtWorld::drain(double timeout_s) {
+bool RtWorld::drain(double timeout_s, bool log_on_timeout) {
   const SimTime deadline = clock_.now() + timeout_s;
   for (int iter = 0;; ++iter) {
     if (pending_.load(std::memory_order_acquire) == 0) return true;
@@ -107,7 +107,7 @@ bool RtWorld::drain(double timeout_s) {
   }
   if (fault_hooks_) sweepCrashedMailboxes();
   if (pending_.load(std::memory_order_acquire) == 0) return true;
-  logDrainDiagnostics();
+  if (log_on_timeout) logDrainDiagnostics();
   return false;
 }
 

@@ -174,8 +174,10 @@ class RtWorld {
   /// Wait until the pending-work counter reaches its stable zero, i.e. no
   /// envelope is queued or executing and no timer is armed anywhere.
   /// False on timeout (something still in flight) — the per-rank pending
-  /// depths (mailbox, spill, armed timers) are then logged at warn level.
-  bool drain(double timeout_s);
+  /// depths (mailbox, spill, armed timers) are then logged at warn level,
+  /// unless `log_on_timeout` is false (progress-polling callers drain in
+  /// short slices and expect most of them to time out).
+  bool drain(double timeout_s, bool log_on_timeout = true);
 
   /// Post a stop envelope to every node and join the threads. Idempotent.
   void stop();

@@ -12,6 +12,7 @@
 #include <optional>
 #include <string>
 
+#include "common/faults.h"
 #include "common/types.h"
 #include "sim/message.h"
 
@@ -46,6 +47,14 @@ class Application {
 
   /// True when this process has no outstanding local work (diagnostics).
   virtual bool finished(const Process&) const { return true; }
+
+  /// The process just crashed (kCrash: queues flushed, running task
+  /// aborted without on_complete) or came back up (kRestart: empty, no
+  /// state recovered). Fired after the process updated its own state, so
+  /// the application can reconcile bookkeeping it keeps *outside* the dead
+  /// rank — e.g. mark in-flight requests as lost. Only those two kinds are
+  /// reported; pause/resume are transparent to the application.
+  virtual void onProcessFault(Process&, loadex::ProcessFaultEvent::Kind) {}
 };
 
 /// Implemented by the load-information mechanism (loadex_core binds the

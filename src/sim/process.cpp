@@ -62,6 +62,8 @@ void Process::crash() {
       static_cast<std::int64_t>(state_q_.size() + app_q_.size());
   state_q_.clear();
   app_q_.clear();
+  if (app_ != nullptr)
+    app_->onProcessFault(*this, ProcessFaultEvent::Kind::kCrash);
 }
 
 void Process::restart() {
@@ -71,6 +73,8 @@ void Process::restart() {
   LOADEX_TRACE_INSTANT(now(), mainTrack(rank_), "restart");
   // In-flight and queued messages were lost while down; local application
   // state is whatever survived the crash (the app/mechanism decide).
+  if (app_ != nullptr)
+    app_->onProcessFault(*this, ProcessFaultEvent::Kind::kRestart);
   pump();
 }
 

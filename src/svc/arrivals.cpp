@@ -1,0 +1,107 @@
+#include "svc/arrivals.h"
+
+#include <cstring>
+#include <limits>
+
+#include "common/expect.h"
+#include "common/rng.h"
+
+namespace loadex::svc {
+
+namespace {
+
+inline std::uint64_t fnv1a(std::uint64_t h, std::uint64_t x) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (x >> (8 * i)) & 0xffu;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline std::uint64_t bitsOf(double d) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+}  // namespace
+
+void ArrivalDigest::fold(const Arrival& a) {
+  h_ = fnv1a(h_, static_cast<std::uint64_t>(a.id));
+  h_ = fnv1a(h_, bitsOf(a.time));
+  h_ = fnv1a(h_, bitsOf(a.work));
+}
+
+std::uint64_t ArrivalScript::digest() const {
+  ArrivalDigest d;
+  for (const Arrival& a : arrivals) d.fold(a);
+  return d.value();
+}
+
+ArrivalScript generateArrivals(const ArrivalConfig& cfg) {
+  LOADEX_EXPECT(cfg.n_requests >= 0, "n_requests must be non-negative");
+  LOADEX_EXPECT(cfg.mean_work > 0.0, "mean_work must be positive");
+  if (cfg.phases.empty()) {
+    LOADEX_EXPECT(cfg.rate_hz > 0.0, "rate_hz must be positive");
+  } else {
+    for (const ArrivalPhase& ph : cfg.phases) {
+      LOADEX_EXPECT(ph.rate_hz > 0.0, "phase rate must be positive");
+      LOADEX_EXPECT(ph.mean_duration_s > 0.0,
+                    "phase mean duration must be positive");
+    }
+  }
+
+  // Two independent streams so adding/removing phases never perturbs the
+  // per-request work sequence: `clock` drives times (and dwell draws),
+  // `body` draws service demands.
+  Rng clock(cfg.seed, /*stream=*/1);
+  Rng body(cfg.seed, /*stream=*/2);
+
+  ArrivalScript script;
+  script.arrivals.reserve(static_cast<std::size_t>(cfg.n_requests));
+
+  SimTime t = 0.0;
+  std::size_t phase = 0;
+  SimTime phase_end = std::numeric_limits<SimTime>::infinity();
+  if (!cfg.phases.empty())
+    phase_end = clock.exponential(1.0 / cfg.phases[0].mean_duration_s);
+
+  for (std::int64_t id = 0; id < cfg.n_requests; ++id) {
+    const double rate =
+        cfg.phases.empty() ? cfg.rate_hz : cfg.phases[phase].rate_hz;
+    SimTime gap = clock.exponential(rate);
+    // Exact MMPP switching: a gap crossing the phase boundary is replaced
+    // by a fresh draw at the new rate, starting from the boundary
+    // (memorylessness makes this equivalent to the modulated process).
+    while (t + gap > phase_end) {
+      t = phase_end;
+      phase = (phase + 1) % cfg.phases.size();
+      phase_end =
+          t + clock.exponential(1.0 / cfg.phases[phase].mean_duration_s);
+      gap = clock.exponential(cfg.phases[phase].rate_hz);
+    }
+    t += gap;
+
+    Arrival a;
+    a.id = id;
+    a.time = t;
+    a.work = body.exponential(1.0 / cfg.mean_work);
+    a.bytes = cfg.request_bytes;
+    script.arrivals.push_back(a);
+  }
+  return script;
+}
+
+double meanArrivalRate(const ArrivalConfig& cfg) {
+  if (cfg.phases.empty()) return cfg.rate_hz;
+  // Long-run rate of the cyclic MMPP: dwell-weighted mean of phase rates.
+  double weighted = 0.0;
+  double total_dwell = 0.0;
+  for (const ArrivalPhase& ph : cfg.phases) {
+    weighted += ph.rate_hz * ph.mean_duration_s;
+    total_dwell += ph.mean_duration_s;
+  }
+  return weighted / total_dwell;
+}
+
+}  // namespace loadex::svc

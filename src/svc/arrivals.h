@@ -1,0 +1,89 @@
+// Deterministic open-loop arrival generation for the service workload.
+//
+// The generator materialises the whole arrival process up front as an
+// ArrivalScript — a flat, time-sorted request list — so both runtimes
+// replay the identical workload: the simulator injects it on the event
+// clock, the rt driver posts it onto rank 0's thread. All randomness
+// flows through Rng from a single 64-bit seed (the repo-wide RNG
+// discipline), so the script, its digest and the simulator's schedule
+// digest are reproducible bit for bit.
+//
+// Two arrival shapes:
+//   * Poisson  — `phases` empty: exponential inter-arrival times at
+//     `rate_hz` (the open-loop M/./k baseline);
+//   * bursty   — `phases` non-empty: a Markov-modulated Poisson process
+//     cycling deterministically through the phase list (burst / calm /
+//     ...), with exponentially distributed dwell time in each phase.
+//     Phase order is cyclic rather than drawn so a scenario reads as
+//     written; only dwell lengths and arrivals are random.
+//
+// Phase switching is exact, not approximate: when a drawn inter-arrival
+// gap crosses the phase boundary, the clock advances to the boundary and
+// the gap is redrawn at the new rate — memorylessness of the exponential
+// makes the restart statistically equivalent to thinning, and it keeps
+// the draw count (hence the stream) a pure function of the seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace loadex::svc {
+
+/// One phase of a bursty (MMPP) arrival process.
+struct ArrivalPhase {
+  double rate_hz = 0.0;        ///< arrival rate while this phase is active
+  double mean_duration_s = 0.0;  ///< mean (exponential) dwell time
+};
+
+struct ArrivalConfig {
+  std::uint64_t seed = 0x5ecc1u;
+  int n_requests = 1000;
+  /// Poisson arrival rate; ignored when `phases` is non-empty.
+  double rate_hz = 1000.0;
+  /// Bursty mode: cycle through these phases (empty = plain Poisson).
+  std::vector<ArrivalPhase> phases;
+  /// Mean request size in flops; each request draws Exp(1/mean_work).
+  double mean_work = 1e6;
+  /// Wire size of one request message.
+  Bytes request_bytes = 256;
+};
+
+/// One request of the open-loop workload.
+struct Arrival {
+  std::int64_t id = 0;    ///< dense [0, n_requests)
+  SimTime time = 0.0;     ///< arrival at the dispatcher
+  double work = 0.0;      ///< service demand, flops
+  Bytes bytes = 0;        ///< request message size
+};
+
+/// The materialised workload: arrivals sorted by time, ids dense in time
+/// order.
+struct ArrivalScript {
+  std::vector<Arrival> arrivals;
+
+  /// FNV-1a fingerprint over (id, time bits, work bits) of every arrival.
+  /// Drivers fold the same function over the requests they actually
+  /// inject, so "sim and rt replayed the same workload" is one integer
+  /// comparison (see ArrivalDigest).
+  std::uint64_t digest() const;
+};
+
+/// Incremental form of ArrivalScript::digest() for the drivers.
+class ArrivalDigest {
+ public:
+  void fold(const Arrival& a);
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;  ///< FNV-1a offset basis
+};
+
+/// Generate the script. Deterministic: same config -> same script.
+ArrivalScript generateArrivals(const ArrivalConfig& cfg);
+
+/// Mean arrival rate of the config (phase-dwell-weighted for bursty).
+double meanArrivalRate(const ArrivalConfig& cfg);
+
+}  // namespace loadex::svc

@@ -1,0 +1,223 @@
+#include "svc/ledger.h"
+
+#include <string>
+
+#include "common/expect.h"
+
+namespace loadex::svc {
+
+const char* dropCauseName(DropCause cause) {
+  switch (cause) {
+    case DropCause::kNone: return "none";
+    case DropCause::kNoCandidate: return "no_candidate";
+    case DropCause::kServerCrash: return "server_crash";
+    case DropCause::kLost: return "lost";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Shared log-spaced bounds: constant relative resolution from 100 ns up
+/// to 1000 s, covering both simulated sojourns (ms-scale) and rt
+/// dispatch latencies (us-scale) with the same bucket set.
+std::vector<double> latencyBounds() {
+  return obs::Histogram::logBounds(1e-7, 1e3, 6);
+}
+
+}  // namespace
+
+SvcLedger::SvcLedger(std::int64_t n_requests, int nprocs)
+    : records_(static_cast<std::size_t>(n_requests)),
+      board_(static_cast<std::size_t>(nprocs)),
+      sojourn_(latencyBounds()),
+      queue_wait_(latencyBounds()),
+      service_(latencyBounds()) {
+  LOADEX_EXPECT(nprocs >= 2, "svc needs a dispatcher and a server");
+  // Rank 0 is the dispatcher: present on the board, never a candidate.
+  board_[0].alive = false;
+}
+
+RequestRecord& SvcLedger::rec(std::int64_t id) {
+  LOADEX_EXPECT(id >= 0 &&
+                    id < static_cast<std::int64_t>(records_.size()),
+                "request id out of range");
+  return records_[static_cast<std::size_t>(id)];
+}
+
+const RequestRecord& SvcLedger::rec(std::int64_t id) const {
+  LOADEX_EXPECT(id >= 0 &&
+                    id < static_cast<std::int64_t>(records_.size()),
+                "request id out of range");
+  return records_[static_cast<std::size_t>(id)];
+}
+
+void SvcLedger::terminalOnce(RequestRecord& r, const char* what) {
+  LOADEX_EXPECT(r.state != RequestState::kCompleted &&
+                    r.state != RequestState::kDropped,
+                std::string("request already terminal at ") + what);
+}
+
+void SvcLedger::arrived(std::int64_t id, SimTime t) {
+  const sync::MutexLock lk(mu_);
+  RequestRecord& r = rec(id);
+  r.state = RequestState::kArrived;
+  r.t_arrive = t;
+  ++totals_.arrived;
+}
+
+void SvcLedger::dispatched(std::int64_t id, Rank server, double work,
+                           SimTime t, double info_age) {
+  const sync::MutexLock lk(mu_);
+  RequestRecord& r = rec(id);
+  terminalOnce(r, "dispatched");
+  r.state = RequestState::kDispatched;
+  r.server = server;
+  r.work = work;
+  r.t_dispatch = t;
+  r.info_age = info_age;
+  board_[static_cast<std::size_t>(server)].outstanding_work += work;
+  info_age_sum_ += info_age;
+  ++info_age_count_;
+}
+
+void SvcLedger::enqueued(std::int64_t id, SimTime t) {
+  const sync::MutexLock lk(mu_);
+  RequestRecord& r = rec(id);
+  terminalOnce(r, "enqueued");
+  r.state = RequestState::kEnqueued;
+  r.t_enqueue = t;
+}
+
+void SvcLedger::started(std::int64_t id, SimTime t) {
+  const sync::MutexLock lk(mu_);
+  RequestRecord& r = rec(id);
+  terminalOnce(r, "started");
+  r.state = RequestState::kInService;
+  r.t_start = t;
+}
+
+void SvcLedger::completed(std::int64_t id, SimTime t) {
+  const sync::MutexLock lk(mu_);
+  RequestRecord& r = rec(id);
+  terminalOnce(r, "completed");
+  r.state = RequestState::kCompleted;
+  r.t_end = t;
+  ++totals_.completed;
+  if (r.server != kNoRank)
+    board_[static_cast<std::size_t>(r.server)].outstanding_work -= r.work;
+  sojourn_.add(t - r.t_arrive);
+  queue_wait_.add(r.t_start - r.t_arrive);
+  service_.add(t - r.t_start);
+}
+
+void SvcLedger::dropped(std::int64_t id, DropCause cause, SimTime t) {
+  const sync::MutexLock lk(mu_);
+  RequestRecord& r = rec(id);
+  terminalOnce(r, "dropped");
+  LOADEX_EXPECT(cause != DropCause::kNone, "a drop needs a cause");
+  if (r.server != kNoRank && r.state != RequestState::kArrived)
+    board_[static_cast<std::size_t>(r.server)].outstanding_work -= r.work;
+  r.state = RequestState::kDropped;
+  r.cause = cause;
+  r.t_end = t;
+  switch (cause) {
+    case DropCause::kNoCandidate: ++totals_.dropped_no_candidate; break;
+    case DropCause::kServerCrash: ++totals_.dropped_server_crash; break;
+    case DropCause::kLost: ++totals_.dropped_lost; break;
+    case DropCause::kNone: break;
+  }
+}
+
+bool SvcLedger::terminal(std::int64_t id) const {
+  const sync::MutexLock lk(mu_);
+  const RequestRecord& r = rec(id);
+  return r.state == RequestState::kCompleted ||
+         r.state == RequestState::kDropped;
+}
+
+void SvcLedger::setAlive(Rank r, bool alive) {
+  const sync::MutexLock lk(mu_);
+  board_[static_cast<std::size_t>(r)].alive = alive;
+}
+
+void SvcLedger::snapshotBoard(std::vector<ServerStat>& out) const {
+  const sync::MutexLock lk(mu_);
+  out = board_;
+}
+
+double SvcLedger::outstandingWork(Rank r) const {
+  const sync::MutexLock lk(mu_);
+  return board_[static_cast<std::size_t>(r)].outstanding_work;
+}
+
+double SvcLedger::dropAssignedTo(Rank server, SimTime t) {
+  const sync::MutexLock lk(mu_);
+  double released = 0.0;
+  for (RequestRecord& r : records_) {
+    if (r.server != server) continue;
+    if (r.state == RequestState::kCompleted ||
+        r.state == RequestState::kDropped || r.state == RequestState::kArrived)
+      continue;
+    r.state = RequestState::kDropped;
+    r.cause = DropCause::kServerCrash;
+    r.t_end = t;
+    ++totals_.dropped_server_crash;
+    released += r.work;
+  }
+  board_[static_cast<std::size_t>(server)].outstanding_work = 0.0;
+  return released;
+}
+
+LedgerTotals SvcLedger::finalize(SimTime t) {
+  const sync::MutexLock lk(mu_);
+  for (RequestRecord& r : records_) {
+    if (r.state == RequestState::kCompleted ||
+        r.state == RequestState::kDropped)
+      continue;
+    if (r.server != kNoRank && r.state != RequestState::kArrived)
+      board_[static_cast<std::size_t>(r.server)].outstanding_work -= r.work;
+    r.state = RequestState::kDropped;
+    r.cause = DropCause::kLost;
+    r.t_end = t;
+    ++totals_.dropped_lost;
+  }
+  return totals_;
+}
+
+LedgerTotals SvcLedger::totals() const {
+  const sync::MutexLock lk(mu_);
+  return totals_;
+}
+
+void SvcLedger::expectConserved() const {
+  const sync::MutexLock lk(mu_);
+  std::int64_t terminal_count = 0;
+  for (const RequestRecord& r : records_)
+    if (r.state == RequestState::kCompleted ||
+        r.state == RequestState::kDropped)
+      ++terminal_count;
+  LOADEX_EXPECT(terminal_count ==
+                    static_cast<std::int64_t>(records_.size()),
+                "non-terminal request after finalize");
+  LOADEX_EXPECT(totals_.arrived ==
+                    static_cast<std::int64_t>(records_.size()),
+                "not every request arrived");
+  LOADEX_EXPECT(totals_.arrived == totals_.completed + totals_.dropped(),
+                "request conservation violated: arrived != completed "
+                "+ dropped");
+}
+
+double SvcLedger::meanInfoAge() const {
+  const sync::MutexLock lk(mu_);
+  return info_age_count_ > 0
+             ? info_age_sum_ / static_cast<double>(info_age_count_)
+             : 0.0;
+}
+
+const RequestRecord& SvcLedger::record(std::int64_t id) const {
+  const sync::MutexLock lk(mu_);
+  return rec(id);
+}
+
+}  // namespace loadex::svc

@@ -1,0 +1,150 @@
+// SvcLedger: per-request lifecycle accounting and the conservation
+// invariant of the service workload.
+//
+// Every request moves through
+//
+//   arrived -> dispatched -> enqueued -> in-service -> completed
+//
+// or exits early as dropped-with-cause. Terminal transitions are checked
+// to happen exactly once, and finalize() forces every straggler into the
+// kLost bucket, so at the end of any run — clean, lossy or crashing —
+//
+//   arrived == completed + dropped(no_candidate)
+//                        + dropped(server_crash)
+//                        + dropped(lost)
+//
+// holds by construction; expectConserved() turns a violation into a
+// ContractViolation. The ledger also owns the latency histograms
+// (sojourn / queue wait / service, log-spaced bounds) and the live
+// dispatch board (per-server outstanding work + alive bit) that the
+// shortest-queue policies read.
+//
+// Thread safety: one mutex at LockRank::kSvcLedger, taken in tight
+// scopes and never held across a mechanism, transport or policy call.
+// The simulator pays one uncontended lock per transition; in the rt
+// world rank threads record transitions concurrently with the rank-0
+// dispatcher reading the board.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sync.h"
+#include "common/types.h"
+#include "obs/metrics.h"
+#include "svc/policy.h"
+
+namespace loadex::svc {
+
+enum class RequestState : std::uint8_t {
+  kArrived,
+  kDispatched,  ///< policy chose a server, request message in flight
+  kEnqueued,    ///< delivered, waiting in the server's run queue
+  kInService,
+  kCompleted,
+  kDropped,
+};
+
+enum class DropCause : std::uint8_t {
+  kNone,
+  kNoCandidate,  ///< no eligible server at dispatch time
+  kServerCrash,  ///< was queued or in service on a crashing server
+  kLost,         ///< in flight at a crash / never delivered / unfinished
+};
+
+const char* dropCauseName(DropCause cause);
+
+struct RequestRecord {
+  RequestState state = RequestState::kArrived;
+  DropCause cause = DropCause::kNone;
+  Rank server = kNoRank;
+  double work = 0.0;
+  double info_age = 0.0;  ///< staleness of the data behind the dispatch
+  SimTime t_arrive = 0.0;
+  SimTime t_dispatch = 0.0;
+  SimTime t_enqueue = 0.0;
+  SimTime t_start = 0.0;
+  SimTime t_end = 0.0;  ///< completion or drop time
+};
+
+/// End-of-run totals (conservation operands).
+struct LedgerTotals {
+  std::int64_t arrived = 0;
+  std::int64_t completed = 0;
+  std::int64_t dropped_no_candidate = 0;
+  std::int64_t dropped_server_crash = 0;
+  std::int64_t dropped_lost = 0;
+
+  std::int64_t dropped() const {
+    return dropped_no_candidate + dropped_server_crash + dropped_lost;
+  }
+};
+
+class SvcLedger {
+ public:
+  /// `n_requests` ids, `nprocs` board slots (rank 0 marked not-alive:
+  /// the dispatcher never serves).
+  SvcLedger(std::int64_t n_requests, int nprocs);
+
+  // ---- lifecycle transitions (each takes the lock briefly) -------------
+  void arrived(std::int64_t id, SimTime t);
+  /// Policy picked `server`; adds `work` to its board entry. `info_age`
+  /// is the age of the load information behind the decision.
+  void dispatched(std::int64_t id, Rank server, double work, SimTime t,
+                  double info_age);
+  void enqueued(std::int64_t id, SimTime t);
+  void started(std::int64_t id, SimTime t);
+  void completed(std::int64_t id, SimTime t);
+  void dropped(std::int64_t id, DropCause cause, SimTime t);
+
+  /// True when `id` already reached a terminal state — used to ignore
+  /// zombie deliveries (a request dropped at a crash arriving after the
+  /// server restarted).
+  bool terminal(std::int64_t id) const;
+
+  // ---- dispatch board --------------------------------------------------
+  void setAlive(Rank r, bool alive);
+  /// Copy the live board into `out` (sized to nprocs).
+  void snapshotBoard(std::vector<ServerStat>& out) const;
+  /// Outstanding dispatched-but-unfinished work at `r`.
+  double outstandingWork(Rank r) const;
+  /// Drop every non-terminal request assigned to `r` with kServerCrash
+  /// and zero its board entry; returns the work released. Crash handler.
+  double dropAssignedTo(Rank r, SimTime t);
+
+  // ---- end of run ------------------------------------------------------
+  /// Force every non-terminal request into dropped(kLost) at time `t`,
+  /// then return the totals.
+  LedgerTotals finalize(SimTime t);
+  LedgerTotals totals() const;
+  /// Throws ContractViolation unless arrived == completed + dropped and
+  /// every request reached a terminal state.
+  void expectConserved() const;
+
+  // ---- latency statistics (read after the run has quiesced) ------------
+  const obs::Histogram& sojourn() const { return sojourn_; }
+  const obs::Histogram& queueWait() const { return queue_wait_; }
+  const obs::Histogram& service() const { return service_; }
+  /// Mean info_age over dispatched requests.
+  double meanInfoAge() const;
+
+  const RequestRecord& record(std::int64_t id) const;
+
+ private:
+  RequestRecord& rec(std::int64_t id) LOADEX_REQUIRES(mu_);
+  const RequestRecord& rec(std::int64_t id) const LOADEX_REQUIRES(mu_);
+  void terminalOnce(RequestRecord& r, const char* what)
+      LOADEX_REQUIRES(mu_);
+
+  mutable sync::Mutex mu_{sync::LockRank::kSvcLedger};
+  std::vector<RequestRecord> records_ LOADEX_GUARDED_BY(mu_);
+  std::vector<ServerStat> board_ LOADEX_GUARDED_BY(mu_);
+  LedgerTotals totals_ LOADEX_GUARDED_BY(mu_);
+  obs::Histogram sojourn_ LOADEX_GUARDED_BY(mu_);
+  obs::Histogram queue_wait_ LOADEX_GUARDED_BY(mu_);
+  obs::Histogram service_ LOADEX_GUARDED_BY(mu_);
+  double info_age_sum_ LOADEX_GUARDED_BY(mu_) = 0.0;
+  std::int64_t info_age_count_ LOADEX_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace loadex::svc

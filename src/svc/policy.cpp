@@ -1,0 +1,167 @@
+#include "svc/policy.h"
+
+#include <limits>
+
+#include "common/expect.h"
+
+namespace loadex::svc {
+
+const char* policyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kRandom: return "random";
+    case PolicyKind::kRoundRobin: return "round_robin";
+    case PolicyKind::kShortestQueue: return "shortest_queue";
+    case PolicyKind::kStaleShortestQueue: return "stale_shortest_queue";
+    case PolicyKind::kNaive: return "naive";
+    case PolicyKind::kIncrement: return "increment";
+    case PolicyKind::kSnapshot: return "snapshot";
+  }
+  LOADEX_EXPECT(false, "unknown PolicyKind");
+  return "?";
+}
+
+PolicyKind parsePolicyKind(const std::string& name) {
+  for (const PolicyKind k : allPolicyKinds())
+    if (name == policyKindName(k)) return k;
+  LOADEX_EXPECT(false, "unknown policy name: " + name);
+  return PolicyKind::kRandom;
+}
+
+const std::vector<PolicyKind>& allPolicyKinds() {
+  static const std::vector<PolicyKind> kinds = {
+      PolicyKind::kRandom,        PolicyKind::kRoundRobin,
+      PolicyKind::kShortestQueue, PolicyKind::kStaleShortestQueue,
+      PolicyKind::kNaive,         PolicyKind::kIncrement,
+      PolicyKind::kSnapshot,
+  };
+  return kinds;
+}
+
+bool policyUsesMechanism(PolicyKind kind) {
+  return kind == PolicyKind::kNaive || kind == PolicyKind::kIncrement ||
+         kind == PolicyKind::kSnapshot;
+}
+
+core::MechanismKind mechanismKindOf(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kNaive: return core::MechanismKind::kNaive;
+    case PolicyKind::kIncrement: return core::MechanismKind::kIncrement;
+    case PolicyKind::kSnapshot: return core::MechanismKind::kSnapshot;
+    default: break;
+  }
+  LOADEX_EXPECT(false, "policy kind is not mechanism-backed");
+  return core::MechanismKind::kNaive;
+}
+
+namespace {
+
+bool eligible(const DispatchContext& ctx, Rank r) {
+  return r != ctx.self && (*ctx.servers)[static_cast<std::size_t>(r)].alive;
+}
+
+class RandomPolicy final : public DispatchPolicy {
+ public:
+  Rank choose(const DispatchContext& ctx, Rng& rng) override {
+    const int n = static_cast<int>(ctx.servers->size());
+    int alive = 0;
+    for (Rank r = 0; r < n; ++r)
+      if (eligible(ctx, r)) ++alive;
+    if (alive == 0) return kNoRank;
+    auto pick = static_cast<std::int64_t>(
+        rng.uniformInt(static_cast<std::uint64_t>(alive)));
+    for (Rank r = 0; r < n; ++r) {
+      if (!eligible(ctx, r)) continue;
+      if (pick-- == 0) return r;
+    }
+    return kNoRank;
+  }
+};
+
+class RoundRobinPolicy final : public DispatchPolicy {
+ public:
+  Rank choose(const DispatchContext& ctx, Rng&) override {
+    const int n = static_cast<int>(ctx.servers->size());
+    for (int step = 0; step < n; ++step) {
+      const Rank r = next_;
+      next_ = (next_ + 1) % n;
+      if (eligible(ctx, r)) return r;
+    }
+    return kNoRank;
+  }
+
+ private:
+  Rank next_ = 0;
+};
+
+Rank leastLoadedOf(const DispatchContext& ctx,
+                   const std::vector<ServerStat>& board) {
+  Rank best = kNoRank;
+  double best_work = std::numeric_limits<double>::infinity();
+  for (Rank r = 0; r < static_cast<Rank>(board.size()); ++r) {
+    if (r == ctx.self) continue;
+    const ServerStat& s = board[static_cast<std::size_t>(r)];
+    if (!s.alive) continue;
+    if (s.outstanding_work < best_work) {
+      best = r;
+      best_work = s.outstanding_work;
+    }
+  }
+  return best;
+}
+
+class ShortestQueuePolicy final : public DispatchPolicy {
+ public:
+  Rank choose(const DispatchContext& ctx, Rng&) override {
+    return leastLoadedOf(ctx, *ctx.servers);
+  }
+};
+
+class StaleShortestQueuePolicy final : public DispatchPolicy {
+ public:
+  explicit StaleShortestQueuePolicy(double refresh_s)
+      : refresh_s_(refresh_s) {}
+
+  Rank choose(const DispatchContext& ctx, Rng&) override {
+    // Refresh only when the snapshot expired; between refreshes every
+    // decision acts on the same (increasingly wrong) board — including
+    // the alive bits, so a crash is invisible until the next refresh.
+    if (!have_snapshot_ || ctx.now - taken_at_ >= refresh_s_) {
+      snapshot_ = *ctx.servers;
+      taken_at_ = ctx.now;
+      have_snapshot_ = true;
+    }
+    age_ = ctx.now - taken_at_;
+    return leastLoadedOf(ctx, snapshot_);
+  }
+
+  double lastInfoAge() const override { return age_; }
+
+ private:
+  double refresh_s_;
+  std::vector<ServerStat> snapshot_;
+  SimTime taken_at_ = 0.0;
+  bool have_snapshot_ = false;
+  double age_ = 0.0;
+};
+
+}  // namespace
+
+std::unique_ptr<DispatchPolicy> makePolicy(PolicyKind kind,
+                                           double refresh_s) {
+  switch (kind) {
+    case PolicyKind::kRandom: return std::make_unique<RandomPolicy>();
+    case PolicyKind::kRoundRobin:
+      return std::make_unique<RoundRobinPolicy>();
+    case PolicyKind::kShortestQueue:
+      return std::make_unique<ShortestQueuePolicy>();
+    case PolicyKind::kStaleShortestQueue:
+      return std::make_unique<StaleShortestQueuePolicy>(refresh_s);
+    case PolicyKind::kNaive: return nullptr;
+    case PolicyKind::kIncrement: return nullptr;
+    case PolicyKind::kSnapshot: return nullptr;
+  }
+  LOADEX_EXPECT(false, "unknown PolicyKind");
+  return nullptr;
+}
+
+}  // namespace loadex::svc

@@ -5,6 +5,7 @@
 // metrics on or off).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -164,6 +165,56 @@ TEST(Metrics, HistogramBucketsUpperEdgeInclusive) {
   EXPECT_EQ(h.buckets()[1], 1);
   EXPECT_EQ(h.buckets()[2], 1);
   EXPECT_EQ(h.buckets()[3], 1);  // overflow bucket
+}
+
+TEST(HistogramQuantiles, PinnedOnAKnownUniformDistribution) {
+  // 100 samples, 25 per bucket over {[0,10], (10,20], (20,30], (30,40]}.
+  Histogram h({10.0, 20.0, 30.0, 40.0});
+  for (int b = 0; b < 4; ++b)
+    for (int i = 0; i < 25; ++i) h.add(5.0 + 10.0 * b);
+
+  // quantile(q) targets rank q*count and interpolates linearly inside
+  // the containing bucket (first bucket's lower edge is 0).
+  EXPECT_DOUBLE_EQ(h.quantile(0.125), 5.0);   // halfway into bucket 0
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 10.0);   // exactly fills bucket 0
+  EXPECT_DOUBLE_EQ(h.p50(), 20.0);            // exactly fills bucket 1
+  EXPECT_DOUBLE_EQ(h.quantile(0.625), 25.0);  // halfway into bucket 2
+  EXPECT_DOUBLE_EQ(h.p95(), 38.0);            // 80% into bucket 3
+  EXPECT_DOUBLE_EQ(h.p99(), 39.6);            // 96% into bucket 3
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 40.0);
+}
+
+TEST(HistogramQuantiles, SingleBucketInterpolatesFromZero) {
+  Histogram h({100.0});
+  for (int i = 0; i < 10; ++i) h.add(1.0);
+  // All mass sits in [0, 100]: the estimator only knows the bucket.
+  EXPECT_DOUBLE_EQ(h.p50(), 50.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.1), 10.0);
+}
+
+TEST(HistogramQuantiles, OverflowClampsToLastBoundAndEmptyIsZero) {
+  Histogram h({1.0});
+  EXPECT_DOUBLE_EQ(h.p99(), 0.0);  // empty histogram
+  for (int i = 0; i < 10; ++i) h.add(50.0);
+  // Overflow samples have no upper edge; the estimator clamps to the
+  // last finite bound rather than inventing a value.
+  EXPECT_DOUBLE_EQ(h.p50(), 1.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 1.0);
+}
+
+TEST(HistogramQuantiles, LogBoundsSpanTheRequestedRange) {
+  const std::vector<double> decades = Histogram::logBounds(1.0, 100.0, 1);
+  ASSERT_EQ(decades.size(), 3u);
+  EXPECT_DOUBLE_EQ(decades[0], 1.0);
+  EXPECT_DOUBLE_EQ(decades[1], 10.0);
+  EXPECT_DOUBLE_EQ(decades[2], 100.0);
+
+  const std::vector<double> fine = Histogram::logBounds(1e-7, 1e3, 6);
+  EXPECT_DOUBLE_EQ(fine.front(), 1e-7);
+  EXPECT_GE(fine.back(), 1e3);
+  const double step = std::pow(10.0, 1.0 / 6.0);
+  for (std::size_t i = 1; i < fine.size(); ++i)
+    EXPECT_NEAR(fine[i] / fine[i - 1], step, 1e-12);
 }
 
 TEST(Metrics, AccumulatorFamilySumAndMax) {

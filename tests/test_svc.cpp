@@ -1,0 +1,334 @@
+// loadex_svc: arrival generator determinism and moments, dispatch policy
+// units, the shared replay ordering, and end-to-end conservation of the
+// open-loop service workload in both runtimes (including sim-vs-rt
+// agreement on the injected arrival stream).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "harness/replay.h"
+#include "harness/script.h"
+#include "svc/arrivals.h"
+#include "svc/ledger.h"
+#include "svc/policy.h"
+#include "svc/rt_driver.h"
+#include "svc/service_app.h"
+
+namespace loadex::svc {
+namespace {
+
+ArrivalConfig smallArrivals(int n, double rate_hz) {
+  ArrivalConfig cfg;
+  cfg.n_requests = n;
+  cfg.rate_hz = rate_hz;
+  return cfg;
+}
+
+core::MechanismConfig svcMech() {
+  core::MechanismConfig m;
+  // Half the mean request size: most completions cross the threshold, so
+  // the maintained-view mechanisms actually maintain.
+  m.threshold = {5e5, 1e18};
+  return m;
+}
+
+// ---- arrival generator ----------------------------------------------------
+
+TEST(Arrivals, RegenerationIsDeterministic) {
+  const ArrivalConfig cfg = smallArrivals(500, 1000.0);
+  const ArrivalScript a = generateArrivals(cfg);
+  const ArrivalScript b = generateArrivals(cfg);
+  ASSERT_EQ(a.arrivals.size(), 500u);
+  EXPECT_EQ(a.digest(), b.digest());
+
+  SimTime prev = 0.0;
+  for (std::size_t i = 0; i < a.arrivals.size(); ++i) {
+    EXPECT_EQ(a.arrivals[i].id, static_cast<std::int64_t>(i));
+    EXPECT_GE(a.arrivals[i].time, prev);
+    EXPECT_GT(a.arrivals[i].work, 0.0);
+    prev = a.arrivals[i].time;
+  }
+
+  ArrivalConfig other = cfg;
+  other.seed ^= 1;
+  EXPECT_NE(generateArrivals(other).digest(), a.digest());
+}
+
+TEST(Arrivals, PoissonMomentsAreSane) {
+  const ArrivalScript s = generateArrivals(smallArrivals(20000, 1000.0));
+  double sum = 0.0, sum2 = 0.0;
+  SimTime prev = 0.0;
+  for (const Arrival& a : s.arrivals) {
+    const double gap = a.time - prev;
+    prev = a.time;
+    sum += gap;
+    sum2 += gap * gap;
+  }
+  const double n = static_cast<double>(s.arrivals.size());
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  // Exponential gaps: mean 1/rate, cv^2 = 1.
+  EXPECT_NEAR(mean, 1e-3, 0.05e-3);
+  EXPECT_NEAR(var / (mean * mean), 1.0, 0.15);
+}
+
+TEST(Arrivals, BurstyPhasesAreDeterministicAndModulated) {
+  ArrivalConfig cfg = smallArrivals(5000, 1000.0);
+  cfg.phases = {{5000.0, 5e-3}, {500.0, 20e-3}};
+  const ArrivalScript a = generateArrivals(cfg);
+  EXPECT_EQ(a.digest(), generateArrivals(cfg).digest());
+  EXPECT_NE(a.digest(), generateArrivals(smallArrivals(5000, 1000.0)).digest());
+
+  // Dwell-weighted mean: (5000*5ms + 500*20ms) / 25ms = 1400/s.
+  EXPECT_NEAR(meanArrivalRate(cfg), 1400.0, 1e-9);
+  const double observed =
+      static_cast<double>(a.arrivals.size()) / a.arrivals.back().time;
+  EXPECT_GT(observed, 500.0);
+  EXPECT_LT(observed, 5000.0);
+}
+
+TEST(Arrivals, WorkStreamIsIndependentOfPhases) {
+  // The clock and the request bodies are separate RNG streams: changing
+  // the phase structure must not perturb the work sequence.
+  ArrivalConfig plain = smallArrivals(1000, 1000.0);
+  ArrivalConfig bursty = plain;
+  bursty.phases = {{4000.0, 2e-3}, {250.0, 8e-3}};
+  const ArrivalScript a = generateArrivals(plain);
+  const ArrivalScript b = generateArrivals(bursty);
+  ASSERT_EQ(a.arrivals.size(), b.arrivals.size());
+  for (std::size_t i = 0; i < a.arrivals.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.arrivals[i].work, b.arrivals[i].work) << "i=" << i;
+}
+
+// ---- dispatch policies ----------------------------------------------------
+
+std::vector<ServerStat> boardOf(const std::vector<double>& work,
+                                const std::vector<bool>& alive) {
+  std::vector<ServerStat> b(work.size());
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    b[i].outstanding_work = work[i];
+    b[i].alive = alive[i];
+  }
+  return b;
+}
+
+DispatchContext ctxOf(const std::vector<ServerStat>& board, SimTime now) {
+  DispatchContext ctx;
+  ctx.servers = &board;
+  ctx.self = 0;
+  ctx.now = now;
+  return ctx;
+}
+
+TEST(Policies, RoundRobinCyclesAndSkipsDead) {
+  auto policy = makePolicy(PolicyKind::kRoundRobin, 0.0);
+  Rng rng(1);
+  auto board = boardOf({0, 0, 0, 0}, {false, true, true, true});
+  const DispatchContext ctx = ctxOf(board, 0.0);
+  EXPECT_EQ(policy->choose(ctx, rng), 1);
+  EXPECT_EQ(policy->choose(ctx, rng), 2);
+  EXPECT_EQ(policy->choose(ctx, rng), 3);
+  EXPECT_EQ(policy->choose(ctx, rng), 1);
+  board[2].alive = false;
+  EXPECT_EQ(policy->choose(ctx, rng), 3);
+  EXPECT_EQ(policy->choose(ctx, rng), 1);
+  board[1].alive = false;
+  board[3].alive = false;
+  EXPECT_EQ(policy->choose(ctx, rng), kNoRank);
+}
+
+TEST(Policies, RandomPicksEveryEligibleServerOnly) {
+  auto policy = makePolicy(PolicyKind::kRandom, 0.0);
+  Rng rng(7);
+  const auto board = boardOf({0, 0, 0, 0}, {false, true, false, true});
+  const DispatchContext ctx = ctxOf(board, 0.0);
+  bool saw1 = false, saw3 = false;
+  for (int i = 0; i < 200; ++i) {
+    const Rank r = policy->choose(ctx, rng);
+    ASSERT_TRUE(r == 1 || r == 3) << "picked ineligible rank " << r;
+    saw1 = saw1 || r == 1;
+    saw3 = saw3 || r == 3;
+  }
+  EXPECT_TRUE(saw1 && saw3);
+}
+
+TEST(Policies, ShortestQueuePicksLeastOutstandingAlive) {
+  auto policy = makePolicy(PolicyKind::kShortestQueue, 0.0);
+  Rng rng(1);
+  auto board = boardOf({0, 9, 2, 5}, {false, true, true, true});
+  EXPECT_EQ(policy->choose(ctxOf(board, 0.0), rng), 2);
+  board[2].alive = false;
+  EXPECT_EQ(policy->choose(ctxOf(board, 0.0), rng), 3);
+  // Ties break to the lowest rank.
+  board = boardOf({0, 4, 4, 4}, {false, true, true, true});
+  EXPECT_EQ(policy->choose(ctxOf(board, 0.0), rng), 1);
+}
+
+TEST(Policies, StaleShortestQueueActsOnTheOldBoard) {
+  auto policy = makePolicy(PolicyKind::kStaleShortestQueue, 1.0);
+  Rng rng(1);
+  auto board = boardOf({0, 1, 5, 5}, {false, true, true, true});
+  EXPECT_EQ(policy->choose(ctxOf(board, 0.0), rng), 1);
+  EXPECT_DOUBLE_EQ(policy->lastInfoAge(), 0.0);
+
+  // Rank 1 is now the worst choice, but the snapshot has not expired —
+  // the stale policy keeps picking it and reports the growing age.
+  board[1].outstanding_work = 100.0;
+  EXPECT_EQ(policy->choose(ctxOf(board, 0.5), rng), 1);
+  EXPECT_DOUBLE_EQ(policy->lastInfoAge(), 0.5);
+
+  // Past the refresh period the board is re-read.
+  EXPECT_EQ(policy->choose(ctxOf(board, 1.5), rng), 2);
+  EXPECT_DOUBLE_EQ(policy->lastInfoAge(), 0.0);
+}
+
+TEST(Policies, KindNamesRoundTripAndClassify) {
+  for (const PolicyKind k : allPolicyKinds())
+    EXPECT_EQ(parsePolicyKind(policyKindName(k)), k);
+  EXPECT_EQ(allPolicyKinds().size(), 7u);
+  EXPECT_FALSE(policyUsesMechanism(PolicyKind::kShortestQueue));
+  EXPECT_TRUE(policyUsesMechanism(PolicyKind::kSnapshot));
+  EXPECT_EQ(mechanismKindOf(PolicyKind::kIncrement),
+            core::MechanismKind::kIncrement);
+  EXPECT_EQ(makePolicy(PolicyKind::kNaive, 0.0), nullptr);
+}
+
+// ---- shared replay ordering -----------------------------------------------
+
+TEST(Replay, OrderedScriptOpsSortByTimeWithDeclarationTieBreak) {
+  harness::Script s;
+  s.nprocs = 4;
+  s.loads.push_back({2.0, 1, {1.0, 0.0}});   // declaration order 0
+  s.loads.push_back({1.0, 2, {1.0, 0.0}});   // order 1
+  s.selections.push_back({1.0, 0, 5.0});     // order 2
+  s.no_more_master = 3;
+  s.no_more_master_at = 1.0;                 // order 3
+  const auto ops = harness::orderedScriptOps(s);
+  ASSERT_EQ(ops.size(), 4u);
+  EXPECT_EQ(ops[0].what, harness::ScriptOpRef::What::kLoad);
+  EXPECT_EQ(ops[0].index, 1u);  // the t=1 load beats same-time later decls
+  EXPECT_EQ(ops[1].what, harness::ScriptOpRef::What::kSelect);
+  EXPECT_EQ(ops[2].what, harness::ScriptOpRef::What::kNoMoreMaster);
+  EXPECT_EQ(ops[3].what, harness::ScriptOpRef::What::kLoad);
+  EXPECT_EQ(ops[3].index, 0u);
+}
+
+// ---- sim end-to-end -------------------------------------------------------
+
+class SvcSimSweep : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(SvcSimSweep, CleanRunConservesAndIsDeterministic) {
+  const ArrivalScript script = generateArrivals(smallArrivals(300, 1500.0));
+  SvcSimConfig cfg;
+  cfg.nprocs = 4;
+  cfg.policy = GetParam();
+  cfg.mech = svcMech();
+  cfg.speed_factors = {1.0, 1.0, 0.5, 2.0};  // heterogeneous servers
+
+  const SvcSimResult a = runSvcSim(cfg, script);
+  EXPECT_EQ(a.totals.arrived, 300);
+  EXPECT_EQ(a.totals.completed, 300);
+  EXPECT_EQ(a.totals.dropped(), 0);
+  EXPECT_EQ(a.arrivals_digest, script.digest());
+  EXPECT_EQ(a.sojourn.count(), 300);
+  EXPECT_GT(a.sojourn.mean(), 0.0);
+  if (policyUsesMechanism(cfg.policy)) {
+    EXPECT_GT(a.mech_stats.messagesSent(), 0);
+  }
+
+  const SvcSimResult b = runSvcSim(cfg, script);
+  EXPECT_EQ(b.run.schedule_digest, a.run.schedule_digest);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, SvcSimSweep,
+                         ::testing::ValuesIn(allPolicyKinds()),
+                         [](const auto& info) {
+                           return std::string(policyKindName(info.param));
+                         });
+
+TEST(SvcSimFaults, ServerCrashDropsWithCauseButConserves) {
+  const ArrivalScript script = generateArrivals(smallArrivals(400, 1500.0));
+  for (const PolicyKind p :
+       {PolicyKind::kShortestQueue, PolicyKind::kIncrement}) {
+    SCOPED_TRACE(policyKindName(p));
+    SvcSimConfig cfg;
+    cfg.nprocs = 4;
+    cfg.policy = p;
+    cfg.mech = svcMech();
+    cfg.audit = svcAuditorConfig(/*faulty=*/true);
+    using Kind = loadex::ProcessFaultEvent::Kind;
+    cfg.process_faults.push_back({3, 0.05, Kind::kCrash});
+    cfg.process_faults.push_back({3, 0.12, Kind::kRestart});
+
+    const SvcSimResult r = runSvcSim(cfg, script);
+    EXPECT_EQ(r.run.crashes, 1);
+    EXPECT_EQ(r.run.restarts, 1);
+    EXPECT_EQ(r.totals.arrived, 400);
+    EXPECT_EQ(r.totals.arrived, r.totals.completed + r.totals.dropped());
+    EXPECT_GT(r.totals.dropped(), 0) << "a mid-traffic crash must cost";
+    EXPECT_LT(r.totals.dropped(), 400);
+  }
+}
+
+// ---- rt end-to-end --------------------------------------------------------
+
+class SvcRtSweep : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(SvcRtSweep, RtAgreesWithSimOnTheInjectedStream) {
+  const ArrivalScript script = generateArrivals(smallArrivals(200, 2000.0));
+  SvcSimConfig scfg;
+  scfg.nprocs = 4;
+  scfg.policy = GetParam();
+  scfg.mech = svcMech();
+  const SvcSimResult sim = runSvcSim(scfg, script);
+
+  SvcRtConfig rcfg;
+  rcfg.nprocs = 4;
+  rcfg.policy = GetParam();
+  rcfg.mech = svcMech();
+  const SvcRtResult rt = runSvcRt(rcfg, script);
+
+  EXPECT_TRUE(rt.drained);
+  // Same script, same fold: the two runtimes injected the same stream.
+  EXPECT_EQ(rt.arrivals_digest, sim.arrivals_digest);
+  EXPECT_EQ(rt.arrivals_digest, script.digest());
+  EXPECT_EQ(rt.totals.arrived, 200);
+  EXPECT_EQ(rt.totals.completed, 200);
+  EXPECT_EQ(rt.totals.dropped(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, SvcRtSweep,
+                         ::testing::ValuesIn(allPolicyKinds()),
+                         [](const auto& info) {
+                           return std::string(policyKindName(info.param));
+                         });
+
+TEST(SvcRtFaults, ChoreographedCrashRestartConserves) {
+  const ArrivalScript script = generateArrivals(smallArrivals(400, 4000.0));
+  SvcRtConfig cfg;
+  cfg.nprocs = 4;
+  cfg.policy = PolicyKind::kIncrement;
+  cfg.mech = svcMech();
+  cfg.audit = svcAuditorConfig(/*faulty=*/true);
+  cfg.rt.faults.manual_control = true;
+  cfg.rt.faults.suspicion.enabled = true;
+  cfg.rt.faults.suspicion.suspect_after_s = 20e-3;
+  cfg.rt.faults.suspicion.dead_after_s = 60e-3;
+  cfg.crash_rank = 3;
+  cfg.crash_at_frac = 0.3;
+  cfg.restart_at_frac = 0.5;
+  cfg.down_wait_s = 0.15;
+
+  const SvcRtResult r = runSvcRt(cfg, script);
+  EXPECT_TRUE(r.drained);
+  EXPECT_EQ(r.rt_stats.crashes, 1);
+  EXPECT_EQ(r.rt_stats.restarts, 1);
+  EXPECT_EQ(r.totals.arrived, 400);
+  EXPECT_EQ(r.totals.arrived, r.totals.completed + r.totals.dropped());
+  EXPECT_GT(r.totals.completed, 0);
+}
+
+}  // namespace
+}  // namespace loadex::svc

@@ -119,6 +119,45 @@ CORE_FACTORY_GAP["src/core/binding.cpp"] = """int makeMechanism(MechanismKind k)
 }
 """
 
+# Coherent PolicyKind dispatch pair for the service workload (the
+# policykind-exhaustive rule reads these fixed paths).
+SVC_OK = {
+    "src/svc/policy.h": """#pragma once
+enum class PolicyKind : int { kRandom = 0, kNaive = 1 };
+""",
+    "src/svc/policy.cpp": """const char* policyKindName(PolicyKind k) {
+  switch (k) {
+    case PolicyKind::kRandom: return "random";
+    case PolicyKind::kNaive: return "naive";
+  }
+  return "?";
+}
+int makePolicy(PolicyKind k) {
+  switch (k) {
+    case PolicyKind::kRandom: return 1;
+    case PolicyKind::kNaive: return 2;
+  }
+  return 0;
+}
+""",
+}
+
+SVC_FACTORY_GAP = dict(SVC_OK)
+SVC_FACTORY_GAP["src/svc/policy.cpp"] = """const char* policyKindName(PolicyKind k) {
+  switch (k) {
+    case PolicyKind::kRandom: return "random";
+    case PolicyKind::kNaive: return "naive";
+  }
+  return "?";
+}
+int makePolicy(PolicyKind k) {
+  switch (k) {
+    case PolicyKind::kRandom: return 1;
+  }
+  return 0;
+}
+"""
+
 LOCK_ORDER_PROLOGUE = """#include "common/sync.h"
 loadex::sync::Mutex low_{loadex::sync::LockRank::kLow};
 loadex::sync::Mutex high_{loadex::sync::LockRank::kHigh};
@@ -213,6 +252,10 @@ CASES = [
     ("mechanismkind-exhaustive fires on a factory gap", CORE_FACTORY_GAP,
      "mechanismkind-exhaustive"),
     ("mechanismkind-exhaustive clean", CORE_OK, None),
+
+    ("policykind-exhaustive fires on a factory gap", SVC_FACTORY_GAP,
+     "policykind-exhaustive"),
+    ("policykind-exhaustive clean", SVC_OK, None),
 
     ("trace-macro-guard fires on an unguarded macro", {
         "src/obs/macros.h": "#pragma once\n"

@@ -70,6 +70,10 @@ that protect them:
                          names all tags or ends in a rejecting default.
   mechanismkind-exhaustive  same for MechanismKind across mechanismKindName()
                          and the makeMechanism() factory.
+  policykind-exhaustive  same for the service workload's PolicyKind
+                         (src/svc/policy.h) across policyKindName() and the
+                         makePolicy() factory — a policy added to the enum
+                         but missing from either is a silent dispatch gap.
   trace-macro-guard      every LOADEX_TRACE_* / LOADEX_METRIC macro defined
                          in src/obs must wrap its body in the
                          `do { if (auto* x = ::loadex::obs::...()) {` null
@@ -111,7 +115,8 @@ KNOWN_RULES = frozenset({
     "banned-randomness", "banned-wallclock", "banned-threading",
     "thread-lifecycle", "payload-cast", "unordered-iteration",
     "naked-new-delete", "pragma-once", "statetag-exhaustive",
-    "mechanismkind-exhaustive", "trace-macro-guard", "raw-sync",
+    "mechanismkind-exhaustive", "policykind-exhaustive",
+    "trace-macro-guard", "raw-sync",
     "sync-annotation-coverage", "lock-hierarchy", "all",
 })
 
@@ -593,6 +598,59 @@ def check_enum_dispatch(root: Path, findings: list[Finding]) -> None:
                 f"MechanismKind::{label} is missing from {fn}()"))
 
 
+def function_body(text: str, fn_name: str) -> str:
+    """The brace-matched body of fn_name's definition ('' if absent).
+
+    Expects comment/string-stripped text; the first `fn_name(...) {` with
+    no `;` between the parameter list and the brace is taken to be the
+    definition (call sites inside expressions hit a `;` or `)` first).
+    """
+    m = re.search(fn_name + r"\s*\([^;{]*\)[^;{]*\{", text)
+    if not m:
+        return ""
+    depth = 1
+    i = m.end()
+    while i < len(text) and depth > 0:
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+        i += 1
+    return text[m.end():i]
+
+
+def check_policy_dispatch(root: Path, findings: list[Finding]) -> None:
+    """PolicyKind (service workload): the name table and the factory must
+    each name every enumerator. Both switches live in policy.cpp, so the
+    labels are collected per function body, not per file."""
+    policy_h = root / "src/svc/policy.h"
+    if not policy_h.is_file():  # scanning a subtree, not the repo
+        return
+    kinds = set(parse_enum(policy_h.read_text(encoding="utf-8"),
+                           "PolicyKind"))
+    if not kinds:
+        findings.append(Finding(policy_h, 1, "policykind-exhaustive",
+                                "could not parse the PolicyKind enum"))
+        return
+    p = root / "src/svc/policy.cpp"
+    ptext = strip_comments_and_strings(p.read_text(encoding="utf-8"))
+    for fn in ("policyKindName", "makePolicy"):
+        body = function_body(ptext, fn)
+        if not body:
+            findings.append(Finding(p, 1, "policykind-exhaustive",
+                                    f"could not find {fn}()"))
+            continue
+        labels = case_labels(body, "PolicyKind")
+        for label in labels - kinds:
+            findings.append(Finding(
+                p, 1, "policykind-exhaustive",
+                f"{fn}() names unknown PolicyKind::{label}"))
+        for label in kinds - labels:
+            findings.append(Finding(
+                p, 1, "policykind-exhaustive",
+                f"PolicyKind::{label} is missing from {fn}()"))
+
+
 # ---------------------------------------------------------------------------
 # Instrumentation macro guards (src/obs)
 # ---------------------------------------------------------------------------
@@ -752,6 +810,7 @@ def main(argv: list[str]) -> int:
         check_lock_hierarchy(rel, path, code_lines, lock_ranks, findings)
     if not args.files:
         check_enum_dispatch(root, findings)
+        check_policy_dispatch(root, findings)
         check_trace_macro_guard(root, findings)
 
     findings, used_allows = filter_allowed(findings, file_raw)
