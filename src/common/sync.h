@@ -25,6 +25,11 @@
 // The lock hierarchy (acquire strictly upward; see DESIGN.md §13 for the
 // full rationale):
 //
+//   kShard           (5)   rt executor shard ownership: whoever holds a
+//                          shard's mutex is the unique consumer of its
+//                          member ranks' mailboxes, wheels and spill.
+//                          Handlers run under it, so it sits below every
+//                          lock a handler may take
 //   kWorkloadTally   (10)  WorkloadDriver tallies — leaf from driver side
 //   kSvcLedger       (15)  svc request ledger; tight scopes only, never
 //                          held across a mechanism or transport call
@@ -124,6 +129,7 @@ namespace loadex::sync {
 /// Keep the numeric order in sync with the table in the file comment —
 /// loadex-lint parses this enum to drive the `lock-hierarchy` rule.
 enum class LockRank : int {
+  kShard = 5,
   kWorkloadTally = 10,
   kSvcLedger = 15,
   kLifecycle = 20,

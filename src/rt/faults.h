@@ -2,10 +2,22 @@
 //
 // Mirrors sim/faults.h on real threads: the shared message-fault plan
 // (common/faults.h) is applied at RtTransport send time, and the process
-// events become actual thread lifecycle transitions — a crashed rank's
-// thread exits and its mailbox is sealed, a paused rank's thread idles
-// without consuming envelopes, a restarted rank gets a fresh thread plus
-// a rejoin resync so it re-enters with a coherent load view.
+// events become actual rank lifecycle transitions — a crashed rank's
+// mailbox is sealed and its timers/spill are torn down, a paused rank
+// idles without consuming envelopes, a restarted rank is revived plus a
+// rejoin resync so it re-enters with a coherent load view. Under the M:N
+// executor these are shard-local state flips (no thread starts or exits);
+// the legacy executor maps them onto its per-rank threads.
+//
+// Spill-hold FIFO ownership: a latency spike holds an envelope in the
+// *sender's* per-destination spill queue with a release time, so it can
+// never overtake later sends on the same (src,dst) pair. The queue's
+// correctness rule is single-OWNER, not single-thread: whoever owns the
+// rank (holds its shard lock / is its legacy thread) enqueues and flushes.
+// Under work-stealing the flushing worker is routinely a different OS
+// thread from the one that enqueued — per-pair FIFO and the release-time
+// gate must hold across that handoff (RtWorld::assertSenderOwned is the
+// debug backstop; test_rt_executor pins the behaviour).
 //
 // Everything here is off by default. With the default plan RtWorld takes
 // no fault branch at all: the clean path is bit-identical (same digests,
@@ -22,12 +34,12 @@
 
 namespace loadex::rt {
 
-/// Lifecycle of one rank's node thread (written by the supervisor/driver,
-/// read by every sender — stored as an atomic inside RtWorld::Node).
+/// Lifecycle of one rank (written by the supervisor/driver, read by every
+/// sender — stored as an atomic inside RtWorld::Node).
 enum class RankLife : int {
   kAlive = 0,
-  kPaused,   ///< thread parked: envelopes queue, nothing is consumed
-  kCrashed,  ///< thread exited, mailbox sealed: sends to it are dropped
+  kPaused,   ///< parked: envelopes queue, nothing is consumed
+  kCrashed,  ///< torn down, mailbox sealed: sends to it are dropped
 };
 
 inline const char* rankLifeName(RankLife s) {

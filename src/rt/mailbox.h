@@ -146,6 +146,22 @@ class Mailbox {
     return ok;
   }
 
+  /// Non-blocking batched pop: drain up to `max` envelopes into `out` in
+  /// FIFO order, returning how many were taken (sole-consumer only, same
+  /// contract as tryPop). The M:N executor drains shards with this so the
+  /// per-pop producer-wake and stats overhead is paid once per batch; in
+  /// mutex mode the whole batch comes out under one deque lock.
+  std::size_t tryPopBatch(Envelope* out, std::size_t max)
+      LOADEX_EXCLUDES(deque_mu_) {
+    const std::size_t k = cfg_.lock_free_ring ? ringPopBatch(out, max)
+                                              : lockedPopBatch(out, max);
+    if (k > 0) {
+      pops_.fetch_add(k, std::memory_order_relaxed);
+      wakeProducers();
+    }
+    return k;
+  }
+
   /// Approximate occupancy (exact once producers and consumer quiesce).
   std::size_t approxSize() const {
     const auto pushed = pushes_.load(std::memory_order_relaxed);
@@ -212,6 +228,12 @@ class Mailbox {
     return true;
   }
 
+  std::size_t ringPopBatch(Envelope* out, std::size_t max) {
+    std::size_t k = 0;
+    while (k < max && ringPop(out[k])) ++k;
+    return k;
+  }
+
   bool lockedPush(Envelope& e) LOADEX_EXCLUDES(deque_mu_) {
     const sync::MutexLock lk(deque_mu_);
     if (deque_.size() >= cfg_.capacity) return false;
@@ -225,6 +247,17 @@ class Mailbox {
     out = std::move(deque_.front());
     deque_.pop_front();
     return true;
+  }
+
+  std::size_t lockedPopBatch(Envelope* out, std::size_t max)
+      LOADEX_EXCLUDES(deque_mu_) {
+    const sync::MutexLock lk(deque_mu_);
+    std::size_t k = 0;
+    while (k < max && !deque_.empty()) {
+      out[k++] = std::move(deque_.front());
+      deque_.pop_front();
+    }
+    return k;
   }
 
   // Both wake helpers notify without taking mu_ (legal, and avoids a

@@ -98,7 +98,7 @@ void Supervisor::restartWithResync(Rank r) {
   if (world_.rankLife(r) != RankLife::kCrashed) return;
   world_.restartRank(r);
   if (mechs_ == nullptr) return;
-  // First thing the fresh thread runs: shed the protocol state that died
+  // First thing the revived rank runs: shed the protocol state that died
   // with the crash. The resync closures queue behind it (per-mailbox
   // FIFO), so the rejoiner's view is rebuilt on a clean slate.
   auto* mechs = mechs_;

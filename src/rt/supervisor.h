@@ -6,20 +6,24 @@
 //
 //   schedule execution — the plan's crash / pause / resume / restart
 //     events fire at their wall-clock offsets, driving the RtWorld
-//     lifecycle hooks (crashRank joins the victim's thread, restartRank
-//     spawns a fresh one followed by the rejoin resync below);
+//     lifecycle hooks. The hooks are executor-aware: under M:N they are
+//     shard-local state flips (crashRank tears the victim down under its
+//     shard lock, restartRank revives it for the next worker pass); under
+//     the legacy executor they join/spawn the rank's thread. restartRank
+//     is followed by the rejoin resync below either way;
 //   sealed-mailbox sweeps — a sender racing a crash can land an envelope
 //     after the seal; periodic sweeps keep the pending-work conservation
 //     honest so drain() still quiesces;
-//   failure detection — every node publishes a heartbeat per loop turn;
-//     the detector classifies heartbeat age into alive / suspect / dead
-//     and broadcasts transitions to the surviving mechanisms
-//     (notePeerSuspect / notePeerDead / notePeerAlive), which the
-//     degradation-aware selection policies consume.
+//   failure detection — every rank publishes a heartbeat whenever its
+//     owner runs it (per legacy loop turn / per M:N shard visit); the
+//     detector polls the shard tables, classifies heartbeat age into
+//     alive / suspect / dead and broadcasts transitions to the surviving
+//     mechanisms (notePeerSuspect / notePeerDead / notePeerAlive), which
+//     the degradation-aware selection policies consume.
 //
-// The supervisor is the only component allowed to retire node threads:
-// loadex-lint bans std::thread::detach and std::terminate across src/, and
-// thread joins in src/ outside RtWorld/Supervisor code.
+// The supervisor is the only component besides RtWorld allowed to retire
+// threads: loadex-lint bans std::thread::detach and std::terminate across
+// src/, and thread joins in src/ outside RtWorld/Supervisor code.
 #pragma once
 
 #include <atomic>

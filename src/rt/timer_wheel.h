@@ -1,14 +1,24 @@
-// Per-thread hashed timer wheel for RtTransport::schedule.
+// Per-rank hashed timer wheel for RtTransport::schedule.
 //
-// Thread-confined by design: a node's wheel is only ever touched from that
-// node's own thread (mechanisms arm timers from inside message handlers,
-// which the node loop runs), so the wheel needs no locks — cross-thread
-// timer arming would be a bug, not a feature, and the LOADEX_THREAD_CONFINED
-// marker turns that bug into a debug-build abort. The node loop rebinds the
-// wheel on entry (bindToCurrentThread) so a restarted rank's fresh thread
-// takes ownership cleanly. The node loop interleaves fireDue() with mailbox
-// pops and uses nextDeadline() to bound its mailbox wait so a due timer is
-// never slept through.
+// Single-owner by design: a node's wheel is only ever touched by whoever
+// currently owns the node (mechanisms arm timers from inside message
+// handlers, which the owner runs), so the wheel needs no locks of its own.
+// Who the owner is depends on the executor:
+//
+//   thread-confined — under the legacy thread-per-rank executor the owner
+//     is the node's OS thread; the LOADEX_THREAD_CONFINED marker turns a
+//     cross-thread touch into a debug-build abort. The node loop rebinds
+//     on entry (bindToCurrentThread) so a restarted rank's fresh thread
+//     takes ownership cleanly.
+//   shard-confined — under the M:N executor ownership is the shard mutex
+//     (sync::LockRank::kShard): any worker may run the node, but only
+//     while holding its shard's lock. bindToShard switches every
+//     debug assert from "am I the bound thread?" to "do I hold the shard
+//     lock?" — the runtime backstop of the PR 7 LockRank hierarchy.
+//
+// The owner interleaves fireDue() with mailbox pops and uses
+// nextDeadline() to bound its idle wait so a due timer is never slept
+// through.
 //
 // Deadlines hash into a fixed ring of slots (deadline / slot_width mod
 // nslots); a slot holds every timer of every future "lap", so fireDue
@@ -40,13 +50,20 @@ class TimerWheel {
   }
 
   /// Take (or hand over) ownership of the wheel for the calling thread.
-  /// The node loop calls this on entry, which is what lets restartRank
-  /// move a rank's wheel onto the replacement thread.
+  /// The legacy node loop calls this on entry, which is what lets
+  /// restartRank move a rank's wheel onto the replacement thread.
   void bindToCurrentThread() { confined_.bindToCurrentThread(); }
+
+  /// Switch ownership from "one bound thread" to "whoever holds `mu`".
+  /// The M:N executor binds every member rank's wheel to its shard
+  /// mutex at start(); from then on each wheel call asserts the shard
+  /// lock is held by the calling thread instead of checking thread
+  /// identity, so work-stealing workers pass and lockless touches abort.
+  void bindToShard(const sync::Mutex* mu) { shard_mu_ = mu; }
 
   /// Arm a one-shot timer at absolute time `now + delay`.
   void schedule(SimTime now, SimTime delay, std::function<void()> fn) {
-    LOADEX_ASSERT_CONFINED(confined_);
+    assertOwned();
     const SimTime deadline = now + std::max(delay, 0.0);
     slots_[slotOf(deadline)].push_back(
         Timer{deadline, next_seq_++, std::move(fn)});
@@ -57,7 +74,7 @@ class TimerWheel {
   /// order. Callbacks may re-arm (they run after the wheel state is
   /// consistent again). Returns the number fired.
   int fireDue(SimTime now) {
-    LOADEX_ASSERT_CONFINED(confined_);
+    assertOwned();
     if (pending_ == 0) return 0;
     std::vector<Timer> due;
     for (auto& slot : slots_) {
@@ -79,7 +96,7 @@ class TimerWheel {
 
   /// Earliest pending deadline, +inf when no timer is armed.
   SimTime nextDeadline() const {
-    LOADEX_ASSERT_CONFINED(confined_);
+    assertOwned();
     if (pending_ == 0) return std::numeric_limits<double>::infinity();
     SimTime best = std::numeric_limits<double>::infinity();
     for (const auto& slot : slots_)
@@ -91,7 +108,7 @@ class TimerWheel {
   /// owning thread is about to exit). Returns how many were cancelled so
   /// the caller can settle the pending-work accounting.
   std::size_t cancelAll() {
-    LOADEX_ASSERT_CONFINED(confined_);
+    assertOwned();
     const std::size_t n = pending_;
     for (auto& slot : slots_) slot.clear();
     pending_ = 0;
@@ -115,7 +132,18 @@ class TimerWheel {
     return static_cast<std::size_t>(ticks % slots_.size());
   }
 
+  /// Debug-build ownership check: shard lock held if shard-bound,
+  /// otherwise thread confinement (legacy executor).
+  void assertOwned() const {
+    if (shard_mu_ != nullptr) {
+      shard_mu_->assertHeld();
+    } else {
+      LOADEX_ASSERT_CONFINED(confined_);
+    }
+  }
+
   double slot_width_s_;
+  const sync::Mutex* shard_mu_ = nullptr;  ///< set → shard-confined
   LOADEX_THREAD_CONFINED(confined_);  ///< one owning thread at a time
   std::vector<std::vector<Timer>> slots_;
   std::size_t pending_ = 0;

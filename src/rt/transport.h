@@ -6,6 +6,14 @@
 // one-shot timer on the owning node's wheel, and now() reads the world's
 // shared monotonic clock, so the same mechanism code that runs on
 // simulated time runs here on real time with no changes.
+//
+// Both calls must come from the node's current *owner* — the context the
+// rank's handlers run in. Under the legacy executor that is the rank's
+// dedicated thread; under the M:N executor it is whichever worker holds
+// the rank's shard lock (a different OS thread from turn to turn once
+// work-stealing is on). Mechanisms cannot tell the difference: they only
+// ever send and schedule from inside their own handlers, which is by
+// construction the owner.
 #pragma once
 
 #include <functional>

@@ -3,9 +3,11 @@
 // The driver thread walks the script in time order (optionally pacing the
 // gaps by `time_scale` real seconds per script second; 0 floods the world
 // as fast as backpressure allows) and posts every op onto the owning
-// rank's thread: load changes as plain closures, selections deferred
-// while a live snapshot blocks the master, delegated work as a task
-// envelope to the chosen slave. The scheduling policy is the shared
+// rank: load changes as plain closures, selections deferred while a live
+// snapshot blocks the master, delegated work as a task envelope to the
+// chosen slave. Which OS thread runs an op is the executor's business
+// (a dedicated rank thread under legacy, any worker holding the rank's
+// shard lock under M:N) — the driver only ever names ranks. The scheduling policy is the shared
 // harness::leastLoadedSlave, so a sim replay of the same script commits
 // the same number of selections and injects the same total load — the
 // invariants tests/test_rt_differential.cpp checks.
@@ -47,8 +49,10 @@ class WorkloadDriver {
   RtWorld& world_;
   core::MechanismSet& mechs_;
 
-  /// Tally lock: node threads report selection outcomes in from their
-  /// view callbacks. A leaf of the hierarchy — nothing nests inside it.
+  /// Tally lock: node owners report selection outcomes in from their
+  /// view callbacks — under M:N that is a worker already holding a
+  /// kShard lock, which is why kWorkloadTally ranks above kShard.
+  /// Nothing nests inside it.
   sync::Mutex mu_{sync::LockRank::kWorkloadTally};
   std::int64_t committed_ LOADEX_GUARDED_BY(mu_) = 0;
   std::int64_t skipped_ LOADEX_GUARDED_BY(mu_) = 0;

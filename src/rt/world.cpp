@@ -1,5 +1,6 @@
 #include "rt/world.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -63,9 +64,40 @@ void RtWorld::start() {
   LOADEX_EXPECT(!started_, "RtWorld can only start once");
   started_ = true;
   const SimTime t0 = clock_.now();
-  for (auto& n : nodes_) {
-    n->heartbeat.store(t0, std::memory_order_relaxed);
-    n->thread = std::thread(&RtWorld::nodeLoop, this, std::ref(*n));
+  for (auto& n : nodes_) n->heartbeat.store(t0, std::memory_order_relaxed);
+  if (cfg_.executor.legacy_executor) {
+    for (auto& n : nodes_)
+      n->thread = std::thread(&RtWorld::nodeLoop, this, std::ref(*n));
+  } else {
+    // Resolve the pool shape: enough shards that workers rarely contend,
+    // never more than ranks (an empty shard is pure overhead), and never
+    // more workers than shards (the surplus could not own anything).
+    const auto hw = static_cast<int>(std::thread::hardware_concurrency());
+    int workers = cfg_.executor.workers > 0
+                      ? cfg_.executor.workers
+                      : std::max(1, std::min(cfg_.nprocs, hw > 0 ? hw : 4));
+    int shards = cfg_.executor.shards > 0 ? cfg_.executor.shards
+                                          : 2 * workers;
+    shards = std::max(1, std::min(shards, cfg_.nprocs));
+    workers = std::max(1, std::min(workers, shards));
+    n_workers_ = workers;
+    n_shards_ = shards;
+    shards_.reserve(static_cast<std::size_t>(shards));
+    for (int s = 0; s < shards; ++s)
+      shards_.push_back(std::make_unique<Shard>());
+    for (auto& n : nodes_) {
+      Shard& sh = *shards_[static_cast<std::size_t>(n->rank) %
+                           static_cast<std::size_t>(shards)];
+      {
+        const sync::MutexLock lk(sh.mu);
+        sh.members.push_back(n.get());
+      }
+      n->shard = &sh;
+      n->wheel.bindToShard(&sh.mu);
+    }
+    workers_.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w)
+      workers_.emplace_back(&RtWorld::workerLoop, this, w);
   }
   if (cfg_.faults.needsSupervisor()) {
     supervisor_ = std::make_unique<Supervisor>(*this, mechs_);
@@ -79,17 +111,31 @@ void RtWorld::stop() {
   // Join the supervisor first: once it is gone the lifecycle states are
   // frozen, so the per-node checks below cannot race a scripted crash.
   if (supervisor_) supervisor_->stop();
+  if (!cfg_.executor.legacy_executor) {
+    // Publish the countdown before raising stopping_, or a worker could
+    // observe (stopping && remaining == 0) and exit with kStops (and the
+    // envelopes ahead of them) still queued.
+    std::int64_t count = 0;
+    for (auto& n : nodes_)
+      if (!(fault_hooks_ && lifeOf(*n) == RankLife::kCrashed)) ++count;
+    stops_remaining_.store(count, std::memory_order_release);
+  }
   stopping_.store(true, std::memory_order_release);
   for (auto& n : nodes_) {
     if (fault_hooks_ && lifeOf(*n) == RankLife::kCrashed)
-      continue;  // sealed: the thread already exited, nothing to stop
+      continue;  // sealed: nobody consumes there, nothing to stop
     pending_.fetch_add(1, std::memory_order_relaxed);
     Envelope e;
     e.kind = Envelope::Kind::kStop;
     n->mailbox.push(std::move(e));
   }
-  for (auto& n : nodes_)
-    if (n->thread.joinable()) n->thread.join();
+  if (cfg_.executor.legacy_executor) {
+    for (auto& n : nodes_)
+      if (n->thread.joinable()) n->thread.join();
+  } else {
+    for (auto& w : workers_)
+      if (w.joinable()) w.join();
+  }
   // Last sealed-mailbox sweep: racing senders may have landed envelopes
   // after the supervisor's final sweep.
   if (fault_hooks_) sweepCrashedMailboxes();
@@ -292,9 +338,19 @@ void RtWorld::sendFromNodeFaulty(Node& src, Rank dst, Envelope&& e) {
   enqueueFromNode(src, dst, std::move(e), hold);
 }
 
+void RtWorld::assertSenderOwned(const Node& n) const {
+  if (n.shard != nullptr) {
+    // M:N: ownership is the shard lock, not thread identity — the worker
+    // flushing a rank's spill is routinely not the one that filled it.
+    n.shard->mu.assertHeld();
+  } else {
+    LOADEX_ASSERT_CONFINED(n.confined);
+  }
+}
+
 void RtWorld::enqueueFromNode(Node& src, Rank dst, Envelope&& e,
                               SimTime not_before) {
-  LOADEX_ASSERT_CONFINED(src.confined);
+  assertSenderOwned(src);
   Node& d = node(dst);
   if (fault_hooks_ && lifeOf(d) == RankLife::kCrashed) {
     noteDropped(e, dropped_at_sealed_mailbox_);
@@ -303,20 +359,25 @@ void RtWorld::enqueueFromNode(Node& src, Rank dst, Envelope&& e,
   auto& q = src.spill[static_cast<std::size_t>(dst)];
   // Once a destination has spilled (or holds a delayed envelope), later
   // envelopes to it must queue behind the spill or per-pair FIFO breaks.
-  if (not_before <= 0.0 && q.empty() && d.mailbox.tryPush(std::move(e)))
+  if (not_before <= 0.0 && (q == nullptr || q->empty()) &&
+      d.mailbox.tryPush(std::move(e)))
     return;
   if (not_before <= 0.0)
     spill_enqueues_.fetch_add(1, std::memory_order_relaxed);
-  q.push_back({std::move(e), not_before});
+  if (q == nullptr) q = std::make_unique<std::deque<SpillEntry>>();
+  if (q->empty()) src.spill_dirty.push_back(dst);
+  q->push_back({std::move(e), not_before});
   ++src.spill_size;
 }
 
 void RtWorld::flushSpill(Node& n) {
-  LOADEX_ASSERT_CONFINED(n.confined);
+  assertSenderOwned(n);
   if (n.spill_size == 0) return;
   SimTime now = -1.0;  // read lazily: only held entries need the clock
-  for (Rank d = 0; d < nprocs(); ++d) {
-    auto& q = n.spill[static_cast<std::size_t>(d)];
+  std::size_t keep = 0;  // compaction cursor over the dirty list
+  for (std::size_t i = 0; i < n.spill_dirty.size(); ++i) {
+    const Rank d = n.spill_dirty[i];
+    auto& q = *n.spill[static_cast<std::size_t>(d)];
     while (!q.empty()) {
       SpillEntry& front = q.front();
       if (front.not_before > 0.0) {
@@ -335,7 +396,9 @@ void RtWorld::flushSpill(Node& n) {
       q.pop_front();
       --n.spill_size;
     }
+    if (!q.empty()) n.spill_dirty[keep++] = d;
   }
+  n.spill_dirty.resize(keep);
 }
 
 void RtWorld::runWhenFree(Node& n, std::function<void()>&& fn,
@@ -363,8 +426,23 @@ void RtWorld::crashRank(Rank r) {
   LOADEX_EXPECT(t_current_node == nullptr,
                 "lifecycle transitions must come from a driver/supervisor "
                 "thread, not a node thread");
-  const sync::MutexLock lk(lifecycle_mu_);
   Node& n = node(r);
+  if (n.shard != nullptr) {
+    // M:N: a crash is a shard-local state transition. Taking the shard
+    // lock (rank kShard, below kLifecycle) makes this thread the unique
+    // owner of the victim's wheel, spill and mailbox consumption — no
+    // thread exits; workers simply skip the rank from the seal on.
+    const sync::MutexLock shlk(n.shard->mu);
+    const sync::MutexLock lk(lifecycle_mu_);
+    if (lifeOf(n) == RankLife::kCrashed) return;
+    n.life.store(static_cast<int>(RankLife::kCrashed),
+                 std::memory_order_release);
+    crashTeardown(n);
+    crashes_.fetch_add(1, std::memory_order_relaxed);
+    sweepMailboxLocked(n);
+    return;
+  }
+  const sync::MutexLock lk(lifecycle_mu_);
   if (lifeOf(n) == RankLife::kCrashed) return;
   // Seal first: every sender's next life check starts dropping. Then ask
   // the thread to exit and join it — the join orders its teardown
@@ -404,8 +482,21 @@ void RtWorld::restartRank(Rank r) {
   LOADEX_EXPECT(t_current_node == nullptr,
                 "lifecycle transitions must come from a driver/supervisor "
                 "thread, not a node thread");
-  const sync::MutexLock lk(lifecycle_mu_);
   Node& n = node(r);
+  if (n.shard != nullptr) {
+    // M:N: revival is a life flip under the shard lock — the next worker
+    // pass picks the rank up again. No thread to spawn.
+    const sync::MutexLock shlk(n.shard->mu);
+    const sync::MutexLock lk(lifecycle_mu_);
+    if (lifeOf(n) != RankLife::kCrashed) return;
+    sweepMailboxLocked(n);  // envelopes landed while sealed die
+    n.heartbeat.store(clock_.now(), std::memory_order_relaxed);
+    n.life.store(static_cast<int>(RankLife::kAlive),
+                 std::memory_order_release);
+    restarts_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const sync::MutexLock lk(lifecycle_mu_);
   if (lifeOf(n) != RankLife::kCrashed) return;
   sweepMailboxLocked(n);  // envelopes landed while sealed die with the crash
   n.crash_requested.store(false, std::memory_order_relaxed);
@@ -420,6 +511,19 @@ void RtWorld::sweepCrashedMailboxes() {
   if (!fault_hooks_) return;
   LOADEX_EXPECT(t_current_node == nullptr,
                 "sweeps must come from a driver/supervisor thread");
+  if (!shards_.empty()) {
+    // M:N: sweeping pops a sealed mailbox, so the sweeper must hold the
+    // victim's shard lock to be its unique consumer (workers check life
+    // under the same lock). Shard-by-shard keeps the stall local.
+    for (auto& shp : shards_) {
+      Shard& sh = *shp;
+      const sync::MutexLock shlk(sh.mu);
+      const sync::MutexLock lk(lifecycle_mu_);
+      for (Node* np : sh.members)
+        if (lifeOf(*np) == RankLife::kCrashed) sweepMailboxLocked(*np);
+    }
+    return;
+  }
   const sync::MutexLock lk(lifecycle_mu_);
   for (auto& n : nodes_)
     if (lifeOf(*n) == RankLife::kCrashed) sweepMailboxLocked(*n);
@@ -437,8 +541,8 @@ void RtWorld::sweepMailboxLocked(Node& n) {
   }
 }
 
-void RtWorld::crashOnNodeThread(Node& n) {
-  // Armed timers die with the thread: their closures never run.
+void RtWorld::crashTeardown(Node& n) {
+  // Armed timers die with the rank: their closures never run.
   const std::size_t cancelled = n.wheel.cancelAll();
   if (cancelled != 0) {
     timers_cancelled_.fetch_add(static_cast<std::int64_t>(cancelled),
@@ -447,17 +551,19 @@ void RtWorld::crashOnNodeThread(Node& n) {
                        std::memory_order_release);
   }
   // The outbound backlog dies too; the inbound mailbox is swept by
-  // whoever drove the crash, after joining this thread.
+  // whoever drove the crash, once it is the unique consumer.
   for (auto& q : n.spill) {
-    for (auto& entry : q) noteDropped(entry.e, crash_discards_);
-    q.clear();
+    if (q == nullptr) continue;
+    for (auto& entry : *q) noteDropped(entry.e, crash_discards_);
+    q->clear();
   }
+  n.spill_dirty.clear();
   n.spill_size = 0;
   n.pub_wheel_pending.store(0, std::memory_order_relaxed);
   n.pub_spill.store(0, std::memory_order_relaxed);
 }
 
-// ---- node main loop -------------------------------------------------------
+// ---- legacy executor: thread-per-rank node loop ---------------------------
 
 void RtWorld::nodeLoop(Node& n) {
   t_current_node = &n;
@@ -469,7 +575,7 @@ void RtWorld::nodeLoop(Node& n) {
   for (;;) {
     if (fault_hooks_) {
       if (n.crash_requested.load(std::memory_order_acquire)) {
-        crashOnNodeThread(n);
+        crashTeardown(n);
         return;
       }
       if (lifeOf(n) == RankLife::kPaused) {
@@ -522,6 +628,124 @@ void RtWorld::nodeLoop(Node& n) {
     // counted, so pending can never dip to a false zero mid-chain.
     pending_.fetch_sub(1, std::memory_order_release);
   }
+}
+
+// ---- M:N sharded executor -------------------------------------------------
+
+void RtWorld::workerLoop(int w) {
+  // Fastest idle re-poll; backs off exponentially to max_idle_wait_s so
+  // a sparse message chain sees ~tens of µs latency while a truly idle
+  // pool costs one wake per worker per max_idle_wait_s.
+  constexpr double kMinIdleS = 20e-6;
+  const auto batch =
+      static_cast<std::size_t>(std::max(1, cfg_.executor.drain_batch));
+  std::vector<Envelope> scratch(batch);
+  double backoff = kMinIdleS;
+  for (;;) {
+    Pass pass;
+    // Home pass: the shards this worker owns (s ≡ w mod workers). A
+    // try_lock miss means another worker is in there stealing — the
+    // shard's work is being done either way.
+    for (int s = w; s < n_shards_; s += n_workers_)
+      tryRunShard(*shards_[static_cast<std::size_t>(s)], scratch, pass);
+    // Steal pass: opportunistically visit everyone else's shards. One
+    // shard lock at a time (the home pass released before this), so no
+    // worker ever nests two kShard acquisitions.
+    if (cfg_.executor.steal) {
+      for (int off = 1; off < n_shards_; ++off) {
+        const int s = (w + off) % n_shards_;
+        if (s % n_workers_ == w) continue;  // home, already visited
+        tryRunShard(*shards_[static_cast<std::size_t>(s)], scratch, pass);
+      }
+    }
+    if (stopping_.load(std::memory_order_acquire) &&
+        stops_remaining_.load(std::memory_order_acquire) <= 0)
+      return;
+    if (pass.did_work) {
+      backoff = kMinIdleS;
+      continue;
+    }
+    // Armed timers / pending spill cap the sleep so neither is stalled
+    // by a full backoff (mirrors the legacy loop's wait clamping).
+    MonotonicClock::sleepFor(pass.urgent ? std::min(backoff, 1e-4)
+                                         : backoff);
+    backoff = std::min(backoff * 2.0, cfg_.max_idle_wait_s);
+  }
+}
+
+bool RtWorld::tryRunShard(Shard& sh, std::vector<Envelope>& scratch,
+                          Pass& pass) {
+  if (!sh.mu.try_lock()) return false;
+  runShardLocked(sh, scratch, pass);
+  sh.mu.unlock();
+  return true;
+}
+
+void RtWorld::runShardLocked(Shard& sh, std::vector<Envelope>& scratch,
+                             Pass& pass) {
+  for (Node* np : sh.members) processShardNode(sh, *np, scratch, pass);
+}
+
+void RtWorld::processShardNode(Shard& sh, Node& n,
+                               std::vector<Envelope>& scratch, Pass& pass) {
+  (void)sh;  // the capability the annotation names; unused at runtime
+  if (n.stopped) return;
+  if (fault_hooks_) {
+    const RankLife life = lifeOf(n);
+    if (life == RankLife::kCrashed) return;  // sealed: driver tore it down
+    if (life == RankLife::kPaused) {
+      // Parked: consume nothing until resumed — except during stop,
+      // when the kStop must drain (the legacy loop unparks then too).
+      if (!stopping_.load(std::memory_order_acquire)) return;
+    } else {
+      n.heartbeat.store(clock_.now(), std::memory_order_relaxed);
+    }
+  }
+  // Handlers observe the rank they run as via the same thread-local the
+  // legacy loop uses; reset before the worker moves to the next rank.
+  t_current_node = &n;
+  n.pub_wheel_pending.store(n.wheel.pending(), std::memory_order_relaxed);
+  n.pub_spill.store(n.spill_size, std::memory_order_relaxed);
+
+  const int fired = n.wheel.fireDue(clock_.now());
+  if (fired > 0) {
+    n.timers_fired += fired;
+    pending_.fetch_sub(fired, std::memory_order_release);
+    pass.did_work = true;
+  }
+  flushSpill(n);
+
+  const std::size_t k = n.mailbox.tryPopBatch(scratch.data(), scratch.size());
+  for (std::size_t i = 0; i < k; ++i) {
+    Envelope& e = scratch[i];
+    switch (e.kind) {
+      case Envelope::Kind::kState:
+        ++n.delivered_state;
+        LOADEX_EXPECT(n.handler != nullptr, "state message with no handler");
+        n.handler->onStateMessage(e.msg);
+        break;
+      case Envelope::Kind::kTask:
+        ++n.delivered_task;
+        e.fn();
+        break;
+      case Envelope::Kind::kStop:
+        // Mark the rank done but deliver the rest of the batch — an
+        // envelope behind a kStop only exists on undrained stops, and
+        // delivering beats stranding it.
+        n.stopped = true;
+        pending_.fetch_sub(1, std::memory_order_release);
+        stops_remaining_.fetch_sub(1, std::memory_order_release);
+        e = Envelope{};
+        continue;
+    }
+    // Decrement only after the handler ran: anything it posted is
+    // already counted, so pending can never dip to a false zero.
+    pending_.fetch_sub(1, std::memory_order_release);
+    e = Envelope{};  // drop payload/closure refs eagerly
+  }
+  if (k > 0) pass.did_work = true;
+  if (n.wheel.pending() > 0 || n.spill_size > 0) pass.urgent = true;
+  t_current_node = nullptr;
 }
 
 // ---- stats ----------------------------------------------------------------

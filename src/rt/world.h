@@ -1,16 +1,33 @@
-// RtWorld: one OS thread per rank, mirroring sim::World's lifecycle.
+// RtWorld: real-thread ranks, mirroring sim::World's lifecycle.
 //
 //   RtWorld world(cfg);                         // build nodes + transports
 //   core::MechanismSet mechs(world.transports(), kind, mcfg);
 //   world.attach(r, &mechs.at(r));              // per rank, before start
-//   world.start();                              // spawn node threads
+//   world.start();                              // spawn the executor
 //   world.post(...); world.drain(timeout);      // drive + quiesce
 //   world.stop();                               // join; stats now stable
 //
 // Each node owns a bounded MPSC mailbox (rt/mailbox.h) and a timer wheel
-// (rt/timer_wheel.h); its loop alternates firing due timers, flushing
-// spill queues and popping envelopes, waking at least every
-// max_idle_wait_s. Two rules make the system deadlock-free and drainable:
+// (rt/timer_wheel.h). How nodes get CPU time is the executor's business
+// (RtExecutorConfig):
+//
+//   M:N sharded executor (default) — ranks are partitioned over shards
+//     (rank % shards) and a fixed worker pool runs them, so N=1024 ranks
+//     fit on 8 cores. A shard's mutex (sync::LockRank::kShard) is the
+//     consumer-ownership token for every member rank's mailbox, wheel and
+//     spill queues: a worker locks a shard, runs each member (fire due
+//     timers, flush spill, drain a mailbox batch via tryPopBatch), and
+//     releases. Workers own shards round-robin (shard s is home to worker
+//     s % workers) and, with steal enabled, opportunistically try_lock
+//     foreign shards so an imbalanced or blocked shard cannot strand its
+//     ranks. A worker never holds two shard locks at once.
+//   legacy thread-per-rank (executor.legacy_executor) — one OS thread per
+//     rank, the PR 5 design, kept as the A/B escape hatch. Node state is
+//     thread-confined instead of shard-locked; the loop alternates firing
+//     timers, flushing spill and popping envelopes, waking at least every
+//     max_idle_wait_s.
+//
+// Two rules make the system deadlock-free and drainable:
 //
 //   no node blocks  — a node thread only ever tryPushes to a peer; when
 //     the peer's mailbox is full the envelope goes to a per-destination
@@ -32,13 +49,17 @@
 //     envelope waits in the sender's spill queue with a release time, so
 //     it still cannot overtake later sends — spikes delay the whole pair
 //     stream, exactly like the simulator's FIFO-preserving spike.
-//   thread lifecycle — crashRank seals the victim's mailbox (senders
-//     drop, counted) and makes its thread exit after cancelling armed
-//     timers and discarding its outbound spill; pauseRank parks the loop
-//     without consuming anything; restartRank sweeps the sealed backlog
-//     and spawns a fresh thread. Every discarded envelope and cancelled
-//     timer settles the pending-work counter, so drain() still reaches a
-//     true quiescent zero under any crash schedule.
+//   rank lifecycle — crashRank seals the victim's mailbox (senders drop,
+//     counted), cancels its armed timers and discards its outbound spill;
+//     pauseRank parks the rank without consuming anything; restartRank
+//     sweeps the sealed backlog and revives it. Under the M:N executor
+//     these are shard-local state transitions: the driver takes the
+//     victim's shard lock (becoming the unique owner of its wheel and
+//     spill), flips the per-rank life atomic and tears down inline — no
+//     thread is spawned or joined. The legacy executor joins/spawns the
+//     rank's thread instead. Every discarded envelope and cancelled timer
+//     settles the pending-work counter, so drain() still reaches a true
+//     quiescent zero under any crash schedule.
 //
 // With the default (inert) plan none of this code runs: no per-send
 // branch, no supervisor thread, and RtRunStats is bit-identical to the
@@ -71,14 +92,36 @@ namespace loadex::rt {
 
 class Supervisor;
 
+/// How ranks get CPU time (see the file comment). The defaults run the
+/// M:N sharded executor auto-sized to the machine; tests pin workers and
+/// shards for reproducible schedules.
+struct RtExecutorConfig {
+  /// Escape hatch: one OS thread per rank (the PR 5 design), for A/B runs
+  /// against the sharded executor. Every other field is ignored then.
+  bool legacy_executor = false;
+  /// Worker pool size; 0 auto-sizes to min(nprocs, hardware threads).
+  int workers = 0;
+  /// Shard count; 0 auto-sizes to min(nprocs, 2 * workers). Clamped to
+  /// [1, nprocs] and workers is clamped to the shard count (an extra
+  /// worker would never find an ownable shard).
+  int shards = 0;
+  /// Idle workers try_lock foreign shards. Off: shard s is touched only
+  /// by worker s % workers, which serialises each shard's schedule.
+  bool steal = true;
+  /// Max envelopes drained from one mailbox per shard visit; bounds how
+  /// long one rank can monopolise its shard's lock.
+  int drain_batch = 16;
+};
+
 struct RtConfig {
   int nprocs = 4;
   MailboxConfig mailbox;
+  RtExecutorConfig executor;
   /// Timer wheel shape (per node).
   double timer_slot_s = 1e-4;
   std::size_t timer_slots = 256;
-  /// Longest a node loop sleeps with nothing due: bounds spill-flush and
-  /// stop latency, and caps the cost of any missed wakeup.
+  /// Longest a node loop / idle worker sleeps with nothing due: bounds
+  /// spill-flush and stop latency, and caps the cost of any missed wakeup.
   double max_idle_wait_s = 1e-3;
   /// Fault injection + supervision plan; inert by default.
   FaultPlan faults;
@@ -136,6 +179,12 @@ class RtWorld {
   SimTime now() const { return clock_.now(); }
   const FaultPlan& faultPlan() const { return cfg_.faults; }
 
+  /// Resolved executor shape (auto-sizing applied); 0 before start() or
+  /// under the legacy executor, which has no pool.
+  int workerCount() const { return n_workers_; }
+  int shardCount() const { return n_shards_; }
+  bool usingLegacyExecutor() const { return cfg_.executor.legacy_executor; }
+
   /// Per-rank transports, in rank order — feed to MechanismSet.
   std::vector<core::Transport*> transports();
 
@@ -183,9 +232,11 @@ class RtWorld {
   void stop();
 
   // ---- rank lifecycle (fault hooks enabled only) -----------------------
-  // Callable from driver or supervisor threads, never from a node thread.
-  // crashRank seals the mailbox, joins the victim's thread and sweeps the
-  // backlog; restartRank spawns a fresh thread for a crashed rank.
+  // Callable from driver or supervisor threads, never from a node/worker
+  // thread. crashRank seals the mailbox, takes ownership of the victim
+  // (its shard lock under M:N, a thread join under legacy), tears down
+  // its wheel + spill and sweeps the backlog; restartRank revives a
+  // crashed rank (fresh thread under legacy, a life flip under M:N).
   // Concurrent use against stop() is not supported: scripted plans are
   // executed by the supervisor, which stop() joins first.
 
@@ -236,23 +287,41 @@ class RtWorld {
     SimTime not_before = 0.0;  ///< 0: send as soon as the mailbox has room
   };
 
+  struct Shard;
+
   struct Node {
     Rank rank = kNoRank;
     Mailbox mailbox;
     TimerWheel wheel;
     std::unique_ptr<RtTransport> transport;
     sim::StateHandler* handler = nullptr;
+    /// Legacy executor only: the rank's dedicated OS thread.
     std::thread thread;
-    /// Confinement marker for the sender-side state below; the loop
-    /// rebinds it on entry so restarts hand ownership to the new thread.
+    /// M:N executor only: the shard that owns this rank (fixed at
+    /// start(); holding shard->mu is what owning the node means).
+    Shard* shard = nullptr;
+    /// M:N executor only: this rank consumed its kStop (guarded by the
+    /// shard mutex — workers skip the rank from then on).
+    bool stopped = false;
+    /// Confinement marker for the sender-side state below under the
+    /// legacy executor; its loop rebinds on entry so restarts hand
+    /// ownership to the new thread. Unused (never bound) under M:N,
+    /// where the shard mutex carries ownership instead.
     LOADEX_THREAD_CONFINED(confined);
-    /// Per-destination spill queues (sender side), only touched by the
-    /// owning thread.
-    std::vector<std::deque<SpillEntry>> spill;
+    /// Per-destination spill queues (sender side), touched only by the
+    /// node's current owner. Deques are allocated lazily on first spill
+    /// to a destination — an eager nprocs-sized deque table would be
+    /// O(N^2) memory across the world at N=1024.
+    std::vector<std::unique_ptr<std::deque<SpillEntry>>> spill;
+    /// Destinations with a non-empty spill queue (each appears once);
+    /// flushSpill walks and compacts this instead of scanning all N.
+    std::vector<Rank> spill_dirty;
     std::size_t spill_size = 0;
-    // Counters written only by the owning thread, read after join.
-    // Cumulative across restarts (the join in crashRank orders the old
-    // incarnation's writes before the new thread's).
+    // Counters written only by the node's owner (its thread under
+    // legacy, any worker holding the shard lock under M:N), read after
+    // the executor quiesces. Cumulative across restarts (the join in the
+    // legacy crashRank — or the shard lock under M:N — orders the old
+    // incarnation's writes before the new owner's).
     std::int64_t delivered_state = 0;
     std::int64_t delivered_task = 0;
     std::int64_t timers_fired = 0;
@@ -276,6 +345,21 @@ class RtWorld {
           spill(static_cast<std::size_t>(cfg.nprocs)) {}
   };
 
+  /// M:N executor: a run-queue partition. The mutex is the consumer-
+  /// ownership token for every member rank (sync::LockRank::kShard, the
+  /// bottom of the hierarchy: handlers run under it and may take any
+  /// other lock). Membership is fixed at start().
+  struct Shard {
+    sync::Mutex mu{sync::LockRank::kShard};
+    std::vector<Node*> members LOADEX_GUARDED_BY(mu);
+  };
+
+  /// Per-pass outcome a worker accumulates over the shards it visited.
+  struct Pass {
+    bool did_work = false;  ///< fired a timer or delivered an envelope
+    bool urgent = false;    ///< armed timers / spill seen: short sleep
+  };
+
   Node& node(Rank r);
   const Node& node(Rank r) const;
   Node& callingNode();  ///< hard-fails unless called on a node thread
@@ -289,14 +373,31 @@ class RtWorld {
                  std::shared_ptr<const sim::Payload> payload);
   void scheduleOnCallingNode(double delay, std::function<void()> fn);
 
-  /// Enqueue from a node thread: fault draws (when enabled), then direct
+  /// Enqueue from a node's owner: fault draws (when enabled), then direct
   /// tryPush, spill on full / on hold.
   void sendFromNode(Node& src, Rank dst, Envelope&& e);
   void sendFromNodeFaulty(Node& src, Rank dst, Envelope&& e);
   void enqueueFromNode(Node& src, Rank dst, Envelope&& e, SimTime not_before);
   void flushSpill(Node& n);
   void runWhenFree(Node& n, std::function<void()>&& fn, double retry_s);
-  void nodeLoop(Node& n);
+  void nodeLoop(Node& n);  ///< legacy executor: one per rank
+
+  // ---- M:N executor --------------------------------------------------
+  void workerLoop(int w);
+  /// One attempt at a shard: skipped (false) when another worker holds
+  /// it — under steal that worker is already doing the shard's work.
+  bool tryRunShard(Shard& sh, std::vector<Envelope>& scratch, Pass& pass);
+  void runShardLocked(Shard& sh, std::vector<Envelope>& scratch, Pass& pass)
+      LOADEX_REQUIRES(sh.mu);
+  /// Run one member rank: timers, spill flush, one mailbox batch.
+  void processShardNode(Shard& sh, Node& n, std::vector<Envelope>& scratch,
+                        Pass& pass) LOADEX_REQUIRES(sh.mu);
+  /// Debug check that the calling thread owns `n`'s sender-side state:
+  /// holds n.shard->mu under M:N, is the confined thread under legacy.
+  /// This (not thread identity) is the spill-hold FIFO ownership rule —
+  /// under stealing, consecutive flushes of one rank's spill legally run
+  /// on different worker threads.
+  void assertSenderOwned(const Node& n) const;
 
   // Fault accounting: every path that loses an envelope must settle the
   // pending-work counter and hit exactly one drop bucket + the channel
@@ -306,9 +407,11 @@ class RtWorld {
     return static_cast<RankLife>(n.life.load(std::memory_order_acquire));
   }
 
-  /// Crash teardown run by the dying thread itself: cancel timers,
-  /// discard the outbound spill, clear published depths.
-  void crashOnNodeThread(Node& n);
+  /// Crash teardown: cancel timers, discard the outbound spill, clear
+  /// published depths. Run by whoever owns the node at the crash — the
+  /// dying thread itself under legacy, the driver thread holding the
+  /// victim's shard lock under M:N.
+  void crashTeardown(Node& n);
   /// Drain a sealed mailbox. Caller holds lifecycle_mu_ and the node's
   /// thread has been joined (the sweeper is then the unique consumer).
   void sweepMailboxLocked(Node& n) LOADEX_REQUIRES(lifecycle_mu_);
@@ -317,6 +420,15 @@ class RtWorld {
   RtConfig cfg_;
   MonotonicClock clock_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  // M:N executor state; empty under the legacy executor.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> workers_;
+  int n_workers_ = 0;  ///< resolved pool size (0 under legacy)
+  int n_shards_ = 0;
+  /// Stop-protocol countdown: set to the number of kStop envelopes
+  /// before stopping_ is raised; workers exit only once every one has
+  /// been consumed, so no kStop (or envelope ahead of it) is stranded.
+  std::atomic<std::int64_t> stops_remaining_{0};
   bool started_ = false;
   bool stopped_ = false;
   /// True once any fault machinery is configured; every fault branch in

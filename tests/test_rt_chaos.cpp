@@ -13,7 +13,10 @@
 //     (loss legal, FIFO order still mandatory — this is what proves the
 //     latency-spike path cannot reorder a pair stream), and view
 //     coherence between a restarted rank and every surviving peer after
-//     an explicit rejoin resync at quiescence;
+//     an explicit rejoin resync at quiescence. The sweep spans the
+//     executor axis: the default M:N pool, pinned 1- and 2-worker pools
+//     (ranks ≫ workers forces steals), and the legacy thread-per-rank
+//     escape hatch, plus a saturation flood of 1024 ranks on 4 workers;
 //
 //   * deterministic lifecycle units (FaultPlan::manual_control) — exact
 //     drop accounting around a sealed mailbox, heartbeat detection
@@ -91,6 +94,8 @@ struct ChaosCase {
   MechanismKind kind = MechanismKind::kNaive;
   bool hardened = false;        ///< increment only
   bool permanent_crash = false; ///< one victim stays down for good
+  bool legacy = false;          ///< A/B: thread-per-rank escape hatch
+  int workers = 0;              ///< M:N pool size (0: auto)
 };
 
 /// Hostile script sized like test_rt_stress's, except masters are drawn
@@ -135,7 +140,10 @@ TEST_P(RtChaos, SurvivesCrashPauseRestartWithLoss) {
                " nprocs=" + std::to_string(c.nprocs) +
                " kind=" + core::mechanismKindName(c.kind) +
                (c.hardened ? " hardened" : "") +
-               (c.permanent_crash ? " permanent_crash" : ""));
+               (c.permanent_crash ? " permanent_crash" : "") +
+               (c.legacy ? " legacy" : "") +
+               (c.workers > 0 ? " workers=" + std::to_string(c.workers)
+                              : ""));
 
   // Victims: top three ranks (never scripted as masters).
   const Rank restarted = static_cast<Rank>(c.nprocs - 1);
@@ -144,6 +152,8 @@ TEST_P(RtChaos, SurvivesCrashPauseRestartWithLoss) {
 
   rt::RtConfig rcfg;
   rcfg.nprocs = c.nprocs;
+  rcfg.executor.legacy_executor = c.legacy;
+  rcfg.executor.workers = c.workers;
   rt::FaultPlan& fp = rcfg.faults;
   fp.messages.drop_prob = 0.05;
   fp.messages.duplicate_prob = 0.02;
@@ -248,12 +258,145 @@ TEST_P(RtChaos, SurvivesCrashPauseRestartWithLoss) {
 
 INSTANTIATE_TEST_SUITE_P(
     Sweep, RtChaos,
-    ::testing::Values(ChaosCase{1, 8, MechanismKind::kNaive, false, false},
-                      ChaosCase{2, 8, MechanismKind::kIncrement, true, false},
-                      ChaosCase{3, 8, MechanismKind::kSnapshot, false, false},
-                      ChaosCase{4, 32, MechanismKind::kNaive, false, true},
-                      ChaosCase{5, 32, MechanismKind::kIncrement, true, true},
-                      ChaosCase{6, 32, MechanismKind::kSnapshot, false, true}));
+    ::testing::Values(
+        // M:N executor, auto-sized pool (the default runtime).
+        ChaosCase{1, 8, MechanismKind::kNaive, false, false},
+        ChaosCase{2, 8, MechanismKind::kIncrement, true, false},
+        ChaosCase{3, 8, MechanismKind::kSnapshot, false, false},
+        ChaosCase{4, 32, MechanismKind::kNaive, false, true},
+        ChaosCase{5, 32, MechanismKind::kIncrement, true, true},
+        ChaosCase{6, 32, MechanismKind::kSnapshot, false, true},
+        // A/B on the legacy thread-per-rank escape hatch: the fault layer
+        // must behave identically when lifecycle events join/spawn real
+        // threads instead of flipping shard-local state.
+        ChaosCase{7, 8, MechanismKind::kNaive, false, false, true},
+        ChaosCase{8, 32, MechanismKind::kSnapshot, false, true, true},
+        // Pinned small pools: ranks ≫ workers, so crash teardown and
+        // restart must interleave with foreign-shard steals.
+        ChaosCase{9, 32, MechanismKind::kIncrement, true, true, false, 2},
+        ChaosCase{10, 32, MechanismKind::kNaive, false, false, false, 1}));
+
+// ---- M:N saturation flood --------------------------------------------------
+
+// N=1024 ranks on 4 workers: every shard serves hundreds of ranks and
+// every worker serves multiple shards, so mailbox drains, spill flushes,
+// timer fires and crash teardown constantly hand ranks across OS threads.
+// This is the TSan showcase for the M:N executor — the interesting output
+// is the *absence* of races; the assertions are the same conservation
+// identities as the sweep above, plus rejoin coherence at scale.
+TEST(RtChaosFlood, ThousandRanksOnFourWorkersSurviveChaos) {
+  constexpr int kProcs = 1024;
+  const Rank restarted = kProcs - 1;
+  const Rank paused = kProcs - 2;
+  const Rank perma = kProcs - 3;
+
+  // Bounded hostile script: one naive threshold crossing broadcasts to
+  // 1023 peers, so it is the load-op count that prices the storm.
+  Rng rng(0xF100Du);
+  Script s;
+  s.nprocs = kProcs;
+  s.kind = MechanismKind::kNaive;
+  s.threshold = 6.0;
+  for (int i = 0; i < 256; ++i)
+    s.loads.push_back({rng.uniformReal(0.01, 1.0),
+                       static_cast<Rank>(rng.uniformInt(kProcs)),
+                       {rng.uniformReal(2.0, 24.0),
+                        rng.uniformReal(0.0, 8.0)}});
+  for (int i = 0; i < 6; ++i)
+    s.selections.push_back(
+        {rng.uniformReal(0.3, 0.9),
+         static_cast<Rank>(rng.uniformInt(kProcs - 3)),  // survivors only
+         rng.uniformReal(5.0, 40.0)});
+
+  rt::RtConfig rcfg;
+  rcfg.nprocs = kProcs;
+  rcfg.executor.workers = 4;
+  // 1024 default-size rings would cost hundreds of MB; small rings also
+  // keep the spill path hot for the whole flood.
+  rcfg.mailbox.capacity = 256;
+  rt::FaultPlan& fp = rcfg.faults;
+  fp.messages.drop_prob = 0.05;
+  fp.messages.duplicate_prob = 0.02;
+  fp.messages.latency_spike_prob = 0.02;
+  fp.messages.latency_spike_s = 2e-3;
+  fp.messages.affects_state = true;
+  fp.messages.affects_app = false;
+  fp.messages.seed = 0xF100D5EEDull;
+  fp.process.push_back({restarted, 0.008, ProcKind::kCrash});
+  fp.process.push_back({paused, 0.010, ProcKind::kPause});
+  fp.process.push_back({perma, 0.014, ProcKind::kCrash});
+  fp.process.push_back({restarted, 0.020, ProcKind::kRestart});
+  fp.process.push_back({paused, 0.045, ProcKind::kResume});
+  // Generous detector thresholds: a 4-worker pass over 1024 ranks under
+  // TSan can stretch heartbeat ages, and a spurious suspect transition
+  // broadcasts to 1023 peers — advisory noise this test does not need.
+  fp.suspicion.enabled = true;
+  fp.suspicion.suspect_after_s = 250e-3;
+  fp.suspicion.dead_after_s = 1.0;
+  fp.suspicion.sweep_period_s = 5e-3;
+
+  rt::RtWorld world(rcfg);
+  core::MechanismSet mechs(world.transports(), s.kind, chaosMechConfig(s));
+
+  core::AuditorConfig acfg;
+  acfg.allow_message_loss = true;
+  acfg.allow_crashes = true;
+  acfg.check_conservation = false;
+  core::ProtocolAuditor auditor(acfg);
+  rt::RtAuditBinding audit_binding(auditor, mechs);
+
+  for (Rank r = 0; r < kProcs; ++r) world.attach(r, &mechs.at(r));
+  world.superviseMechanisms(&mechs);
+  world.start();
+  EXPECT_EQ(world.workerCount(), 4);
+
+  rt::WorkloadDriver driver(world, mechs);
+  const rt::WorkloadResult res =
+      driver.run(s, /*time_scale=*/0.05, /*drain_timeout_s=*/300.0);
+  EXPECT_TRUE(res.drained) << "flood failed to quiesce";
+
+  EXPECT_TRUE(pollUntil(world, 30.0, [&] {
+    const rt::RtWorld::LifecycleCounts lc = world.lifecycleCounts();
+    return lc.crashes >= 2 && lc.restarts >= 1 &&
+           world.rankLife(paused) == rt::RankLife::kAlive;
+  })) << "scripted lifecycle events did not all fire";
+  EXPECT_TRUE(world.drain(60.0));
+
+  rt::postRejoinResync(world, mechs, restarted);
+  EXPECT_TRUE(world.drain(60.0));
+  world.stop();
+
+  EXPECT_EQ(res.selections_committed + res.selections_skipped,
+            static_cast<std::int64_t>(s.selections.size()));
+
+  const rt::RtRunStats st = world.runStats();
+  expectFaultIdentities(st);
+  EXPECT_EQ(st.crashes, 2);
+  EXPECT_EQ(st.restarts, 1);
+  EXPECT_GE(st.resyncs, 1);
+  EXPECT_GT(st.fault_drops, 0);
+  EXPECT_EQ(world.pendingWork(), 0);
+  EXPECT_EQ(world.rankLife(perma), rt::RankLife::kCrashed);
+
+  auditor.noteCrashed(restarted);
+  auditor.noteRestarted(restarted);
+  auditor.noteCrashed(perma);
+  auditor.finish();
+  auditor.expectClean();
+
+  // Rejoin coherence at scale: after the final resync, every surviving
+  // peer and the restarted rank agree on each other's loads exactly.
+  for (Rank p = 0; p < kProcs; ++p) {
+    if (p == restarted || p == perma) continue;
+    const core::LoadMetrics& mine = mechs.at(p).localLoad();
+    const core::LoadMetrics& seen = mechs.at(restarted).view().load(p);
+    ASSERT_NEAR(seen.workload, mine.workload, 1e-9) << "peer=" << p;
+    const core::LoadMetrics& back = mechs.at(p).view().load(restarted);
+    ASSERT_NEAR(back.workload, mechs.at(restarted).localLoad().workload,
+                1e-9) << "peer=" << p;
+    ASSERT_FALSE(mechs.at(p).view().dead(restarted)) << "peer=" << p;
+  }
+}
 
 // ---- deterministic lifecycle units ----------------------------------------
 

@@ -20,12 +20,22 @@
 // What this deliberately does NOT claim: identical message counts (an rt
 // flood coalesces threshold crossings differently), identical slave
 // choices (view timing differs), or any latency property.
+//
+// The executor axis (RtExecutorAxis below) replays the same scripts over
+// every runtime the rt world offers — the legacy thread-per-rank executor
+// and the M:N sharded executor at 1, 2 and 8 workers with stealing on and
+// off — at N up to 1024 ranks. The invariants are executor-blind, which
+// is exactly the claim: scheduling is a performance decision, never a
+// semantic one.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "common/rng.h"
 #include "core/audit.h"
 #include "harness/script.h"
 #include "harness/world_harness.h"
@@ -103,10 +113,28 @@ Replay runOnSimulator(const Script& s) {
 
 // ---- rt replay ------------------------------------------------------------
 
-Replay runOnRt(const Script& s, bool lock_free_ring) {
+/// One point on the executor axis. The default is the M:N executor
+/// auto-sized to the machine — what every non-axis test below runs on.
+struct ExecVariant {
+  const char* name = "mn_auto";
+  bool legacy = false;
+  int workers = 0;  ///< 0: auto
+  bool steal = true;
+};
+
+Replay runOnRt(const Script& s, bool lock_free_ring,
+               const ExecVariant& ex = {},
+               std::size_t mailbox_capacity = 0) {
   rt::RtConfig rcfg;
   rcfg.nprocs = s.nprocs;
   rcfg.mailbox.lock_free_ring = lock_free_ring;
+  // Big-N runs shrink the rings: the default 4096 slots per rank would
+  // cost hundreds of MB at N=1024, and a small ring exercises the spill
+  // path the executor must keep FIFO anyway.
+  if (mailbox_capacity != 0) rcfg.mailbox.capacity = mailbox_capacity;
+  rcfg.executor.legacy_executor = ex.legacy;
+  rcfg.executor.workers = ex.workers;
+  rcfg.executor.steal = ex.steal;
   rt::RtWorld world(rcfg);
   core::MechanismSet mechs(world.transports(), s.kind, mechanismConfigOf(s));
 
@@ -115,6 +143,11 @@ Replay runOnRt(const Script& s, bool lock_free_ring) {
 
   for (Rank r = 0; r < s.nprocs; ++r) world.attach(r, &mechs.at(r));
   world.start();
+  if (ex.legacy) {
+    EXPECT_EQ(world.workerCount(), 0);  // no pool under thread-per-rank
+  } else if (ex.workers > 0 && ex.workers <= s.nprocs) {
+    EXPECT_EQ(world.workerCount(), ex.workers);
+  }
 
   rt::WorkloadDriver driver(world, mechs);
   const rt::WorkloadResult res = driver.run(s, /*time_scale=*/0.0,
@@ -223,6 +256,113 @@ TEST(RtDifferential, MutexMailboxBaselineAgreesToo) {
     expectLoadNear(rtr.total_load, want.total_load);
   }
 }
+
+// ---- executor axis ---------------------------------------------------------
+//
+// {legacy, M:N×{1,2,8} workers, steal on/off} × 3 mechanisms at
+// N ∈ {32, 256, 1024}. All three axes shrink to the same claim: the
+// conservation invariants of checkScript hold on every executor, so the
+// M:N refactor changed scheduling, not semantics.
+
+constexpr ExecVariant kExecLegacy{"legacy", true, 0, false};
+constexpr ExecVariant kExecMn1{"mn1", false, 1, false};
+constexpr ExecVariant kExecMn1Steal{"mn1_steal", false, 1, true};
+constexpr ExecVariant kExecMn2{"mn2", false, 2, false};
+constexpr ExecVariant kExecMn2Steal{"mn2_steal", false, 2, true};
+constexpr ExecVariant kExecMn8{"mn8", false, 8, false};
+constexpr ExecVariant kExecMn8Steal{"mn8_steal", false, 8, true};
+
+/// One deterministic script per (nprocs, kind): every executor variant
+/// replays the SAME plan, so agreement across the axis is agreement on a
+/// single ground truth. Op counts are bounded independently of nprocs —
+/// at N=1024 one naive threshold crossing broadcasts to 1023 peers, so
+/// it is the load-op count (not the rank count) that prices the storm.
+Script scaleScript(int nprocs, MechanismKind kind) {
+  Rng rng(0xE5ECA415u ^ (static_cast<std::uint64_t>(nprocs) << 8) ^
+          static_cast<std::uint64_t>(static_cast<int>(kind)));
+  Script s;
+  s.seed = static_cast<std::uint64_t>(nprocs);
+  s.nprocs = nprocs;
+  s.kind = kind;
+  // Hardened increments arm retransmit timers; running them across the
+  // axis checks timers_armed == timers_fired on every executor.
+  s.hardened = kind == MechanismKind::kIncrement;
+  s.threshold = 6.0;
+  const auto randRank = [&] {
+    return static_cast<Rank>(
+        rng.uniformInt(static_cast<std::uint64_t>(nprocs)));
+  };
+  const int nloads = std::min(nprocs * 4, 192);
+  for (int i = 0; i < nloads; ++i)
+    s.loads.push_back({rng.uniformReal(0.01, 1.0), randRank(),
+                       {rng.uniformReal(2.0, 24.0),
+                        rng.uniformReal(0.0, 8.0)}});
+  for (int i = 0; i < 6; ++i)
+    s.selections.push_back({rng.uniformReal(0.3, 0.9), randRank(),
+                            rng.uniformReal(5.0, 40.0)});
+  return s;
+}
+
+struct ExecAxisCase {
+  int nprocs;
+  MechanismKind kind;
+  ExecVariant exec;
+  std::size_t mailbox_capacity;  ///< 0: default ring size
+};
+
+std::vector<ExecAxisCase> execAxisCases() {
+  const MechanismKind kinds[] = {MechanismKind::kNaive,
+                                 MechanismKind::kIncrement,
+                                 MechanismKind::kSnapshot};
+  // N=32: the full cross, legacy included — cheap enough to be exhaustive.
+  const ExecVariant small_axis[] = {kExecLegacy, kExecMn1,  kExecMn1Steal,
+                                    kExecMn2,    kExecMn2Steal, kExecMn8,
+                                    kExecMn8Steal};
+  // N=256: thread-per-rank is still affordable; keep legacy in the loop
+  // beside representative M:N points (steal off at 2, on at 8).
+  const ExecVariant mid_axis[] = {kExecLegacy, kExecMn2, kExecMn8Steal};
+  // N=1024 is the M:N raison d'être — ranks ≫ cores on both extremes of
+  // the pool (1 worker and 8, steal on/off). Spawning 1024 OS threads to
+  // re-prove that the legacy executor scales badly is not worth the CI
+  // minutes (the N≤256 rows already cover its semantics).
+  const ExecVariant big_axis[] = {kExecMn1, kExecMn8, kExecMn8Steal};
+  std::vector<ExecAxisCase> cases;
+  for (MechanismKind k : kinds) {
+    for (const ExecVariant& e : small_axis) cases.push_back({32, k, e, 0});
+    for (const ExecVariant& e : mid_axis) cases.push_back({256, k, e, 256});
+    for (const ExecVariant& e : big_axis) cases.push_back({1024, k, e, 256});
+  }
+  return cases;
+}
+
+class RtExecutorAxis : public ::testing::TestWithParam<ExecAxisCase> {};
+
+TEST_P(RtExecutorAxis, ConservationHoldsOnEveryExecutor) {
+  const ExecAxisCase& c = GetParam();
+  const Script s = scaleScript(c.nprocs, c.kind);
+  SCOPED_TRACE("nprocs=" + std::to_string(c.nprocs) +
+               " kind=" + core::mechanismKindName(c.kind) +
+               " exec=" + c.exec.name);
+  const ScriptExpectations want = harness::expectationsOf(s);
+
+  const Replay sim = runOnSimulator(s);
+  EXPECT_EQ(sim.committed, want.selections);
+  EXPECT_EQ(sim.skipped, 0);
+  expectLoadNear(sim.total_load, want.total_load);
+
+  const Replay rtr =
+      runOnRt(s, /*lock_free_ring=*/true, c.exec, c.mailbox_capacity);
+  EXPECT_EQ(rtr.committed, want.selections);
+  EXPECT_EQ(rtr.skipped, 0);
+  expectLoadNear(rtr.total_load, want.total_load);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ExecutorAxis, RtExecutorAxis, ::testing::ValuesIn(execAxisCases()),
+    [](const ::testing::TestParamInfo<ExecAxisCase>& i) {
+      return std::string(core::mechanismKindName(i.param.kind)) + "_n" +
+             std::to_string(i.param.nprocs) + "_" + i.param.exec.name;
+    });
 
 }  // namespace
 }  // namespace loadex

@@ -1,0 +1,263 @@
+// Unit tests of the M:N executor's shard primitives, at a smaller grain
+// than the differential / chaos suites:
+//
+//   * sharded run-queue FIFO — per-(src,dst) delivery order survives the
+//     batch drains, the full-mailbox spill path and work-stealing worker
+//     handoffs;
+//   * steal determinism — lifecycleCounts() and the conservation counters
+//     of a fixed manual-control schedule are identical with stealing on
+//     and off (stealing may move work between OS threads, never change
+//     what happens);
+//   * spill-hold FIFO across owner handoffs — the regression test for the
+//     latent single-THREAD assumption in the spill-hold path (rt/faults.h):
+//     with latency spikes on every send and stealing on, consecutive
+//     flushes of one rank's spill legally run on different workers, and
+//     the (src,dst) stream must still never reorder. The ownership rule
+//     is single-OWNER (shard-lock holder), which RtWorld::assertSenderOwned
+//     enforces in debug builds.
+//
+// The timer wheel's shard-confinement abort lives in test_sync.cpp (it
+// needs the LOADEX_SYNC_FORCE_DEBUG build), and the mailbox batch-drain
+// equivalence in test_rt_mailbox.cpp next to the other mailbox units.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rt/world.h"
+#include "sim/application.h"
+#include "sim/message.h"
+
+namespace loadex::rt {
+namespace {
+
+/// Records (src, tag) arrival order. Written only by the rank's owner
+/// (whoever holds its shard lock), read after stop() — no lock needed.
+struct RecordingHandler : sim::StateHandler {
+  std::vector<std::pair<Rank, int>> seen;
+  void onStateMessage(const sim::Message& m) override {
+    seen.emplace_back(m.src, m.tag);
+  }
+};
+
+/// The tags rank `dst` saw from rank `src`, in arrival order.
+std::vector<int> tagsFrom(const RecordingHandler& h, Rank src) {
+  std::vector<int> tags;
+  for (const auto& [s, t] : h.seen)
+    if (s == src) tags.push_back(t);
+  return tags;
+}
+
+void expectFifo(const std::vector<int>& tags, int want_count) {
+  ASSERT_EQ(static_cast<int>(tags.size()), want_count);
+  for (int i = 0; i < want_count; ++i)
+    ASSERT_EQ(tags[static_cast<std::size_t>(i)], i)
+        << "per-pair stream reordered at position " << i;
+}
+
+// ---- sharded run-queue FIFO ------------------------------------------------
+
+// Two sender ranks broadcast tagged streams through 8-slot mailboxes on a
+// 2-worker, stealing pool: nearly every send takes the spill path, spill
+// flushes and mailbox drains interleave across workers, and every
+// (src,dst) stream must still arrive in send order.
+TEST(RtExecutorShard, RunQueueKeepsPerPairFifoThroughSpillAndSteal) {
+  constexpr int kProcs = 8;
+  constexpr int kMsgs = 100;
+  const Rank senders[] = {0, 5};  // rank % shards puts them on different shards
+
+  RtConfig rcfg;
+  rcfg.nprocs = kProcs;
+  rcfg.executor.workers = 2;
+  rcfg.executor.steal = true;
+  rcfg.mailbox.capacity = 8;
+  RtWorld world(rcfg);
+  std::vector<core::Transport*> tr = world.transports();
+
+  std::vector<RecordingHandler> handlers(kProcs);
+  for (Rank r = 0; r < kProcs; ++r) world.attach(r, &handlers[r]);
+  world.start();
+  EXPECT_EQ(world.workerCount(), 2);
+  EXPECT_GE(world.shardCount(), 2);
+
+  for (Rank src : senders)
+    world.post(src, [&tr, src] {
+      for (int seq = 0; seq < kMsgs; ++seq)
+        for (Rank dst = 0; dst < kProcs; ++dst) {
+          if (dst == src) continue;
+          tr[static_cast<std::size_t>(src)]->sendState(
+              dst, static_cast<core::StateTag>(seq), /*size=*/8, nullptr);
+        }
+    });
+  ASSERT_TRUE(world.drain(60.0));
+  world.stop();
+
+  const RtRunStats st = world.runStats();
+  EXPECT_EQ(st.state_posted, 2 * kMsgs * (kProcs - 1));
+  EXPECT_EQ(st.state_posted, st.state_delivered);
+  EXPECT_GT(st.spill_enqueues, 0) << "8-slot mailboxes never spilled?";
+
+  for (Rank dst = 0; dst < kProcs; ++dst)
+    for (Rank src : senders) {
+      if (dst == src) continue;
+      SCOPED_TRACE("src=" + std::to_string(src) +
+                   " dst=" + std::to_string(dst));
+      expectFifo(tagsFrom(handlers[static_cast<std::size_t>(dst)], src),
+                 kMsgs);
+    }
+}
+
+// ---- steal-vs-no-steal determinism -----------------------------------------
+
+struct LifecycleOutcome {
+  RtWorld::LifecycleCounts counts;
+  RtRunStats stats;
+};
+
+/// A fixed manual-control schedule, drained to quiescence between phases
+/// so its outcome is schedule-determined, not timing-determined.
+LifecycleOutcome runManualSchedule(bool steal) {
+  constexpr int kProcs = 16;
+  RtConfig rcfg;
+  rcfg.nprocs = kProcs;
+  rcfg.executor.workers = 2;
+  rcfg.executor.steal = steal;
+  rcfg.faults.manual_control = true;
+  RtWorld world(rcfg);
+  std::vector<RecordingHandler> handlers(kProcs);
+  for (Rank r = 0; r < kProcs; ++r) world.attach(r, &handlers[r]);
+  world.start();
+
+  const auto postAll = [&world] {
+    for (Rank r = 0; r < world.nprocs(); ++r) world.post(r, [] {});
+  };
+  postAll();                        // 16 delivered
+  EXPECT_TRUE(world.drain(30.0));
+  world.crashRank(3);
+  postAll();                        // 15 delivered, 1 dropped at the seal
+  EXPECT_TRUE(world.drain(30.0));
+  world.pauseRank(5);
+  world.restartRank(3);
+  world.resumeRank(5);
+  postAll();                        // 16 delivered again
+  EXPECT_TRUE(world.drain(30.0));
+  world.stop();
+
+  LifecycleOutcome out;
+  out.counts = world.lifecycleCounts();
+  out.stats = world.runStats();
+  return out;
+}
+
+TEST(RtExecutorShard, LifecycleCountsAreStealInvariant) {
+  const LifecycleOutcome on = runManualSchedule(/*steal=*/true);
+  const LifecycleOutcome off = runManualSchedule(/*steal=*/false);
+
+  EXPECT_EQ(on.counts.crashes, 1);
+  EXPECT_EQ(on.counts.restarts, 1);
+  EXPECT_EQ(on.counts.crashes, off.counts.crashes);
+  EXPECT_EQ(on.counts.restarts, off.counts.restarts);
+  EXPECT_EQ(on.counts.suspects_flagged, off.counts.suspects_flagged);
+  EXPECT_EQ(on.counts.deaths_declared, off.counts.deaths_declared);
+  EXPECT_EQ(on.counts.revives, off.counts.revives);
+
+  // The conservation ledger of the fixed schedule is steal-invariant too.
+  EXPECT_EQ(on.stats.task_posted, 48);
+  EXPECT_EQ(on.stats.task_delivered, 47);
+  EXPECT_EQ(on.stats.task_dropped, 1);
+  EXPECT_EQ(on.stats.task_posted, off.stats.task_posted);
+  EXPECT_EQ(on.stats.task_delivered, off.stats.task_delivered);
+  EXPECT_EQ(on.stats.task_dropped, off.stats.task_dropped);
+  EXPECT_EQ(on.stats.dropped_at_sealed_mailbox,
+            off.stats.dropped_at_sealed_mailbox);
+}
+
+// ---- spill-hold FIFO across worker handoffs --------------------------------
+
+// Regression for the spill-hold single-thread assumption (rt/faults.h):
+// with a 100% latency-spike plan every state send is parked in the
+// sender's spill queue with a release time, and with stealing on a
+// 2-worker pool the flushing worker is routinely a different OS thread
+// from the one that enqueued. The hold must delay the whole (src,dst)
+// stream — never let one envelope past its successors — across those
+// handoffs. (Ownership is the shard lock, not a thread identity;
+// RtWorld::assertSenderOwned aborts debug builds if a non-owner flushes.)
+TEST(RtExecutorShard, SpillHoldFifoSurvivesWorkerHandoff) {
+  constexpr int kProcs = 4;
+  constexpr int kMsgs = 120;
+
+  RtConfig rcfg;
+  rcfg.nprocs = kProcs;
+  rcfg.executor.workers = 2;
+  rcfg.executor.steal = true;
+  rcfg.mailbox.capacity = 16;
+  rcfg.faults.messages.latency_spike_prob = 1.0;
+  rcfg.faults.messages.latency_spike_s = 0.5e-3;
+  rcfg.faults.messages.affects_state = true;
+  rcfg.faults.messages.affects_app = false;
+  rcfg.faults.messages.seed = 7;
+  RtWorld world(rcfg);
+  std::vector<core::Transport*> tr = world.transports();
+
+  std::vector<RecordingHandler> handlers(kProcs);
+  for (Rank r = 0; r < kProcs; ++r) world.attach(r, &handlers[r]);
+  world.start();
+
+  world.post(0, [&tr] {
+    for (int seq = 0; seq < kMsgs; ++seq)
+      for (Rank dst = 1; dst < kProcs; ++dst)
+        tr[0]->sendState(dst, static_cast<core::StateTag>(seq), /*size=*/8, nullptr);
+  });
+  ASSERT_TRUE(world.drain(60.0));
+  world.stop();
+
+  const RtRunStats st = world.runStats();
+  EXPECT_EQ(st.state_posted, kMsgs * (kProcs - 1));
+  EXPECT_EQ(st.latency_spikes, st.state_posted)
+      << "every send must take the spill-hold path";
+  EXPECT_EQ(st.state_posted, st.state_delivered)
+      << "a held envelope was lost";
+  EXPECT_EQ(st.state_dropped, 0);
+
+  for (Rank dst = 1; dst < kProcs; ++dst) {
+    SCOPED_TRACE("dst=" + std::to_string(dst));
+    expectFifo(tagsFrom(handlers[static_cast<std::size_t>(dst)], 0), kMsgs);
+  }
+}
+
+// ---- executor shape resolution ---------------------------------------------
+
+TEST(RtExecutorShard, AutoShapeClampsWorkersToShardsAndRanks) {
+  {
+    RtConfig rcfg;
+    rcfg.nprocs = 2;
+    rcfg.executor.workers = 8;  // more workers than ranks
+    RtWorld world(rcfg);
+    RecordingHandler h0, h1;
+    world.attach(0, &h0);
+    world.attach(1, &h1);
+    world.start();
+    EXPECT_EQ(world.shardCount(), 2);   // shards clamp to nprocs
+    EXPECT_EQ(world.workerCount(), 2);  // workers clamp to shards
+    world.stop();
+  }
+  {
+    RtConfig rcfg;
+    rcfg.nprocs = 6;
+    rcfg.executor.workers = 2;
+    rcfg.executor.shards = 3;
+    RtWorld world(rcfg);
+    std::vector<RecordingHandler> handlers(6);
+    for (Rank r = 0; r < 6; ++r) world.attach(r, &handlers[r]);
+    world.start();
+    EXPECT_EQ(world.shardCount(), 3);
+    EXPECT_EQ(world.workerCount(), 2);
+    EXPECT_FALSE(world.usingLegacyExecutor());
+    world.stop();
+  }
+}
+
+}  // namespace
+}  // namespace loadex::rt

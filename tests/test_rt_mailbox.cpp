@@ -148,6 +148,40 @@ TEST_P(MailboxBothModes, BlockingPushCompletesOnceConsumerDrains) {
   EXPECT_EQ(e.msg.tag, 2);
 }
 
+// The M:N executor's shard drain (tryPopBatch) must be observationally
+// equivalent to a loop of single pops: same sequence, same stats, just
+// fewer consumer-side synchronisation rounds.
+TEST_P(MailboxBothModes, TryPopBatchMatchesSinglePopSequence) {
+  constexpr int kMsgs = 57;
+  Mailbox batched(config(64));
+  Mailbox singly(config(64));
+  for (int i = 0; i < kMsgs; ++i) {
+    ASSERT_TRUE(batched.tryPush(tagged(0, i)));
+    ASSERT_TRUE(singly.tryPush(tagged(0, i)));
+  }
+
+  // Drain one with varied batch sizes (including max > available at the
+  // tail), the other one envelope at a time.
+  std::vector<int> batch_tags;
+  std::vector<Envelope> scratch(16);
+  const std::size_t batch_sizes[] = {1, 3, 7, 16, 16, 16, 16};
+  for (const std::size_t max : batch_sizes) {
+    const std::size_t k = batched.tryPopBatch(scratch.data(), max);
+    EXPECT_LE(k, max);
+    for (std::size_t i = 0; i < k; ++i) batch_tags.push_back(scratch[i].msg.tag);
+  }
+  std::vector<int> single_tags;
+  Envelope e;
+  while (singly.tryPop(e)) single_tags.push_back(e.msg.tag);
+
+  EXPECT_EQ(batch_tags, single_tags);
+  ASSERT_EQ(static_cast<int>(batch_tags.size()), kMsgs);
+  // An empty mailbox yields an empty batch and counts nothing.
+  EXPECT_EQ(batched.tryPopBatch(scratch.data(), scratch.size()), 0u);
+  EXPECT_EQ(batched.stats().pops, singly.stats().pops);
+  EXPECT_EQ(batched.stats().pops, static_cast<std::uint64_t>(kMsgs));
+}
+
 TEST_P(MailboxBothModes, TaskEnvelopesCarryTheirClosure) {
   Mailbox mb(config(8));
   int ran = 0;

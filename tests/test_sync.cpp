@@ -13,6 +13,10 @@
 
 #include <gtest/gtest.h>
 
+// Header-only; rides on this target's forced-debug sync machinery for the
+// shard-confinement contract tests at the bottom of the file.
+#include "rt/timer_wheel.h"
+
 namespace {
 
 using loadex::sync::CondVar;
@@ -155,6 +159,45 @@ TEST(SyncThreadConfinedDeathTest, AbortsOnOldOwnerAfterHandover) {
         tc.assertConfined();  // ownership moved away; this must trip
       },
       "foreign thread");
+}
+
+// ---- timer wheel ownership (rt/timer_wheel.h) ------------------------------
+// The wheel rides on the sync layer's debug machinery, so its ownership
+// contract is pinned here where LOADEX_SYNC_FORCE_DEBUG is on: once
+// bindToShard() switches a wheel from thread confinement to shard
+// confinement, every touch without the shard lock must abort — including
+// from the thread that constructed the wheel (the M:N executor's point:
+// thread identity stops mattering, lock ownership is everything).
+
+TEST(TimerWheelShardConfinement, ShardLockHolderPassesFromAnyThread) {
+  Mutex mu{LockRank::kShard};
+  loadex::rt::TimerWheel wheel;
+  wheel.bindToShard(&mu);
+  int fired = 0;
+  {
+    MutexLock lk(mu);
+    wheel.schedule(/*now=*/0.0, /*delay=*/0.0, [&fired] { ++fired; });
+    EXPECT_EQ(wheel.fireDue(1.0), 1);
+  }
+  // A "stealing" worker: different OS thread, same lock — must pass.
+  std::thread thief([&] {
+    MutexLock lk(mu);
+    wheel.schedule(0.0, 0.0, [&fired] { ++fired; });
+    EXPECT_EQ(wheel.fireDue(1.0), 1);
+  });
+  thief.join();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(TimerWheelShardConfinementDeathTest, AbortsWithoutTheShardLock) {
+  useThreadsafeDeathTests();
+  Mutex mu{LockRank::kShard};
+  loadex::rt::TimerWheel wheel;
+  wheel.bindToShard(&mu);
+  EXPECT_DEATH(wheel.schedule(0.0, 0.0, [] {}),
+               "assertHeld: lock not held");
+  EXPECT_DEATH(wheel.fireDue(1.0), "assertHeld: lock not held");
+  EXPECT_DEATH(wheel.cancelAll(), "assertHeld: lock not held");
 }
 
 TEST(SyncCondVar, NotifyWakesAParkedWaiter) {
