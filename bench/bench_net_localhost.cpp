@@ -1,0 +1,333 @@
+// Throughput, latency and syscall economics of the multi-process socket
+// transport (src/net) on localhost.
+//
+// Two layers are measured:
+//
+//   rtt — raw wire round trips over one connection: a forked echo child
+//     bounces kPing frames back, the parent times each trip. This is the
+//     kernel-boundary cost every cross-process state message pays, per
+//     transport (TCP loopback vs Unix-domain stream).
+//
+//   end-to-end — a seeded selection script replayed by 8 forked rank
+//     processes (net::runMultiProcess) for the three paper mechanisms ×
+//     {tcp, uds} × {coalesce, flush-per-message}. The coalescing axis is
+//     the point: with coalescing on, a rank's outbound frames accumulate
+//     per connection and flush once per event-loop pass, so PR 4's
+//     lazy-broadcast win (one logical broadcast, N-1 sends) survives the
+//     kernel boundary as ~1 write(2) per destination per batch. The
+//     flush-per-message arm pays one write(2) per frame; the reported
+//     frames/write ratio is the measured syscall saving.
+//
+// Every measured number is host-volatile (kernel scheduling decides it),
+// so --json emits them as "host_"-prefixed extras; record identity is
+// (problem, mechanism, strategy, nprocs) plus the deterministic script
+// shape, with the script digest pinning the replayed plan bit-for-bit.
+// CI gates bench/baselines/net_localhost_n8.json on exactly that
+// identity.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/cli.h"
+#include "common/rng.h"
+#include "harness/script.h"
+#include "net/launch.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "rt/clock.h"
+
+using namespace loadex;
+
+namespace {
+
+constexpr int kNprocs = 8;
+
+// ---- script + digest (replay identity, same scheme as bench_rt) -----------
+
+harness::Script netScript(std::uint64_t seed, core::MechanismKind kind,
+                          double scale) {
+  Rng rng(seed ^ static_cast<std::uint64_t>(static_cast<int>(kind)));
+  harness::Script s;
+  s.seed = seed;
+  s.nprocs = kNprocs;
+  s.kind = kind;
+  s.threshold = 1.0;  // every load change crosses: maximum wire chatter
+  const int nloads = static_cast<int>(kNprocs * 40 * scale);
+  for (int i = 0; i < nloads; ++i)
+    s.loads.push_back({rng.uniformReal(0.01, 1.0),
+                       static_cast<Rank>(rng.uniformInt(
+                           static_cast<std::uint64_t>(kNprocs))),
+                       {rng.uniformReal(2.0, 24.0),
+                        rng.uniformReal(0.0, 8.0)}});
+  for (int i = 0; i < 8; ++i)
+    s.selections.push_back({rng.uniformReal(0.3, 0.9),
+                            static_cast<Rank>(rng.uniformInt(
+                                static_cast<std::uint64_t>(kNprocs))),
+                            rng.uniformReal(5.0, 40.0)});
+  return s;
+}
+
+std::uint64_t fnv1a64(std::uint64_t h, std::uint64_t x) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (x >> (8 * i)) & 0xffu;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t bitsOf(double d) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+std::uint64_t scriptDigest(const harness::Script& s) {
+  std::uint64_t h = 14695981039346656037ULL;  // FNV-1a offset basis
+  h = fnv1a64(h, static_cast<std::uint64_t>(s.nprocs));
+  h = fnv1a64(h, static_cast<std::uint64_t>(static_cast<int>(s.kind)));
+  h = fnv1a64(h, bitsOf(s.threshold));
+  for (const auto& op : s.loads) {
+    h = fnv1a64(h, static_cast<std::uint64_t>(op.rank));
+    h = fnv1a64(h, bitsOf(op.time));
+    h = fnv1a64(h, bitsOf(op.delta.workload));
+    h = fnv1a64(h, bitsOf(op.delta.memory));
+  }
+  for (const auto& op : s.selections) {
+    h = fnv1a64(h, static_cast<std::uint64_t>(op.master));
+    h = fnv1a64(h, bitsOf(op.time));
+    h = fnv1a64(h, bitsOf(op.share));
+  }
+  return h;
+}
+
+// ---- raw round-trip latency -----------------------------------------------
+
+/// Read exactly one frame off a blocking socket (bench-local; the run
+/// protocol in src/net has its own non-blocking path).
+bool readOneFrame(int fd, std::vector<std::uint8_t>& buf,
+                  net::FrameView& f) {
+  std::uint8_t hdr[4];
+  if (!net::readAll(fd, hdr, sizeof hdr)) return false;
+  std::uint32_t body_len = 0;
+  for (std::size_t i = 0; i < 4; ++i)
+    body_len |= static_cast<std::uint32_t>(hdr[i]) << (8 * i);
+  if (body_len < net::kFrameHeaderBytes - 4 ||
+      body_len > net::kMaxFrameBytes)
+    return false;
+  buf.assign(4 + body_len, 0);
+  std::copy(hdr, hdr + 4, buf.begin());
+  if (!net::readAll(fd, buf.data() + 4, body_len)) return false;
+  std::size_t consumed = 0;
+  return net::tryDecodeFrame(buf.data(), buf.size(), f, consumed) ==
+         net::DecodeStatus::kFrame;
+}
+
+struct RttRun {
+  int trips = 0;
+  double mean_s = 0.0;
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+};
+
+/// Fork an echo child and time `trips` one-frame round trips.
+RttRun runRtt(net::NetTransportKind transport, int trips) {
+  const std::string uds_path =
+      "/tmp/loadex_bench_rtt." + std::to_string(::getpid());
+  std::uint16_t port = 0;
+  net::Fd listener = transport == net::NetTransportKind::kTcp
+                         ? net::listenTcp(0, port)
+                         : net::listenUds(uds_path);
+  if (!listener.valid()) return {};
+
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    listener.reset();
+    net::Fd conn = transport == net::NetTransportKind::kTcp
+                       ? net::connectTcp(port)
+                       : net::connectUds(uds_path);
+    std::vector<std::uint8_t> buf;
+    net::FrameView f;
+    while (conn.valid() && readOneFrame(conn.get(), buf, f)) {
+      if (f.kind == net::FrameKind::kStop) break;
+      net::writeAll(conn.get(), buf.data(), buf.size());  // echo verbatim
+    }
+    ::_exit(0);
+  }
+
+  bool again = false;
+  net::Fd conn = net::acceptOn(listener.get(), again);
+  RttRun run;
+  if (conn.valid()) {
+    const rt::MonotonicClock clock;
+    std::vector<std::uint8_t> ping;
+    {
+      net::FrameBuilder fb(ping, net::FrameKind::kPing, 1);
+      fb.writer().u64(0);
+      fb.finish();
+    }
+    std::vector<std::uint8_t> buf;
+    net::FrameView f;
+    std::vector<double> rtts;
+    rtts.reserve(static_cast<std::size_t>(trips));
+    for (int i = 0; i < trips; ++i) {
+      const double t0 = clock.now();
+      if (!net::writeAll(conn.get(), ping.data(), ping.size()) ||
+          !readOneFrame(conn.get(), buf, f))
+        break;
+      rtts.push_back(clock.now() - t0);
+    }
+    std::vector<std::uint8_t> stop;
+    {
+      net::FrameBuilder fb(stop, net::FrameKind::kStop, 2);
+      fb.finish();
+    }
+    net::writeAll(conn.get(), stop.data(), stop.size());
+
+    if (!rtts.empty()) {
+      double sum = 0.0;
+      for (const double r : rtts) sum += r;
+      run.trips = static_cast<int>(rtts.size());
+      run.mean_s = sum / static_cast<double>(rtts.size());
+      std::sort(rtts.begin(), rtts.end());
+      run.p50_s = rtts[rtts.size() / 2];
+      run.p95_s = rtts[std::min(
+          rtts.size() - 1,
+          static_cast<std::size_t>(0.95 *
+                                   static_cast<double>(rtts.size())))];
+    }
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  if (transport == net::NetTransportKind::kUds)
+    ::unlink(uds_path.c_str());
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchEnv env = bench::BenchEnv::parse(argc, argv);
+  bench::JsonResults json("net_localhost", env);
+  const int rtt_trips = env.quick ? 500 : 2000;
+
+  std::cout << "net localhost — " << kNprocs
+            << " rank processes, real sockets, wire format v"
+            << static_cast<int>(net::kWireVersion) << "\n\n";
+
+  // ---- raw RTT ------------------------------------------------------------
+  Table rt_table("Wire round-trip latency, one connection");
+  rt_table.setHeader({"transport", "trips", "mean", "p50", "p95"});
+  for (const auto transport :
+       {net::NetTransportKind::kUds, net::NetTransportKind::kTcp}) {
+    const RttRun r = runRtt(transport, rtt_trips);
+    rt_table.addRow({net::netTransportKindName(transport),
+                     std::to_string(r.trips),
+                     Table::fmt(r.mean_s * 1e6, 1) + "us",
+                     Table::fmt(r.p50_s * 1e6, 1) + "us",
+                     Table::fmt(r.p95_s * 1e6, 1) + "us"});
+
+    obs::BenchResultRecord rec;
+    rec.problem = "net_rtt";
+    rec.mechanism = "none";
+    rec.strategy = net::netTransportKindName(transport);
+    rec.nprocs = 2;
+    rec.completed = r.trips > 0;
+    json.add(std::move(rec),
+             {{"host_rtt_mean_s", r.mean_s},
+              {"host_rtt_p50_s", r.p50_s},
+              {"host_rtt_p95_s", r.p95_s},
+              {"host_trips", static_cast<double>(r.trips)}});
+  }
+  rt_table.setFootnote(
+      "One kPing frame each way, blocking sockets, forked echo peer. The "
+      "per-message kernel-boundary cost every mechanism pays.");
+  rt_table.print(std::cout);
+  std::cout << "\n";
+
+  // ---- end-to-end script replays ------------------------------------------
+  Table t("End-to-end, 8 rank processes, coalescing vs flush-per-message");
+  t.setHeader({"mechanism", "transport", "flush", "wall", "frames",
+               "write(2)", "frames/write", "state msgs/s"});
+  bool all_ok = true;
+  for (const auto kind :
+       {core::MechanismKind::kNaive, core::MechanismKind::kIncrement,
+        core::MechanismKind::kSnapshot}) {
+    const harness::Script s =
+        netScript(env.seed, kind, env.effectiveScale());
+    for (const auto transport :
+         {net::NetTransportKind::kUds, net::NetTransportKind::kTcp}) {
+      for (const bool coalesce : {true, false}) {
+        net::NetOptions opts;
+        opts.transport = transport;
+        opts.coalesce = coalesce;
+        const net::NetRunReport rep = net::runMultiProcess(s, opts);
+        all_ok = all_ok && rep.ok && rep.conservationHolds();
+
+        const double frames_per_write =
+            rep.flush_writes > 0
+                ? static_cast<double>(rep.frames_sent) /
+                      static_cast<double>(rep.flush_writes)
+                : 0.0;
+        const double msgs_per_s =
+            static_cast<double>(rep.state.delivered) /
+            std::max(rep.wall_s, 1e-12);
+        t.addRow({core::mechanismKindName(kind),
+                  net::netTransportKindName(transport),
+                  coalesce ? "loop" : "msg",
+                  Table::fmt(rep.wall_s * 1e3, 1) + "ms",
+                  std::to_string(rep.frames_sent),
+                  std::to_string(rep.flush_writes),
+                  Table::fmt(frames_per_write, 2),
+                  Table::fmt(msgs_per_s, 0)});
+
+        obs::BenchResultRecord rec;
+        rec.problem = "net_localhost";
+        rec.mechanism = core::mechanismKindName(kind);
+        rec.strategy =
+            std::string(net::netTransportKindName(transport)) +
+            (coalesce ? "_coalesce" : "_flush");
+        rec.nprocs = kNprocs;
+        rec.completed = rep.ok;
+        rec.selections = rep.committed;
+        rec.state_messages = rep.state.delivered;
+        rec.state_wire_bytes = rep.bytes_sent;
+        rec.schedule_digest = scriptDigest(s);
+        json.add(std::move(rec),
+                 {// Deterministic script shape (part of the identity).
+                  {"script_loads", static_cast<double>(s.loads.size())},
+                  {"script_selections",
+                   static_cast<double>(s.selections.size())},
+                  // Volatile host measurements.
+                  {"host_wall_s", rep.wall_s},
+                  {"host_state_msgs_per_s", msgs_per_s},
+                  {"host_bytes_sent", static_cast<double>(rep.bytes_sent)},
+                  {"host_flush_writes",
+                   static_cast<double>(rep.flush_writes)},
+                  {"host_flush_partials",
+                   static_cast<double>(rep.flush_partials)},
+                  {"host_frames_per_write", frames_per_write},
+                  {"host_probe_rounds",
+                   static_cast<double>(rep.probe_rounds)}});
+      }
+    }
+  }
+  t.setFootnote(
+      "flush=loop coalesces per connection and writes once per event-loop "
+      "pass; flush=msg writes every frame. frames/write > 1 on the "
+      "coalescing arms is the syscall saving that carries the lazy-"
+      "broadcast win across the kernel boundary.");
+  t.print(std::cout);
+
+  if (!all_ok) {
+    std::cerr << "\nERROR: a run failed to quiesce cleanly\n";
+    return 1;
+  }
+  return json.write() ? 0 : 1;
+}

@@ -245,7 +245,7 @@ int runWeakScaling(const bench::BenchEnv& env, int only_n) {
             << " loads/rank)\n\n";
   Table wt("Weak scaling, state msgs/sec on a fixed 8-worker pool");
   wt.setHeader({"N", "ranks/worker", "state msgs", "msgs/s", "wall",
-                "sel lat p95"});
+                "sel lat p95", "steal"});
   for (const int n : {64, 256, 1024}) {
     if (only_n != 0 && n != only_n) continue;
     for (const auto kind :
@@ -282,12 +282,19 @@ int runWeakScaling(const bench::BenchEnv& env, int only_n) {
                            static_cast<std::size_t>(
                                0.95 * static_cast<double>(lat.size())))];
       }
+      const std::int64_t visits =
+          run.stats.shard_visits_home + run.stats.shard_visits_stolen;
+      const double steal_ratio =
+          visits > 0 ? static_cast<double>(run.stats.shard_visits_stolen) /
+                           static_cast<double>(visits)
+                     : 0.0;
       wt.addRow({std::to_string(n) + " " + core::mechanismKindName(kind),
                  std::to_string(n / kWeakWorkers),
                  std::to_string(run.stats.state_delivered),
                  Table::fmt(run.stateMsgsPerS(), 0),
                  Table::fmt(run.result.wall_s * 1e3, 1) + "ms",
-                 Table::fmt(p95 * 1e6, 1) + "us"});
+                 Table::fmt(p95 * 1e6, 1) + "us",
+                 Table::fmt(steal_ratio * 100.0, 1) + "%"});
 
       obs::BenchResultRecord rec;
       rec.problem = "rt_weak_scale";
@@ -311,7 +318,15 @@ int runWeakScaling(const bench::BenchEnv& env, int only_n) {
                 {"host_state_msgs_per_s", run.stateMsgsPerS()},
                 {"host_selection_latency_p95_s", p95},
                 {"host_spill_enqueues",
-                 static_cast<double>(run.stats.spill_enqueues)}});
+                 static_cast<double>(run.stats.spill_enqueues)},
+                // Steal-rate accounting of the M:N pool: how much of the
+                // shard traffic came from idle workers stealing foreign
+                // shards vs visiting their own.
+                {"host_shard_visits_home",
+                 static_cast<double>(run.stats.shard_visits_home)},
+                {"host_shard_visits_stolen",
+                 static_cast<double>(run.stats.shard_visits_stolen)},
+                {"host_steal_ratio", steal_ratio}});
     }
   }
   wt.setFootnote(

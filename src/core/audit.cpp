@@ -30,7 +30,7 @@ std::string loadStr(const LoadMetrics& m) {
 ProtocolAuditor::ProtocolAuditor(AuditorConfig config) : config_(config) {}
 
 void ProtocolAuditor::attach(MechanismSet& mechs, sim::World* world) {
-  LOADEX_EXPECT(mechs_ == nullptr, "auditor is already attached");
+  LOADEX_EXPECT(!attached(), "auditor is already attached");
   mechs_ = &mechs;
   world_ = world;
   nprocs_ = mechs.size();
@@ -43,7 +43,33 @@ void ProtocolAuditor::attach(MechanismSet& mechs, sim::World* world) {
   for (Rank r = 0; r < nprocs_; ++r) mechs.at(r).setAuditObserver(this);
 }
 
+void ProtocolAuditor::attachLocal(Mechanism& m, int nprocs) {
+  LOADEX_EXPECT(!attached(), "auditor is already attached");
+  LOADEX_EXPECT(nprocs > 0 && m.self() >= 0 && m.self() < nprocs,
+                "attachLocal: rank outside the declared world");
+  local_ = &m;
+  nprocs_ = nprocs;
+  // Cross-rank invariants pair a send at one rank with a delivery at
+  // another; this auditor only ever sees its own rank's half.
+  config_.check_fifo = false;
+  config_.check_conservation = false;
+  config_.check_reservations = false;
+  const auto n = static_cast<std::size_t>(nprocs_);
+  pairs_.assign(n * n, {});
+  outstanding_reservation_.assign(n, {});
+  last_absolute_broadcast_.assign(n, {});
+  snap_.assign(n, {});
+  last_start_request_.assign(n * n, 0);
+  m.setAuditObserver(this);
+}
+
 void ProtocolAuditor::detach() {
+  if (local_ != nullptr) {
+    local_->setAuditObserver(nullptr);
+    local_ = nullptr;
+    world_ = nullptr;
+    return;
+  }
   if (mechs_ == nullptr) return;
   for (Rank r = 0; r < nprocs_; ++r) mechs_->at(r).setAuditObserver(nullptr);
   mechs_ = nullptr;
@@ -70,7 +96,7 @@ void ProtocolAuditor::onLocalLoad(const Mechanism& m, const LoadMetrics& delta,
                                   bool is_slave_delegated) {
   ++events_observed_;
   if (!config_.check_reservations) return;
-  if (mechs_ == nullptr || m.kind() == MechanismKind::kNaive) return;
+  if (!attached() || m.kind() == MechanismKind::kNaive) return;
   // A positive delegated variation is the real work a master reserved
   // earlier (Master_To_All / master_to_slave): match it against the
   // outstanding reservation on this rank.
@@ -94,7 +120,7 @@ void ProtocolAuditor::onSelection(const Mechanism& m,
                                   const SlaveSelection& sel) {
   ++events_observed_;
   if (!config_.check_reservations) return;
-  if (mechs_ == nullptr || m.kind() == MechanismKind::kNaive) return;
+  if (!attached() || m.kind() == MechanismKind::kNaive) return;
   for (const auto& a : sel) {
     if (a.slave == m.self()) continue;  // local share needs no message
     outstanding_reservation_[static_cast<std::size_t>(a.slave)] += a.share;
@@ -104,7 +130,7 @@ void ProtocolAuditor::onSelection(const Mechanism& m,
 void ProtocolAuditor::onStateSend(const Mechanism& m, Rank dst, StateTag tag,
                                   Bytes /*size*/, const sim::Payload* payload) {
   ++events_observed_;
-  if (mechs_ == nullptr) return;
+  if (!attached()) return;
   const Rank src = m.self();
 
   if (config_.check_liveness && !config_.allow_crashes && world_ != nullptr &&
@@ -191,7 +217,7 @@ void ProtocolAuditor::onStateDeliver(const Mechanism& m, Rank src,
                                      StateTag tag,
                                      const sim::Payload* payload) {
   ++events_observed_;
-  if (mechs_ == nullptr) return;
+  if (!attached()) return;
   const Rank dst = m.self();
 
   if (config_.check_fifo) {
@@ -237,7 +263,7 @@ void ProtocolAuditor::onStateDeliver(const Mechanism& m, Rank src,
 // ---- end-of-run checks ----------------------------------------------------
 
 void ProtocolAuditor::finish() {
-  LOADEX_EXPECT(mechs_ != nullptr, "auditor finish() before attach()");
+  LOADEX_EXPECT(attached(), "auditor finish() before attach()");
   if (config_.check_fifo) checkFifoAtFinish();
   if (config_.check_conservation) checkConservationAtFinish();
   if (config_.check_reservations) checkReservationsAtFinish();
@@ -338,27 +364,37 @@ void ProtocolAuditor::noteRestarted(Rank r) {
 }
 
 void ProtocolAuditor::checkSnapshotAtFinish() {
+  if (local_ != nullptr) {
+    // Rank-local mode: the only mechanism whose quiescent state this
+    // auditor can inspect is its own.
+    if (local_->kind() == MechanismKind::kSnapshot)
+      checkSnapshotRankAtFinish(*local_);
+    return;
+  }
   if (mechs_->kind() != MechanismKind::kSnapshot) return;
-  for (Rank r = 0; r < nprocs_; ++r) {
-    const auto& sm = dynamic_cast<const SnapshotMechanism&>(mechs_->at(r));
-    const bool crashed = crashedAtFinish(r);
-    if (config_.allow_crashes && crashed) continue;
-    if (snap_[static_cast<std::size_t>(r)].open && !crashed) {
-      std::ostringstream os;
-      os << "snapshot termination broken: rank " << r
-         << " broadcast start_snp (request "
-         << snap_[static_cast<std::size_t>(r)].last_started
-         << ") but never broadcast the matching end_snp";
-      record(os.str());
-    }
-    if (sm.snapshotPending() || sm.concurrentSnapshots() != 0 ||
-        sm.blocksComputation()) {
-      std::ostringstream os;
-      os << "snapshot termination broken: rank " << r
-         << " ended the run frozen (pending=" << sm.snapshotPending()
-         << ", open foreign snapshots=" << sm.concurrentSnapshots() << ")";
-      record(os.str());
-    }
+  for (Rank r = 0; r < nprocs_; ++r) checkSnapshotRankAtFinish(mechs_->at(r));
+}
+
+void ProtocolAuditor::checkSnapshotRankAtFinish(const Mechanism& m) {
+  const auto& sm = dynamic_cast<const SnapshotMechanism&>(m);
+  const Rank r = m.self();
+  const bool crashed = crashedAtFinish(r);
+  if (config_.allow_crashes && crashed) return;
+  if (snap_[static_cast<std::size_t>(r)].open && !crashed) {
+    std::ostringstream os;
+    os << "snapshot termination broken: rank " << r
+       << " broadcast start_snp (request "
+       << snap_[static_cast<std::size_t>(r)].last_started
+       << ") but never broadcast the matching end_snp";
+    record(os.str());
+  }
+  if (sm.snapshotPending() || sm.concurrentSnapshots() != 0 ||
+      sm.blocksComputation()) {
+    std::ostringstream os;
+    os << "snapshot termination broken: rank " << r
+       << " ended the run frozen (pending=" << sm.snapshotPending()
+       << ", open foreign snapshots=" << sm.concurrentSnapshots() << ")";
+    record(os.str());
   }
 }
 

@@ -81,6 +81,17 @@ class ProtocolAuditor final : public AuditObserver {
   /// which enables the crashed-destination check). The auditor must
   /// outlive the simulation run or be detached first.
   void attach(MechanismSet& mechs, sim::World* world = nullptr);
+
+  /// Attach to a single mechanism that is one rank of an `nprocs`-wide
+  /// world living in other OS processes (the net runtime). Cross-rank
+  /// invariants (FIFO, conservation, reservations) pair a send at one
+  /// rank with a delivery at another; a rank-local auditor sees only its
+  /// own half, so those checks are forced off. The snapshot checks are
+  /// fully rank-local — start_snp monotonicity is send-side, and the snp
+  /// answer check reads the request id recorded when the start_snp was
+  /// delivered *here* — so they stay on, as does liveness bookkeeping.
+  void attachLocal(Mechanism& m, int nprocs);
+
   void detach();
 
   /// Run the end-of-run checks (quiescence invariants). Call after the
@@ -140,10 +151,14 @@ class ProtocolAuditor final : public AuditObserver {
   void checkConservationAtFinish();
   void checkReservationsAtFinish();
   void checkSnapshotAtFinish();
+  void checkSnapshotRankAtFinish(const Mechanism& m);
   void checkFifoAtFinish();
+
+  bool attached() const { return mechs_ != nullptr || local_ != nullptr; }
 
   AuditorConfig config_;
   MechanismSet* mechs_ = nullptr;
+  Mechanism* local_ = nullptr;  ///< attachLocal mode: the one visible rank
   sim::World* world_ = nullptr;
   int nprocs_ = 0;
 

@@ -1,0 +1,367 @@
+#include "net/launch.h"
+
+#include <sys/stat.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <utility>
+
+#include "common/expect.h"
+#include "core/binding.h"
+#include "net/socket.h"
+#include "rt/clock.h"
+
+namespace loadex::net {
+
+namespace {
+
+constexpr double kProbePeriodS = 2e-3;
+
+/// Distinct run directories for concurrent supervisors in one process
+/// tree (ctest -j runs several differential cases at once).
+std::string makeRunDir() {
+  static int counter = 0;
+  const std::string dir = "/tmp/loadex_net." +
+                          std::to_string(static_cast<long>(::getpid())) + "." +
+                          std::to_string(++counter);
+  ::mkdir(dir.c_str(), 0700);
+  return dir;
+}
+
+void cleanupRunDir(const std::string& dir, int nprocs) {
+  ::unlink(ctlSocketPath(dir).c_str());
+  for (Rank r = 0; r < nprocs; ++r)
+    ::unlink(rankSocketPath(dir, r).c_str());
+  ::rmdir(dir.c_str());
+}
+
+/// Blocking read of one frame; false on EOF/error/timeout (SO_RCVTIMEO).
+bool readFrameBlocking(int fd, std::vector<std::uint8_t>& frame,
+                       FrameView& f) {
+  std::uint8_t hdr[4];
+  if (!readAll(fd, hdr, sizeof hdr)) return false;
+  std::uint32_t body_len = 0;
+  for (std::size_t i = 0; i < 4; ++i)
+    body_len |= static_cast<std::uint32_t>(hdr[i]) << (8 * i);
+  if (body_len < kFrameHeaderBytes - 4 || body_len > kMaxFrameBytes)
+    return false;
+  frame.assign(4 + body_len, 0);
+  std::copy(hdr, hdr + 4, frame.begin());
+  if (!readAll(fd, frame.data() + 4, body_len)) return false;
+  std::size_t consumed = 0;
+  return tryDecodeFrame(frame.data(), frame.size(), f, consumed) ==
+         DecodeStatus::kFrame;
+}
+
+bool sendFrameBlocking(int fd, FrameKind kind,
+                       const std::function<void(WireWriter&)>& body = {}) {
+  std::vector<std::uint8_t> buf;
+  FrameBuilder fb(buf, kind, 0);
+  if (body) body(fb.writer());
+  fb.finish();
+  return writeAll(fd, buf.data(), buf.size());
+}
+
+void setRecvTimeout(int fd, double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<long>(seconds);
+  tv.tv_usec = static_cast<long>((seconds - static_cast<double>(tv.tv_sec)) *
+                                 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+}
+
+struct ProbeCounts {
+  bool idle = false;
+  std::uint64_t sent = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t delivered = 0;
+  bool operator==(const ProbeCounts&) const = default;
+};
+
+bool parseSummary(const FrameView& f, NetRankResult& out) {
+  WireReader r(f.body, f.body_len);
+  out.rank = static_cast<Rank>(r.u32());
+  out.committed = static_cast<std::int64_t>(r.u64());
+  out.skipped = static_cast<std::int64_t>(r.u64());
+  out.local_load.workload = r.f64();
+  out.local_load.memory = r.f64();
+  out.mech_messages_sent = static_cast<std::int64_t>(r.u64());
+  out.net.state.posted = static_cast<std::int64_t>(r.u64());
+  out.net.state.dropped = static_cast<std::int64_t>(r.u64());
+  out.net.state.duplicated = static_cast<std::int64_t>(r.u64());
+  out.net.state.delivered = static_cast<std::int64_t>(r.u64());
+  out.net.work.posted = static_cast<std::int64_t>(r.u64());
+  out.net.work.dropped = static_cast<std::int64_t>(r.u64());
+  out.net.work.duplicated = static_cast<std::int64_t>(r.u64());
+  out.net.work.delivered = static_cast<std::int64_t>(r.u64());
+  out.net.frames_sent = static_cast<std::int64_t>(r.u64());
+  out.net.frames_lost = static_cast<std::int64_t>(r.u64());
+  out.net.frames_delivered = static_cast<std::int64_t>(r.u64());
+  out.net.bytes_sent = static_cast<std::int64_t>(r.u64());
+  out.net.bytes_received = static_cast<std::int64_t>(r.u64());
+  out.net.flush_writes = static_cast<std::int64_t>(r.u64());
+  out.net.flush_partials = static_cast<std::int64_t>(r.u64());
+  out.net.reconnects = static_cast<std::int64_t>(r.u64());
+  out.net.seq_violations = static_cast<std::int64_t>(r.u64());
+  out.net.decode_errors = static_cast<std::int64_t>(r.u64());
+  out.net.timers_fired = static_cast<std::int64_t>(r.u64());
+  out.net.pings_sent = static_cast<std::int64_t>(r.u64());
+  out.net.peers_suspected = static_cast<std::int64_t>(r.u64());
+  out.audit_violations = static_cast<std::int64_t>(r.u64());
+  out.first_violation = r.str();
+  return r.ok();
+}
+
+}  // namespace
+
+int runRankProcess(const NetRankConfig& cfg, const harness::Script& script) {
+  NetWorld world(cfg);
+  if (!world.setup()) {
+    std::fprintf(stderr, "loadex_net rank %d: setup failed\n", cfg.self);
+    return 3;
+  }
+
+  core::MechanismConfig mcfg;
+  mcfg.threshold = {script.threshold, script.threshold};
+  mcfg.reliability.reliable_updates = script.hardened;
+  auto mech = core::makeMechanism(script.kind, world, mcfg);
+  world.bind(mech.get());
+
+  core::AuditorConfig acfg;
+  acfg.allow_message_loss = cfg.opts.faults.enabled();
+  core::ProtocolAuditor auditor(acfg);
+  auditor.attachLocal(*mech, cfg.nprocs);
+
+  return world.run(script, &auditor);
+}
+
+NetRunReport runMultiProcess(const harness::Script& script,
+                             const NetOptions& opts) {
+  NetRunReport report;
+  const int nprocs = script.nprocs;
+  LOADEX_EXPECT(nprocs >= 2, "multi-process run needs at least 2 ranks");
+
+  const std::string dir = makeRunDir();
+  Fd ctl_listen = listenUds(ctlSocketPath(dir));
+  if (!ctl_listen.valid()) {
+    report.error = "cannot listen on control socket in " + dir;
+    return report;
+  }
+  setNonBlocking(ctl_listen.get());
+
+  rt::MonotonicClock clock;
+  std::vector<pid_t> pids(static_cast<std::size_t>(nprocs), -1);
+  for (Rank r = 0; r < nprocs; ++r) {
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      ctl_listen.reset();
+      NetRankConfig cfg;
+      cfg.self = r;
+      cfg.nprocs = nprocs;
+      cfg.dir = dir;
+      cfg.opts = opts;
+      const int code = runRankProcess(cfg, script);
+      // Never return into the forked caller (a test runner, a bench): no
+      // atexit machinery, no duplicated output, just the verdict.
+      ::_exit(code);
+    }
+    if (pid < 0) {
+      report.error = "fork failed";
+      break;
+    }
+    pids[static_cast<std::size_t>(r)] = pid;
+  }
+
+  std::vector<Fd> conn(static_cast<std::size_t>(nprocs));
+  std::vector<std::uint32_t> ports(static_cast<std::size_t>(nprocs), 0);
+  std::vector<std::uint8_t> frame;
+  const double setup_deadline = clock.now() + opts.setup_timeout_s;
+
+  // Accept + Hello: children connect in arbitrary order; the Hello names
+  // the rank and, in TCP mode, its kernel-assigned listen port.
+  int connected = 0;
+  while (report.error.empty() && connected < nprocs) {
+    if (clock.now() > setup_deadline) {
+      report.error = "timeout waiting for rank Hello";
+      break;
+    }
+    bool again = false;
+    Fd fd = acceptOn(ctl_listen.get(), again);
+    if (!fd.valid()) {
+      rt::MonotonicClock::sleepFor(1e-3);
+      continue;
+    }
+    setRecvTimeout(fd.get(), opts.run_timeout_s);
+    FrameView f;
+    if (!readFrameBlocking(fd.get(), frame, f) || f.kind != FrameKind::kHello) {
+      report.error = "bad Hello from a child";
+      break;
+    }
+    WireReader r(f.body, f.body_len);
+    const auto rank = static_cast<Rank>(r.u32());
+    const std::uint32_t port = r.u32();
+    if (!r.ok() || rank < 0 || rank >= nprocs ||
+        conn[static_cast<std::size_t>(rank)].valid()) {
+      report.error = "invalid Hello rank";
+      break;
+    }
+    ports[static_cast<std::size_t>(rank)] = port;
+    conn[static_cast<std::size_t>(rank)] = std::move(fd);
+    ++connected;
+  }
+
+  // Peers -> every rank, then collect Ready, then Go.
+  for (Rank r = 0; report.error.empty() && r < nprocs; ++r) {
+    if (!sendFrameBlocking(conn[static_cast<std::size_t>(r)].get(),
+                           FrameKind::kPeers, [&](WireWriter& w) {
+                             w.u32(static_cast<std::uint32_t>(nprocs));
+                             for (const std::uint32_t p : ports) w.u32(p);
+                           }))
+      report.error = "cannot send Peers to rank " + std::to_string(r);
+  }
+  for (Rank r = 0; report.error.empty() && r < nprocs; ++r) {
+    FrameView f;
+    if (!readFrameBlocking(conn[static_cast<std::size_t>(r)].get(), frame,
+                           f) ||
+        f.kind != FrameKind::kReady)
+      report.error = "rank " + std::to_string(r) + " never became Ready";
+  }
+  const double t_go = clock.now();
+  for (Rank r = 0; report.error.empty() && r < nprocs; ++r) {
+    if (!sendFrameBlocking(conn[static_cast<std::size_t>(r)].get(),
+                           FrameKind::kGo))
+      report.error = "cannot send Go to rank " + std::to_string(r);
+  }
+
+  // Every child replays its slice and reports Done.
+  for (Rank r = 0; report.error.empty() && r < nprocs; ++r) {
+    FrameView f;
+    if (!readFrameBlocking(conn[static_cast<std::size_t>(r)].get(), frame,
+                           f) ||
+        f.kind != FrameKind::kDone)
+      report.error = "rank " + std::to_string(r) + " never reported Done";
+  }
+
+  // Double-barrier quiescence: two consecutive probe rounds with every
+  // rank idle, identical per-rank counters, and a closed global frame
+  // ledger mean nothing is left in any kernel buffer.
+  bool quiescent = false;
+  std::vector<ProbeCounts> prev;
+  const double run_deadline = clock.now() + opts.run_timeout_s;
+  std::uint32_t round = 0;
+  while (report.error.empty() && !quiescent) {
+    if (clock.now() > run_deadline) {
+      report.error = "quiescence timeout";
+      break;
+    }
+    ++round;
+    for (Rank r = 0; report.error.empty() && r < nprocs; ++r) {
+      if (!sendFrameBlocking(conn[static_cast<std::size_t>(r)].get(),
+                             FrameKind::kProbe,
+                             [round](WireWriter& w) { w.u32(round); }))
+        report.error = "cannot probe rank " + std::to_string(r);
+    }
+    std::vector<ProbeCounts> cur(static_cast<std::size_t>(nprocs));
+    bool all_idle = true;
+    std::uint64_t sent = 0, lost = 0, delivered = 0;
+    for (Rank r = 0; report.error.empty() && r < nprocs; ++r) {
+      FrameView f;
+      if (!readFrameBlocking(conn[static_cast<std::size_t>(r)].get(), frame,
+                             f) ||
+          f.kind != FrameKind::kCounts) {
+        report.error = "rank " + std::to_string(r) + " dropped mid-probe";
+        break;
+      }
+      WireReader rd(f.body, f.body_len);
+      (void)rd.u32();  // round echo
+      ProbeCounts& c = cur[static_cast<std::size_t>(r)];
+      c.idle = rd.u8() != 0;
+      c.sent = rd.u64();
+      c.lost = rd.u64();
+      c.delivered = rd.u64();
+      all_idle = all_idle && c.idle;
+      sent += c.sent;
+      lost += c.lost;
+      delivered += c.delivered;
+    }
+    if (!report.error.empty()) break;
+    quiescent = all_idle && sent - lost == delivered && cur == prev;
+    prev = std::move(cur);
+    report.probe_rounds = static_cast<int>(round);
+    if (!quiescent) rt::MonotonicClock::sleepFor(kProbePeriodS);
+  }
+  report.wall_s = clock.now() - t_go;
+
+  // Stop + Summary. Even on a supervisor-level error, try to stop the
+  // children so they exit instead of hitting their own run timeout.
+  report.ranks.resize(static_cast<std::size_t>(nprocs));
+  for (Rank r = 0; r < nprocs; ++r) {
+    if (!conn[static_cast<std::size_t>(r)].valid()) continue;
+    sendFrameBlocking(conn[static_cast<std::size_t>(r)].get(),
+                      FrameKind::kStop);
+  }
+  for (Rank r = 0; report.error.empty() && r < nprocs; ++r) {
+    FrameView f;
+    NetRankResult& res = report.ranks[static_cast<std::size_t>(r)];
+    if (!readFrameBlocking(conn[static_cast<std::size_t>(r)].get(), frame,
+                           f) ||
+        f.kind != FrameKind::kSummary || !parseSummary(f, res) ||
+        res.rank != r) {
+      report.error = "bad Summary from rank " + std::to_string(r);
+      break;
+    }
+  }
+
+  bool children_clean = true;
+  for (Rank r = 0; r < nprocs; ++r) {
+    const pid_t pid = pids[static_cast<std::size_t>(r)];
+    if (pid <= 0) continue;
+    int status = 0;
+    if (::waitpid(pid, &status, 0) != pid) {
+      children_clean = false;
+      continue;
+    }
+    const int code =
+        WIFEXITED(status) ? WEXITSTATUS(status) : 128 + WTERMSIG(status);
+    report.ranks[static_cast<std::size_t>(r)].exit_code = code;
+    children_clean = children_clean && code == 0;
+  }
+
+  for (const NetRankResult& res : report.ranks) {
+    report.committed += res.committed;
+    report.skipped += res.skipped;
+    report.total_load += res.local_load;
+    report.mech_messages_sent += res.mech_messages_sent;
+    report.state.posted += res.net.state.posted;
+    report.state.dropped += res.net.state.dropped;
+    report.state.duplicated += res.net.state.duplicated;
+    report.state.delivered += res.net.state.delivered;
+    report.work.posted += res.net.work.posted;
+    report.work.dropped += res.net.work.dropped;
+    report.work.duplicated += res.net.work.duplicated;
+    report.work.delivered += res.net.work.delivered;
+    report.frames_sent += res.net.frames_sent;
+    report.frames_lost += res.net.frames_lost;
+    report.frames_delivered += res.net.frames_delivered;
+    report.bytes_sent += res.net.bytes_sent;
+    report.flush_writes += res.net.flush_writes;
+    report.flush_partials += res.net.flush_partials;
+    report.seq_violations += res.net.seq_violations;
+    report.decode_errors += res.net.decode_errors;
+    report.reconnects += res.net.reconnects;
+    report.audit_violations += res.audit_violations;
+  }
+
+  cleanupRunDir(dir, nprocs);
+  report.ok = report.error.empty() && quiescent && children_clean &&
+              report.audit_violations == 0;
+  if (!report.ok && report.error.empty())
+    report.error = !children_clean ? "a rank process exited unclean"
+                                   : "audit violations recorded";
+  return report;
+}
+
+}  // namespace loadex::net

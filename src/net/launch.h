@@ -1,0 +1,96 @@
+// Multi-process launcher: fork N rank processes, supervise the run.
+//
+// The calling process becomes the supervisor: it listens on a Unix-domain
+// control socket inside a per-run directory, forks one child per rank
+// (plain fork, no exec — children inherit the Script and options by
+// memory), then drives the barrier protocol over net/wire.h control
+// frames:
+//
+//   child -> Hello{rank, tcp_port}      supervisor -> Peers{ports}
+//   child -> Ready (mesh connected)     supervisor -> Go
+//   child -> Done  (script replayed)    supervisor -> Probe{round}
+//   child -> Counts{idle, sent, lost, delivered}   ... until quiescent
+//   supervisor -> Stop                  child -> Summary{...}, exit
+//
+// Quiescence is a double barrier: two consecutive probe rounds must
+// report every rank idle (ops done, no pending view, no armed timer,
+// empty outbound buffers) with identical counters and a globally closed
+// ledger (frames sent - frames lost == frames delivered). Only then can
+// no message still be in flight in a kernel buffer, so Stop cannot cut a
+// protocol exchange in half.
+//
+// The per-rank Summary frames carry each child's mechanism stats, local
+// load, channel counters and audit verdict; the supervisor folds them
+// into a NetRunReport whose conservation identity
+// (posted + duplicated == delivered + dropped, per channel) is the
+// acceptance claim of the process-level differential.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/load.h"
+#include "harness/script.h"
+#include "net/world.h"
+
+namespace loadex::net {
+
+/// One child's Summary, plus its exit status.
+struct NetRankResult {
+  Rank rank = kNoRank;
+  std::int64_t committed = 0;
+  std::int64_t skipped = 0;
+  core::LoadMetrics local_load;
+  std::int64_t mech_messages_sent = 0;
+  NetRunStats net;
+  std::int64_t audit_violations = 0;
+  std::string first_violation;
+  int exit_code = -1;
+};
+
+struct NetRunReport {
+  bool ok = false;       ///< quiesced, every child exited 0, audits clean
+  std::string error;     ///< first supervisor-level failure, empty if ok
+  double wall_s = 0.0;   ///< Go -> quiescence, supervisor clock
+  int probe_rounds = 0;
+
+  // Sums over all ranks:
+  std::int64_t committed = 0;
+  std::int64_t skipped = 0;
+  core::LoadMetrics total_load;
+  std::int64_t mech_messages_sent = 0;
+  NetChannelCounters state;
+  NetChannelCounters work;
+  std::int64_t frames_sent = 0;
+  std::int64_t frames_lost = 0;
+  std::int64_t frames_delivered = 0;
+  std::int64_t bytes_sent = 0;
+  std::int64_t flush_writes = 0;
+  std::int64_t flush_partials = 0;
+  std::int64_t seq_violations = 0;
+  std::int64_t decode_errors = 0;
+  std::int64_t reconnects = 0;
+  std::int64_t audit_violations = 0;
+
+  std::vector<NetRankResult> ranks;
+
+  /// The cross-process conservation identity, per channel.
+  bool conservationHolds() const {
+    return state.posted + state.duplicated == state.delivered + state.dropped &&
+           work.posted + work.duplicated == work.delivered + work.dropped;
+  }
+};
+
+/// Fork script.nprocs rank processes and supervise them to quiescence.
+/// Blocks until every child has exited; safe to call from a test (the
+/// children never return into the caller — they _exit after Summary).
+NetRunReport runMultiProcess(const harness::Script& script,
+                             const NetOptions& opts);
+
+/// Body of one rank process: build the NetWorld, the mechanism and the
+/// rank-local auditor, run to Stop. Returns the process exit code
+/// (0 clean, 1 audit violations, 2 timeout, 3 setup failure).
+int runRankProcess(const NetRankConfig& cfg, const harness::Script& script);
+
+}  // namespace loadex::net

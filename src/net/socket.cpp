@@ -1,0 +1,194 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace loadex::net {
+
+void Fd::reset() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+bool setNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+Fd listenTcp(std::uint16_t port, std::uint16_t& bound_port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return {};
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
+    return {};
+  if (::listen(fd.get(), SOMAXCONN) != 0) return {};
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    return {};
+  bound_port = ntohs(addr.sin_port);
+  return fd;
+}
+
+Fd listenUds(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof addr.sun_path) return {};
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return {};
+  ::unlink(path.c_str());
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
+    return {};
+  if (::listen(fd.get(), SOMAXCONN) != 0) return {};
+  return fd;
+}
+
+Fd acceptOn(int listen_fd, bool& again) {
+  again = false;
+  const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+  if (fd >= 0) return Fd(fd);
+  again = errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR;
+  return {};
+}
+
+Fd connectTcp(std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return {};
+  const int one = 1;
+  // Latency benches measure per-message round trips; Nagle would serialize
+  // them behind delayed acks.
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
+    return {};
+  return fd;
+}
+
+Fd connectUds(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof addr.sun_path) return {};
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return {};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
+    return {};
+  return fd;
+}
+
+Epoll::Epoll() : ep_(::epoll_create1(EPOLL_CLOEXEC)) {}
+
+namespace {
+std::uint32_t interestOf(bool want_write) {
+  std::uint32_t ev = EPOLLIN | EPOLLRDHUP;
+  if (want_write) ev |= EPOLLOUT;
+  return ev;
+}
+}  // namespace
+
+bool Epoll::add(int fd, std::uint64_t token, bool want_write) {
+  epoll_event ev{};
+  ev.events = interestOf(want_write);
+  ev.data.u64 = token;
+  return ::epoll_ctl(ep_.get(), EPOLL_CTL_ADD, fd, &ev) == 0;
+}
+
+bool Epoll::mod(int fd, std::uint64_t token, bool want_write) {
+  epoll_event ev{};
+  ev.events = interestOf(want_write);
+  ev.data.u64 = token;
+  return ::epoll_ctl(ep_.get(), EPOLL_CTL_MOD, fd, &ev) == 0;
+}
+
+void Epoll::del(int fd) {
+  ::epoll_ctl(ep_.get(), EPOLL_CTL_DEL, fd, nullptr);
+}
+
+int Epoll::wait(Event* events, int max_events, int timeout_ms) {
+  epoll_event raw[64];
+  if (max_events > 64) max_events = 64;
+  const int n = ::epoll_wait(ep_.get(), raw, max_events, timeout_ms);
+  if (n < 0) return errno == EINTR ? 0 : -1;
+  for (int i = 0; i < n; ++i) {
+    events[i].token = raw[i].data.u64;
+    events[i].readable = (raw[i].events & EPOLLIN) != 0;
+    events[i].writable = (raw[i].events & EPOLLOUT) != 0;
+    events[i].error =
+        (raw[i].events & (EPOLLERR | EPOLLHUP | EPOLLRDHUP)) != 0;
+  }
+  return n;
+}
+
+IoStatus writeSome(int fd, const std::uint8_t* data, std::size_t len,
+                   std::size_t& n) {
+  n = 0;
+  const ssize_t r = ::send(fd, data, len, MSG_NOSIGNAL);
+  if (r > 0) {
+    n = static_cast<std::size_t>(r);
+    return IoStatus::kOk;
+  }
+  if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR))
+    return IoStatus::kWouldBlock;
+  return IoStatus::kError;
+}
+
+IoStatus readSome(int fd, std::uint8_t* buf, std::size_t cap, std::size_t& n) {
+  n = 0;
+  const ssize_t r = ::recv(fd, buf, cap, 0);
+  if (r > 0) {
+    n = static_cast<std::size_t>(r);
+    return IoStatus::kOk;
+  }
+  if (r == 0) return IoStatus::kClosed;
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+    return IoStatus::kWouldBlock;
+  return IoStatus::kError;
+}
+
+bool writeAll(int fd, const std::uint8_t* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t r = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (r > 0) {
+      off += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool readAll(int fd, std::uint8_t* buf, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t r = ::recv(fd, buf + off, len - off, 0);
+    if (r > 0) {
+      off += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace loadex::net

@@ -1,0 +1,115 @@
+// Thin RAII layer over the raw socket and epoll syscalls.
+//
+// Every socket(2)/bind(2)/connect(2)/epoll_*(2) call in the repo lives in
+// src/net — the loadex-lint `raw-socket` rule bans them everywhere else,
+// so the rest of the codebase can only reach the kernel through the typed
+// NetWorld/NetTransport seam. Errors surface as {-1, errno} style returns
+// rather than exceptions: the event loop treats a failed peer socket as a
+// connection-lifecycle event (reconnect with backoff), not a crash.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace loadex::net {
+
+/// Move-only owning file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& o) noexcept : fd_(o.release()) {}
+  Fd& operator=(Fd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = o.release();
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() { return std::exchange(fd_, -1); }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Put a descriptor into non-blocking mode. Returns false on error.
+bool setNonBlocking(int fd);
+
+// ---- listeners -----------------------------------------------------------
+
+/// Bind + listen a TCP socket on 127.0.0.1:`port` (0 = kernel-assigned).
+/// On success `bound_port` holds the actual port. Invalid Fd on error.
+Fd listenTcp(std::uint16_t port, std::uint16_t& bound_port);
+
+/// Bind + listen a Unix-domain stream socket at `path` (unlinked first).
+Fd listenUds(const std::string& path);
+
+/// Accept one pending connection (non-blocking listener): invalid Fd when
+/// none is pending or on error; `again` distinguishes the two.
+Fd acceptOn(int listen_fd, bool& again);
+
+// ---- connectors ----------------------------------------------------------
+
+/// Blocking connect to 127.0.0.1:`port`. Invalid Fd on error.
+Fd connectTcp(std::uint16_t port);
+
+/// Blocking connect to a Unix-domain socket path. Invalid Fd on error.
+Fd connectUds(const std::string& path);
+
+// ---- epoll ---------------------------------------------------------------
+
+/// Owning epoll instance; a thin veneer so only this file names the
+/// epoll_* syscalls.
+class Epoll {
+ public:
+  Epoll();
+  bool valid() const { return ep_.valid(); }
+
+  /// Register/modify/remove `fd`. `want_write` adds EPOLLOUT interest on
+  /// top of the always-on EPOLLIN. `token` comes back from wait().
+  bool add(int fd, std::uint64_t token, bool want_write = false);
+  bool mod(int fd, std::uint64_t token, bool want_write);
+  void del(int fd);
+
+  struct Event {
+    std::uint64_t token = 0;
+    bool readable = false;
+    bool writable = false;
+    bool error = false;  ///< EPOLLERR / EPOLLHUP / EPOLLRDHUP
+  };
+
+  /// Wait up to `timeout_ms` (-1 = forever, 0 = poll). Fills `events`
+  /// (capacity `max_events`) and returns the count; -1 on error.
+  int wait(Event* events, int max_events, int timeout_ms);
+
+ private:
+  Fd ep_;
+};
+
+// ---- raw stream I/O ------------------------------------------------------
+
+enum class IoStatus { kOk, kWouldBlock, kClosed, kError };
+
+/// One non-blocking write of up to `len` bytes; `n` holds bytes written.
+IoStatus writeSome(int fd, const std::uint8_t* data, std::size_t len,
+                   std::size_t& n);
+
+/// One non-blocking read into `buf`; `n` holds bytes read. kClosed on
+/// orderly EOF.
+IoStatus readSome(int fd, std::uint8_t* buf, std::size_t cap, std::size_t& n);
+
+/// Blocking write of the whole buffer (supervisor control plane only).
+bool writeAll(int fd, const std::uint8_t* data, std::size_t len);
+
+/// Blocking read of exactly `len` bytes (supervisor control plane only).
+bool readAll(int fd, std::uint8_t* buf, std::size_t len);
+
+}  // namespace loadex::net

@@ -1,0 +1,278 @@
+#include "net/wire.h"
+
+#include "common/expect.h"
+
+namespace loadex::net {
+
+const char* frameKindName(FrameKind k) {
+  switch (k) {
+    case FrameKind::kHello: return "hello";
+    case FrameKind::kPeers: return "peers";
+    case FrameKind::kReady: return "ready";
+    case FrameKind::kGo: return "go";
+    case FrameKind::kDone: return "done";
+    case FrameKind::kProbe: return "probe";
+    case FrameKind::kCounts: return "counts";
+    case FrameKind::kStop: return "stop";
+    case FrameKind::kSummary: return "summary";
+    case FrameKind::kState: return "state";
+    case FrameKind::kWork: return "work";
+    case FrameKind::kPing: return "ping";
+  }
+  return "?";
+}
+
+namespace {
+
+bool knownFrameKind(std::uint8_t k) {
+  return k >= static_cast<std::uint8_t>(FrameKind::kHello) &&
+         k <= static_cast<std::uint8_t>(FrameKind::kPing);
+}
+
+}  // namespace
+
+FrameBuilder::FrameBuilder(std::vector<std::uint8_t>& buf, FrameKind kind,
+                           std::uint32_t link_seq)
+    : buf_(buf), len_offset_(buf.size()), writer_(buf) {
+  writer_.u32(0);  // length placeholder, patched by finish()
+  writer_.u8(kWireVersion);
+  writer_.u8(static_cast<std::uint8_t>(kind));
+  writer_.u32(link_seq);
+}
+
+void FrameBuilder::finish() {
+  LOADEX_EXPECT(!finished_, "FrameBuilder::finish called twice");
+  finished_ = true;
+  const std::size_t body_len = buf_.size() - len_offset_ - 4;
+  LOADEX_EXPECT(body_len <= kMaxFrameBytes, "frame body exceeds kMaxFrameBytes");
+  const auto len = static_cast<std::uint32_t>(body_len);
+  for (std::size_t i = 0; i < 4; ++i)
+    buf_[len_offset_ + i] = static_cast<std::uint8_t>(len >> (8 * i));
+}
+
+DecodeStatus tryDecodeFrame(const std::uint8_t* data, std::size_t len,
+                            FrameView& out, std::size_t& consumed) {
+  if (len < 4) return DecodeStatus::kNeedMore;
+  std::uint32_t body_len = 0;
+  for (std::size_t i = 0; i < 4; ++i)
+    body_len |= static_cast<std::uint32_t>(data[i]) << (8 * i);
+  // The body always starts with version + kind + link_seq (6 bytes); a
+  // shorter or absurdly long prefix cannot be a frame of any version.
+  if (body_len < kFrameHeaderBytes - 4 || body_len > kMaxFrameBytes)
+    return DecodeStatus::kBad;
+  if (len < 4 + static_cast<std::size_t>(body_len))
+    return DecodeStatus::kNeedMore;
+  const std::uint8_t version = data[4];
+  const std::uint8_t kind = data[5];
+  if (version != kWireVersion || !knownFrameKind(kind))
+    return DecodeStatus::kBad;
+  out.version = version;
+  out.kind = static_cast<FrameKind>(kind);
+  out.link_seq = 0;
+  for (std::size_t i = 0; i < 4; ++i)
+    out.link_seq |= static_cast<std::uint32_t>(data[6 + i]) << (8 * i);
+  out.body = data + kFrameHeaderBytes;
+  out.body_len = body_len - (kFrameHeaderBytes - 4);
+  consumed = 4 + static_cast<std::size_t>(body_len);
+  return DecodeStatus::kFrame;
+}
+
+// ---- state-channel payload codecs ---------------------------------------
+
+void encodeStatePayload(core::StateTag tag, const sim::Payload& payload,
+                        WireWriter& w) {
+  using core::StateTag;
+  switch (tag) {
+    case StateTag::kUpdateAbsolute: {
+      const auto& p = core::payloadCast<core::UpdateAbsolutePayload>(payload);
+      w.f64(p.load.workload);
+      w.f64(p.load.memory);
+      return;
+    }
+    case StateTag::kUpdateDelta: {
+      const auto& p = core::payloadCast<core::UpdateDeltaPayload>(payload);
+      w.f64(p.delta.workload);
+      w.f64(p.delta.memory);
+      w.u64(p.seq);
+      return;
+    }
+    case StateTag::kMasterToAll: {
+      const auto& p = core::payloadCast<core::MasterToAllPayload>(payload);
+      w.u64(p.seq);
+      w.u32(static_cast<std::uint32_t>(p.assignments.size()));
+      for (const auto& a : p.assignments) {
+        w.u32(static_cast<std::uint32_t>(a.slave));
+        w.f64(a.share.workload);
+        w.f64(a.share.memory);
+      }
+      return;
+    }
+    case StateTag::kNoMoreMaster:
+      return;  // empty body
+    case StateTag::kStartSnp: {
+      const auto& p = core::payloadCast<core::StartSnpPayload>(payload);
+      w.u64(p.request);
+      return;
+    }
+    case StateTag::kSnp: {
+      const auto& p = core::payloadCast<core::SnpPayload>(payload);
+      w.u64(p.request);
+      w.f64(p.state.workload);
+      w.f64(p.state.memory);
+      return;
+    }
+    case StateTag::kEndSnp:
+      return;  // empty body
+    case StateTag::kMasterToSlave: {
+      const auto& p = core::payloadCast<core::MasterToSlavePayload>(payload);
+      w.f64(p.share.workload);
+      w.f64(p.share.memory);
+      return;
+    }
+    case StateTag::kNack: {
+      const auto& p = core::payloadCast<core::NackPayload>(payload);
+      w.u64(p.from);
+      w.u64(p.to);
+      return;
+    }
+    case StateTag::kHeartbeat: {
+      const auto& p = core::payloadCast<core::HeartbeatPayload>(payload);
+      w.u64(p.last_seq);
+      return;
+    }
+  }
+  LOADEX_EXPECT(false, "encodeStatePayload: unknown StateTag");
+}
+
+std::shared_ptr<const sim::Payload> decodeStatePayload(core::StateTag tag,
+                                                       WireReader& r) {
+  using core::StateTag;
+  switch (tag) {
+    case StateTag::kUpdateAbsolute: {
+      auto p = std::make_shared<core::UpdateAbsolutePayload>();
+      p->load.workload = r.f64();
+      p->load.memory = r.f64();
+      return r.ok() ? p : nullptr;
+    }
+    case StateTag::kUpdateDelta: {
+      auto p = std::make_shared<core::UpdateDeltaPayload>();
+      p->delta.workload = r.f64();
+      p->delta.memory = r.f64();
+      p->seq = r.u64();
+      return r.ok() ? p : nullptr;
+    }
+    case StateTag::kMasterToAll: {
+      auto p = std::make_shared<core::MasterToAllPayload>();
+      p->seq = r.u64();
+      const std::uint32_t n = r.u32();
+      // Each assignment is 20 bytes; an n the remaining bytes cannot hold
+      // is a corrupt count, not a short read.
+      if (!r.ok() || r.remaining() < static_cast<std::size_t>(n) * 20) {
+        r.fail();
+        return nullptr;
+      }
+      p->assignments.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        core::SlaveAssignment a;
+        a.slave = static_cast<Rank>(r.u32());
+        a.share.workload = r.f64();
+        a.share.memory = r.f64();
+        p->assignments.push_back(a);
+      }
+      return r.ok() ? p : nullptr;
+    }
+    case StateTag::kNoMoreMaster:
+      return std::make_shared<core::NoMoreMasterPayload>();
+    case StateTag::kStartSnp: {
+      auto p = std::make_shared<core::StartSnpPayload>();
+      p->request = r.u64();
+      return r.ok() ? p : nullptr;
+    }
+    case StateTag::kSnp: {
+      auto p = std::make_shared<core::SnpPayload>();
+      p->request = r.u64();
+      p->state.workload = r.f64();
+      p->state.memory = r.f64();
+      return r.ok() ? p : nullptr;
+    }
+    case StateTag::kEndSnp:
+      return std::make_shared<core::EndSnpPayload>();
+    case StateTag::kMasterToSlave: {
+      auto p = std::make_shared<core::MasterToSlavePayload>();
+      p->share.workload = r.f64();
+      p->share.memory = r.f64();
+      return r.ok() ? p : nullptr;
+    }
+    case StateTag::kNack: {
+      auto p = std::make_shared<core::NackPayload>();
+      p->from = r.u64();
+      p->to = r.u64();
+      return r.ok() ? p : nullptr;
+    }
+    case StateTag::kHeartbeat: {
+      auto p = std::make_shared<core::HeartbeatPayload>();
+      p->last_seq = r.u64();
+      return r.ok() ? p : nullptr;
+    }
+  }
+  r.fail();
+  return nullptr;
+}
+
+Bytes stateSizeBytes(core::StateTag tag, const sim::Payload& payload) {
+  using core::StateTag;
+  switch (tag) {
+    case StateTag::kUpdateAbsolute:
+      return core::UpdateAbsolutePayload::sizeBytes();
+    case StateTag::kUpdateDelta:
+      return core::UpdateDeltaPayload::sizeBytes();
+    case StateTag::kMasterToAll:
+      return core::MasterToAllPayload::sizeBytes(
+          core::payloadCast<core::MasterToAllPayload>(payload)
+              .assignments.size());
+    case StateTag::kNoMoreMaster:
+      return core::NoMoreMasterPayload::sizeBytes();
+    case StateTag::kStartSnp:
+      return core::StartSnpPayload::sizeBytes();
+    case StateTag::kSnp:
+      return core::SnpPayload::sizeBytes();
+    case StateTag::kEndSnp:
+      return core::EndSnpPayload::sizeBytes();
+    case StateTag::kMasterToSlave:
+      return core::MasterToSlavePayload::sizeBytes();
+    case StateTag::kNack:
+      return core::NackPayload::sizeBytes();
+    case StateTag::kHeartbeat:
+      return core::HeartbeatPayload::sizeBytes();
+  }
+  LOADEX_EXPECT(false, "stateSizeBytes: unknown StateTag");
+  return 0;
+}
+
+void encodeStateBody(core::StateTag tag, const sim::Payload& payload,
+                     WireWriter& w) {
+  w.u8(static_cast<std::uint8_t>(static_cast<int>(tag)));
+  encodeStatePayload(tag, payload, w);
+}
+
+bool decodeStateBody(WireReader& r, StateFrame& out) {
+  const std::uint8_t raw_tag = r.u8();
+  if (!r.ok() || raw_tag < 1 ||
+      raw_tag > static_cast<std::uint8_t>(
+                    static_cast<int>(core::StateTag::kHeartbeat))) {
+    r.fail();
+    return false;
+  }
+  const auto tag = static_cast<core::StateTag>(raw_tag);
+  auto payload = decodeStatePayload(tag, r);
+  if (payload == nullptr || !r.atEnd()) {
+    r.fail();
+    return false;
+  }
+  out.tag = tag;
+  out.payload = std::move(payload);
+  out.size = stateSizeBytes(tag, *out.payload);
+  return true;
+}
+
+}  // namespace loadex::net

@@ -6,6 +6,7 @@
 
 #include "common/expect.h"
 #include "common/log.h"
+#include "obs/metrics.h"
 #include "rt/supervisor.h"
 
 namespace loadex::rt {
@@ -641,13 +642,26 @@ void RtWorld::workerLoop(int w) {
       static_cast<std::size_t>(std::max(1, cfg_.executor.drain_batch));
   std::vector<Envelope> scratch(batch);
   double backoff = kMinIdleS;
+  // Steal-rate accounting: plain worker-locals on the hot path, folded
+  // into the world atomics (and the obs registry, per worker) at exit.
+  std::int64_t visits_home = 0;
+  std::int64_t visits_stolen = 0;
+  const auto fold_visits = [&] {
+    shard_visits_home_.fetch_add(visits_home, std::memory_order_relaxed);
+    shard_visits_stolen_.fetch_add(visits_stolen, std::memory_order_relaxed);
+    LOADEX_METRIC(counter("rt/worker" + std::to_string(w) + "/visits_home")
+                      .add(visits_home));
+    LOADEX_METRIC(counter("rt/worker" + std::to_string(w) + "/visits_stolen")
+                      .add(visits_stolen));
+  };
   for (;;) {
     Pass pass;
     // Home pass: the shards this worker owns (s ≡ w mod workers). A
     // try_lock miss means another worker is in there stealing — the
     // shard's work is being done either way.
     for (int s = w; s < n_shards_; s += n_workers_)
-      tryRunShard(*shards_[static_cast<std::size_t>(s)], scratch, pass);
+      if (tryRunShard(*shards_[static_cast<std::size_t>(s)], scratch, pass))
+        ++visits_home;
     // Steal pass: opportunistically visit everyone else's shards. One
     // shard lock at a time (the home pass released before this), so no
     // worker ever nests two kShard acquisitions.
@@ -655,12 +669,15 @@ void RtWorld::workerLoop(int w) {
       for (int off = 1; off < n_shards_; ++off) {
         const int s = (w + off) % n_shards_;
         if (s % n_workers_ == w) continue;  // home, already visited
-        tryRunShard(*shards_[static_cast<std::size_t>(s)], scratch, pass);
+        if (tryRunShard(*shards_[static_cast<std::size_t>(s)], scratch, pass))
+          ++visits_stolen;
       }
     }
     if (stopping_.load(std::memory_order_acquire) &&
-        stops_remaining_.load(std::memory_order_acquire) <= 0)
+        stops_remaining_.load(std::memory_order_acquire) <= 0) {
+      fold_visits();
       return;
+    }
     if (pass.did_work) {
       backoff = kMinIdleS;
       continue;
@@ -767,6 +784,9 @@ RtRunStats RtWorld::runStats() const {
   s.task_posted = task_posted_.load(std::memory_order_relaxed);
   s.timers_armed = timers_armed_.load(std::memory_order_relaxed);
   s.spill_enqueues = spill_enqueues_.load(std::memory_order_relaxed);
+  s.shard_visits_home = shard_visits_home_.load(std::memory_order_relaxed);
+  s.shard_visits_stolen =
+      shard_visits_stolen_.load(std::memory_order_relaxed);
   s.state_dropped = state_dropped_.load(std::memory_order_relaxed);
   s.task_dropped = task_dropped_.load(std::memory_order_relaxed);
   s.state_duplicated = state_duplicated_.load(std::memory_order_relaxed);

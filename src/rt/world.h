@@ -137,6 +137,13 @@ struct RtRunStats {
   std::int64_t timers_armed = 0;
   std::int64_t timers_fired = 0;
   std::int64_t spill_enqueues = 0;   ///< sends deferred by a full mailbox
+  /// Successful shard acquisitions by the M:N pool, split by provenance:
+  /// a home visit is a worker entering a shard it owns (s ≡ w mod
+  /// workers), a stolen visit is an idle worker's try_lock on someone
+  /// else's shard. stolen / (home + stolen) is the steal rate the weak-
+  /// scaling bench reports; both stay 0 under the legacy executor.
+  std::int64_t shard_visits_home = 0;
+  std::int64_t shard_visits_stolen = 0;
   std::uint64_t mailbox_pushes = 0;
   std::uint64_t mailbox_pops = 0;
   std::uint64_t mailbox_full_rejections = 0;
@@ -453,6 +460,8 @@ class RtWorld {
   std::atomic<std::int64_t> task_posted_{0};
   std::atomic<std::int64_t> timers_armed_{0};
   std::atomic<std::int64_t> spill_enqueues_{0};
+  std::atomic<std::int64_t> shard_visits_home_{0};
+  std::atomic<std::int64_t> shard_visits_stolen_{0};
 
   // Fault counters (any thread; all stay zero on the clean path).
   std::atomic<std::int64_t> state_dropped_{0};

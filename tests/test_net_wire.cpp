@@ -1,0 +1,471 @@
+// Wire-format coverage for the real-socket transport (src/net/wire.h).
+//
+//  * seeded round-trip property tests for every StateTag: random payloads
+//    encode -> frame -> decode back to identical fields, bit-for-bit on
+//    the doubles (LE bit-pattern codec, no FP arithmetic in between);
+//  * framing robustness: every strict prefix of a valid frame is
+//    kNeedMore (a stream cut never desynchronises), corrupt length /
+//    version / kind prefixes are kBad (the connection is dropped, not
+//    resynchronised by guessing), truncated state bodies decode to
+//    failure instead of reading past the buffer;
+//  * cross-version stability: tests/golden/wire_v1.bin pins the exact v1
+//    byte stream — today's decoder must accept yesterday's bytes, and
+//    today's encoder must still produce them. Regenerate deliberately
+//    with LOADEX_REGEN_GOLDEN=1 after a schema version bump, never to
+//    silence a diff.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/payloads.h"
+#include "net/wire.h"
+
+namespace loadex::net {
+namespace {
+
+using core::StateTag;
+
+constexpr StateTag kAllTags[] = {
+    StateTag::kUpdateAbsolute, StateTag::kUpdateDelta,
+    StateTag::kMasterToAll,    StateTag::kNoMoreMaster,
+    StateTag::kStartSnp,       StateTag::kSnp,
+    StateTag::kEndSnp,         StateTag::kMasterToSlave,
+    StateTag::kNack,           StateTag::kHeartbeat,
+};
+
+/// Draw a payload with seeded-random field values for `tag`.
+std::shared_ptr<const sim::Payload> drawPayload(StateTag tag, Rng& rng) {
+  const auto load = [&rng] {
+    return core::LoadMetrics{rng.uniformReal(-100.0, 100.0),
+                             rng.uniformReal(0.0, 64.0)};
+  };
+  switch (tag) {
+    case StateTag::kUpdateAbsolute: {
+      auto p = std::make_shared<core::UpdateAbsolutePayload>();
+      p->load = load();
+      return p;
+    }
+    case StateTag::kUpdateDelta: {
+      auto p = std::make_shared<core::UpdateDeltaPayload>();
+      p->delta = load();
+      p->seq = rng.uniformInt(1u << 20);
+      return p;
+    }
+    case StateTag::kMasterToAll: {
+      auto p = std::make_shared<core::MasterToAllPayload>();
+      p->seq = rng.uniformInt(1u << 20);
+      const auto n = rng.uniformInt(5);  // 0..4 assignments
+      for (std::uint64_t i = 0; i < n; ++i)
+        p->assignments.push_back(
+            {static_cast<Rank>(rng.uniformInt(64)), load()});
+      return p;
+    }
+    case StateTag::kNoMoreMaster:
+      return std::make_shared<core::NoMoreMasterPayload>();
+    case StateTag::kStartSnp: {
+      auto p = std::make_shared<core::StartSnpPayload>();
+      p->request = rng.uniformInt(1u << 20);
+      return p;
+    }
+    case StateTag::kSnp: {
+      auto p = std::make_shared<core::SnpPayload>();
+      p->request = rng.uniformInt(1u << 20);
+      p->state = load();
+      return p;
+    }
+    case StateTag::kEndSnp:
+      return std::make_shared<core::EndSnpPayload>();
+    case StateTag::kMasterToSlave: {
+      auto p = std::make_shared<core::MasterToSlavePayload>();
+      p->share = load();
+      return p;
+    }
+    case StateTag::kNack: {
+      auto p = std::make_shared<core::NackPayload>();
+      p->from = rng.uniformInt(1u << 16);
+      p->to = p->from + rng.uniformInt(64);
+      return p;
+    }
+    case StateTag::kHeartbeat: {
+      auto p = std::make_shared<core::HeartbeatPayload>();
+      p->last_seq = rng.uniformInt(1u << 20);
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+/// Field-exact payload comparison per tag (doubles compare ==: the codec
+/// moves bit patterns, never arithmetic).
+void expectPayloadEq(StateTag tag, const sim::Payload& a,
+                     const sim::Payload& b) {
+  using core::payloadCast;
+  switch (tag) {
+    case StateTag::kUpdateAbsolute: {
+      const auto& x = payloadCast<core::UpdateAbsolutePayload>(a);
+      const auto& y = payloadCast<core::UpdateAbsolutePayload>(b);
+      EXPECT_EQ(x.load.workload, y.load.workload);
+      EXPECT_EQ(x.load.memory, y.load.memory);
+      return;
+    }
+    case StateTag::kUpdateDelta: {
+      const auto& x = payloadCast<core::UpdateDeltaPayload>(a);
+      const auto& y = payloadCast<core::UpdateDeltaPayload>(b);
+      EXPECT_EQ(x.delta.workload, y.delta.workload);
+      EXPECT_EQ(x.delta.memory, y.delta.memory);
+      EXPECT_EQ(x.seq, y.seq);
+      return;
+    }
+    case StateTag::kMasterToAll: {
+      const auto& x = payloadCast<core::MasterToAllPayload>(a);
+      const auto& y = payloadCast<core::MasterToAllPayload>(b);
+      EXPECT_EQ(x.seq, y.seq);
+      ASSERT_EQ(x.assignments.size(), y.assignments.size());
+      for (std::size_t i = 0; i < x.assignments.size(); ++i) {
+        EXPECT_EQ(x.assignments[i].slave, y.assignments[i].slave);
+        EXPECT_EQ(x.assignments[i].share.workload,
+                  y.assignments[i].share.workload);
+        EXPECT_EQ(x.assignments[i].share.memory,
+                  y.assignments[i].share.memory);
+      }
+      return;
+    }
+    case StateTag::kNoMoreMaster:
+    case StateTag::kEndSnp:
+      return;  // empty bodies
+    case StateTag::kStartSnp:
+      EXPECT_EQ(payloadCast<core::StartSnpPayload>(a).request,
+                payloadCast<core::StartSnpPayload>(b).request);
+      return;
+    case StateTag::kSnp: {
+      const auto& x = payloadCast<core::SnpPayload>(a);
+      const auto& y = payloadCast<core::SnpPayload>(b);
+      EXPECT_EQ(x.request, y.request);
+      EXPECT_EQ(x.state.workload, y.state.workload);
+      EXPECT_EQ(x.state.memory, y.state.memory);
+      return;
+    }
+    case StateTag::kMasterToSlave: {
+      const auto& x = payloadCast<core::MasterToSlavePayload>(a);
+      const auto& y = payloadCast<core::MasterToSlavePayload>(b);
+      EXPECT_EQ(x.share.workload, y.share.workload);
+      EXPECT_EQ(x.share.memory, y.share.memory);
+      return;
+    }
+    case StateTag::kNack: {
+      const auto& x = payloadCast<core::NackPayload>(a);
+      const auto& y = payloadCast<core::NackPayload>(b);
+      EXPECT_EQ(x.from, y.from);
+      EXPECT_EQ(x.to, y.to);
+      return;
+    }
+    case StateTag::kHeartbeat:
+      EXPECT_EQ(payloadCast<core::HeartbeatPayload>(a).last_seq,
+                payloadCast<core::HeartbeatPayload>(b).last_seq);
+      return;
+  }
+  FAIL() << "unknown tag";
+}
+
+/// Encode one kState frame (header + body) for a payload.
+std::vector<std::uint8_t> encodeStateFrame(
+    StateTag tag, const sim::Payload& p, std::uint32_t link_seq) {
+  std::vector<std::uint8_t> buf;
+  FrameBuilder fb(buf, FrameKind::kState, link_seq);
+  encodeStateBody(tag, p, fb.writer());
+  fb.finish();
+  return buf;
+}
+
+// ---- round trips ----------------------------------------------------------
+
+TEST(NetWire, EveryStateTagRoundTripsSeededPayloads) {
+  Rng rng(0xB17EC0DEu);
+  for (const StateTag tag : kAllTags) {
+    SCOPED_TRACE(core::stateTagName(tag));
+    for (int trial = 0; trial < 64; ++trial) {
+      const auto original = drawPayload(tag, rng);
+      ASSERT_NE(original, nullptr);
+      const std::uint32_t seq = static_cast<std::uint32_t>(trial) + 1;
+      const auto buf = encodeStateFrame(tag, *original, seq);
+
+      FrameView f;
+      std::size_t consumed = 0;
+      ASSERT_EQ(tryDecodeFrame(buf.data(), buf.size(), f, consumed),
+                DecodeStatus::kFrame);
+      EXPECT_EQ(consumed, buf.size());
+      EXPECT_EQ(f.version, kWireVersion);
+      EXPECT_EQ(f.kind, FrameKind::kState);
+      EXPECT_EQ(f.link_seq, seq);
+
+      WireReader r(f.body, f.body_len);
+      StateFrame out;
+      ASSERT_TRUE(decodeStateBody(r, out));
+      EXPECT_EQ(out.tag, tag);
+      // The declared Bytes size is recomputed at the receiver and must
+      // match the paper's accounting for the decoded payload.
+      EXPECT_EQ(out.size, stateSizeBytes(tag, *original));
+      expectPayloadEq(tag, *original, *out.payload);
+    }
+  }
+}
+
+TEST(NetWire, BackToBackFramesDecodeInOrder) {
+  Rng rng(0xCAFEu);
+  std::vector<std::uint8_t> stream;
+  std::vector<StateTag> tags;
+  for (int i = 0; i < 20; ++i) {
+    const StateTag tag = kAllTags[rng.uniformInt(10)];
+    const auto p = drawPayload(tag, rng);
+    const auto one =
+        encodeStateFrame(tag, *p, static_cast<std::uint32_t>(i) + 1);
+    stream.insert(stream.end(), one.begin(), one.end());
+    tags.push_back(tag);
+  }
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    FrameView f;
+    std::size_t consumed = 0;
+    ASSERT_EQ(tryDecodeFrame(stream.data() + pos, stream.size() - pos, f,
+                             consumed),
+              DecodeStatus::kFrame);
+    EXPECT_EQ(f.link_seq, static_cast<std::uint32_t>(i) + 1);
+    WireReader r(f.body, f.body_len);
+    StateFrame out;
+    ASSERT_TRUE(decodeStateBody(r, out));
+    EXPECT_EQ(out.tag, tags[i]);
+    pos += consumed;
+  }
+  EXPECT_EQ(pos, stream.size());
+}
+
+// ---- truncation and garbage ----------------------------------------------
+
+TEST(NetWire, EveryStrictFramePrefixNeedsMoreBytes) {
+  Rng rng(0x7235CA7Eu);
+  const auto p = drawPayload(StateTag::kSnp, rng);
+  const auto buf = encodeStateFrame(StateTag::kSnp, *p, 9);
+  for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+    FrameView f;
+    std::size_t consumed = 0;
+    EXPECT_EQ(tryDecodeFrame(buf.data(), cut, f, consumed),
+              DecodeStatus::kNeedMore)
+        << "prefix of " << cut << " bytes";
+  }
+}
+
+TEST(NetWire, GarbageLengthPrefixIsRejectedNotBuffered) {
+  // A length prefix beyond kMaxFrameBytes must be kBad immediately: a
+  // decoder that waits for 4 GiB of body turns one corrupt byte into an
+  // unbounded memory demand.
+  std::vector<std::uint8_t> buf(16, 0);
+  const std::uint32_t absurd = kMaxFrameBytes + 1;
+  for (std::size_t i = 0; i < 4; ++i)
+    buf[i] = static_cast<std::uint8_t>(absurd >> (8 * i));
+  FrameView f;
+  std::size_t consumed = 0;
+  EXPECT_EQ(tryDecodeFrame(buf.data(), buf.size(), f, consumed),
+            DecodeStatus::kBad);
+
+  // A length too short to hold version+kind+seq cannot be any frame.
+  std::vector<std::uint8_t> tiny(16, 0);
+  tiny[0] = 3;
+  EXPECT_EQ(tryDecodeFrame(tiny.data(), tiny.size(), f, consumed),
+            DecodeStatus::kBad);
+}
+
+TEST(NetWire, WrongVersionAndUnknownKindAreRejected) {
+  Rng rng(0xBAD5EEDu);
+  const auto p = drawPayload(StateTag::kNack, rng);
+  const auto good = encodeStateFrame(StateTag::kNack, *p, 1);
+
+  auto bad_version = good;
+  bad_version[4] = kWireVersion + 1;
+  FrameView f;
+  std::size_t consumed = 0;
+  EXPECT_EQ(tryDecodeFrame(bad_version.data(), bad_version.size(), f,
+                           consumed),
+            DecodeStatus::kBad);
+
+  auto bad_kind = good;
+  bad_kind[5] = 0;  // below kHello
+  EXPECT_EQ(tryDecodeFrame(bad_kind.data(), bad_kind.size(), f, consumed),
+            DecodeStatus::kBad);
+  bad_kind[5] = 200;  // above kPing
+  EXPECT_EQ(tryDecodeFrame(bad_kind.data(), bad_kind.size(), f, consumed),
+            DecodeStatus::kBad);
+}
+
+TEST(NetWire, TruncatedStateBodiesFailCleanly) {
+  Rng rng(0x0DDB17Eu);
+  for (const StateTag tag : kAllTags) {
+    SCOPED_TRACE(core::stateTagName(tag));
+    const auto p = drawPayload(tag, rng);
+    std::vector<std::uint8_t> body;
+    WireWriter w(body);
+    encodeStateBody(tag, *p, w);
+    // Every strict prefix of the body must decode to failure — never to a
+    // bogus payload, never past the end of the buffer.
+    for (std::size_t cut = 0; cut < body.size(); ++cut) {
+      WireReader r(body.data(), cut);
+      StateFrame out;
+      EXPECT_FALSE(decodeStateBody(r, out)) << "cut at " << cut;
+    }
+    // Trailing garbage is equally malformed: a state body is exact.
+    std::vector<std::uint8_t> padded = body;
+    padded.push_back(0x5a);
+    WireReader r(padded.data(), padded.size());
+    StateFrame out;
+    EXPECT_FALSE(decodeStateBody(r, out));
+  }
+}
+
+TEST(NetWire, CorruptAssignmentCountIsRejected) {
+  // A Master_To_All whose count field promises more assignments than the
+  // body holds must fail on the count check, not allocate/iterate.
+  core::MasterToAllPayload p;
+  p.seq = 7;
+  p.assignments.push_back({2, {1.0, 2.0}});
+  std::vector<std::uint8_t> body;
+  WireWriter w(body);
+  encodeStateBody(StateTag::kMasterToAll, p, w);
+  body[9] = 0xff;  // count lives after [u8 tag][u64 seq]
+  WireReader r(body.data(), body.size());
+  StateFrame out;
+  EXPECT_FALSE(decodeStateBody(r, out));
+  EXPECT_FALSE(r.ok());
+}
+
+// ---- golden byte stream ---------------------------------------------------
+
+std::string goldenPath() {
+  return std::string(LOADEX_SOURCE_DIR) + "/tests/golden/wire_v1.bin";
+}
+
+/// The pinned v1 stream: one frame per StateTag with fixed field values,
+/// link_seq 1..10. Any byte-level change to the codec shows up as a diff
+/// against the checked-in file.
+std::vector<std::uint8_t> buildGoldenStream() {
+  std::vector<std::uint8_t> stream;
+  std::uint32_t seq = 0;
+  const auto add = [&stream, &seq](StateTag tag, const sim::Payload& p) {
+    const auto one = encodeStateFrame(tag, p, ++seq);
+    stream.insert(stream.end(), one.begin(), one.end());
+  };
+
+  core::UpdateAbsolutePayload abs;
+  abs.load = {12.5, 3.25};
+  add(StateTag::kUpdateAbsolute, abs);
+
+  core::UpdateDeltaPayload delta;
+  delta.delta = {-4.75, 0.5};
+  delta.seq = 42;
+  add(StateTag::kUpdateDelta, delta);
+
+  core::MasterToAllPayload mta;
+  mta.seq = 43;
+  mta.assignments = {{1, {10.0, 1.0}}, {3, {20.0, 2.0}}};
+  add(StateTag::kMasterToAll, mta);
+
+  add(StateTag::kNoMoreMaster, core::NoMoreMasterPayload{});
+
+  core::StartSnpPayload start;
+  start.request = 7;
+  add(StateTag::kStartSnp, start);
+
+  core::SnpPayload snp;
+  snp.request = 7;
+  snp.state = {99.0, 8.0};
+  add(StateTag::kSnp, snp);
+
+  add(StateTag::kEndSnp, core::EndSnpPayload{});
+
+  core::MasterToSlavePayload mts;
+  mts.share = {15.0, 0.0};
+  add(StateTag::kMasterToSlave, mts);
+
+  core::NackPayload nack;
+  nack.from = 5;
+  nack.to = 9;
+  add(StateTag::kNack, nack);
+
+  core::HeartbeatPayload hb;
+  hb.last_seq = 44;
+  add(StateTag::kHeartbeat, hb);
+
+  return stream;
+}
+
+TEST(NetWireGolden, CheckedInV1StreamStillDecodes) {
+  const std::vector<std::uint8_t> expected = buildGoldenStream();
+
+  if (std::getenv("LOADEX_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(goldenPath(), std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << goldenPath();
+    out.write(reinterpret_cast<const char*>(expected.data()),
+              static_cast<std::streamsize>(expected.size()));
+    GTEST_SKIP() << "regenerated " << goldenPath();
+  }
+
+  std::ifstream in(goldenPath(), std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing " << goldenPath()
+                         << " (run with LOADEX_REGEN_GOLDEN=1 once)";
+  std::vector<std::uint8_t> golden(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+
+  // Encoder stability: today's encoder still produces yesterday's bytes.
+  EXPECT_EQ(golden, expected)
+      << "wire layout drifted from the checked-in v1 stream; if the change "
+         "is deliberate, bump kWireVersion and regenerate";
+
+  // Decoder stability: yesterday's bytes still decode, frame by frame,
+  // into the expected tags and link sequence.
+  std::size_t pos = 0;
+  std::uint32_t seq = 0;
+  const StateTag want_order[] = {
+      StateTag::kUpdateAbsolute, StateTag::kUpdateDelta,
+      StateTag::kMasterToAll,    StateTag::kNoMoreMaster,
+      StateTag::kStartSnp,       StateTag::kSnp,
+      StateTag::kEndSnp,         StateTag::kMasterToSlave,
+      StateTag::kNack,           StateTag::kHeartbeat,
+  };
+  for (const StateTag want : want_order) {
+    FrameView f;
+    std::size_t consumed = 0;
+    ASSERT_EQ(tryDecodeFrame(golden.data() + pos, golden.size() - pos, f,
+                             consumed),
+              DecodeStatus::kFrame);
+    EXPECT_EQ(f.version, kWireVersion);
+    EXPECT_EQ(f.kind, FrameKind::kState);
+    EXPECT_EQ(f.link_seq, ++seq);
+    WireReader r(f.body, f.body_len);
+    StateFrame out;
+    ASSERT_TRUE(decodeStateBody(r, out));
+    EXPECT_EQ(out.tag, want);
+    pos += consumed;
+  }
+  EXPECT_EQ(pos, golden.size());
+
+  // Spot-check decoded field values against the generator's constants.
+  FrameView f;
+  std::size_t consumed = 0;
+  ASSERT_EQ(tryDecodeFrame(golden.data(), golden.size(), f, consumed),
+            DecodeStatus::kFrame);
+  WireReader r(f.body, f.body_len);
+  StateFrame out;
+  ASSERT_TRUE(decodeStateBody(r, out));
+  const auto& abs = core::payloadCast<core::UpdateAbsolutePayload>(
+      *out.payload);
+  EXPECT_EQ(abs.load.workload, 12.5);
+  EXPECT_EQ(abs.load.memory, 3.25);
+}
+
+}  // namespace
+}  // namespace loadex::net

@@ -27,6 +27,12 @@
 // off — at N up to 1024 ranks. The invariants are executor-blind, which
 // is exactly the claim: scheduling is a performance decision, never a
 // semantic one.
+//
+// The process axis (RtProcessAxis below) goes one level further down:
+// the same script replayed across 8 separate OS processes over
+// Unix-domain sockets (src/net), with the wire-level conservation
+// identity folded in. Serialization and real kernels are transport
+// decisions, never semantic ones either.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -39,6 +45,7 @@
 #include "core/audit.h"
 #include "harness/script.h"
 #include "harness/world_harness.h"
+#include "net/launch.h"
 #include "rt/audit_lock.h"
 #include "rt/workload.h"
 #include "rt/world.h"
@@ -362,6 +369,79 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<ExecAxisCase>& i) {
       return std::string(core::mechanismKindName(i.param.kind)) + "_n" +
              std::to_string(i.param.nprocs) + "_" + i.param.exec.name;
+    });
+
+// ---- process axis ----------------------------------------------------------
+//
+// The third runtime: ranks as separate OS processes over Unix-domain
+// sockets, state serialized through the versioned wire format. Same
+// deterministic script as the executor axis at N=8, same invariants —
+// plus the transport-level conservation identity the supervisor folds
+// from the per-rank summaries (posted + duplicated == delivered +
+// dropped on both channels) and a loss-free wire: no per-link FIFO gaps,
+// no decode errors, every child's rank-local audit clean.
+
+Replay runOnNet(const Script& s) {
+  net::NetOptions opts;
+  opts.transport = net::NetTransportKind::kUds;
+  const net::NetRunReport rep = net::runMultiProcess(s, opts);
+
+  EXPECT_TRUE(rep.ok) << "net run failed: " << rep.error;
+  EXPECT_TRUE(rep.conservationHolds())
+      << "state " << rep.state.posted << "+" << rep.state.duplicated
+      << " != " << rep.state.delivered << "+" << rep.state.dropped;
+  EXPECT_EQ(rep.seq_violations, 0) << "wire FIFO gaps on a loss-free run";
+  EXPECT_EQ(rep.decode_errors, 0);
+  EXPECT_EQ(rep.audit_violations, 0);
+  for (const net::NetRankResult& r : rep.ranks) {
+    EXPECT_EQ(r.exit_code, 0) << "rank " << r.rank << ": "
+                              << r.first_violation;
+  }
+  // A fault-free plan must not drop or duplicate anything.
+  EXPECT_EQ(rep.state.dropped, 0);
+  EXPECT_EQ(rep.state.duplicated, 0);
+  EXPECT_EQ(rep.work.posted, rep.work.delivered);
+
+  Replay r;
+  r.committed = rep.committed;
+  r.skipped = rep.skipped;
+  r.total_load = rep.total_load;
+  r.mech_messages_sent = rep.mech_messages_sent;
+  // What the mechanisms sent is exactly what the sockets carried.
+  EXPECT_EQ(rep.mech_messages_sent, rep.state.posted);
+  return r;
+}
+
+class RtProcessAxis : public ::testing::TestWithParam<core::MechanismKind> {};
+
+TEST_P(RtProcessAxis, MultiProcessRunAgreesWithSimAndRt) {
+  const Script s = scaleScript(8, GetParam());
+  SCOPED_TRACE("kind=" + std::string(core::mechanismKindName(s.kind)));
+  const ScriptExpectations want = harness::expectationsOf(s);
+
+  const Replay sim = runOnSimulator(s);
+  const Replay rtr = runOnRt(s, /*lock_free_ring=*/true);
+  const Replay netr = runOnNet(s);
+
+  // All three runtimes commit every scripted selection and agree on the
+  // final load bookkeeping — the decision count and conservation claims
+  // of the acceptance criteria.
+  EXPECT_EQ(sim.committed, want.selections);
+  EXPECT_EQ(rtr.committed, want.selections);
+  EXPECT_EQ(netr.committed, want.selections);
+  EXPECT_EQ(netr.skipped, sim.skipped);
+  EXPECT_EQ(netr.skipped, rtr.skipped);
+  expectLoadNear(sim.total_load, want.total_load);
+  expectLoadNear(rtr.total_load, want.total_load);
+  expectLoadNear(netr.total_load, want.total_load);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProcessAxis, RtProcessAxis,
+    ::testing::Values(MechanismKind::kNaive, MechanismKind::kIncrement,
+                      MechanismKind::kSnapshot),
+    [](const ::testing::TestParamInfo<core::MechanismKind>& i) {
+      return std::string(core::mechanismKindName(i.param));
     });
 
 }  // namespace

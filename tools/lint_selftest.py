@@ -158,6 +158,39 @@ int makePolicy(PolicyKind k) {
 }
 """
 
+# Wire codec covering the CORE_OK StateTag enum in both directions (the
+# wirecodec-exhaustive rule reads this fixed path next to the core tree).
+NET_WIRE_OK = dict(CORE_OK)
+NET_WIRE_OK["src/net/wire.cpp"] = """void encodeStatePayload(StateTag tag) {
+  switch (tag) {
+    case StateTag::kLoad: break;
+    case StateTag::kSnap: break;
+  }
+}
+int decodeStatePayload(StateTag tag) {
+  switch (tag) {
+    case StateTag::kLoad: return 1;
+    case StateTag::kSnap: return 2;
+  }
+  return 0;
+}
+"""
+
+NET_WIRE_DECODE_GAP = dict(NET_WIRE_OK)
+NET_WIRE_DECODE_GAP["src/net/wire.cpp"] = """void encodeStatePayload(StateTag tag) {
+  switch (tag) {
+    case StateTag::kLoad: break;
+    case StateTag::kSnap: break;
+  }
+}
+int decodeStatePayload(StateTag tag) {
+  switch (tag) {
+    case StateTag::kLoad: return 1;
+  }
+  return 0;
+}
+"""
+
 LOCK_ORDER_PROLOGUE = """#include "common/sync.h"
 loadex::sync::Mutex low_{loadex::sync::LockRank::kLow};
 loadex::sync::Mutex high_{loadex::sync::LockRank::kHigh};
@@ -256,6 +289,22 @@ CASES = [
     ("policykind-exhaustive fires on a factory gap", SVC_FACTORY_GAP,
      "policykind-exhaustive"),
     ("policykind-exhaustive clean", SVC_OK, None),
+
+    ("raw-socket fires outside src/net", {
+        "src/sim/a.cpp": "int f() { return ::socket(2, 1, 0); }\n"
+                         "int g(int fd) { return epoll_wait(fd, 0, 8, -1); }\n",
+    }, "raw-socket"),
+    ("raw-socket legal in src/net, members/qualified names exempt", {
+        "src/net/socket.cpp":
+            "int f() { return ::socket(2, 1, 0); }\n",
+        "src/rt/a.cpp":
+            "void f(World& w, Mech* m) { w.bind(m); }\n"
+            "auto g() { return std::bind(h, 1); }\n",
+    }, None),
+
+    ("wirecodec-exhaustive fires on a decode gap", NET_WIRE_DECODE_GAP,
+     "wirecodec-exhaustive"),
+    ("wirecodec-exhaustive clean", NET_WIRE_OK, None),
 
     ("trace-macro-guard fires on an unguarded macro", {
         "src/obs/macros.h": "#pragma once\n"

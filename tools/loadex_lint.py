@@ -74,6 +74,18 @@ that protect them:
                          (src/svc/policy.h) across policyKindName() and the
                          makePolicy() factory — a policy added to the enum
                          but missing from either is a silent dispatch gap.
+  raw-socket             socket()/bind()/listen()/connect()/accept() and the
+                         epoll_* syscalls outside src/net — every kernel
+                         socket touch goes through the typed RAII helpers
+                         (src/net/socket.h), so fd ownership, non-blocking
+                         setup and error mapping have one point of truth
+                         and the rest of the repo stays host-API-free.
+  wirecodec-exhaustive   the wire codec (src/net/wire.cpp) must dispatch on
+                         every StateTag in both directions: a tag missing
+                         from encodeStatePayload() or decodeStatePayload()
+                         is a message kind that silently cannot cross the
+                         process boundary (or a stale case after an enum
+                         change).
   trace-macro-guard      every LOADEX_TRACE_* / LOADEX_METRIC macro defined
                          in src/obs must wrap its body in the
                          `do { if (auto* x = ::loadex::obs::...()) {` null
@@ -116,7 +128,8 @@ KNOWN_RULES = frozenset({
     "thread-lifecycle", "payload-cast", "unordered-iteration",
     "naked-new-delete", "pragma-once", "statetag-exhaustive",
     "mechanismkind-exhaustive", "policykind-exhaustive",
-    "trace-macro-guard", "raw-sync",
+    "trace-macro-guard", "raw-sync", "raw-socket",
+    "wirecodec-exhaustive",
     "sync-annotation-coverage", "lock-hierarchy", "all",
 })
 
@@ -234,6 +247,13 @@ PAYLOAD_CAST_RE = re.compile(r"dynamic_cast\s*<[^>]*Payload")
 # joins. A detached thread escapes drain()/stop()'s join guarantees (its
 # writes are never ordered before stats reads), and std::terminate tears
 # the process down mid-invariant; neither has a legitimate call site.
+# Raw socket/epoll syscall entry points. The single-char lookbehind keeps
+# member calls (`world.bind(`, `conn->connect(`) and qualified names
+# (`std::bind`) out: an optional leading `::` is part of the match, so a
+# preceding word char, `.`, `>` or `:` rejects the position either way.
+RAW_SOCKET_RE = re.compile(
+    r"(?<![\w:.>])(?:::)?(?:socket|bind|listen|connect|accept4?)\s*\("
+    r"|(?<![\w:.>])epoll_(?:create1?|ctl|wait)\s*\(")
 THREAD_DETACH_RE = re.compile(r"\.\s*detach\s*\(")
 TERMINATE_RE = re.compile(r"(?<![\w:])std::terminate\s*\(")
 THREAD_JOIN_RE = re.compile(r"\.\s*join\s*\(")
@@ -251,6 +271,13 @@ THREAD_JOIN_ALLOWED = ("src/rt/world.cpp", "src/rt/supervisor.cpp")
 
 def rng_exempt(rel: str) -> bool:
     return rel in RANDOMNESS_ALLOWED
+
+
+def raw_socket_banned(rel: str) -> bool:
+    """Kernel socket/epoll touches are confined to src/net: everywhere
+    else (src, tests, benches, examples alike) goes through the RAII
+    helpers in src/net/socket.h."""
+    return not rel.startswith("src/net/")
 
 
 def threading_banned(rel: str) -> bool:
@@ -319,6 +346,12 @@ def check_lines(rel: str, path: Path, code_lines: list[str],
                     "join() outside RtWorld/Supervisor; thread retirement "
                     "in src/ is confined to src/rt/world.cpp and "
                     "src/rt/supervisor.cpp so quiescence stays auditable"))
+        if raw_socket_banned(rel) and RAW_SOCKET_RE.search(code):
+            findings.append(Finding(
+                path, lineno, "raw-socket",
+                "raw socket/epoll syscall outside src/net; go through "
+                "the typed RAII helpers (src/net/socket.h) so fd "
+                "ownership and error handling stay in one place"))
         if rel not in PAYLOAD_CAST_ALLOWED and PAYLOAD_CAST_RE.search(code):
             findings.append(Finding(
                 path, lineno, "payload-cast",
@@ -619,6 +652,43 @@ def function_body(text: str, fn_name: str) -> str:
     return text[m.end():i]
 
 
+def check_wire_dispatch(root: Path, findings: list[Finding]) -> None:
+    """The socket transport's wire codec must cover every StateTag in
+    both directions. encodeStatePayload() ends in a rejecting dispatch,
+    so a missing case there would abort at runtime — but only when that
+    message kind first crosses a process boundary; this check moves the
+    failure to lint time. decodeStatePayload() maps unknown tags to a
+    decode error (connection drop), which would quietly blackhole a
+    freshly added message kind."""
+    wire = root / "src/net/wire.cpp"
+    payloads = root / "src/core/payloads.h"
+    if not wire.is_file() or not payloads.is_file():  # subtree scan
+        return
+    tags = set(parse_enum(payloads.read_text(encoding="utf-8"), "StateTag"))
+    if not tags:  # statetag-exhaustive already reports the parse failure
+        return
+    wtext = strip_comments_and_strings(wire.read_text(encoding="utf-8"))
+    for fn in ("encodeStatePayload", "decodeStatePayload"):
+        body = function_body(wtext, fn)
+        if not body:
+            findings.append(Finding(
+                wire, 1, "wirecodec-exhaustive",
+                f"could not find {fn}() — the codec dispatch the socket "
+                "transport serializes state messages through"))
+            continue
+        labels = case_labels(body, "StateTag")
+        for label in sorted(labels - tags):
+            findings.append(Finding(
+                wire, 1, "wirecodec-exhaustive",
+                f"{fn}() names unknown StateTag::{label} "
+                "(stale case after an enum change?)"))
+        for label in sorted(tags - labels):
+            findings.append(Finding(
+                wire, 1, "wirecodec-exhaustive",
+                f"StateTag::{label} is missing from {fn}() — this "
+                "message kind cannot cross a process boundary"))
+
+
 def check_policy_dispatch(root: Path, findings: list[Finding]) -> None:
     """PolicyKind (service workload): the name table and the factory must
     each name every enumerator. Both switches live in policy.cpp, so the
@@ -810,6 +880,7 @@ def main(argv: list[str]) -> int:
         check_lock_hierarchy(rel, path, code_lines, lock_ranks, findings)
     if not args.files:
         check_enum_dispatch(root, findings)
+        check_wire_dispatch(root, findings)
         check_policy_dispatch(root, findings)
         check_trace_macro_guard(root, findings)
 
